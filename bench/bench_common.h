@@ -1,0 +1,85 @@
+#ifndef SEQFM_BENCH_BENCH_COMMON_H_
+#define SEQFM_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/seqfm.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "util/flags.h"
+
+namespace seqfm {
+namespace bench {
+
+/// Shared knobs for the table/figure reproduction binaries. Every bench
+/// accepts:
+///   --scale=F        dataset size multiplier (default varies per bench)
+///   --epochs=N       training epochs
+///   --dim=N          latent dimension d
+///   --seq-len=N      maximum dynamic sequence length n.
+///   --negatives=N    training negatives per positive (paper: 5)
+///   --eval-negatives=N  ranking candidates J (paper: 1000)
+///   --batch=N        mini-batch size
+///   --lr=F           Adam learning rate
+///   --seed=N         global seed
+///   --quick          shrink everything for a fast smoke run
+struct BenchOptions {
+  double scale = 1.0;
+  size_t epochs = 5;
+  size_t dim = 32;
+  size_t max_seq_len = 20;
+  size_t num_negatives = 2;
+  size_t eval_negatives = 200;
+  size_t batch_size = 128;
+  float learning_rate = 1e-2f;
+  /// Epoch-selection cadence on the validation split (0 = off).
+  size_t validate_every = 5;
+  uint64_t seed = 42;
+  bool quick = false;
+
+  static BenchOptions FromFlags(const FlagParser& flags);
+};
+
+/// A generated dataset plus everything models need to train/evaluate on it.
+struct PreparedDataset {
+  std::string name;
+  data::SyntheticConfig config;
+  data::InteractionLog log{0, 0};
+  data::TemporalDataset dataset;
+  data::FeatureSpace space;
+  std::unique_ptr<data::BatchBuilder> builder;
+};
+
+/// Generates a preset at the requested scale and applies the paper's >=10
+/// interaction filtering (Sec. V-A).
+PreparedDataset PrepareDataset(const std::string& preset,
+                               const BenchOptions& opts);
+
+/// Creates "SeqFM" or any baseline with hyperparameters from \p opts.
+/// \p seqfm_overrides lets ablation/hyperparameter benches tweak the SeqFM
+/// config after the defaults are applied.
+std::unique_ptr<core::Model> MakeModel(
+    const std::string& name, const data::FeatureSpace& space,
+    const BenchOptions& opts,
+    const std::function<void(core::SeqFmConfig*)>& seqfm_overrides = nullptr);
+
+/// Trains \p model on \p prepared for the given task and returns stats.
+core::TrainResult TrainModel(core::Model* model, const PreparedDataset& prep,
+                             core::Task task, const BenchOptions& opts);
+
+/// Pretty-printing helpers shared by the table benches.
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+std::string FormatCell(double value, int width = 7, int precision = 3);
+
+/// Splits "a,b,c" into {"a","b","c"} (used by --models / --datasets flags).
+std::vector<std::string> SplitCsv(const std::string& csv);
+
+}  // namespace bench
+}  // namespace seqfm
+
+#endif  // SEQFM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,127 @@
+// Reproduces Figure 3: hyperparameter sensitivity of SeqFM. One-at-a-time
+// sweeps of d, l, n. and rho around the paper's standard setting, reporting
+// HR@10 (ranking), AUC (classification) and MAE (regression) series.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace seqfm {
+namespace bench {
+namespace {
+
+double RunOne(const std::string& dataset_name, const BenchOptions& base,
+              size_t dim, size_t layers, size_t seq_len, float keep_prob) {
+  BenchOptions opts = base;
+  opts.dim = dim;
+  opts.max_seq_len = seq_len;
+  PreparedDataset prep = PrepareDataset(dataset_name, opts);
+  const bool regression = prep.config.with_ratings;
+  const bool classification =
+      dataset_name == "trivago" || dataset_name == "taobao";
+  const core::Task task = regression ? core::Task::kRegression
+                          : classification ? core::Task::kClassification
+                                           : core::Task::kRanking;
+  auto model =
+      MakeModel("SeqFM", prep.space, opts, [&](core::SeqFmConfig* c) {
+        c->ffn_layers = layers;
+        c->keep_prob = keep_prob;
+      });
+  TrainModel(model.get(), prep, task, opts);
+  switch (task) {
+    case core::Task::kRanking: {
+      eval::RankingEvaluator ev(&prep.dataset, prep.builder.get(),
+                                opts.eval_negatives, opts.seed + 17);
+      return ev.Evaluate(model.get(), {10}).hr[10];
+    }
+    case core::Task::kClassification: {
+      eval::ClassificationEvaluator ev(&prep.dataset, prep.builder.get(),
+                                       opts.seed + 23);
+      return ev.Evaluate(model.get()).auc;
+    }
+    case core::Task::kRegression:
+    default: {
+      eval::RegressionEvaluator ev(&prep.dataset, prep.builder.get());
+      return ev.Evaluate(model.get()).mae;
+    }
+  }
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchOptions opts = BenchOptions::FromFlags(flags);
+  // 12+ SeqFM trainings per dataset: default to a reduced budget
+  // (override with --scale/--epochs).
+  if (!flags.Has("scale") && !flags.Has("quick")) opts.scale = 0.3;
+  if (!flags.Has("epochs") && !flags.Has("quick")) opts.epochs = 15;
+
+  PrintBanner("Figure 3 — Parameter sensitivity analysis of SeqFM",
+              "SeqFM paper Fig. 3: HR@10 / AUC / MAE while varying d, l, n. "
+              "and rho one at a time");
+
+  // The paper's standard setting is {d=64, l=1, n.=20, rho=0.6}; at our
+  // reduced scale the standard point uses the bench defaults instead.
+  const size_t base_dim = opts.dim;
+  const size_t base_layers = 1;
+  const size_t base_seq = opts.max_seq_len;
+  const float base_keep = 0.9f;
+
+  // Reduced grids by default (the paper's full grids via --full).
+  const bool full = flags.GetBool("full", false);
+  std::vector<size_t> dims = full ? std::vector<size_t>{8, 16, 32, 64, 128}
+                                  : std::vector<size_t>{8, 16, 32};
+  std::vector<size_t> layer_grid = full ? std::vector<size_t>{1, 2, 3, 4, 5}
+                                        : std::vector<size_t>{1, 2, 3};
+  std::vector<size_t> seq_grid = full ? std::vector<size_t>{10, 20, 30, 40, 50}
+                                      : std::vector<size_t>{10, 20, 30};
+  std::vector<float> keep_grid =
+      full ? std::vector<float>{0.5f, 0.6f, 0.7f, 0.8f, 0.9f}
+           : std::vector<float>{0.6f, 0.75f, 0.9f};
+
+  std::vector<std::string> datasets = {"gowalla", "trivago", "beauty"};
+  if (flags.Has("datasets")) {
+    datasets = SplitCsv(flags.GetString("datasets", ""));
+  }
+
+  for (const std::string& ds : datasets) {
+    std::printf("\n[%s]\n", ds.c_str());
+    std::printf("  sweep d (latent dimension):\n");
+    for (size_t d : dims) {
+      const double v = RunOne(ds, opts, d, base_layers, base_seq, base_keep);
+      std::printf("    d=%-4zu -> %.3f\n", d, v);
+      std::fflush(stdout);
+    }
+    std::printf("  sweep l (FFN depth):\n");
+    for (size_t l : layer_grid) {
+      const double v = RunOne(ds, opts, base_dim, l, base_seq, base_keep);
+      std::printf("    l=%-4zu -> %.3f\n", l, v);
+      std::fflush(stdout);
+    }
+    std::printf("  sweep n. (max sequence length):\n");
+    for (size_t n : seq_grid) {
+      const double v = RunOne(ds, opts, base_dim, base_layers, n, base_keep);
+      std::printf("    n=%-4zu -> %.3f\n", n, v);
+      std::fflush(stdout);
+    }
+    std::printf("  sweep rho (dropout keep probability):\n");
+    for (float k : keep_grid) {
+      const double v = RunOne(ds, opts, base_dim, base_layers, base_seq, k);
+      std::printf("    rho=%.2f -> %.3f\n", static_cast<double>(k), v);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nPaper's claims to check: performance saturates as d grows; "
+              "small l suffices\n(deeper FFNs overfit); the best n. is "
+              "dataset-dependent; moderate-to-high rho\n(keep probability) "
+              "works best.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seqfm
+
+int main(int argc, char** argv) { return seqfm::bench::Run(argc, argv); }

@@ -1,0 +1,135 @@
+// Microbenchmarks backing the Sec. III-I complexity analysis: the
+// self-attention unit is O(n^2 d) in sequence length and the FFN is O(l d^2),
+// so SeqFM's per-sample cost is O((n_s + n.)^2 d + l d^2). google-benchmark
+// sweeps n and d so the scaling exponents can be read off the reported times.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "nn/layers.h"
+#include "nn/masks.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+Variable RandomBatch(size_t batch, size_t n, size_t d, Rng* rng) {
+  Tensor t({batch, n, d});
+  tensor::FillNormal(&t, rng, 1.0f);
+  return Variable::Constant(std::move(t));
+}
+
+void BM_SelfAttentionForward_SeqLen(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = 32, batch = 32;
+  Rng rng(1);
+  nn::SelfAttention attention(d, &rng);
+  Variable mask = nn::MakeCausalMask(n);
+  Variable e = RandomBatch(batch, n, d, &rng);
+  for (auto _ : state) {
+    Variable h = attention.Forward(e, mask);
+    benchmark::DoNotOptimize(h.value().data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SelfAttentionForward_SeqLen)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SelfAttentionForward_Dim(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t n = 20, batch = 32;
+  Rng rng(2);
+  nn::SelfAttention attention(d, &rng);
+  Variable mask = nn::MakeCausalMask(n);
+  Variable e = RandomBatch(batch, n, d, &rng);
+  for (auto _ : state) {
+    Variable h = attention.Forward(e, mask);
+    benchmark::DoNotOptimize(h.value().data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(d));
+}
+BENCHMARK(BM_SelfAttentionForward_Dim)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity();
+
+void BM_AttentionForwardBackward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t d = 32, batch = 32;
+  Rng rng(3);
+  nn::SelfAttention attention(d, &rng);
+  Variable mask = nn::MakeCausalMask(n);
+  Variable e = RandomBatch(batch, n, d, &rng);
+  for (auto _ : state) {
+    attention.ZeroGrad();
+    Variable h = attention.Forward(e, mask);
+    Variable loss = autograd::MeanAll(h);
+    autograd::Backward(loss);
+    benchmark::DoNotOptimize(loss.value().at(0));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AttentionForwardBackward)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_ResidualFfn_Depth(benchmark::State& state) {
+  const size_t layers = static_cast<size_t>(state.range(0));
+  const size_t d = 64, batch = 128;
+  Rng rng(4);
+  nn::ResidualFeedForward ffn(d, layers, &rng);
+  Tensor h({batch, d});
+  tensor::FillNormal(&h, &rng, 1.0f);
+  Variable input = Variable::Constant(std::move(h));
+  for (auto _ : state) {
+    Variable out = ffn.Forward(input, 1.0f, /*training=*/false, &rng);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(layers));
+}
+BENCHMARK(BM_ResidualFfn_Depth)->DenseRange(1, 5)->Complexity(benchmark::oN);
+
+void BM_EmbeddingGather(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t batch = 128, d = 64, vocab = 10000;
+  Rng rng(5);
+  nn::Embedding emb(vocab, d, &rng);
+  std::vector<int32_t> idx(batch * n);
+  for (auto& i : idx) {
+    i = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(vocab)));
+  }
+  for (auto _ : state) {
+    Variable out = emb.Forward(idx, batch, n);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_EmbeddingGather)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_MaskedSoftmax(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Tensor x({64, n, n});
+  tensor::FillNormal(&x, &rng, 1.0f);
+  Variable input = Variable::Constant(std::move(x));
+  Variable mask = nn::MakeCausalMask(n);
+  for (auto _ : state) {
+    Variable p = autograd::MaskedSoftmax(input, mask);
+    benchmark::DoNotOptimize(p.value().data());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MaskedSoftmax)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace seqfm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Reproduces Table V: ablation of SeqFM's key components (Remove SV / DV /
+// CV / RC / LN) across the six datasets, reporting the task metric of each
+// degraded architecture. Pass --extras to also evaluate the padding-key
+// masking extension (not in the paper).
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace seqfm {
+namespace bench {
+namespace {
+
+struct Ablation {
+  const char* label;
+  std::function<void(core::SeqFmConfig*)> apply;
+};
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  BenchOptions opts = BenchOptions::FromFlags(flags);
+  // Ablation trains 6 architectures per dataset; default to a reduced
+  // budget and one dataset per task (override with --scale/--epochs/
+  // --datasets=all).
+  if (!flags.Has("scale") && !flags.Has("quick")) opts.scale = 0.35;
+  if (!flags.Has("epochs") && !flags.Has("quick")) opts.epochs = 25;
+
+  PrintBanner("Table V — Ablation test with different model architectures",
+              "SeqFM paper Table V: HR@10 (ranking) / AUC (classification) / "
+              "MAE (regression)");
+
+  std::vector<Ablation> ablations = {
+      {"Default", [](core::SeqFmConfig*) {}},
+      {"Remove SV",
+       [](core::SeqFmConfig* c) { c->use_static_view = false; }},
+      {"Remove DV",
+       [](core::SeqFmConfig* c) { c->use_dynamic_view = false; }},
+      {"Remove CV", [](core::SeqFmConfig* c) { c->use_cross_view = false; }},
+      {"Remove RC", [](core::SeqFmConfig* c) { c->use_residual = false; }},
+      {"Remove LN",
+       [](core::SeqFmConfig* c) { c->use_layer_norm = false; }},
+  };
+  if (flags.GetBool("extras", false)) {
+    ablations.push_back({"Mask padding (ext.)", [](core::SeqFmConfig* c) {
+                           c->mask_padding_keys = true;
+                         }});
+  }
+
+  std::vector<std::string> datasets = {"gowalla", "trivago", "beauty"};
+  if (flags.Has("datasets")) {
+    const std::string value = flags.GetString("datasets", "");
+    datasets = value == "all"
+                   ? data::SyntheticDatasetGenerator::PresetNames()
+                   : SplitCsv(value);
+  }
+
+  // metric[arch][dataset]
+  std::map<std::string, std::map<std::string, double>> table;
+  std::map<std::string, const char*> metric_name;
+  for (const std::string& dataset_name : datasets) {
+    PreparedDataset prep = PrepareDataset(dataset_name, opts);
+    const bool regression = prep.config.with_ratings;
+    const bool classification =
+        dataset_name == "trivago" || dataset_name == "taobao";
+    const core::Task task = regression ? core::Task::kRegression
+                            : classification ? core::Task::kClassification
+                                             : core::Task::kRanking;
+    metric_name[dataset_name] =
+        regression ? "MAE" : (classification ? "AUC" : "HR@10");
+
+    eval::RankingEvaluator rank_eval(&prep.dataset, prep.builder.get(),
+                                     opts.eval_negatives, opts.seed + 17);
+    eval::ClassificationEvaluator cls_eval(&prep.dataset, prep.builder.get(),
+                                           opts.seed + 23);
+    eval::RegressionEvaluator reg_eval(&prep.dataset, prep.builder.get());
+
+    for (const auto& ablation : ablations) {
+      auto model = MakeModel("SeqFM", prep.space, opts, ablation.apply);
+      TrainModel(model.get(), prep, task, opts);
+      double value = 0.0;
+      switch (task) {
+        case core::Task::kRanking:
+          value = rank_eval.Evaluate(model.get(), {10}).hr[10];
+          break;
+        case core::Task::kClassification:
+          value = cls_eval.Evaluate(model.get()).auc;
+          break;
+        case core::Task::kRegression:
+          value = reg_eval.Evaluate(model.get()).mae;
+          break;
+      }
+      table[ablation.label][dataset_name] = value;
+      std::printf("  [%s] %-20s %s = %.3f\n", dataset_name.c_str(),
+                  ablation.label, metric_name[dataset_name], value);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\n%-20s |", "Architecture");
+  for (const auto& d : datasets) {
+    std::printf(" %10s", (d + "(" + metric_name[d] + ")").substr(0, 10).c_str());
+  }
+  std::printf("\n---------------------+");
+  for (size_t i = 0; i < datasets.size(); ++i) std::printf("-----------");
+  std::printf("\n");
+  for (const auto& ablation : ablations) {
+    std::printf("%-20s |", ablation.label);
+    for (const auto& d : datasets) {
+      std::printf(" %10.3f", table[ablation.label][d]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper's claim to check: every removal hurts; Remove DV is "
+              "the most damaging\n(sequence-awareness is the pivotal "
+              "component); Remove CV hurts on most datasets.\nNote MAE is "
+              "lower-better while HR@10/AUC are higher-better.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seqfm
+
+int main(int argc, char** argv) { return seqfm::bench::Run(argc, argv); }

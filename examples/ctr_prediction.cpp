@@ -1,0 +1,77 @@
+// Click-through-rate prediction (the paper's classification scenario,
+// Sec. IV-B): given a user's chronological click history, predict whether
+// they will click a candidate link.
+//
+// Trains SeqFM with the sigmoid + log-loss head on a Trivago-like click log,
+// reports AUC/RMSE, and prints calibrated click probabilities for a few
+// (user, link) pairs.
+//
+// Build & run:  ./build/examples/ctr_prediction [--scale=0.3]
+#include <cstdio>
+
+#include "core/seqfm.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "tensor/ops.h"
+#include "util/flags.h"
+
+using namespace seqfm;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double scale = flags.GetDouble("scale", 0.3);
+
+  auto config = data::SyntheticDatasetGenerator::Preset("trivago", scale);
+  auto log = data::SyntheticDatasetGenerator(*config).Generate();
+  auto dataset = data::TemporalDataset::FromLog(*log);
+  data::FeatureSpace space(log->num_users(), log->num_objects());
+  data::BatchBuilder builder(space, 20);
+  std::printf("Trivago-like click log: %zu users, %zu links, %zu clicks\n",
+              log->num_users(), log->num_objects(), log->num_interactions());
+
+  core::SeqFmConfig model_config;
+  model_config.embedding_dim = 16;
+  model_config.max_seq_len = 20;
+  model_config.keep_prob = 0.9f;
+  core::SeqFm model(space, model_config);
+
+  core::TrainConfig train_config;
+  train_config.task = core::Task::kClassification;
+  train_config.epochs = static_cast<size_t>(flags.GetInt("epochs", 15));
+  train_config.batch_size = 128;
+  train_config.learning_rate = 1e-2f;
+  train_config.num_negatives = 2;  // negatives drawn per positive (Sec. IV-D)
+  core::Trainer trainer(&model, &builder, &*dataset, train_config);
+  auto result = trainer.Train();
+  std::printf("trained in %.1fs, final log loss %.4f\n", result.total_seconds,
+              result.final_loss);
+
+  eval::ClassificationEvaluator evaluator(&*dataset, &builder, /*seed=*/3);
+  auto metrics = evaluator.Evaluate(&model);
+  std::printf("test AUC=%.3f RMSE=%.3f LogLoss=%.3f\n", metrics.auc,
+              metrics.rmse, metrics.logloss);
+
+  // Calibrated click probabilities: the actually-clicked link vs a random
+  // never-clicked one, for a few users (Eq. 23 applies sigmoid to the raw
+  // score).
+  std::printf("\npredicted click probabilities (actual vs never-clicked):\n");
+  Rng rng(99);
+  data::NegativeSampler sampler(&*dataset);
+  const size_t show = std::min<size_t>(5, dataset->test().size());
+  for (size_t i = 0; i < show; ++i) {
+    const auto& ex = dataset->test()[i];
+    const int32_t negative = sampler.Sample(ex.user, &rng);
+    std::vector<const data::SequenceExample*> pair = {&ex, &ex};
+    std::vector<int32_t> targets = {ex.target, negative};
+    auto logits = eval::ScoreExamples(&model, builder, pair, &targets);
+    std::printf("  user %-4d clicked link %-4d p=%.3f   vs link %-4d p=%.3f\n",
+                ex.user, ex.target, tensor::StableSigmoid(logits[0]), negative,
+                tensor::StableSigmoid(logits[1]));
+  }
+  return 0;
+}

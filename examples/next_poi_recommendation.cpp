@@ -1,0 +1,112 @@
+// Next-POI recommendation (the paper's ranking scenario, Sec. IV-A).
+//
+// Trains SeqFM on a Gowalla-like check-in log, then prints personalised
+// top-5 POI recommendations for a few users together with their recent
+// check-in history, and contrasts SeqFM's ranking quality against the plain
+// FM trained on the same data.
+//
+// Build & run:  ./build/examples/next_poi_recommendation [--scale=0.3]
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "core/seqfm.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "util/flags.h"
+
+using namespace seqfm;
+
+namespace {
+
+void TrainRanking(core::Model* model, const data::BatchBuilder& builder,
+                  const data::TemporalDataset& dataset, size_t epochs) {
+  core::TrainConfig cfg;
+  cfg.task = core::Task::kRanking;
+  cfg.epochs = epochs;
+  cfg.batch_size = 128;
+  cfg.learning_rate = 1e-2f;
+  cfg.num_negatives = 2;
+  core::Trainer trainer(model, &builder, &dataset, cfg);
+  auto result = trainer.Train();
+  std::printf("  %-8s trained: %.1fs, final loss %.4f\n",
+              model->name().c_str(), result.total_seconds, result.final_loss);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double scale = flags.GetDouble("scale", 0.3);
+  const size_t epochs = static_cast<size_t>(flags.GetInt("epochs", 15));
+
+  auto config = data::SyntheticDatasetGenerator::Preset("gowalla", scale);
+  auto log = data::SyntheticDatasetGenerator(*config).Generate();
+  auto dataset = data::TemporalDataset::FromLog(*log);
+  data::FeatureSpace space(log->num_users(), log->num_objects());
+  data::BatchBuilder builder(space, 20);
+  std::printf("Gowalla-like check-in log: %zu users, %zu POIs, %zu check-ins\n",
+              log->num_users(), log->num_objects(), log->num_interactions());
+
+  core::SeqFmConfig model_config;
+  model_config.embedding_dim = 16;
+  model_config.max_seq_len = 20;
+  model_config.keep_prob = 0.9f;
+  core::SeqFm seqfm(space, model_config);
+  TrainRanking(&seqfm, builder, *dataset, epochs);
+
+  baselines::BaselineConfig fm_config;
+  fm_config.embedding_dim = 16;
+  fm_config.max_seq_len = 20;
+  auto fm = baselines::CreateBaseline("FM", space, fm_config).ValueOrDie();
+  TrainRanking(fm.get(), builder, *dataset, epochs);
+
+  // Head-to-head leave-one-out evaluation on identical candidate sets.
+  eval::RankingEvaluator evaluator(&*dataset, &builder, 200, 11);
+  auto m_seqfm = evaluator.Evaluate(&seqfm, {5, 10});
+  auto m_fm = evaluator.Evaluate(fm.get(), {5, 10});
+  std::printf("\nleave-one-out ranking:  SeqFM HR@10=%.3f NDCG@10=%.3f   "
+              "FM HR@10=%.3f NDCG@10=%.3f\n",
+              m_seqfm.hr[10], m_seqfm.ndcg[10], m_fm.hr[10], m_fm.ndcg[10]);
+
+  // Personalised top-5 recommendations for the first few test users: score
+  // every POI the user has not visited, given their full history.
+  std::printf("\ntop-5 next-POI recommendations (SeqFM):\n");
+  const size_t show_users = std::min<size_t>(3, dataset->test().size());
+  for (size_t i = 0; i < show_users; ++i) {
+    const auto& ex = dataset->test()[i];
+    std::vector<int32_t> candidates;
+    for (size_t o = 0; o < log->num_objects(); ++o) {
+      if (!dataset->Interacted(ex.user, static_cast<int32_t>(o))) {
+        candidates.push_back(static_cast<int32_t>(o));
+      }
+    }
+    candidates.push_back(ex.target);  // the ground truth next POI
+    std::vector<const data::SequenceExample*> repeated(candidates.size(), &ex);
+    auto scores = eval::ScoreExamples(&seqfm, builder, repeated, &candidates);
+
+    std::vector<size_t> order(candidates.size());
+    for (size_t j = 0; j < order.size(); ++j) order[j] = j;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+
+    std::printf("  user %d, recent POIs:", ex.user);
+    const size_t tail = std::min<size_t>(5, ex.history.size());
+    for (size_t j = ex.history.size() - tail; j < ex.history.size(); ++j) {
+      std::printf(" %d", ex.history[j]);
+    }
+    std::printf("  | actual next: %d\n    recommended:", ex.target);
+    for (size_t r = 0; r < 5 && r < order.size(); ++r) {
+      const int32_t poi = candidates[order[r]];
+      std::printf(" %d(%.2f)%s", poi, scores[order[r]],
+                  poi == ex.target ? "*" : "");
+    }
+    std::printf("   (* = ground truth)\n");
+  }
+  return 0;
+}

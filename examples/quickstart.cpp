@@ -1,0 +1,94 @@
+// Quickstart: the smallest end-to-end SeqFM program.
+//
+//   1. generate a tiny temporal interaction log,
+//   2. split it leave-one-out,
+//   3. train SeqFM for next-object ranking with the BPR loss,
+//   4. evaluate HR@10 / NDCG@10,
+//   5. save and reload the model checkpoint.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/seqfm.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+using namespace seqfm;
+
+int main() {
+  // 1. A small synthetic dataset with planted sequential structure.
+  data::SyntheticConfig gen_config;
+  gen_config.num_users = 80;
+  gen_config.num_objects = 120;
+  gen_config.num_clusters = 8;
+  gen_config.min_seq_len = 12;
+  gen_config.max_seq_len = 24;
+  gen_config.seed = 7;
+  auto log = data::SyntheticDatasetGenerator(gen_config).Generate();
+  if (!log.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 log.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. Leave-one-out temporal split: last record = test, second-last =
+  // validation, the rest = training prefixes.
+  auto dataset = data::TemporalDataset::FromLog(*log);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "split failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset: %zu users, %zu objects, %zu train / %zu test\n",
+              log->num_users(), log->num_objects(), dataset->train().size(),
+              dataset->test().size());
+
+  // 3. Model + trainer. The BatchBuilder maps examples to the sparse
+  // (static, dynamic) index layout of Eq. 20.
+  data::FeatureSpace space(log->num_users(), log->num_objects());
+  data::BatchBuilder builder(space, /*max_seq_len=*/16);
+
+  core::SeqFmConfig model_config;
+  model_config.embedding_dim = 16;
+  model_config.max_seq_len = 16;
+  model_config.ffn_layers = 1;
+  model_config.keep_prob = 0.9f;
+  core::SeqFm model(space, model_config);
+  std::printf("SeqFM with %zu trainable parameters\n", model.NumParameters());
+
+  core::TrainConfig train_config;
+  train_config.task = core::Task::kRanking;
+  train_config.epochs = 15;
+  train_config.batch_size = 128;
+  train_config.learning_rate = 1e-2f;
+  train_config.num_negatives = 2;
+  core::Trainer trainer(&model, &builder, &*dataset, train_config);
+  auto result = trainer.Train();
+  std::printf("trained %zu epochs in %.1fs, final BPR loss %.4f\n",
+              result.epochs.size(), result.total_seconds, result.final_loss);
+
+  // 4. Leave-one-out ranking evaluation with 100 sampled negatives.
+  eval::RankingEvaluator evaluator(&*dataset, &builder,
+                                   /*num_negatives=*/100, /*seed=*/1);
+  auto metrics = evaluator.Evaluate(&model, {5, 10});
+  std::printf("HR@5=%.3f HR@10=%.3f NDCG@10=%.3f\n", metrics.hr[5],
+              metrics.hr[10], metrics.ndcg[10]);
+
+  // 5. Checkpoint round trip.
+  const std::string path = "/tmp/seqfm_quickstart.ckpt";
+  if (auto st = model.SaveParameters(path); !st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  core::SeqFm reloaded(space, model_config);
+  if (auto st = reloaded.LoadParameters(path); !st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto metrics2 = evaluator.Evaluate(&reloaded, {10});
+  std::printf("reloaded checkpoint reproduces HR@10=%.3f (expected %.3f)\n",
+              metrics2.hr[10], metrics.hr[10]);
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Rating prediction (the paper's regression scenario, Sec. IV-C): estimate a
+// user's rating for a new item from their chronological rating history.
+//
+// Trains SeqFM with the squared-error head on a Beauty-like Amazon review
+// log, reports MAE/RRSE against two trivial baselines (global mean and the
+// plain FM), and shows per-user predictions. Also demonstrates loading an
+// interaction log from CSV.
+//
+// Build & run:  ./build/examples/rating_prediction [--csv=path.csv]
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "core/seqfm.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "util/flags.h"
+
+using namespace seqfm;
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Either load a user-supplied "user,object,timestamp,rating" CSV or fall
+  // back to the Beauty-like synthetic preset.
+  data::InteractionLog log{0, 0};
+  if (flags.Has("csv")) {
+    auto loaded = data::LoadInteractionCsv(flags.GetString("csv", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "csv load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    log = std::move(loaded).ValueOrDie();
+    std::printf("loaded CSV log\n");
+  } else {
+    auto config = data::SyntheticDatasetGenerator::Preset(
+        "beauty", flags.GetDouble("scale", 0.4));
+    log = data::SyntheticDatasetGenerator(*config).Generate().ValueOrDie();
+  }
+  auto dataset = data::TemporalDataset::FromLog(log).ValueOrDie();
+  data::FeatureSpace space(log.num_users(), log.num_objects());
+  data::BatchBuilder builder(space, 15);
+  std::printf("rating log: %zu users, %zu items, %zu ratings\n",
+              log.num_users(), log.num_objects(), log.num_interactions());
+
+  // Global-mean baseline (RRSE of exactly 1.0 by definition on the train
+  // mean; close to 1.0 on test).
+  double mean_rating = 0.0;
+  for (const auto& ex : dataset.train()) mean_rating += ex.rating;
+  mean_rating /= static_cast<double>(dataset.train().size());
+
+  core::SeqFmConfig model_config;
+  model_config.embedding_dim = 16;
+  model_config.max_seq_len = 15;
+  model_config.keep_prob = 0.9f;
+  core::SeqFm model(space, model_config);
+
+  core::TrainConfig train_config;
+  train_config.task = core::Task::kRegression;
+  train_config.epochs = static_cast<size_t>(flags.GetInt("epochs", 20));
+  train_config.batch_size = 128;
+  train_config.learning_rate = 1e-2f;
+  core::Trainer trainer(&model, &builder, &dataset, train_config);
+  trainer.Train();
+
+  baselines::BaselineConfig fm_config;
+  fm_config.embedding_dim = 16;
+  fm_config.max_seq_len = 15;
+  auto fm = baselines::CreateBaseline("FM", space, fm_config).ValueOrDie();
+  core::Trainer fm_trainer(fm.get(), &builder, &dataset, train_config);
+  fm_trainer.Train();
+
+  eval::RegressionEvaluator evaluator(&dataset, &builder);
+  auto m_seqfm = evaluator.Evaluate(&model);
+  auto m_fm = evaluator.Evaluate(fm.get());
+
+  double mean_mae = 0.0;
+  for (const auto& ex : dataset.test()) {
+    mean_mae += std::abs(ex.rating - mean_rating);
+  }
+  mean_mae /= static_cast<double>(dataset.test().size());
+
+  std::printf("\n%-14s %8s %8s\n", "predictor", "MAE", "RRSE");
+  std::printf("%-14s %8.3f %8s\n", "global mean", mean_mae, "~1.000");
+  std::printf("%-14s %8.3f %8.3f\n", "FM", m_fm.mae, m_fm.rrse);
+  std::printf("%-14s %8.3f %8.3f\n", "SeqFM", m_seqfm.mae, m_seqfm.rrse);
+
+  std::printf("\nsample predictions:\n");
+  const size_t show = std::min<size_t>(5, dataset.test().size());
+  std::vector<const data::SequenceExample*> examples;
+  for (size_t i = 0; i < show; ++i) examples.push_back(&dataset.test()[i]);
+  auto preds = eval::ScoreExamples(&model, builder, examples);
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  user %-4d item %-4d actual %.1f predicted %.2f\n",
+                examples[i]->user, examples[i]->target, examples[i]->rating,
+                preds[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+namespace seqfm {
+namespace autograd {
+
+GradCheckReport GradCheck(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> leaves, float eps, float atol, float rtol) {
+  GradCheckReport report;
+
+  // Analytic pass.
+  for (auto& leaf : leaves) leaf.ZeroGrad();
+  Variable loss = fn(leaves);
+  Backward(loss);
+  std::vector<tensor::Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (auto& leaf : leaves) analytic.push_back(leaf.grad());
+
+  // Numeric pass: central differences, one element at a time.
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    auto& leaf = leaves[li];
+    float* data = leaf.mutable_value().data();
+    const size_t n = leaf.value().size();
+    for (size_t i = 0; i < n; ++i) {
+      const float saved = data[i];
+      data[i] = saved + eps;
+      const float up = fn(leaves).value().at(0);
+      data[i] = saved - eps;
+      const float down = fn(leaves).value().at(0);
+      data[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float got = analytic[li].data()[i];
+      const float abs_err = std::abs(got - numeric);
+      const float rel_err = abs_err / std::max(1e-8f, std::abs(numeric));
+      if (abs_err > report.max_abs_error) {
+        report.max_abs_error = abs_err;
+        report.worst_input = li;
+        report.worst_element = i;
+      }
+      report.max_rel_error = std::max(report.max_rel_error, rel_err);
+      if (abs_err > atol + rtol * std::abs(numeric)) {
+        report.passed = false;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace autograd
+}  // namespace seqfm

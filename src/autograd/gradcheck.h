@@ -1,0 +1,37 @@
+#ifndef SEQFM_AUTOGRAD_GRADCHECK_H_
+#define SEQFM_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace seqfm {
+namespace autograd {
+
+/// Outcome of a finite-difference gradient verification.
+struct GradCheckReport {
+  bool passed = true;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  /// Flat element index (within the offending input) of the worst mismatch.
+  size_t worst_input = 0;
+  size_t worst_element = 0;
+};
+
+/// \brief Verifies analytic gradients of a scalar-valued function against
+/// central finite differences.
+///
+/// \p fn rebuilds the graph from the given leaves and returns a scalar
+/// Variable; it is invoked repeatedly with perturbed leaf values. Leaves must
+/// have requires_grad=true. The check passes when for every element
+/// |analytic - numeric| <= atol + rtol * |numeric|.
+GradCheckReport GradCheck(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> leaves, float eps = 1e-2f, float atol = 1e-2f,
+    float rtol = 5e-2f);
+
+}  // namespace autograd
+}  // namespace seqfm
+
+#endif  // SEQFM_AUTOGRAD_GRADCHECK_H_

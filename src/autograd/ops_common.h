@@ -1,0 +1,35 @@
+#ifndef SEQFM_AUTOGRAD_OPS_COMMON_H_
+#define SEQFM_AUTOGRAD_OPS_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace seqfm {
+namespace autograd {
+namespace internal {
+
+/// Allocates an op node: requires_grad is inherited from the parents, the
+/// backward closure is attached by the caller after construction.
+inline NodePtr MakeNode(std::string op, std::vector<NodePtr> parents,
+                        tensor::Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->op = std::move(op);
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  for (const auto& p : node->parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  return node;
+}
+
+}  // namespace internal
+}  // namespace autograd
+}  // namespace seqfm
+
+#endif  // SEQFM_AUTOGRAD_OPS_COMMON_H_

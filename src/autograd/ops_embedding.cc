@@ -1,0 +1,84 @@
+#include "autograd/ops.h"
+#include "autograd/ops_common.h"
+
+namespace seqfm {
+namespace autograd {
+
+using internal::MakeNode;
+using tensor::Tensor;
+
+Variable EmbeddingGather(const Variable& table,
+                         const std::vector<int32_t>& indices, size_t batch,
+                         size_t n) {
+  SEQFM_CHECK_EQ(table.rank(), 2u);
+  SEQFM_CHECK_EQ(indices.size(), batch * n);
+  const size_t vocab = table.dim(0), d = table.dim(1);
+  Tensor out({batch, n, d});
+  const float* tv = table.value().data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int32_t idx = indices[i];
+    float* dst = out.data() + i * d;
+    if (idx < 0) continue;  // padding -> zero row (already zeroed)
+    SEQFM_CHECK_LT(static_cast<size_t>(idx), vocab);
+    const float* src = tv + static_cast<size_t>(idx) * d;
+    for (size_t j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  auto node = MakeNode("embedding_gather", {table.node()}, std::move(out));
+  Node* self = node.get();
+  node->backward_fn = [self, indices, d]() {
+    Node* p = self->parents[0].get();
+    if (!p->requires_grad) return;
+    p->EnsureGrad();
+    const float* g = self->grad.data();
+    float* dt = p->grad.data();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const int32_t idx = indices[i];
+      if (idx < 0) continue;
+      const float* gr = g + i * d;
+      float* dst = dt + static_cast<size_t>(idx) * d;
+      for (size_t j = 0; j < d; ++j) dst[j] += gr[j];
+    }
+  };
+  return Variable(node);
+}
+
+Variable EmbeddingSumGather(const Variable& weights,
+                            const std::vector<int32_t>& indices, size_t batch,
+                            size_t n) {
+  SEQFM_CHECK_EQ(weights.rank(), 2u);
+  SEQFM_CHECK_EQ(weights.dim(1), 1u);
+  SEQFM_CHECK_EQ(indices.size(), batch * n);
+  const size_t vocab = weights.dim(0);
+  Tensor out({batch, 1});
+  const float* wv = weights.value().data();
+  for (size_t b = 0; b < batch; ++b) {
+    float acc = 0.0f;
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t idx = indices[b * n + i];
+      if (idx < 0) continue;
+      SEQFM_CHECK_LT(static_cast<size_t>(idx), vocab);
+      acc += wv[idx];
+    }
+    out.at(b, 0) = acc;
+  }
+  auto node = MakeNode("embedding_sum_gather", {weights.node()}, std::move(out));
+  Node* self = node.get();
+  node->backward_fn = [self, indices, batch, n]() {
+    Node* p = self->parents[0].get();
+    if (!p->requires_grad) return;
+    p->EnsureGrad();
+    float* dw = p->grad.data();
+    for (size_t b = 0; b < batch; ++b) {
+      const float g = self->grad.at(b, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t idx = indices[b * n + i];
+        if (idx < 0) continue;
+        dw[idx] += g;
+      }
+    }
+  };
+  return Variable(node);
+}
+
+}  // namespace autograd
+}  // namespace seqfm

@@ -1,0 +1,154 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/ops_common.h"
+#include "tensor/ops.h"
+
+namespace seqfm {
+namespace autograd {
+
+using internal::MakeNode;
+using tensor::Tensor;
+
+Variable MaskedSoftmax(const Variable& x, const Variable& mask) {
+  Tensor out(x.value().shape());
+  const Tensor* mask_tensor = mask.defined() ? &mask.value() : nullptr;
+  tensor::SoftmaxLastDim(x.value(), mask_tensor, &out);
+  std::vector<NodePtr> parents = {x.node()};
+  if (mask.defined()) parents.push_back(mask.node());
+  auto node = MakeNode("masked_softmax", std::move(parents), std::move(out));
+  Node* self = node.get();
+  node->backward_fn = [self]() {
+    Node* px = self->parents[0].get();
+    if (!px->requires_grad) return;
+    px->EnsureGrad();
+    const size_t cols = self->value.shape().back();
+    const size_t rows = self->value.size() / cols;
+    const float* p = self->value.data();
+    const float* g = self->grad.data();
+    float* dx = px->grad.data();
+    // dx_j = p_j * (g_j - sum_k g_k p_k); masked entries have p_j = 0.
+    for (size_t r = 0; r < rows; ++r) {
+      const float* pr = p + r * cols;
+      const float* gr = g + r * cols;
+      float* dr = dx + r * cols;
+      float dot = 0.0f;
+      for (size_t j = 0; j < cols; ++j) dot += gr[j] * pr[j];
+      for (size_t j = 0; j < cols; ++j) dr[j] += pr[j] * (gr[j] - dot);
+    }
+  };
+  return Variable(node);
+}
+
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float eps) {
+  const size_t d = x.value().shape().back();
+  SEQFM_CHECK_EQ(gamma.value().size(), d);
+  SEQFM_CHECK_EQ(beta.value().size(), d);
+  const size_t rows = x.value().size() / d;
+
+  Tensor out(x.value().shape());
+  Tensor xhat(x.value().shape());
+  std::vector<float> inv_std(rows);
+  const float* xv = x.value().data();
+  const float* gv = gamma.value().data();
+  const float* bv = beta.value().data();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* xr = xv + r * d;
+    float mean = 0.0f;
+    for (size_t j = 0; j < d; ++j) mean += xr[j];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (size_t j = 0; j < d; ++j) {
+      const float c = xr[j] - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float is = 1.0f / std::sqrt(var + eps);
+    inv_std[r] = is;
+    float* hr = xhat.data() + r * d;
+    float* yr = out.data() + r * d;
+    for (size_t j = 0; j < d; ++j) {
+      hr[j] = (xr[j] - mean) * is;
+      yr[j] = gv[j] * hr[j] + bv[j];
+    }
+  }
+
+  auto node = MakeNode("layer_norm", {x.node(), gamma.node(), beta.node()},
+                       std::move(out));
+  Node* self = node.get();
+  node->backward_fn = [self, d, rows, xhat = std::move(xhat),
+                       inv_std = std::move(inv_std)]() {
+    Node* px = self->parents[0].get();
+    Node* pg = self->parents[1].get();
+    Node* pb = self->parents[2].get();
+    const float* g = self->grad.data();
+    const float* gv = pg->value.data();
+    for (size_t r = 0; r < rows; ++r) {
+      const float* gr = g + r * d;
+      const float* hr = xhat.data() + r * d;
+      if (pg->requires_grad) {
+        pg->EnsureGrad();
+        float* dg = pg->grad.data();
+        for (size_t j = 0; j < d; ++j) dg[j] += gr[j] * hr[j];
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        float* db = pb->grad.data();
+        for (size_t j = 0; j < d; ++j) db[j] += gr[j];
+      }
+      if (px->requires_grad) {
+        px->EnsureGrad();
+        // dxhat = g ⊙ gamma;
+        // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat ⊙ xhat)).
+        float mean_dh = 0.0f, mean_dh_h = 0.0f;
+        for (size_t j = 0; j < d; ++j) {
+          const float dh = gr[j] * gv[j];
+          mean_dh += dh;
+          mean_dh_h += dh * hr[j];
+        }
+        mean_dh /= static_cast<float>(d);
+        mean_dh_h /= static_cast<float>(d);
+        float* dx = px->grad.data() + r * d;
+        const float is = inv_std[r];
+        for (size_t j = 0; j < d; ++j) {
+          const float dh = gr[j] * gv[j];
+          dx[j] += is * (dh - mean_dh - hr[j] * mean_dh_h);
+        }
+      }
+    }
+  };
+  return Variable(node);
+}
+
+Variable Dropout(const Variable& x, float keep_prob, bool training, Rng* rng) {
+  if (!training || keep_prob >= 1.0f) {
+    return x;  // Identity: evaluation uses all neurons (Sec. III-F).
+  }
+  SEQFM_CHECK_GT(keep_prob, 0.0f);
+  const size_t n = x.value().size();
+  // mask entries are 0 (dropped) or 1/keep_prob (inverted dropout scaling).
+  Tensor mask(x.value().shape());
+  const float scale = 1.0f / keep_prob;
+  for (size_t i = 0; i < n; ++i) {
+    mask.data()[i] = rng->Bernoulli(keep_prob) ? scale : 0.0f;
+  }
+  Tensor out(x.value().shape());
+  tensor::Mul(x.value(), mask, &out);
+  auto node = MakeNode("dropout", {x.node()}, std::move(out));
+  Node* self = node.get();
+  node->backward_fn = [self, mask = std::move(mask)]() {
+    Node* p = self->parents[0].get();
+    if (!p->requires_grad) return;
+    p->EnsureGrad();
+    const size_t n = self->grad.size();
+    const float* g = self->grad.data();
+    const float* m = mask.data();
+    float* dx = p->grad.data();
+    for (size_t i = 0; i < n; ++i) dx[i] += g[i] * m[i];
+  };
+  return Variable(node);
+}
+
+}  // namespace autograd
+}  // namespace seqfm

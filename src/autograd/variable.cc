@@ -1,0 +1,68 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+namespace seqfm {
+namespace autograd {
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents before
+// children in the returned vector; we then walk it backwards).
+void TopoSort(Node* root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Variable& root) {
+  SEQFM_CHECK(root.defined());
+  SEQFM_CHECK_EQ(root.value().size(), 1u)
+      << "Backward requires a scalar root";
+  std::vector<Node*> order;
+  TopoSort(root.node().get(), &order);
+
+  // Seed the root gradient.
+  Node* root_node = root.node().get();
+  root_node->EnsureGrad();
+  root_node->grad.Fill(1.0f);
+
+  // Post-order means parents come before children; reverse iteration visits
+  // each node only after all of its consumers have contributed gradient.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->requires_grad) {
+      node->EnsureGrad();
+      node->backward_fn();
+    }
+  }
+}
+
+size_t GraphSize(const Variable& root) {
+  if (!root.defined()) return 0;
+  std::vector<Node*> order;
+  TopoSort(root.node().get(), &order);
+  return order.size();
+}
+
+}  // namespace autograd
+}  // namespace seqfm

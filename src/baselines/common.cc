@@ -1,0 +1,40 @@
+#include "baselines/common.h"
+
+namespace seqfm {
+namespace baselines {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+UnifiedFmBase::UnifiedFmBase(const data::FeatureSpace& space,
+                             const BaselineConfig& config)
+    : config_(config), space_(space), rng_(config.seed) {
+  embedding_ = std::make_unique<nn::Embedding>(space_.total_dim(),
+                                               config_.embedding_dim, &rng_);
+  RegisterModule("embedding", embedding_.get());
+  weights_ =
+      RegisterParameter("weights", Tensor::Zeros({space_.total_dim(), 1}));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({1}));
+}
+
+Variable UnifiedFmBase::EmbedUnified(const data::Batch& batch) const {
+  return embedding_->Forward(batch.unified_ids, batch.batch_size,
+                             batch.n_unified);
+}
+
+Variable UnifiedFmBase::LinearTerm(const data::Batch& batch) const {
+  Variable first = autograd::EmbeddingSumGather(
+      weights_, batch.unified_ids, batch.batch_size, batch.n_unified);
+  return autograd::AddBias(first, bias_);
+}
+
+Variable UnifiedFmBase::BiInteraction(const Variable& embedded) const {
+  Variable sum = autograd::SumAxis1(embedded);              // [B, d]
+  Variable sum_sq = autograd::Mul(sum, sum);                // (sum v)^2
+  Variable sq = autograd::Mul(embedded, embedded);          // v^2
+  Variable sq_sum = autograd::SumAxis1(sq);                 // sum v^2
+  return autograd::Scale(autograd::Sub(sum_sq, sq_sum), 0.5f);
+}
+
+}  // namespace baselines
+}  // namespace seqfm

@@ -1,0 +1,67 @@
+#ifndef SEQFM_BASELINES_COMMON_H_
+#define SEQFM_BASELINES_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "autograd/ops.h"
+#include "core/model_interface.h"
+#include "data/feature_space.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace baselines {
+
+/// Hyperparameters shared by every baseline (kept deliberately aligned with
+/// the SeqFM defaults so comparisons isolate the architecture).
+struct BaselineConfig {
+  size_t embedding_dim = 64;
+  size_t max_seq_len = 20;
+  /// Keep probability for dropout in DNN towers.
+  float keep_prob = 0.8f;
+  /// Hidden width of MLP towers (Wide&Deep, NFM, DeepCross, DIN, xDeepFM).
+  size_t mlp_hidden = 64;
+  /// Number of stacked blocks (DeepCross residual units, SASRec blocks,
+  /// xDeepFM CIN layers).
+  size_t num_blocks = 2;
+  uint64_t seed = 7;
+};
+
+/// \brief Shared machinery of the FM family: one embedding table and one
+/// first-order weight table over the *unified* feature space (static
+/// features + dynamic set-category features, Sec. V-B: "set-category
+/// features are used as input for all FM-based baseline models"), plus the
+/// global bias.
+class UnifiedFmBase : public nn::Module, public core::Model {
+ public:
+  UnifiedFmBase(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  std::vector<autograd::Variable> TrainableParameters() override {
+    return Parameters();
+  }
+
+ protected:
+  /// Embeds the unified index list: [B, n_unified, d]; padding rows zero.
+  autograd::Variable EmbedUnified(const data::Batch& batch) const;
+
+  /// First-order term + global bias: [B, 1].
+  autograd::Variable LinearTerm(const data::Batch& batch) const;
+
+  /// FM bi-interaction vector 0.5*((sum v)^2 - sum v^2): [B, d]. Padding
+  /// rows embed to zero and vanish from both sums.
+  autograd::Variable BiInteraction(const autograd::Variable& embedded) const;
+
+  BaselineConfig config_;
+  data::FeatureSpace space_;
+  mutable Rng rng_;
+  std::unique_ptr<nn::Embedding> embedding_;  // [total_dim, d]
+  autograd::Variable weights_;                // [total_dim, 1]
+  autograd::Variable bias_;                   // [1]
+};
+
+}  // namespace baselines
+}  // namespace seqfm
+
+#endif  // SEQFM_BASELINES_COMMON_H_

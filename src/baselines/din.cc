@@ -1,0 +1,77 @@
+#include "baselines/din.h"
+
+#include <limits>
+
+namespace seqfm {
+namespace baselines {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+Din::Din(const data::FeatureSpace& space, const BaselineConfig& config)
+    : config_(config), space_(space), rng_(config.seed) {
+  const size_t d = config_.embedding_dim;
+  static_embedding_ =
+      std::make_unique<nn::Embedding>(space_.static_dim(), d, &rng_);
+  dynamic_embedding_ =
+      std::make_unique<nn::Embedding>(space_.dynamic_dim(), d, &rng_);
+  RegisterModule("static_embedding", static_embedding_.get());
+  RegisterModule("dynamic_embedding", dynamic_embedding_.get());
+  activation_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{4 * d, config_.mlp_hidden, 1}, &rng_);
+  RegisterModule("activation", activation_.get());
+  tower_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{3 * d, config_.mlp_hidden, 1}, &rng_);
+  RegisterModule("tower", tower_.get());
+  bias_ = RegisterParameter("bias", Tensor::Zeros({1}));
+}
+
+Variable Din::Score(const data::Batch& batch, bool training) {
+  const size_t batch_size = batch.batch_size;
+  const size_t n = batch.n_seq;
+  const size_t d = config_.embedding_dim;
+
+  Variable e_static =
+      static_embedding_->Forward(batch.static_ids, batch_size, batch.n_static);
+  Variable user = autograd::SliceRow(e_static, 0);       // [B, d]
+  Variable candidate = autograd::SliceRow(e_static, 1);  // [B, d]
+  Variable history =
+      dynamic_embedding_->Forward(batch.dynamic_ids, batch_size, n);
+
+  // Activation-unit features per history item, flattened to rank 2.
+  Variable cand_rows = autograd::ExpandRows(candidate, n);     // [B, n, d]
+  Variable hist_flat = autograd::Reshape(history, {batch_size * n, d});
+  Variable cand_flat = autograd::Reshape(cand_rows, {batch_size * n, d});
+  Variable feats = autograd::ConcatLastDim(
+      {hist_flat, cand_flat, autograd::Mul(hist_flat, cand_flat),
+       autograd::Sub(hist_flat, cand_flat)});                  // [B*n, 4d]
+  Variable logits =
+      activation_->Forward(feats, config_.keep_prob, training, &rng_);
+  logits = autograd::Reshape(logits, {batch_size, 1, n});
+
+  // Per-sample mask excluding padding history slots from the softmax.
+  Tensor mask({batch_size, n});
+  const float neg_inf = -std::numeric_limits<float>::infinity();
+  for (size_t b = 0; b < batch_size; ++b) {
+    bool any = false;
+    for (size_t i = 0; i < n; ++i) {
+      const bool pad = batch.dynamic_ids[b * n + i] < 0;
+      mask.at(b, i) = pad ? neg_inf : 0.0f;
+      any = any || !pad;
+    }
+    if (!any) mask.at(b, n - 1) = 0.0f;  // degenerate empty history
+  }
+  Variable alpha = autograd::MaskedSoftmax(
+      logits, Variable::Constant(std::move(mask)));            // [B, 1, n]
+
+  // Attention-pooled interest: [B,1,n] x [B,n,d] -> [B,d].
+  Variable interest = autograd::Reshape(autograd::Bmm(alpha, history),
+                                        {batch_size, d});
+
+  Variable top = autograd::ConcatLastDim({user, candidate, interest});
+  Variable out = tower_->Forward(top, config_.keep_prob, training, &rng_);
+  return autograd::AddBias(out, bias_);
+}
+
+}  // namespace baselines
+}  // namespace seqfm

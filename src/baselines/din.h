@@ -1,0 +1,42 @@
+#ifndef SEQFM_BASELINES_DIN_H_
+#define SEQFM_BASELINES_DIN_H_
+
+#include "baselines/common.h"
+
+namespace seqfm {
+namespace baselines {
+
+/// \brief Deep Interest Network (Zhou et al. 2018, [5]): the user history is
+/// pooled with candidate-conditioned attention — each history item's weight
+/// comes from an activation MLP over [item, candidate, item ⊙ candidate,
+/// item - candidate] — and the pooled interest joins the user and candidate
+/// embeddings in a final MLP.
+///
+/// DIN treats history as a *set* conditioned on the candidate: it activates
+/// relevant items but has no positional / order information, which is what
+/// separates it from SeqFM in the CTR experiments (Table III).
+class Din : public nn::Module, public core::Model {
+ public:
+  Din(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::vector<autograd::Variable> TrainableParameters() override {
+    return Parameters();
+  }
+  std::string name() const override { return "DIN"; }
+
+ private:
+  BaselineConfig config_;
+  data::FeatureSpace space_;
+  Rng rng_;
+  std::unique_ptr<nn::Embedding> static_embedding_;   // users + candidates
+  std::unique_ptr<nn::Embedding> dynamic_embedding_;  // history objects
+  std::unique_ptr<nn::Mlp> activation_;  // [4d -> hidden -> 1]
+  std::unique_ptr<nn::Mlp> tower_;       // [3d -> hidden -> 1]
+  autograd::Variable bias_;
+};
+
+}  // namespace baselines
+}  // namespace seqfm
+
+#endif  // SEQFM_BASELINES_DIN_H_

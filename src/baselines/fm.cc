@@ -1,0 +1,48 @@
+#include "baselines/fm.h"
+
+namespace seqfm {
+namespace baselines {
+
+using autograd::Variable;
+
+Variable Fm::Score(const data::Batch& batch, bool training) {
+  (void)training;  // FM has no train-only behaviour.
+  Variable embedded = EmbedUnified(batch);
+  Variable bi = BiInteraction(embedded);                 // [B, d]
+  Variable pairwise = autograd::SumLastDimKeep(bi);      // [B, 1]
+  return autograd::Add(LinearTerm(batch), pairwise);
+}
+
+Hofm::Hofm(const data::FeatureSpace& space, const BaselineConfig& config)
+    : UnifiedFmBase(space, config) {
+  embedding3_ = std::make_unique<nn::Embedding>(space_.total_dim(),
+                                                config_.embedding_dim, &rng_);
+  RegisterModule("embedding3", embedding3_.get());
+}
+
+Variable Hofm::Score(const data::Batch& batch, bool training) {
+  (void)training;
+  // Order-2 part (plain FM).
+  Variable e2 = EmbedUnified(batch);
+  Variable order2 = autograd::SumLastDimKeep(BiInteraction(e2));
+
+  // Order-3 part via the ANOVA kernel identity on a separate table.
+  Variable e3 = embedding3_->Forward(batch.unified_ids, batch.batch_size,
+                                     batch.n_unified);
+  Variable s1 = autograd::SumAxis1(e3);                    // sum v
+  Variable sq = autograd::Mul(e3, e3);                     // v^2
+  Variable s2 = autograd::SumAxis1(sq);                    // sum v^2
+  Variable s3 = autograd::SumAxis1(autograd::Mul(sq, e3)); // sum v^3
+  Variable s1_cubed = autograd::Mul(autograd::Mul(s1, s1), s1);
+  Variable term = autograd::Add(
+      autograd::Sub(s1_cubed, autograd::Scale(autograd::Mul(s1, s2), 3.0f)),
+      autograd::Scale(s3, 2.0f));
+  Variable order3 =
+      autograd::SumLastDimKeep(autograd::Scale(term, 1.0f / 6.0f));
+
+  return autograd::Add(LinearTerm(batch),
+                       autograd::Add(order2, order3));
+}
+
+}  // namespace baselines
+}  // namespace seqfm

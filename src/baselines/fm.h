@@ -1,0 +1,39 @@
+#ifndef SEQFM_BASELINES_FM_H_
+#define SEQFM_BASELINES_FM_H_
+
+#include "baselines/common.h"
+
+namespace seqfm {
+namespace baselines {
+
+/// \brief The plain Factorization Machine (Rendle 2010, Eq. 2): global bias
+/// + first-order weights + pairwise dot-product interactions computed with
+/// the O(n d) sum-of-squares identity.
+class Fm : public UnifiedFmBase {
+ public:
+  Fm(const data::FeatureSpace& space, const BaselineConfig& config)
+      : UnifiedFmBase(space, config) {}
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "FM"; }
+};
+
+/// \brief Higher-Order FM (Blondel et al. 2016, [41]): the plain FM plus a
+/// third-order term computed with the degree-3 ANOVA-kernel identity
+///   A3 = (s1^3 - 3 s1 s2 + 2 s3) / 6,  s_k = sum_i v_i^k (elementwise),
+/// using a separate order-3 embedding table.
+class Hofm : public UnifiedFmBase {
+ public:
+  Hofm(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "HOFM"; }
+
+ private:
+  std::unique_ptr<nn::Embedding> embedding3_;  // order-3 factors
+};
+
+}  // namespace baselines
+}  // namespace seqfm
+
+#endif  // SEQFM_BASELINES_FM_H_

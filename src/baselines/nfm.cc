@@ -1,0 +1,63 @@
+#include "baselines/nfm.h"
+
+#include "tensor/init.h"
+
+namespace seqfm {
+namespace baselines {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+Nfm::Nfm(const data::FeatureSpace& space, const BaselineConfig& config)
+    : UnifiedFmBase(space, config) {
+  tower_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{config_.embedding_dim, config_.mlp_hidden, 1},
+      &rng_);
+  RegisterModule("tower", tower_.get());
+}
+
+Variable Nfm::Score(const data::Batch& batch, bool training) {
+  Variable embedded = EmbedUnified(batch);
+  Variable bi = BiInteraction(embedded);  // [B, d]
+  bi = autograd::Dropout(bi, config_.keep_prob, training, &rng_);
+  Variable deep = tower_->Forward(bi, config_.keep_prob, training, &rng_);
+  return autograd::Add(LinearTerm(batch), deep);
+}
+
+Afm::Afm(const data::FeatureSpace& space, const BaselineConfig& config)
+    : UnifiedFmBase(space, config), attention_dim_(config.mlp_hidden) {
+  att_proj_ = std::make_unique<nn::Linear>(config_.embedding_dim,
+                                           attention_dim_, &rng_);
+  RegisterModule("att_proj", att_proj_.get());
+  Tensor h({attention_dim_, 1});
+  tensor::FillXavier(&h, &rng_);
+  att_h_ = RegisterParameter("att_h", std::move(h));
+  Tensor p({config_.embedding_dim, 1});
+  tensor::FillXavier(&p, &rng_);
+  out_p_ = RegisterParameter("out_p", std::move(p));
+}
+
+Variable Afm::Score(const data::Batch& batch, bool training) {
+  const size_t batch_size = batch.batch_size;
+  Variable embedded = EmbedUnified(batch);           // [B, n, d]
+  Variable pairs = autograd::PairwiseProductUpper(embedded);  // [B, P, d]
+  const size_t num_pairs = pairs.dim(1);
+
+  // Attention scores a_ij = h^T ReLU(W p_ij + b) over all pairs.
+  Variable act = autograd::Relu(att_proj_->Forward(pairs));   // [B, P, t]
+  Variable scores = autograd::BmmShared(act, att_h_);         // [B, P, 1]
+  // Softmax over the pair axis: [B, P, 1] has the same layout as [B, 1, P].
+  scores = autograd::Reshape(scores, {batch_size, 1, num_pairs});
+  Variable alpha = autograd::MaskedSoftmax(scores, Variable());
+  alpha = autograd::Dropout(alpha, config_.keep_prob, training, &rng_);
+
+  // Weighted pair pooling: [B,1,P] x [B,P,d] -> [B,1,d] -> [B,d].
+  Variable pooled = autograd::Bmm(alpha, pairs);
+  pooled =
+      autograd::Reshape(pooled, {batch_size, config_.embedding_dim});
+  Variable interaction = autograd::MatMul(pooled, out_p_);    // [B, 1]
+  return autograd::Add(LinearTerm(batch), interaction);
+}
+
+}  // namespace baselines
+}  // namespace seqfm

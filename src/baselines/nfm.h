@@ -1,0 +1,43 @@
+#ifndef SEQFM_BASELINES_NFM_H_
+#define SEQFM_BASELINES_NFM_H_
+
+#include "baselines/common.h"
+
+namespace seqfm {
+namespace baselines {
+
+/// \brief Neural Factorization Machine (He & Chua 2017, [11]): the FM
+/// bi-interaction pooling vector is fed through an MLP whose scalar output
+/// replaces the FM pairwise term.
+class Nfm : public UnifiedFmBase {
+ public:
+  Nfm(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "NFM"; }
+
+ private:
+  std::unique_ptr<nn::Mlp> tower_;
+};
+
+/// \brief Attentional Factorization Machine (Xiao et al. 2017, [17]):
+/// element-wise products of all feature pairs are weighted by an attention
+/// network before sum pooling and projection.
+class Afm : public UnifiedFmBase {
+ public:
+  Afm(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "AFM"; }
+
+ private:
+  size_t attention_dim_;
+  std::unique_ptr<nn::Linear> att_proj_;  // [d -> t]
+  autograd::Variable att_h_;              // [t, 1]
+  autograd::Variable out_p_;              // [d, 1]
+};
+
+}  // namespace baselines
+}  // namespace seqfm
+
+#endif  // SEQFM_BASELINES_NFM_H_

@@ -1,0 +1,66 @@
+#include "baselines/registry.h"
+
+#include "baselines/din.h"
+#include "baselines/fm.h"
+#include "baselines/nfm.h"
+#include "baselines/rrn.h"
+#include "baselines/sasrec.h"
+#include "baselines/tfm.h"
+#include "baselines/wide_deep.h"
+#include "baselines/xdeepfm.h"
+
+namespace seqfm {
+namespace baselines {
+
+Result<std::unique_ptr<core::Model>> CreateBaseline(
+    const std::string& name, const data::FeatureSpace& space,
+    const BaselineConfig& config) {
+  std::unique_ptr<core::Model> model;
+  if (name == "FM") {
+    model = std::make_unique<Fm>(space, config);
+  } else if (name == "HOFM") {
+    model = std::make_unique<Hofm>(space, config);
+  } else if (name == "NFM") {
+    model = std::make_unique<Nfm>(space, config);
+  } else if (name == "AFM") {
+    model = std::make_unique<Afm>(space, config);
+  } else if (name == "Wide&Deep") {
+    model = std::make_unique<WideDeep>(space, config);
+  } else if (name == "DeepCross") {
+    model = std::make_unique<DeepCross>(space, config);
+  } else if (name == "xDeepFM") {
+    model = std::make_unique<XDeepFm>(space, config);
+  } else if (name == "DIN") {
+    model = std::make_unique<Din>(space, config);
+  } else if (name == "SASRec") {
+    model = std::make_unique<SasRec>(space, config);
+  } else if (name == "TFM") {
+    model = std::make_unique<Tfm>(space, config);
+  } else if (name == "RRN") {
+    model = std::make_unique<Rrn>(space, config);
+  } else {
+    return Status::NotFound("unknown baseline: " + name);
+  }
+  return model;
+}
+
+const std::vector<std::string>& RankingBaselines() {
+  static const std::vector<std::string> kNames = {
+      "FM", "Wide&Deep", "DeepCross", "NFM", "AFM", "SASRec", "TFM"};
+  return kNames;
+}
+
+const std::vector<std::string>& ClassificationBaselines() {
+  static const std::vector<std::string> kNames = {
+      "FM", "Wide&Deep", "DeepCross", "NFM", "AFM", "DIN", "xDeepFM"};
+  return kNames;
+}
+
+const std::vector<std::string>& RegressionBaselines() {
+  static const std::vector<std::string> kNames = {
+      "FM", "Wide&Deep", "DeepCross", "NFM", "AFM", "RRN", "HOFM"};
+  return kNames;
+}
+
+}  // namespace baselines
+}  // namespace seqfm

@@ -1,0 +1,28 @@
+#ifndef SEQFM_BASELINES_REGISTRY_H_
+#define SEQFM_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "util/result.h"
+
+namespace seqfm {
+namespace baselines {
+
+/// Creates a baseline by its paper name ("FM", "Wide&Deep", "DeepCross",
+/// "NFM", "AFM", "SASRec", "TFM", "DIN", "xDeepFM", "RRN", "HOFM").
+Result<std::unique_ptr<core::Model>> CreateBaseline(
+    const std::string& name, const data::FeatureSpace& space,
+    const BaselineConfig& config);
+
+/// Baselines compared per task, in the row order of Tables II-IV.
+const std::vector<std::string>& RankingBaselines();
+const std::vector<std::string>& ClassificationBaselines();
+const std::vector<std::string>& RegressionBaselines();
+
+}  // namespace baselines
+}  // namespace seqfm
+
+#endif  // SEQFM_BASELINES_REGISTRY_H_

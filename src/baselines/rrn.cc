@@ -1,0 +1,52 @@
+#include "baselines/rrn.h"
+
+namespace seqfm {
+namespace baselines {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+Rrn::Rrn(const data::FeatureSpace& space, const BaselineConfig& config)
+    : config_(config), space_(space), rng_(config.seed) {
+  const size_t d = config_.embedding_dim;
+  item_embedding_ =
+      std::make_unique<nn::Embedding>(space_.num_objects(), d, &rng_);
+  user_embedding_ =
+      std::make_unique<nn::Embedding>(space_.num_users(), d, &rng_);
+  RegisterModule("item_embedding", item_embedding_.get());
+  RegisterModule("user_embedding", user_embedding_.get());
+  gru_ = std::make_unique<nn::Gru>(d, d, &rng_);
+  RegisterModule("gru", gru_.get());
+  head_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{3 * d, config_.mlp_hidden, 1}, &rng_);
+  RegisterModule("head", head_.get());
+  bias_ = RegisterParameter("bias", Tensor::Zeros({1}));
+}
+
+Variable Rrn::Score(const data::Batch& batch, bool training) {
+  const size_t batch_size = batch.batch_size;
+  const size_t n = batch.n_seq;
+  const size_t d = config_.embedding_dim;
+
+  Variable history =
+      item_embedding_->Forward(batch.dynamic_ids, batch_size, n);
+  Variable state = gru_->Forward(history);  // [B, d] dynamic user state
+
+  std::vector<int32_t> user_ids(batch_size), candidate_ids(batch_size);
+  const auto num_users = static_cast<int32_t>(space_.num_users());
+  for (size_t b = 0; b < batch_size; ++b) {
+    user_ids[b] = batch.static_ids[b * batch.n_static + 0];
+    candidate_ids[b] = batch.static_ids[b * batch.n_static + 1] - num_users;
+  }
+  Variable user = autograd::Reshape(
+      user_embedding_->Forward(user_ids, batch_size, 1), {batch_size, d});
+  Variable cand = autograd::Reshape(
+      item_embedding_->Forward(candidate_ids, batch_size, 1), {batch_size, d});
+
+  Variable top = autograd::ConcatLastDim({state, user, cand});
+  Variable out = head_->Forward(top, config_.keep_prob, training, &rng_);
+  return autograd::AddBias(out, bias_);
+}
+
+}  // namespace baselines
+}  // namespace seqfm

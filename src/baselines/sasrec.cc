@@ -1,0 +1,79 @@
+#include "baselines/sasrec.h"
+
+#include "tensor/init.h"
+
+namespace seqfm {
+namespace baselines {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+SasRec::SasRec(const data::FeatureSpace& space, const BaselineConfig& config)
+    : config_(config), space_(space), rng_(config.seed) {
+  const size_t d = config_.embedding_dim;
+  // One table covers both history items and candidates (shared item space).
+  item_embedding_ =
+      std::make_unique<nn::Embedding>(space_.num_objects(), d, &rng_);
+  RegisterModule("item_embedding", item_embedding_.get());
+  Tensor pos({config_.max_seq_len, d});
+  tensor::FillNormal(&pos, &rng_, 0.01f);
+  positional_ = RegisterParameter("positional", std::move(pos));
+  blocks_.resize(config_.num_blocks);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    auto& b = blocks_[i];
+    b.attention = std::make_unique<nn::SelfAttention>(d, &rng_);
+    b.norm1 = std::make_unique<nn::LayerNorm>(d);
+    b.norm2 = std::make_unique<nn::LayerNorm>(d);
+    b.ff1 = std::make_unique<nn::Linear>(d, d, &rng_);
+    b.ff2 = std::make_unique<nn::Linear>(d, d, &rng_);
+    const std::string s = std::to_string(i);
+    RegisterModule("block" + s + "_attention", b.attention.get());
+    RegisterModule("block" + s + "_norm1", b.norm1.get());
+    RegisterModule("block" + s + "_norm2", b.norm2.get());
+    RegisterModule("block" + s + "_ff1", b.ff1.get());
+    RegisterModule("block" + s + "_ff2", b.ff2.get());
+  }
+  bias_ = RegisterParameter("bias", Tensor::Zeros({1}));
+}
+
+Variable SasRec::Score(const data::Batch& batch, bool training) {
+  const size_t batch_size = batch.batch_size;
+  const size_t n = batch.n_seq;
+
+  Variable x =
+      item_embedding_->Forward(batch.dynamic_ids, batch_size, n);
+  x = autograd::AddBroadcastBatch(x, positional_);
+  x = autograd::Dropout(x, config_.keep_prob, training, &rng_);
+
+  // Causal + padding-aware mask (padding items never serve as keys).
+  Variable mask = nn::MakeBatchPaddingMask(batch.dynamic_ids, batch_size, n,
+                                           /*causal=*/true);
+  for (const auto& block : blocks_) {
+    Variable attended = block.attention->Forward(block.norm1->Forward(x), mask);
+    x = autograd::Add(x, attended);
+    Variable ff = block.ff1->Forward(block.norm2->Forward(x));
+    ff = autograd::Relu(ff);
+    ff = autograd::Dropout(ff, config_.keep_prob, training, &rng_);
+    ff = block.ff2->Forward(ff);
+    x = autograd::Add(x, ff);
+  }
+
+  Variable last = autograd::SliceRow(x, n - 1);  // [B, d]
+
+  // Candidate embedding from the shared item table: candidate object id is
+  // the dynamic-space id of the static candidate slot.
+  std::vector<int32_t> candidate_ids(batch_size);
+  const auto num_users = static_cast<int32_t>(space_.num_users());
+  for (size_t b = 0; b < batch_size; ++b) {
+    candidate_ids[b] = batch.static_ids[b * batch.n_static + 1] - num_users;
+  }
+  Variable cand =
+      item_embedding_->Forward(candidate_ids, batch_size, 1);  // [B, 1, d]
+  cand = autograd::Reshape(cand, {batch_size, config_.embedding_dim});
+
+  Variable score = autograd::RowDot(last, cand);
+  return autograd::AddBias(score, bias_);
+}
+
+}  // namespace baselines
+}  // namespace seqfm

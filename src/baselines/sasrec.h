@@ -1,0 +1,49 @@
+#ifndef SEQFM_BASELINES_SASREC_H_
+#define SEQFM_BASELINES_SASREC_H_
+
+#include "baselines/common.h"
+#include "nn/masks.h"
+
+namespace seqfm {
+namespace baselines {
+
+/// \brief Self-Attentive Sequential Recommendation (Kang & McAuley 2018,
+/// [25]): item embeddings + learned positional embeddings pass through
+/// stacked causal self-attention blocks with pointwise feed-forward layers;
+/// the last position's hidden state is dotted with the candidate embedding.
+///
+/// Padding key positions are masked out of the attention (the original
+/// zeroes padded timesteps after every block; masking keys is equivalent
+/// for the last-position read-out used here).
+class SasRec : public nn::Module, public core::Model {
+ public:
+  SasRec(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::vector<autograd::Variable> TrainableParameters() override {
+    return Parameters();
+  }
+  std::string name() const override { return "SASRec"; }
+
+ private:
+  struct Block {
+    std::unique_ptr<nn::SelfAttention> attention;
+    std::unique_ptr<nn::LayerNorm> norm1;
+    std::unique_ptr<nn::LayerNorm> norm2;
+    std::unique_ptr<nn::Linear> ff1;
+    std::unique_ptr<nn::Linear> ff2;
+  };
+
+  BaselineConfig config_;
+  data::FeatureSpace space_;
+  Rng rng_;
+  std::unique_ptr<nn::Embedding> item_embedding_;
+  autograd::Variable positional_;  // [n, d]
+  std::vector<Block> blocks_;
+  autograd::Variable bias_;
+};
+
+}  // namespace baselines
+}  // namespace seqfm
+
+#endif  // SEQFM_BASELINES_SASREC_H_

@@ -1,0 +1,56 @@
+#include "baselines/tfm.h"
+
+namespace seqfm {
+namespace baselines {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+Tfm::Tfm(const data::FeatureSpace& space, const BaselineConfig& config)
+    : config_(config), space_(space), rng_(config.seed) {
+  const size_t d = config_.embedding_dim;
+  item_embedding_ =
+      std::make_unique<nn::Embedding>(space_.num_objects(), d, &rng_);
+  user_translation_ =
+      std::make_unique<nn::Embedding>(space_.num_users(), d, &rng_);
+  RegisterModule("item_embedding", item_embedding_.get());
+  RegisterModule("user_translation", user_translation_.get());
+  item_bias_ =
+      RegisterParameter("item_bias", Tensor::Zeros({space_.num_objects(), 1}));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({1}));
+}
+
+Variable Tfm::Score(const data::Batch& batch, bool training) {
+  (void)training;
+  const size_t batch_size = batch.batch_size;
+  const size_t n = batch.n_seq;
+  const size_t d = config_.embedding_dim;
+
+  // Last (most recent) history item; an empty history leaves the zero
+  // vector, so the translation alone anchors the score.
+  Variable history =
+      item_embedding_->Forward(batch.dynamic_ids, batch_size, n);
+  Variable last = autograd::SliceRow(history, n - 1);  // [B, d]
+
+  std::vector<int32_t> user_ids(batch_size), candidate_ids(batch_size);
+  const auto num_users = static_cast<int32_t>(space_.num_users());
+  for (size_t b = 0; b < batch_size; ++b) {
+    user_ids[b] = batch.static_ids[b * batch.n_static + 0];
+    candidate_ids[b] = batch.static_ids[b * batch.n_static + 1] - num_users;
+  }
+  Variable t_u = autograd::Reshape(
+      user_translation_->Forward(user_ids, batch_size, 1), {batch_size, d});
+  Variable v_i = autograd::Reshape(
+      item_embedding_->Forward(candidate_ids, batch_size, 1), {batch_size, d});
+
+  // -|| v_j + t_u - v_i ||^2 + beta_i + b.
+  Variable diff = autograd::Sub(autograd::Add(last, t_u), v_i);
+  Variable dist = autograd::SumLastDimKeep(autograd::Mul(diff, diff));
+  Variable beta =
+      autograd::EmbeddingSumGather(item_bias_, candidate_ids, batch_size, 1);
+  Variable score = autograd::Add(autograd::Scale(dist, -1.0f), beta);
+  return autograd::AddBias(score, bias_);
+}
+
+}  // namespace baselines
+}  // namespace seqfm

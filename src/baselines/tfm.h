@@ -1,0 +1,37 @@
+#ifndef SEQFM_BASELINES_TFM_H_
+#define SEQFM_BASELINES_TFM_H_
+
+#include "baselines/common.h"
+
+namespace seqfm {
+namespace baselines {
+
+/// \brief Translation-based Factorization Machine (Pasricha & McAuley 2018,
+/// [28]): each user owns a translation vector t_u; the score of candidate i
+/// after last item j is  beta_i - || v_j + t_u - v_i ||^2  plus first-order
+/// terms. Only the *most recent* history item enters the score — the
+/// limitation Sec. I calls out and Table II quantifies against SeqFM.
+class Tfm : public nn::Module, public core::Model {
+ public:
+  Tfm(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::vector<autograd::Variable> TrainableParameters() override {
+    return Parameters();
+  }
+  std::string name() const override { return "TFM"; }
+
+ private:
+  BaselineConfig config_;
+  data::FeatureSpace space_;
+  Rng rng_;
+  std::unique_ptr<nn::Embedding> item_embedding_;
+  std::unique_ptr<nn::Embedding> user_translation_;
+  autograd::Variable item_bias_;  // [num_objects, 1]
+  autograd::Variable bias_;       // [1]
+};
+
+}  // namespace baselines
+}  // namespace seqfm
+
+#endif  // SEQFM_BASELINES_TFM_H_

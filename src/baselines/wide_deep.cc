@@ -1,0 +1,64 @@
+#include "baselines/wide_deep.h"
+
+namespace seqfm {
+namespace baselines {
+
+using autograd::Variable;
+
+WideDeep::WideDeep(const data::FeatureSpace& space,
+                   const BaselineConfig& config)
+    : UnifiedFmBase(space, config) {
+  const size_t in =
+      (config_.max_seq_len + 2) * config_.embedding_dim;  // n_unified * d
+  deep_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{in, config_.mlp_hidden, config_.mlp_hidden, 1},
+      &rng_);
+  RegisterModule("deep", deep_.get());
+}
+
+Variable WideDeep::Score(const data::Batch& batch, bool training) {
+  Variable embedded = EmbedUnified(batch);  // [B, n, d]
+  Variable flat = autograd::Reshape(
+      embedded, {batch.batch_size, batch.n_unified * config_.embedding_dim});
+  Variable deep = deep_->Forward(flat, config_.keep_prob, training, &rng_);
+  return autograd::Add(LinearTerm(batch), deep);
+}
+
+DeepCross::DeepCross(const data::FeatureSpace& space,
+                     const BaselineConfig& config)
+    : UnifiedFmBase(space, config) {
+  const size_t in = (config_.max_seq_len + 2) * config_.embedding_dim;
+  const size_t width = config_.mlp_hidden;
+  input_proj_ = std::make_unique<nn::Linear>(in, width, &rng_);
+  RegisterModule("input_proj", input_proj_.get());
+  units_.resize(config_.num_blocks);
+  for (size_t i = 0; i < units_.size(); ++i) {
+    units_[i].fc1 = std::make_unique<nn::Linear>(width, width, &rng_);
+    units_[i].fc2 = std::make_unique<nn::Linear>(width, width, &rng_);
+    RegisterModule("unit" + std::to_string(i) + "_fc1", units_[i].fc1.get());
+    RegisterModule("unit" + std::to_string(i) + "_fc2", units_[i].fc2.get());
+  }
+  scorer_ = std::make_unique<nn::Linear>(width, 1, &rng_);
+  RegisterModule("scorer", scorer_.get());
+}
+
+Variable DeepCross::Score(const data::Batch& batch, bool training) {
+  Variable embedded = EmbedUnified(batch);
+  Variable x = autograd::Reshape(
+      embedded, {batch.batch_size, batch.n_unified * config_.embedding_dim});
+  x = autograd::Relu(input_proj_->Forward(x));
+  for (const auto& unit : units_) {
+    // Residual unit: x = ReLU(x + F(x)) with a two-layer F.
+    Variable inner = autograd::Relu(unit.fc1->Forward(x));
+    inner = autograd::Dropout(inner, config_.keep_prob, training, &rng_);
+    inner = unit.fc2->Forward(inner);
+    x = autograd::Relu(autograd::Add(x, inner));
+  }
+  Variable deep = scorer_->Forward(x);
+  // Deep Crossing has no wide component; only the global bias joins the
+  // deep score (first-order weights stay unused to match the original).
+  return autograd::AddBias(deep, bias_);
+}
+
+}  // namespace baselines
+}  // namespace seqfm

@@ -1,0 +1,45 @@
+#ifndef SEQFM_BASELINES_WIDE_DEEP_H_
+#define SEQFM_BASELINES_WIDE_DEEP_H_
+
+#include "baselines/common.h"
+
+namespace seqfm {
+namespace baselines {
+
+/// \brief Wide&Deep (Cheng et al. 2016, [18]): a wide first-order linear
+/// part plus a deep MLP over the concatenated feature embeddings.
+class WideDeep : public UnifiedFmBase {
+ public:
+  WideDeep(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "Wide&Deep"; }
+
+ private:
+  std::unique_ptr<nn::Mlp> deep_;
+};
+
+/// \brief DeepCross / Deep Crossing (Shan et al. 2016, [7]): stacked
+/// two-layer residual units over the concatenated feature embeddings,
+/// followed by a scoring layer.
+class DeepCross : public UnifiedFmBase {
+ public:
+  DeepCross(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "DeepCross"; }
+
+ private:
+  struct ResidualUnit {
+    std::unique_ptr<nn::Linear> fc1;
+    std::unique_ptr<nn::Linear> fc2;
+  };
+  std::vector<ResidualUnit> units_;
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::unique_ptr<nn::Linear> scorer_;
+};
+
+}  // namespace baselines
+}  // namespace seqfm
+
+#endif  // SEQFM_BASELINES_WIDE_DEEP_H_

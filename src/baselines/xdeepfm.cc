@@ -1,0 +1,61 @@
+#include "baselines/xdeepfm.h"
+
+#include "tensor/init.h"
+
+namespace seqfm {
+namespace baselines {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+XDeepFm::XDeepFm(const data::FeatureSpace& space, const BaselineConfig& config)
+    : UnifiedFmBase(space, config), cin_maps_(8) {
+  const size_t m = config_.max_seq_len + 2;  // n_unified
+  size_t prev = m;
+  for (size_t k = 0; k < config_.num_blocks; ++k) {
+    Tensor w({cin_maps_, prev * m});
+    tensor::FillXavier(&w, &rng_);
+    cin_w_.push_back(
+        RegisterParameter("cin_w" + std::to_string(k), std::move(w)));
+    prev = cin_maps_;
+  }
+  cin_out_ = std::make_unique<nn::Linear>(config_.num_blocks * cin_maps_, 1,
+                                          &rng_);
+  RegisterModule("cin_out", cin_out_.get());
+  dnn_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{m * config_.embedding_dim, config_.mlp_hidden, 1},
+      &rng_);
+  RegisterModule("dnn", dnn_.get());
+}
+
+Variable XDeepFm::Score(const data::Batch& batch, bool training) {
+  Variable x0 = EmbedUnified(batch);  // [B, m, d]
+
+  // CIN tower.
+  std::vector<Variable> pooled;
+  Variable xk = x0;
+  for (const auto& w : cin_w_) {
+    // z = all pairwise row products of X^{k-1} and X^0: [B, h*m, d].
+    Variable z = autograd::PairwiseProductCross(xk, x0);
+    // Feature-map mixing: W [maps, h*m] applied per sample.
+    xk = autograd::BmmLeftShared(w, z);  // [B, maps, d]
+    // Sum-pool each map over the embedding dimension: [B, maps].
+    Variable p = autograd::SumLastDimKeep(xk);       // [B, maps, 1]
+    pooled.push_back(
+        autograd::Reshape(p, {batch.batch_size, cin_maps_}));
+  }
+  Variable cin_vec = pooled.size() == 1 ? pooled[0]
+                                        : autograd::ConcatLastDim(pooled);
+  Variable cin_logit = cin_out_->Forward(cin_vec);
+
+  // Plain DNN tower over the flattened embeddings.
+  Variable flat = autograd::Reshape(
+      x0, {batch.batch_size, batch.n_unified * config_.embedding_dim});
+  Variable dnn_logit = dnn_->Forward(flat, config_.keep_prob, training, &rng_);
+
+  return autograd::Add(LinearTerm(batch),
+                       autograd::Add(cin_logit, dnn_logit));
+}
+
+}  // namespace baselines
+}  // namespace seqfm

@@ -1,0 +1,32 @@
+#ifndef SEQFM_BASELINES_XDEEPFM_H_
+#define SEQFM_BASELINES_XDEEPFM_H_
+
+#include "baselines/common.h"
+
+namespace seqfm {
+namespace baselines {
+
+/// \brief xDeepFM (Lian et al. 2018, [19]): linear part + plain DNN +
+/// Compressed Interaction Network (CIN).
+///
+/// CIN layer k maps X^{k-1} [h_{k-1}, d] and X^0 [m, d] to
+/// X^k[h, :] = sum_{i,j} W^k[h, i*m+j] * (X^{k-1}[i] ⊙ X^0[j]); each layer's
+/// feature maps are sum-pooled over d and concatenated into the CIN logit.
+class XDeepFm : public UnifiedFmBase {
+ public:
+  XDeepFm(const data::FeatureSpace& space, const BaselineConfig& config);
+
+  autograd::Variable Score(const data::Batch& batch, bool training) override;
+  std::string name() const override { return "xDeepFM"; }
+
+ private:
+  size_t cin_maps_;                          // feature maps per CIN layer
+  std::vector<autograd::Variable> cin_w_;    // [maps, h_{k-1} * m] per layer
+  std::unique_ptr<nn::Mlp> dnn_;
+  std::unique_ptr<nn::Linear> cin_out_;      // [layers * maps -> 1]
+};
+
+}  // namespace baselines
+}  // namespace seqfm
+
+#endif  // SEQFM_BASELINES_XDEEPFM_H_

@@ -1,0 +1,39 @@
+#ifndef SEQFM_CORE_MODEL_INTERFACE_H_
+#define SEQFM_CORE_MODEL_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "data/dataset.h"
+
+namespace seqfm {
+namespace core {
+
+/// \brief Interface every scoring model implements (SeqFM and all eleven
+/// baselines).
+///
+/// A model maps a Batch of (static features, dynamic sequence) to one raw
+/// score per sample, [B, 1]. Task heads are applied outside the model: the
+/// trainer wraps scores with the BPR / log / squared losses (Sec. IV) and
+/// evaluators rank or threshold them, so the same model runs all three tasks.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Returns raw scores [batch, 1]. \p training enables dropout and other
+  /// train-only behaviour; evaluation must be deterministic.
+  virtual autograd::Variable Score(const data::Batch& batch,
+                                   bool training) = 0;
+
+  /// All trainable parameters (for the optimizer).
+  virtual std::vector<autograd::Variable> TrainableParameters() = 0;
+
+  /// Short display name used in bench tables ("SeqFM", "FM", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace core
+}  // namespace seqfm
+
+#endif  // SEQFM_CORE_MODEL_INTERFACE_H_

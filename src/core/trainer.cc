@@ -1,0 +1,156 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace seqfm {
+namespace core {
+
+Trainer::Trainer(Model* model, const data::BatchBuilder* builder,
+                 const data::TemporalDataset* dataset,
+                 const TrainConfig& config)
+    : model_(model), builder_(builder), dataset_(dataset), config_(config),
+      rng_(config.seed), sampler_(dataset) {
+  SEQFM_CHECK_GT(config_.epochs, 0u);
+  SEQFM_CHECK_GT(config_.batch_size, 0u);
+  optimizer_ = std::make_unique<optim::Adam>(model_->TrainableParameters(),
+                                             config_.learning_rate);
+}
+
+double Trainer::TrainStep(
+    const std::vector<const data::SequenceExample*>& chunk) {
+  autograd::Variable loss;
+  switch (config_.task) {
+    case Task::kRanking: {
+      // One BPR triple per (example occurrence): positive vs one sampled
+      // negative. The example list already repeats each positive
+      // num_negatives times per epoch.
+      std::vector<int32_t> negatives(chunk.size());
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        negatives[i] = sampler_.Sample(chunk[i]->user, &rng_);
+      }
+      data::Batch pos_batch = builder_->Build(chunk);
+      data::Batch neg_batch = builder_->Build(chunk, &negatives);
+      autograd::Variable pos = model_->Score(pos_batch, /*training=*/true);
+      autograd::Variable neg = model_->Score(neg_batch, /*training=*/true);
+      loss = autograd::BprLoss(pos, neg);
+      break;
+    }
+    case Task::kClassification: {
+      // Positive with label 1 and one sampled negative with label 0 per
+      // occurrence (the occurrence list supplies the 5x negative ratio).
+      std::vector<int32_t> negatives(chunk.size());
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        negatives[i] = sampler_.Sample(chunk[i]->user, &rng_);
+      }
+      data::Batch pos_batch = builder_->Build(chunk);
+      data::Batch neg_batch = builder_->Build(chunk, &negatives);
+      autograd::Variable pos = model_->Score(pos_batch, /*training=*/true);
+      autograd::Variable neg = model_->Score(neg_batch, /*training=*/true);
+      const std::vector<float> ones(chunk.size(), 1.0f);
+      const std::vector<float> zeros(chunk.size(), 0.0f);
+      loss = autograd::Add(autograd::BceWithLogitsLoss(pos, ones),
+                           autograd::BceWithLogitsLoss(neg, zeros));
+      loss = autograd::Scale(loss, 0.5f);
+      break;
+    }
+    case Task::kRegression: {
+      data::Batch batch = builder_->Build(chunk);
+      std::vector<float> targets(chunk.size());
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        targets[i] = chunk[i]->rating;
+      }
+      autograd::Variable pred = model_->Score(batch, /*training=*/true);
+      loss = autograd::MseLoss(pred, targets);
+      break;
+    }
+  }
+  const double loss_value = loss.value().at(0);
+  optimizer_->ZeroGrad();
+  autograd::Backward(loss);
+  if (config_.grad_clip > 0.0f) {
+    optimizer_->ClipGradNorm(config_.grad_clip);
+  }
+  optimizer_->Step();
+  return loss_value;
+}
+
+EpochStats Trainer::TrainEpoch() {
+  Stopwatch watch;
+  const auto& train = dataset_->train();
+  SEQFM_CHECK(!train.empty());
+
+  // Occurrence list: ranking/classification repeat each positive once per
+  // negative sample (Sec. IV-D); regression uses each example once.
+  const size_t repeats =
+      config_.task == Task::kRegression ? 1 : std::max<size_t>(1, config_.num_negatives);
+  std::vector<const data::SequenceExample*> occurrences;
+  occurrences.reserve(train.size() * repeats);
+  for (size_t r = 0; r < repeats; ++r) {
+    for (const auto& ex : train) occurrences.push_back(&ex);
+  }
+  rng_.Shuffle(occurrences);
+
+  EpochStats stats;
+  double total_loss = 0.0;
+  for (size_t start = 0; start < occurrences.size();
+       start += config_.batch_size) {
+    const size_t end =
+        std::min(occurrences.size(), start + config_.batch_size);
+    std::vector<const data::SequenceExample*> chunk(
+        occurrences.begin() + static_cast<ptrdiff_t>(start),
+        occurrences.begin() + static_cast<ptrdiff_t>(end));
+    total_loss += TrainStep(chunk);
+    ++stats.steps;
+  }
+  stats.mean_loss = total_loss / static_cast<double>(stats.steps);
+  stats.seconds = watch.ElapsedSeconds();
+  return stats;
+}
+
+TrainResult Trainer::Train() {
+  TrainResult result;
+  std::vector<tensor::Tensor> best_params;
+  const bool selecting =
+      config_.validate_every > 0 && validation_scorer_ != nullptr;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    EpochStats stats = TrainEpoch();
+    result.total_seconds += stats.seconds;
+    if (config_.verbose) {
+      SEQFM_LOG(Info) << model_->name() << " epoch " << (epoch + 1) << "/"
+                      << config_.epochs << " loss=" << stats.mean_loss
+                      << " (" << stats.seconds << "s)";
+    }
+    result.epochs.push_back(stats);
+    const bool last = (epoch + 1 == config_.epochs);
+    if (selecting && ((epoch + 1) % config_.validate_every == 0 || last)) {
+      const double score = validation_scorer_();
+      if (score > best_score) {
+        best_score = score;
+        result.best_epoch = epoch + 1;
+        best_params.clear();
+        for (const auto& p : model_->TrainableParameters()) {
+          best_params.push_back(p.value());
+        }
+      }
+    }
+  }
+  if (selecting && !best_params.empty()) {
+    auto params = model_->TrainableParameters();
+    SEQFM_CHECK_EQ(params.size(), best_params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_value() = best_params[i];
+    }
+    result.best_validation = best_score;
+  }
+  result.final_loss = result.epochs.back().mean_loss;
+  return result;
+}
+
+}  // namespace core
+}  // namespace seqfm

@@ -1,0 +1,99 @@
+#ifndef SEQFM_CORE_TRAINER_H_
+#define SEQFM_CORE_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/model_interface.h"
+#include "optim/optimizer.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace core {
+
+/// The three application scenarios of Sec. IV.
+enum class Task {
+  kRanking,         // BPR loss (Eq. 21)
+  kClassification,  // sigmoid + log loss (Eqs. 23-24)
+  kRegression,      // squared error (Eq. 26)
+};
+
+/// Training-loop hyperparameters (Sec. IV-D).
+struct TrainConfig {
+  Task task = Task::kRanking;
+  size_t epochs = 5;
+  size_t batch_size = 256;
+  float learning_rate = 1e-3f;
+  /// Negative samples drawn per positive for ranking/classification
+  /// (paper: 5).
+  size_t num_negatives = 5;
+  /// Global gradient-norm clip; <= 0 disables.
+  float grad_clip = 5.0f;
+  /// When > 0 and a validation scorer is set, the validation metric is
+  /// computed every `validate_every` epochs and the parameters of the best
+  /// epoch are restored after training (the paper's use of the held-out
+  /// second-last records, Sec. V-C).
+  size_t validate_every = 0;
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+/// Per-epoch loss and wall-clock time (Fig. 4 uses the time series).
+struct EpochStats {
+  double mean_loss = 0.0;
+  double seconds = 0.0;
+  size_t steps = 0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double total_seconds = 0.0;
+  double final_loss = 0.0;
+  /// 1-based epoch whose parameters were kept (0 when selection is off).
+  size_t best_epoch = 0;
+  double best_validation = 0.0;
+};
+
+/// \brief Task-generic mini-batch Adam training loop.
+///
+/// One Trainer serves SeqFM and every baseline: models only expose raw
+/// scores, the trainer applies the task head. Ranking builds (positive,
+/// negative) score pairs for BPR; classification scores the positive batch
+/// with label 1 and `num_negatives` sampled batches with label 0; regression
+/// regresses raw scores onto ratings.
+class Trainer {
+ public:
+  Trainer(Model* model, const data::BatchBuilder* builder,
+          const data::TemporalDataset* dataset, const TrainConfig& config);
+
+  /// Sets the validation scorer used for epoch selection (higher = better;
+  /// negate error metrics). Must outlive Train().
+  void SetValidationScorer(std::function<double()> scorer) {
+    validation_scorer_ = std::move(scorer);
+  }
+
+  /// Runs the configured number of epochs and returns loss/time stats.
+  TrainResult Train();
+
+  /// Runs a single epoch (exposed for the scalability bench).
+  EpochStats TrainEpoch();
+
+ private:
+  double TrainStep(const std::vector<const data::SequenceExample*>& chunk);
+
+  Model* model_;
+  const data::BatchBuilder* builder_;
+  const data::TemporalDataset* dataset_;
+  TrainConfig config_;
+  Rng rng_;
+  data::NegativeSampler sampler_;
+  std::unique_ptr<optim::Optimizer> optimizer_;
+  std::function<double()> validation_scorer_;
+};
+
+}  // namespace core
+}  // namespace seqfm
+
+#endif  // SEQFM_CORE_TRAINER_H_

@@ -1,0 +1,155 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace seqfm {
+namespace data {
+
+Result<TemporalDataset> TemporalDataset::FromLog(const InteractionLog& log) {
+  if (!log.finalized()) {
+    return Status::FailedPrecondition("FromLog requires a finalized log");
+  }
+  TemporalDataset ds;
+  ds.num_users_ = log.num_users();
+  ds.num_objects_ = log.num_objects();
+  ds.interacted_.resize(log.num_users());
+
+  for (size_t u = 0; u < log.num_users(); ++u) {
+    const auto& seq = log.UserSequence(static_cast<int32_t>(u));
+    auto& seen = ds.interacted_[u];
+    seen.reserve(seq.size());
+    for (const auto& it : seq) seen.push_back(it.object);
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+
+    if (seq.empty()) continue;
+    // Positions [0, T-3] train, T-2 validation, T-1 test (when they exist).
+    const size_t len = seq.size();
+    std::vector<int32_t> history;
+    history.reserve(len);
+    for (size_t t = 0; t < len; ++t) {
+      SequenceExample ex;
+      ex.user = static_cast<int32_t>(u);
+      ex.target = seq[t].object;
+      ex.rating = seq[t].rating;
+      ex.history = history;
+      if (len >= 3 && t == len - 1) {
+        ds.test_.push_back(std::move(ex));
+      } else if (len >= 3 && t == len - 2) {
+        ds.validation_.push_back(std::move(ex));
+      } else {
+        ds.train_.push_back(std::move(ex));
+      }
+      history.push_back(seq[t].object);
+    }
+  }
+  if (ds.train_.empty()) {
+    return Status::InvalidArgument("log produced no training examples");
+  }
+  return ds;
+}
+
+bool TemporalDataset::Interacted(int32_t user, int32_t object) const {
+  SEQFM_CHECK(user >= 0 && static_cast<size_t>(user) < interacted_.size());
+  const auto& seen = interacted_[user];
+  return std::binary_search(seen.begin(), seen.end(), object);
+}
+
+TemporalDataset TemporalDataset::WithTrainFraction(double fraction,
+                                                   Rng* rng) const {
+  SEQFM_CHECK(fraction > 0.0 && fraction <= 1.0);
+  TemporalDataset out;
+  out.num_users_ = num_users_;
+  out.num_objects_ = num_objects_;
+  out.validation_ = validation_;
+  out.test_ = test_;
+  out.interacted_ = interacted_;
+  if (fraction >= 1.0) {
+    out.train_ = train_;
+    return out;
+  }
+  // Uniform subsample of training examples (temporal prefixes stay intact
+  // inside each example's history).
+  out.train_.reserve(static_cast<size_t>(train_.size() * fraction) + 1);
+  for (const auto& ex : train_) {
+    if (rng->Uniform() < fraction) out.train_.push_back(ex);
+  }
+  if (out.train_.empty()) out.train_.push_back(train_.front());
+  return out;
+}
+
+int32_t NegativeSampler::Sample(int32_t user, Rng* rng) const {
+  const size_t num_objects = dataset_->num_objects();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto candidate =
+        static_cast<int32_t>(rng->UniformInt(static_cast<uint64_t>(num_objects)));
+    if (!dataset_->Interacted(user, candidate)) return candidate;
+  }
+  // Degenerate user who interacted with almost everything: linear scan.
+  for (size_t o = 0; o < num_objects; ++o) {
+    if (!dataset_->Interacted(user, static_cast<int32_t>(o))) {
+      return static_cast<int32_t>(o);
+    }
+  }
+  return static_cast<int32_t>(rng->UniformInt(static_cast<uint64_t>(num_objects)));
+}
+
+std::vector<int32_t> NegativeSampler::SampleMany(int32_t user, size_t count,
+                                                 Rng* rng) const {
+  std::vector<int32_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Sample(user, rng));
+  return out;
+}
+
+Batch BatchBuilder::Build(
+    const std::vector<const SequenceExample*>& examples,
+    const std::vector<int32_t>* target_override) const {
+  Batch batch;
+  batch.batch_size = examples.size();
+  batch.n_static = 2;  // user one-hot + candidate one-hot (Eq. 20).
+  batch.n_seq = max_seq_len_;
+  batch.n_unified = batch.n_static + batch.n_seq;
+  batch.static_ids.assign(batch.batch_size * batch.n_static, -1);
+  batch.dynamic_ids.assign(batch.batch_size * batch.n_seq, -1);
+  batch.unified_ids.assign(batch.batch_size * batch.n_unified, -1);
+  batch.labels.assign(batch.batch_size, 0.0f);
+  if (target_override != nullptr) {
+    SEQFM_CHECK_EQ(target_override->size(), examples.size());
+  }
+
+  const size_t static_dim = space_.static_dim();
+  for (size_t b = 0; b < examples.size(); ++b) {
+    const SequenceExample& ex = *examples[b];
+    const int32_t target =
+        target_override ? (*target_override)[b] : ex.target;
+    batch.static_ids[b * batch.n_static + 0] = space_.UserIndex(ex.user);
+    batch.static_ids[b * batch.n_static + 1] = space_.CandidateIndex(target);
+    batch.labels[b] = ex.rating;
+
+    // Top padding: most recent max_seq_len history objects go to the tail.
+    const size_t len = std::min(ex.history.size(), max_seq_len_);
+    const size_t start = ex.history.size() - len;
+    for (size_t i = 0; i < len; ++i) {
+      const int32_t obj = ex.history[start + i];
+      batch.dynamic_ids[b * batch.n_seq + (max_seq_len_ - len) + i] =
+          space_.DynamicIndex(obj);
+    }
+
+    // Unified layout for set-category FM baselines: static indices followed
+    // by dynamic indices shifted past the static space.
+    for (size_t i = 0; i < batch.n_static; ++i) {
+      batch.unified_ids[b * batch.n_unified + i] =
+          batch.static_ids[b * batch.n_static + i];
+    }
+    for (size_t i = 0; i < batch.n_seq; ++i) {
+      const int32_t id = batch.dynamic_ids[b * batch.n_seq + i];
+      batch.unified_ids[b * batch.n_unified + batch.n_static + i] =
+          id < 0 ? -1 : static_cast<int32_t>(static_dim) + id;
+    }
+  }
+  return batch;
+}
+
+}  // namespace data
+}  // namespace seqfm

@@ -1,0 +1,118 @@
+#ifndef SEQFM_DATA_DATASET_H_
+#define SEQFM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/feature_space.h"
+#include "data/interaction.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace data {
+
+/// One supervised example: predict \p target for \p user given the
+/// chronological \p history of previously interacted objects.
+struct SequenceExample {
+  int32_t user = 0;
+  int32_t target = 0;
+  float rating = 0.0f;
+  /// Objects interacted before the target, oldest first (untruncated; the
+  /// BatchBuilder keeps the most recent max_seq_len entries).
+  std::vector<int32_t> history;
+};
+
+/// \brief Leave-one-out temporal split (Sec. V-C): per user, the last record
+/// is the test target, the second-last the validation target, and every
+/// earlier record is a training target with its preceding prefix as history.
+class TemporalDataset {
+ public:
+  /// Splits a finalized log. Users with fewer than 3 events contribute
+  /// training examples only.
+  static Result<TemporalDataset> FromLog(const InteractionLog& log);
+
+  const std::vector<SequenceExample>& train() const { return train_; }
+  const std::vector<SequenceExample>& validation() const { return validation_; }
+  const std::vector<SequenceExample>& test() const { return test_; }
+
+  size_t num_users() const { return num_users_; }
+  size_t num_objects() const { return num_objects_; }
+
+  /// True iff \p user interacted with \p object anywhere in the log
+  /// (used to draw "never visited" negatives, Sec. V-C).
+  bool Interacted(int32_t user, int32_t object) const;
+
+  /// Keeps only the first \p fraction of users' training examples (per-user
+  /// prefix truncation) — the Fig. 4 scalability sweep.
+  TemporalDataset WithTrainFraction(double fraction, Rng* rng) const;
+
+ private:
+  size_t num_users_ = 0;
+  size_t num_objects_ = 0;
+  std::vector<SequenceExample> train_, validation_, test_;
+  /// Per-user sorted object lists for Interacted().
+  std::vector<std::vector<int32_t>> interacted_;
+};
+
+/// \brief Uniform sampler of objects a user has never interacted with.
+class NegativeSampler {
+ public:
+  explicit NegativeSampler(const TemporalDataset* dataset)
+      : dataset_(dataset) {}
+
+  /// Draws one uniform negative object for the user.
+  int32_t Sample(int32_t user, Rng* rng) const;
+
+  /// Draws \p count distinct negatives (with replacement if the candidate
+  /// pool is smaller than count).
+  std::vector<int32_t> SampleMany(int32_t user, size_t count, Rng* rng) const;
+
+ private:
+  const TemporalDataset* dataset_;
+};
+
+/// \brief Mini-batch in the index format every model consumes.
+///
+/// static_ids is row-major [batch, n_static] over the static feature space;
+/// dynamic_ids is row-major [batch, n_seq] over the dynamic space, top-padded
+/// with -1 so the most recent object sits in the last row (Sec. III).
+struct Batch {
+  size_t batch_size = 0;
+  size_t n_static = 0;
+  size_t n_seq = 0;
+  std::vector<int32_t> static_ids;
+  std::vector<int32_t> dynamic_ids;
+  std::vector<float> labels;
+
+  /// Static and dynamic index vectors concatenated per sample — the layout
+  /// plain set-category FM baselines use ([B, n_static + n_seq], dynamic
+  /// part offset into the unified space).
+  std::vector<int32_t> unified_ids;
+  size_t n_unified = 0;
+};
+
+/// \brief Assembles Batches from SequenceExamples (Eq. 20/22/25 layout).
+class BatchBuilder {
+ public:
+  BatchBuilder(const FeatureSpace& space, size_t max_seq_len)
+      : space_(space), max_seq_len_(max_seq_len) {}
+
+  /// Builds a batch; if \p target_override is non-null it must have one
+  /// object per example and replaces each example's target (negative
+  /// candidates for BPR / CTR sampling).
+  Batch Build(const std::vector<const SequenceExample*>& examples,
+              const std::vector<int32_t>* target_override = nullptr) const;
+
+  const FeatureSpace& space() const { return space_; }
+  size_t max_seq_len() const { return max_seq_len_; }
+
+ private:
+  FeatureSpace space_;
+  size_t max_seq_len_;
+};
+
+}  // namespace data
+}  // namespace seqfm
+
+#endif  // SEQFM_DATA_DATASET_H_

@@ -1,0 +1,68 @@
+#ifndef SEQFM_DATA_FEATURE_SPACE_H_
+#define SEQFM_DATA_FEATURE_SPACE_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "util/logging.h"
+
+namespace seqfm {
+namespace data {
+
+/// \brief Layout of the sparse one-hot feature spaces (Sec. II / Eq. 20).
+///
+/// The static space concatenates the user one-hot, the candidate object
+/// one-hot and optional categorical side features:
+///   [ user (num_users) | candidate (num_objects) | side (num_side) ].
+/// The dynamic space is the object vocabulary: each element of a user's
+/// interaction history is one dynamic feature.
+class FeatureSpace {
+ public:
+  /// Empty space; reassign before use.
+  FeatureSpace() : FeatureSpace(0, 0, 0) {}
+
+  FeatureSpace(size_t num_users, size_t num_objects, size_t num_side = 0)
+      : num_users_(num_users), num_objects_(num_objects), num_side_(num_side) {}
+
+  size_t num_users() const { return num_users_; }
+  size_t num_objects() const { return num_objects_; }
+  size_t num_side() const { return num_side_; }
+
+  /// Dimension m_static of the static one-hot space.
+  size_t static_dim() const { return num_users_ + num_objects_ + num_side_; }
+  /// Dimension m_dynamic of the dynamic one-hot space.
+  size_t dynamic_dim() const { return num_objects_; }
+  /// Total sparse feature count m = m_static + m_dynamic (Table I column).
+  size_t total_dim() const { return static_dim() + dynamic_dim(); }
+
+  /// Static-space index of user \p u.
+  int32_t UserIndex(int32_t u) const {
+    SEQFM_DCHECK(u >= 0 && static_cast<size_t>(u) < num_users_);
+    return u;
+  }
+  /// Static-space index of candidate object \p o.
+  int32_t CandidateIndex(int32_t o) const {
+    SEQFM_DCHECK(o >= 0 && static_cast<size_t>(o) < num_objects_);
+    return static_cast<int32_t>(num_users_) + o;
+  }
+  /// Static-space index of side-feature category \p s.
+  int32_t SideIndex(int32_t s) const {
+    SEQFM_DCHECK(s >= 0 && static_cast<size_t>(s) < num_side_);
+    return static_cast<int32_t>(num_users_ + num_objects_) + s;
+  }
+  /// Dynamic-space index of a history object \p o.
+  int32_t DynamicIndex(int32_t o) const {
+    SEQFM_DCHECK(o >= 0 && static_cast<size_t>(o) < num_objects_);
+    return o;
+  }
+
+ private:
+  size_t num_users_;
+  size_t num_objects_;
+  size_t num_side_;
+};
+
+}  // namespace data
+}  // namespace seqfm
+
+#endif  // SEQFM_DATA_FEATURE_SPACE_H_

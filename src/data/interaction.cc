@@ -1,0 +1,200 @@
+#include "data/interaction.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace seqfm {
+namespace data {
+
+InteractionLog::InteractionLog(size_t num_users, size_t num_objects)
+    : num_objects_(num_objects), sequences_(num_users) {}
+
+void InteractionLog::Add(const Interaction& interaction) {
+  SEQFM_CHECK(interaction.user >= 0 &&
+              static_cast<size_t>(interaction.user) < sequences_.size());
+  SEQFM_CHECK(interaction.object >= 0 &&
+              static_cast<size_t>(interaction.object) < num_objects_);
+  sequences_[interaction.user].push_back(interaction);
+  ++num_interactions_;
+  finalized_ = false;
+}
+
+void InteractionLog::Finalize() {
+  for (auto& seq : sequences_) {
+    std::stable_sort(seq.begin(), seq.end(),
+                     [](const Interaction& a, const Interaction& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+  finalized_ = true;
+}
+
+const std::vector<Interaction>& InteractionLog::UserSequence(
+    int32_t user) const {
+  SEQFM_CHECK(finalized_) << "call Finalize() before reading sequences";
+  SEQFM_CHECK(user >= 0 && static_cast<size_t>(user) < sequences_.size());
+  return sequences_[user];
+}
+
+Result<InteractionLog> InteractionLog::Filter(size_t min_user_events,
+                                              size_t min_object_users) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("Filter requires a finalized log");
+  }
+  std::vector<bool> user_alive(sequences_.size(), true);
+  std::vector<bool> object_alive(num_objects_, true);
+
+  // Alternate the two filters until a fixed point: removing unpopular
+  // objects can push users below the event threshold and vice versa.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Count per-user surviving events.
+    for (size_t u = 0; u < sequences_.size(); ++u) {
+      if (!user_alive[u]) continue;
+      size_t events = 0;
+      for (const auto& it : sequences_[u]) {
+        if (object_alive[it.object]) ++events;
+      }
+      if (events < min_user_events) {
+        user_alive[u] = false;
+        changed = true;
+      }
+    }
+    // Count distinct surviving users per object.
+    std::vector<size_t> users_per_object(num_objects_, 0);
+    for (size_t u = 0; u < sequences_.size(); ++u) {
+      if (!user_alive[u]) continue;
+      std::vector<bool> seen(num_objects_, false);
+      for (const auto& it : sequences_[u]) {
+        if (object_alive[it.object] && !seen[it.object]) {
+          seen[it.object] = true;
+          ++users_per_object[it.object];
+        }
+      }
+    }
+    for (size_t o = 0; o < num_objects_; ++o) {
+      if (object_alive[o] && users_per_object[o] < min_object_users) {
+        object_alive[o] = false;
+        changed = true;
+      }
+    }
+  }
+
+  // Compact ids.
+  std::vector<int32_t> user_map(sequences_.size(), -1);
+  std::vector<int32_t> object_map(num_objects_, -1);
+  int32_t next_user = 0, next_object = 0;
+  for (size_t u = 0; u < sequences_.size(); ++u) {
+    if (user_alive[u]) user_map[u] = next_user++;
+  }
+  for (size_t o = 0; o < num_objects_; ++o) {
+    if (object_alive[o]) object_map[o] = next_object++;
+  }
+  if (next_user == 0 || next_object == 0) {
+    return Status::InvalidArgument("filter removed every user or object");
+  }
+
+  InteractionLog out(static_cast<size_t>(next_user),
+                     static_cast<size_t>(next_object));
+  for (size_t u = 0; u < sequences_.size(); ++u) {
+    if (!user_alive[u]) continue;
+    for (const auto& it : sequences_[u]) {
+      if (!object_alive[it.object]) continue;
+      Interaction mapped = it;
+      mapped.user = user_map[u];
+      mapped.object = object_map[it.object];
+      out.Add(mapped);
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+LogStats InteractionLog::ComputeStats() const {
+  LogStats stats;
+  stats.num_users = sequences_.size();
+  stats.num_objects = num_objects_;
+  stats.num_instances = num_interactions_;
+  // Static user one-hot + static candidate one-hot + dynamic object one-hot.
+  stats.num_sparse_features = sequences_.size() + 2 * num_objects_;
+  if (!sequences_.empty()) {
+    stats.avg_sequence_length = static_cast<double>(num_interactions_) /
+                                static_cast<double>(sequences_.size());
+  }
+  return stats;
+}
+
+Result<InteractionLog> LoadInteractionCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  struct Row {
+    int64_t user, object, timestamp;
+    float rating;
+  };
+  std::vector<Row> rows;
+  std::map<int64_t, int32_t> user_ids, object_ids;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.find_first_not_of("0123456789,.-+ \t") !=
+                            std::string::npos) {
+      continue;  // header row
+    }
+    std::istringstream ls(line);
+    std::string field;
+    Row row{0, 0, 0, 0.0f};
+    int col = 0;
+    while (std::getline(ls, field, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str()) {
+        return Status::InvalidArgument("bad field on line " +
+                                       std::to_string(line_no));
+      }
+      switch (col) {
+        case 0: row.user = static_cast<int64_t>(v); break;
+        case 1: row.object = static_cast<int64_t>(v); break;
+        case 2: row.timestamp = static_cast<int64_t>(v); break;
+        case 3: row.rating = static_cast<float>(v); break;
+        default: break;
+      }
+      ++col;
+    }
+    if (col < 3) {
+      return Status::InvalidArgument("need >=3 columns on line " +
+                                     std::to_string(line_no));
+    }
+    user_ids.emplace(row.user, 0);
+    object_ids.emplace(row.object, 0);
+    rows.push_back(row);
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty csv: " + path);
+
+  int32_t next = 0;
+  for (auto& [raw, id] : user_ids) id = next++;
+  next = 0;
+  for (auto& [raw, id] : object_ids) id = next++;
+
+  InteractionLog log(user_ids.size(), object_ids.size());
+  for (const auto& row : rows) {
+    Interaction it;
+    it.user = user_ids[row.user];
+    it.object = object_ids[row.object];
+    it.timestamp = row.timestamp;
+    it.rating = row.rating;
+    log.Add(it);
+  }
+  log.Finalize();
+  return log;
+}
+
+}  // namespace data
+}  // namespace seqfm

@@ -1,0 +1,82 @@
+#ifndef SEQFM_DATA_INTERACTION_H_
+#define SEQFM_DATA_INTERACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace seqfm {
+namespace data {
+
+/// One (user, object) event with its timestamp; \p rating is used only by
+/// the regression task (0 when absent).
+struct Interaction {
+  int32_t user = 0;
+  int32_t object = 0;
+  int64_t timestamp = 0;
+  float rating = 0.0f;
+};
+
+/// Aggregate dataset statistics (the columns of Table I).
+struct LogStats {
+  size_t num_instances = 0;
+  size_t num_users = 0;
+  size_t num_objects = 0;
+  /// Sparse feature count: users + candidate objects + dynamic objects.
+  size_t num_sparse_features = 0;
+  double avg_sequence_length = 0.0;
+};
+
+/// \brief Chronologically ordered per-user interaction sequences.
+///
+/// This is the canonical in-memory dataset representation: add events in any
+/// order, Finalize() sorts each user's events by timestamp (stable on ties),
+/// and downstream code reads per-user sequences.
+class InteractionLog {
+ public:
+  InteractionLog(size_t num_users, size_t num_objects);
+
+  size_t num_users() const { return sequences_.size(); }
+  size_t num_objects() const { return num_objects_; }
+  size_t num_interactions() const { return num_interactions_; }
+
+  /// Appends an event; ids must lie in range.
+  void Add(const Interaction& interaction);
+
+  /// Sorts all user sequences chronologically. Must be called after the last
+  /// Add and before reading sequences.
+  void Finalize();
+
+  /// Chronological events of one user (Finalize must have been called).
+  const std::vector<Interaction>& UserSequence(int32_t user) const;
+
+  bool finalized() const { return finalized_; }
+
+  /// \brief Drops users with fewer than \p min_user_events events and
+  /// objects interacted with by fewer than \p min_object_users distinct
+  /// users (the paper's >=10 filtering, Sec. V-A), iterating until stable,
+  /// then compacts ids. Returns the filtered log.
+  Result<InteractionLog> Filter(size_t min_user_events,
+                                size_t min_object_users) const;
+
+  /// Table I style statistics.
+  LogStats ComputeStats() const;
+
+ private:
+  size_t num_objects_;
+  size_t num_interactions_ = 0;
+  bool finalized_ = false;
+  std::vector<std::vector<Interaction>> sequences_;
+};
+
+/// Parses "user,object,timestamp[,rating]" CSV lines (optional header) into a
+/// log; ids are compacted automatically.
+Result<InteractionLog> LoadInteractionCsv(const std::string& path);
+
+}  // namespace data
+}  // namespace seqfm
+
+#endif  // SEQFM_DATA_INTERACTION_H_

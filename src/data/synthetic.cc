@@ -1,0 +1,273 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace seqfm {
+namespace data {
+
+namespace {
+/// Picks a successor option weighted by the user's static cluster
+/// preference: users overwhelmingly continue into clusters they like.
+int32_t PickSuccessor(const std::vector<int32_t>& options,
+                      const std::vector<int32_t>& object_cluster,
+                      const std::vector<double>& theta, Rng& rng) {
+  std::vector<double> weights(options.size());
+  for (size_t k = 0; k < options.size(); ++k) {
+    const double pref = theta[object_cluster[options[k]]];
+    weights[k] = pref * pref + 1e-3;  // sharpen toward preferred clusters
+  }
+  return options[rng.Categorical(weights)];
+}
+}  // namespace
+
+Result<InteractionLog> SyntheticDatasetGenerator::Generate() const {
+  const auto& cfg = config_;
+  if (cfg.num_users == 0 || cfg.num_objects == 0 || cfg.num_clusters == 0) {
+    return Status::InvalidArgument("synthetic sizes must be positive");
+  }
+  if (cfg.num_objects < cfg.num_clusters) {
+    return Status::InvalidArgument("need at least one object per cluster");
+  }
+  if (cfg.min_seq_len < 3 || cfg.max_seq_len < cfg.min_seq_len) {
+    return Status::InvalidArgument("bad sequence length range");
+  }
+  Rng rng(cfg.seed);
+  const size_t c_count = cfg.num_clusters;
+
+  // Object -> cluster assignment (round-robin keeps clusters balanced) and
+  // per-cluster member lists with Zipf popularity inside each cluster.
+  std::vector<int32_t> object_cluster(cfg.num_objects);
+  std::vector<std::vector<int32_t>> cluster_objects(c_count);
+  for (size_t o = 0; o < cfg.num_objects; ++o) {
+    const size_t c = o % c_count;
+    object_cluster[o] = static_cast<int32_t>(c);
+    cluster_objects[c].push_back(static_cast<int32_t>(o));
+  }
+  // Shuffle members so object id does not encode popularity rank.
+  for (auto& members : cluster_objects) rng.Shuffle(members);
+  std::vector<ZipfSampler> cluster_zipf;
+  cluster_zipf.reserve(c_count);
+  for (size_t c = 0; c < c_count; ++c) {
+    cluster_zipf.emplace_back(cluster_objects[c].size(), cfg.zipf_exponent);
+  }
+
+  // Object-level successor options: option k of object o lives in cluster
+  // (c(o) + 1 + k), i.e. the options fan out along the ring. Which option a
+  // user takes depends on their *static* cluster preference, so the next
+  // object is a joint function of (recent items) x (user preference) — the
+  // static-dynamic mutual interaction SeqFM's cross view is built for.
+  // A single per-user translation (TFM) or a user-blind sequence reader
+  // (SASRec) can each capture only part of this; set-category FMs miss the
+  // sequential half entirely.
+  SEQFM_CHECK_GT(cfg.successors_per_object, 0u);
+  std::vector<std::vector<int32_t>> successors(cfg.num_objects);
+  for (size_t o = 0; o < cfg.num_objects; ++o) {
+    for (size_t s = 0; s < cfg.successors_per_object; ++s) {
+      const size_t succ_cluster = (object_cluster[o] + 1 + s) % c_count;
+      const auto& pool = cluster_objects[succ_cluster];
+      successors[o].push_back(
+          pool[rng.UniformInt(static_cast<uint64_t>(pool.size()))]);
+    }
+  }
+
+  // Per-object rating bias for the regression task.
+  std::vector<double> object_bias(cfg.num_objects, 0.0);
+  if (cfg.with_ratings) {
+    for (auto& b : object_bias) b = rng.Normal(0.0, 0.3);
+  }
+
+  InteractionLog log(cfg.num_users, cfg.num_objects);
+  for (size_t u = 0; u < cfg.num_users; ++u) {
+    // Static preference: two boosted clusters on a small uniform base.
+    std::vector<double> theta(c_count, 0.3 / static_cast<double>(c_count));
+    const size_t fav1 = rng.UniformInt(static_cast<uint64_t>(c_count));
+    size_t fav2 = rng.UniformInt(static_cast<uint64_t>(c_count));
+    if (fav2 == fav1) fav2 = (fav2 + 1) % c_count;
+    theta[fav1] += 0.45;
+    theta[fav2] += 0.25;
+    const double user_bias = cfg.with_ratings ? rng.Normal(0.0, 0.25) : 0.0;
+
+    const size_t len =
+        cfg.min_seq_len +
+        rng.UniformInt(static_cast<uint64_t>(cfg.max_seq_len - cfg.min_seq_len + 1));
+    std::vector<int32_t> object_hist;
+    object_hist.reserve(len);
+    for (size_t t = 0; t < len; ++t) {
+      // Pick the source of the next object from the mixture.
+      const double w_markov = object_hist.empty() ? 0.0 : cfg.w_markov;
+      const double w_long =
+          object_hist.size() >= cfg.long_lag ? cfg.w_long : 0.0;
+      const size_t source =
+          rng.Categorical({cfg.w_static, w_markov, w_long, cfg.noise});
+
+      int32_t object = 0;
+      bool sequential_pick = false;
+      switch (source) {
+        case 0: {  // static cluster preference + popularity
+          const size_t c = rng.Categorical(theta);
+          object = cluster_objects[c][cluster_zipf[c].Sample(rng)];
+          break;
+        }
+        case 1: {  // successor of a recent object, biased AWAY from the
+                   // very last item (the paper's Fig. 1 scenario: the
+                   // current intent follows the computer bought a few steps
+                   // ago, not the mouse bought last).
+          const size_t window =
+              std::min<size_t>(cfg.markov_window, object_hist.size());
+          size_t offset = 1;
+          if (window > 1 && rng.Uniform() >= 0.25) {
+            offset = 2 + rng.UniformInt(window - 1);
+          }
+          object = PickSuccessor(
+              successors[object_hist[object_hist.size() - offset]],
+              object_cluster, theta, rng);
+          sequential_pick = true;
+          break;
+        }
+        case 2: {  // successor of the object long_lag steps back
+          object = PickSuccessor(
+              successors[object_hist[object_hist.size() - cfg.long_lag]],
+              object_cluster, theta, rng);
+          sequential_pick = true;
+          break;
+        }
+        default: {  // uniform exploration noise
+          object = static_cast<int32_t>(
+              rng.UniformInt(static_cast<uint64_t>(cfg.num_objects)));
+          break;
+        }
+      }
+
+      Interaction it;
+      it.user = static_cast<int32_t>(u);
+      it.object = object;
+      it.timestamp = static_cast<int64_t>(t);
+      if (cfg.with_ratings) {
+        // Predictable part: user bias + object bias + static affinity +
+        // a bonus when the pick continues the user's trajectory (which only
+        // sequence readers can anticipate).
+        const double affinity = theta[object_cluster[object]] * 2.0;
+        double r = 3.0 + user_bias + object_bias[object] + 0.5 * affinity +
+                   (sequential_pick ? 0.55 : -0.25) +
+                   rng.Normal(0.0, cfg.rating_noise);
+        it.rating = static_cast<float>(std::clamp(r, 1.0, 5.0));
+      }
+      log.Add(it);
+      object_hist.push_back(object);
+    }
+  }
+  log.Finalize();
+  return log;
+}
+
+namespace {
+SyntheticConfig BasePreset(const std::string& name) {
+  SyntheticConfig cfg;
+  cfg.name = name;
+  if (name == "gowalla") {
+    cfg.num_users = 240;
+    cfg.num_objects = 400;
+    cfg.num_clusters = 10;
+    cfg.min_seq_len = 15;
+    cfg.max_seq_len = 40;
+    cfg.w_static = 0.20;
+    cfg.w_markov = 0.55;
+    cfg.w_long = 0.10;
+    cfg.noise = 0.15;
+    cfg.long_lag = 4;
+    cfg.seed = 1001;
+  } else if (name == "foursquare") {
+    cfg.num_users = 200;
+    cfg.num_objects = 360;
+    cfg.num_clusters = 10;
+    cfg.min_seq_len = 10;
+    cfg.max_seq_len = 30;
+    cfg.w_static = 0.20;
+    cfg.w_markov = 0.50;
+    cfg.w_long = 0.10;
+    cfg.noise = 0.20;
+    cfg.long_lag = 4;
+    cfg.seed = 1002;
+  } else if (name == "trivago") {
+    cfg.num_users = 300;
+    cfg.num_objects = 420;
+    cfg.num_clusters = 12;
+    cfg.min_seq_len = 20;
+    cfg.max_seq_len = 50;
+    cfg.w_static = 0.35;
+    cfg.w_markov = 0.30;
+    cfg.w_long = 0.20;
+    cfg.noise = 0.15;
+    cfg.long_lag = 5;
+    cfg.seed = 1003;
+  } else if (name == "taobao") {
+    cfg.num_users = 280;
+    cfg.num_objects = 440;
+    cfg.num_clusters = 12;
+    cfg.min_seq_len = 20;
+    cfg.max_seq_len = 60;
+    cfg.w_static = 0.40;
+    cfg.w_markov = 0.25;
+    cfg.w_long = 0.20;
+    cfg.noise = 0.15;
+    cfg.long_lag = 6;
+    cfg.seed = 1004;
+  } else if (name == "beauty") {
+    cfg.num_users = 180;
+    cfg.num_objects = 260;
+    cfg.num_clusters = 8;
+    cfg.min_seq_len = 8;
+    cfg.max_seq_len = 25;
+    cfg.w_static = 0.30;
+    cfg.w_markov = 0.40;
+    cfg.w_long = 0.10;
+    cfg.noise = 0.20;
+    cfg.long_lag = 3;
+    cfg.with_ratings = true;
+    cfg.seed = 1005;
+  } else if (name == "toys") {
+    cfg.num_users = 160;
+    cfg.num_objects = 240;
+    cfg.num_clusters = 8;
+    cfg.min_seq_len = 8;
+    cfg.max_seq_len = 20;
+    cfg.w_static = 0.30;
+    cfg.w_markov = 0.35;
+    cfg.w_long = 0.12;
+    cfg.noise = 0.23;
+    cfg.long_lag = 3;
+    cfg.with_ratings = true;
+    cfg.seed = 1006;
+  } else {
+    cfg.name = "";
+  }
+  return cfg;
+}
+}  // namespace
+
+Result<SyntheticConfig> SyntheticDatasetGenerator::Preset(
+    const std::string& name, double scale) {
+  SyntheticConfig cfg = BasePreset(name);
+  if (cfg.name.empty()) {
+    return Status::NotFound("unknown preset: " + name);
+  }
+  if (scale <= 0.0) return Status::InvalidArgument("scale must be positive");
+  cfg.num_users = std::max<size_t>(
+      8, static_cast<size_t>(std::lround(cfg.num_users * scale)));
+  cfg.num_objects = std::max<size_t>(
+      cfg.num_clusters * 4,
+      static_cast<size_t>(std::lround(cfg.num_objects * std::sqrt(scale))));
+  return cfg;
+}
+
+const std::vector<std::string>& SyntheticDatasetGenerator::PresetNames() {
+  static const std::vector<std::string> kNames = {
+      "gowalla", "foursquare", "trivago", "taobao", "beauty", "toys"};
+  return kNames;
+}
+
+}  // namespace data
+}  // namespace seqfm

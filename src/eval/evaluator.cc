@@ -1,0 +1,188 @@
+#include "eval/evaluator.h"
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "tensor/ops.h"
+
+namespace seqfm {
+namespace eval {
+
+std::vector<float> ScoreExamples(
+    core::Model* model, const data::BatchBuilder& builder,
+    const std::vector<const data::SequenceExample*>& examples,
+    const std::vector<int32_t>* target_override, size_t batch_size) {
+  std::vector<float> scores;
+  scores.reserve(examples.size());
+  for (size_t start = 0; start < examples.size(); start += batch_size) {
+    const size_t end = std::min(examples.size(), start + batch_size);
+    std::vector<const data::SequenceExample*> chunk(
+        examples.begin() + static_cast<ptrdiff_t>(start),
+        examples.begin() + static_cast<ptrdiff_t>(end));
+    std::vector<int32_t> override_chunk;
+    const std::vector<int32_t>* override_ptr = nullptr;
+    if (target_override != nullptr) {
+      override_chunk.assign(
+          target_override->begin() + static_cast<ptrdiff_t>(start),
+          target_override->begin() + static_cast<ptrdiff_t>(end));
+      override_ptr = &override_chunk;
+    }
+    data::Batch batch = builder.Build(chunk, override_ptr);
+    autograd::Variable out = model->Score(batch, /*training=*/false);
+    SEQFM_CHECK_EQ(out.value().size(), chunk.size());
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      scores.push_back(out.value().data()[i]);
+    }
+  }
+  return scores;
+}
+
+// ---------------------------------------------------------------------------
+// RankingEvaluator
+// ---------------------------------------------------------------------------
+
+const std::vector<data::SequenceExample>& RankingEvaluator::Examples() const {
+  return use_validation_ ? dataset_->validation() : dataset_->test();
+}
+
+RankingEvaluator::RankingEvaluator(const data::TemporalDataset* dataset,
+                                   const data::BatchBuilder* builder,
+                                   size_t num_negatives, uint64_t seed,
+                                   bool use_validation)
+    : dataset_(dataset), builder_(builder), use_validation_(use_validation) {
+  Rng rng(seed);
+  data::NegativeSampler sampler(dataset);
+  candidates_.reserve(Examples().size());
+  for (const auto& ex : Examples()) {
+    std::vector<int32_t> cands;
+    cands.reserve(num_negatives + 1);
+    cands.push_back(ex.target);
+    auto negs = sampler.SampleMany(ex.user, num_negatives, &rng);
+    cands.insert(cands.end(), negs.begin(), negs.end());
+    candidates_.push_back(std::move(cands));
+  }
+}
+
+RankingEvaluator::Metrics RankingEvaluator::Evaluate(
+    core::Model* model, const std::vector<size_t>& ks) const {
+  Metrics metrics;
+  for (size_t k : ks) {
+    metrics.hr[k] = 0.0;
+    metrics.ndcg[k] = 0.0;
+  }
+  const auto& test = Examples();
+  SEQFM_CHECK_EQ(test.size(), candidates_.size());
+  if (test.empty()) return metrics;
+
+  for (size_t i = 0; i < test.size(); ++i) {
+    const auto& cands = candidates_[i];
+    // Score [ground truth, negatives...] with the same history.
+    std::vector<const data::SequenceExample*> repeated(cands.size(), &test[i]);
+    std::vector<float> scores =
+        ScoreExamples(model, *builder_, repeated, &cands);
+    const size_t rank = RankOfFirst(scores);
+    for (size_t k : ks) {
+      metrics.hr[k] += HitAt(rank, k);
+      metrics.ndcg[k] += NdcgAt(rank, k);
+    }
+  }
+  const double denom = static_cast<double>(test.size());
+  for (size_t k : ks) {
+    metrics.hr[k] /= denom;
+    metrics.ndcg[k] /= denom;
+  }
+  return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// ClassificationEvaluator
+// ---------------------------------------------------------------------------
+
+const std::vector<data::SequenceExample>&
+ClassificationEvaluator::Examples() const {
+  return use_validation_ ? dataset_->validation() : dataset_->test();
+}
+
+ClassificationEvaluator::ClassificationEvaluator(
+    const data::TemporalDataset* dataset, const data::BatchBuilder* builder,
+    uint64_t seed, bool use_validation)
+    : dataset_(dataset), builder_(builder), use_validation_(use_validation) {
+  Rng rng(seed);
+  data::NegativeSampler sampler(dataset);
+  negatives_.reserve(Examples().size());
+  for (const auto& ex : Examples()) {
+    negatives_.push_back(sampler.Sample(ex.user, &rng));
+  }
+}
+
+ClassificationEvaluator::Metrics ClassificationEvaluator::Evaluate(
+    core::Model* model) const {
+  Metrics metrics;
+  const auto& test = Examples();
+  SEQFM_CHECK_EQ(test.size(), negatives_.size());
+  if (test.empty()) return metrics;
+
+  std::vector<const data::SequenceExample*> examples;
+  examples.reserve(test.size());
+  for (const auto& ex : test) examples.push_back(&ex);
+
+  std::vector<float> pos_logits =
+      ScoreExamples(model, *builder_, examples, nullptr);
+  std::vector<float> neg_logits =
+      ScoreExamples(model, *builder_, examples, &negatives_);
+
+  // AUC on raw logits (monotone in probability).
+  metrics.auc = Auc(pos_logits, neg_logits);
+
+  // RMSE and log loss on sigmoid probabilities vs. the 1/0 labels (Eq. 23).
+  std::vector<float> probs, labels;
+  probs.reserve(2 * test.size());
+  labels.reserve(2 * test.size());
+  double logloss = 0.0;
+  for (float x : pos_logits) {
+    probs.push_back(tensor::StableSigmoid(x));
+    labels.push_back(1.0f);
+    logloss += -tensor::LogSigmoid(x);
+  }
+  for (float x : neg_logits) {
+    probs.push_back(tensor::StableSigmoid(x));
+    labels.push_back(0.0f);
+    logloss += -tensor::LogSigmoid(-x);
+  }
+  metrics.rmse = Rmse(probs, labels);
+  metrics.logloss = logloss / static_cast<double>(probs.size());
+  return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// RegressionEvaluator
+// ---------------------------------------------------------------------------
+
+RegressionEvaluator::RegressionEvaluator(const data::TemporalDataset* dataset,
+                                         const data::BatchBuilder* builder,
+                                         bool use_validation)
+    : dataset_(dataset), builder_(builder), use_validation_(use_validation) {}
+
+RegressionEvaluator::Metrics RegressionEvaluator::Evaluate(
+    core::Model* model) const {
+  Metrics metrics;
+  const auto& test =
+      use_validation_ ? dataset_->validation() : dataset_->test();
+  if (test.empty()) return metrics;
+  std::vector<const data::SequenceExample*> examples;
+  std::vector<float> targets;
+  examples.reserve(test.size());
+  targets.reserve(test.size());
+  for (const auto& ex : test) {
+    examples.push_back(&ex);
+    targets.push_back(ex.rating);
+  }
+  std::vector<float> preds = ScoreExamples(model, *builder_, examples);
+  metrics.mae = Mae(preds, targets);
+  metrics.rrse = Rrse(preds, targets);
+  metrics.rmse = Rmse(preds, targets);
+  return metrics;
+}
+
+}  // namespace eval
+}  // namespace seqfm

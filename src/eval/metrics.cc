@@ -1,0 +1,87 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace seqfm {
+namespace eval {
+
+size_t RankOfFirst(const std::vector<float>& scores) {
+  SEQFM_CHECK(!scores.empty());
+  const float gt = scores[0];
+  size_t rank = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > gt) ++rank;
+  }
+  return rank;
+}
+
+double NdcgAt(size_t rank, size_t k) {
+  if (rank >= k) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+}
+
+double Auc(const std::vector<float>& positive_scores,
+           const std::vector<float>& negative_scores) {
+  SEQFM_CHECK(!positive_scores.empty());
+  SEQFM_CHECK(!negative_scores.empty());
+  // Sort negatives once; for each positive, count strictly smaller negatives
+  // plus half of the ties: O((P+N) log N).
+  std::vector<float> neg = negative_scores;
+  std::sort(neg.begin(), neg.end());
+  double wins = 0.0;
+  for (float p : positive_scores) {
+    const auto lo = std::lower_bound(neg.begin(), neg.end(), p);
+    const auto hi = std::upper_bound(neg.begin(), neg.end(), p);
+    wins += static_cast<double>(lo - neg.begin());
+    wins += 0.5 * static_cast<double>(hi - lo);
+  }
+  return wins / (static_cast<double>(positive_scores.size()) *
+                 static_cast<double>(neg.size()));
+}
+
+double Rmse(const std::vector<float>& predictions,
+            const std::vector<float>& targets) {
+  SEQFM_CHECK_EQ(predictions.size(), targets.size());
+  SEQFM_CHECK(!predictions.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double e = static_cast<double>(predictions[i]) - targets[i];
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(predictions.size()));
+}
+
+double Mae(const std::vector<float>& predictions,
+           const std::vector<float>& targets) {
+  SEQFM_CHECK_EQ(predictions.size(), targets.size());
+  SEQFM_CHECK(!predictions.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    acc += std::abs(static_cast<double>(predictions[i]) - targets[i]);
+  }
+  return acc / static_cast<double>(predictions.size());
+}
+
+double Rrse(const std::vector<float>& predictions,
+            const std::vector<float>& targets) {
+  SEQFM_CHECK_EQ(predictions.size(), targets.size());
+  SEQFM_CHECK(!predictions.empty());
+  double mean = 0.0;
+  for (float t : targets) mean += t;
+  mean /= static_cast<double>(targets.size());
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double e = static_cast<double>(predictions[i]) - targets[i];
+    num += e * e;
+    const double c = static_cast<double>(targets[i]) - mean;
+    den += c * c;
+  }
+  SEQFM_CHECK_GT(den, 0.0) << "targets have zero variance";
+  return std::sqrt(num / den);
+}
+
+}  // namespace eval
+}  // namespace seqfm

@@ -1,0 +1,45 @@
+#ifndef SEQFM_EVAL_METRICS_H_
+#define SEQFM_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace seqfm {
+namespace eval {
+
+/// Pure metric functions (Eqs. 27-28). All are deterministic and covered by
+/// hand-computed unit tests.
+
+/// 0-based rank of element 0 (the ground truth) when \p scores is sorted
+/// descending; ties count items strictly greater only, so the ground truth
+/// wins ties (consistent with the leave-one-out protocols in [25], [37]).
+size_t RankOfFirst(const std::vector<float>& scores);
+
+/// HR@K for one test case given the ground-truth rank (Eq. 27).
+inline double HitAt(size_t rank, size_t k) { return rank < k ? 1.0 : 0.0; }
+
+/// NDCG@K for one test case given the ground-truth rank (Eq. 27):
+/// 1/log2(rank+2) when rank < K else 0.
+double NdcgAt(size_t rank, size_t k);
+
+/// Area under the ROC curve via the Mann-Whitney statistic; ties contribute
+/// 1/2. Requires at least one positive and one negative score.
+double Auc(const std::vector<float>& positive_scores,
+           const std::vector<float>& negative_scores);
+
+/// Root mean squared error.
+double Rmse(const std::vector<float>& predictions,
+            const std::vector<float>& targets);
+
+/// Mean absolute error (Eq. 28).
+double Mae(const std::vector<float>& predictions,
+           const std::vector<float>& targets);
+
+/// Root relative squared error (Eq. 28): sqrt(sum (p-t)^2 / sum (t-mean)^2).
+double Rrse(const std::vector<float>& predictions,
+            const std::vector<float>& targets);
+
+}  // namespace eval
+}  // namespace seqfm
+
+#endif  // SEQFM_EVAL_METRICS_H_

@@ -1,0 +1,63 @@
+#include "nn/masks.h"
+
+#include <limits>
+
+#include "tensor/tensor.h"
+
+namespace seqfm {
+namespace nn {
+
+namespace {
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+}  // namespace
+
+autograd::Variable MakeCausalMask(size_t n) {
+  tensor::Tensor mask({n, n});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      mask.at(i, j) = (i >= j) ? 0.0f : kNegInf;
+    }
+  }
+  return autograd::Variable::Constant(std::move(mask));
+}
+
+autograd::Variable MakeCrossMask(size_t n_static, size_t n_dynamic) {
+  const size_t n = n_static + n_dynamic;
+  tensor::Tensor mask({n, n});
+  for (size_t i = 0; i < n; ++i) {
+    const bool i_static = i < n_static;
+    for (size_t j = 0; j < n; ++j) {
+      const bool j_static = j < n_static;
+      // Eq. 13: keep only static <-> dynamic interactions.
+      mask.at(i, j) = (i_static != j_static) ? 0.0f : kNegInf;
+    }
+  }
+  return autograd::Variable::Constant(std::move(mask));
+}
+
+autograd::Variable MakeZeroMask(size_t n) {
+  return autograd::Variable::Constant(tensor::Tensor::Zeros({n, n}));
+}
+
+autograd::Variable MakeBatchPaddingMask(const std::vector<int32_t>& indices,
+                                        size_t batch, size_t n, bool causal) {
+  SEQFM_CHECK_EQ(indices.size(), batch * n);
+  tensor::Tensor mask({batch * n, n});
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t i = 0; i < n; ++i) {
+      float* row = mask.data() + (b * n + i) * n;
+      bool any_open = false;
+      for (size_t j = 0; j < n; ++j) {
+        const bool blocked_causal = causal && i < j;
+        const bool blocked_pad = indices[b * n + j] < 0;
+        row[j] = (blocked_causal || blocked_pad) ? kNegInf : 0.0f;
+        any_open = any_open || row[j] == 0.0f;
+      }
+      if (!any_open) row[i] = 0.0f;  // keep the diagonal open
+    }
+  }
+  return autograd::Variable::Constant(std::move(mask));
+}
+
+}  // namespace nn
+}  // namespace seqfm

@@ -1,0 +1,132 @@
+#include "nn/module.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace seqfm {
+namespace nn {
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& [name, var] : NamedParameters()) {
+    (void)name;
+    out.push_back(var);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedParameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, autograd::Variable>>* out) const {
+  for (const auto& [name, var] : params_) {
+    out->emplace_back(prefix + name, var);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix + name + ".", out);
+  }
+}
+
+size_t Module::NumParameters() const {
+  size_t total = 0;
+  for (const auto& v : Parameters()) total += v.value().size();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (auto& v : Parameters()) v.ZeroGrad();
+}
+
+autograd::Variable Module::RegisterParameter(std::string name,
+                                             tensor::Tensor init) {
+  auto var = autograd::Variable::Leaf(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), var);
+  return var;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  SEQFM_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+namespace {
+constexpr uint32_t kMagic = 0x5345514d;  // "SEQM"
+}  // namespace
+
+Status Module::SaveParameters(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  const auto named = NamedParameters();
+  const uint32_t magic = kMagic;
+  const uint64_t count = named.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, var] : named) {
+    const uint64_t name_len = name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), static_cast<std::streamsize>(name_len));
+    const auto& t = var.value();
+    const uint64_t rank = t.rank();
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (size_t i = 0; i < t.rank(); ++i) {
+      const uint64_t d = t.dim(i);
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status Module::LoadParameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    return Status::IoError("bad checkpoint header: " + path);
+  }
+  auto named = NamedParameters();
+  if (count != named.size()) {
+    return Status::InvalidArgument("checkpoint parameter count mismatch");
+  }
+  for (auto& [expected_name, var] : named) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (name != expected_name) {
+      return Status::InvalidArgument("checkpoint name mismatch: expected " +
+                                     expected_name + ", got " + name);
+    }
+    uint64_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    auto& t = var.mutable_value();
+    if (rank != t.rank()) {
+      return Status::InvalidArgument("checkpoint rank mismatch for " + name);
+    }
+    for (size_t i = 0; i < t.rank(); ++i) {
+      uint64_t d = 0;
+      in.read(reinterpret_cast<char*>(&d), sizeof(d));
+      if (d != t.dim(i)) {
+        return Status::InvalidArgument("checkpoint shape mismatch for " + name);
+      }
+    }
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!in) return Status::IoError("truncated checkpoint: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace seqfm

@@ -1,0 +1,67 @@
+#ifndef SEQFM_NN_MODULE_H_
+#define SEQFM_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/status.h"
+
+namespace seqfm {
+namespace nn {
+
+/// \brief Base class for trainable components.
+///
+/// A Module owns leaf Variables (parameters) and child modules; Parameters()
+/// flattens the tree so optimizers and serialization can treat any model
+/// uniformly. Registration order is deterministic, which makes checkpoints
+/// stable across runs.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its children, depth-first.
+  std::vector<autograd::Variable> Parameters() const;
+
+  /// (qualified name, parameter) pairs, depth-first.
+  std::vector<std::pair<std::string, autograd::Variable>> NamedParameters()
+      const;
+
+  /// Total number of trainable scalars.
+  size_t NumParameters() const;
+
+  /// Zeroes the gradients of every parameter.
+  void ZeroGrad();
+
+  /// Writes all parameters to a binary checkpoint.
+  Status SaveParameters(const std::string& path) const;
+  /// Restores parameters from a checkpoint written by SaveParameters; shapes
+  /// must match exactly.
+  Status LoadParameters(const std::string& path);
+
+ protected:
+  /// Registers a trainable leaf initialized with \p init.
+  autograd::Variable RegisterParameter(std::string name, tensor::Tensor init);
+
+  /// Registers a child whose parameters are included in Parameters(). The
+  /// child must outlive this module (typically a data member).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, autograd::Variable>>*
+                        out) const;
+
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace nn
+}  // namespace seqfm
+
+#endif  // SEQFM_NN_MODULE_H_

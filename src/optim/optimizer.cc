@@ -1,0 +1,111 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace seqfm {
+namespace optim {
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total_sq = 0.0;
+  for (auto& p : params_) {
+    const auto& g = p.grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      total_sq += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) p.mutable_grad().Scale(scale);
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) {
+      velocity_.push_back(tensor::Tensor::Zeros(p.value().shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    const auto& g = p.grad();
+    float* w = p.mutable_value().data();
+    const float* gd = g.data();
+    const size_t n = g.size();
+    if (momentum_ > 0.0f) {
+      float* vel = velocity_[pi].data();
+      for (size_t i = 0; i < n; ++i) {
+        vel[i] = momentum_ * vel[i] + gd[i];
+        w[i] -= lr_ * vel[i];
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) w[i] -= lr_ * gd[i];
+    }
+  }
+}
+
+Adagrad::Adagrad(std::vector<autograd::Variable> params, float lr, float eps)
+    : Optimizer(std::move(params), lr), eps_(eps) {
+  accum_.reserve(params_.size());
+  for (auto& p : params_) {
+    accum_.push_back(tensor::Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adagrad::Step() {
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    const auto& g = p.grad();
+    float* w = p.mutable_value().data();
+    float* acc = accum_[pi].data();
+    const float* gd = g.data();
+    const size_t n = g.size();
+    for (size_t i = 0; i < n; ++i) {
+      acc[i] += gd[i] * gd[i];
+      w[i] -= lr_ * gd[i] / (std::sqrt(acc[i]) + eps_);
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.push_back(tensor::Tensor::Zeros(p.value().shape()));
+    v_.push_back(tensor::Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    const auto& g = p.grad();
+    float* w = p.mutable_value().data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const float* gd = g.data();
+    const size_t n = g.size();
+    for (size_t i = 0; i < n; ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * gd[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * gd[i] * gd[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace seqfm

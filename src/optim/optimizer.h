@@ -1,0 +1,104 @@
+#ifndef SEQFM_OPTIM_OPTIMIZER_H_
+#define SEQFM_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace seqfm {
+namespace optim {
+
+/// \brief Base class for gradient-descent optimizers.
+///
+/// Optimizers hold references to parameter Variables (leaf nodes with
+/// requires_grad). The training loop runs Backward() on the loss, calls
+/// Step() to update parameter values in place, then ZeroGrad().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  /// Rescales gradients so their global L2 norm is at most \p max_norm.
+  /// Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+ protected:
+  std::vector<autograd::Variable> params_;
+  float lr_;
+};
+
+/// Plain SGD: p -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float lr,
+      float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adagrad: per-element adaptive learning rate with accumulated squares.
+class Adagrad : public Optimizer {
+ public:
+  Adagrad(std::vector<autograd::Variable> params, float lr,
+          float eps = 1e-8f);
+  void Step() override;
+
+ private:
+  float eps_;
+  std::vector<tensor::Tensor> accum_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the optimizer the paper
+/// uses (Sec. IV-D, lr = 1e-4, batch 512).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  float beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_, v_;
+};
+
+/// Multiplies the learning rate by \p gamma every \p step_epochs epochs.
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(Optimizer* opt, size_t step_epochs, float gamma)
+      : opt_(opt), step_epochs_(step_epochs), gamma_(gamma) {}
+
+  /// Call once at the end of each epoch (0-based index).
+  void OnEpochEnd(size_t epoch) {
+    if (step_epochs_ > 0 && (epoch + 1) % step_epochs_ == 0) {
+      opt_->set_lr(opt_->lr() * gamma_);
+    }
+  }
+
+ private:
+  Optimizer* opt_;
+  size_t step_epochs_;
+  float gamma_;
+};
+
+}  // namespace optim
+}  // namespace seqfm
+
+#endif  // SEQFM_OPTIM_OPTIMIZER_H_

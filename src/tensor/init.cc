@@ -1,0 +1,28 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace seqfm {
+namespace tensor {
+
+void FillNormal(Tensor* t, Rng* rng, float stddev) {
+  for (size_t i = 0; i < t->size(); ++i) {
+    t->data()[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+}
+
+void FillUniform(Tensor* t, Rng* rng, float bound) {
+  for (size_t i = 0; i < t->size(); ++i) {
+    t->data()[i] = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+}
+
+void FillXavier(Tensor* t, Rng* rng) {
+  SEQFM_CHECK_EQ(t->rank(), 2u);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(t->dim(0) + t->dim(1)));
+  FillUniform(t, rng, bound);
+}
+
+}  // namespace tensor
+}  // namespace seqfm

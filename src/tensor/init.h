@@ -1,0 +1,23 @@
+#ifndef SEQFM_TENSOR_INIT_H_
+#define SEQFM_TENSOR_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace tensor {
+
+/// Fills \p t with N(0, stddev^2) draws.
+void FillNormal(Tensor* t, Rng* rng, float stddev = 0.01f);
+
+/// Fills \p t with U(-bound, bound) draws.
+void FillUniform(Tensor* t, Rng* rng, float bound);
+
+/// Xavier/Glorot uniform initialization for a rank-2 weight [fan_in, fan_out]:
+/// U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out))).
+void FillXavier(Tensor* t, Rng* rng);
+
+}  // namespace tensor
+}  // namespace seqfm
+
+#endif  // SEQFM_TENSOR_INIT_H_

@@ -1,0 +1,287 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace seqfm {
+namespace tensor {
+
+namespace {
+
+// C[m,n] (+)= A[m,k] * B[k,n], all row-major, ikj loop order so that the
+// inner loop streams both B and C rows (auto-vectorizes well).
+void GemmNN(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,n] (+)= A[m,k] * B^T where B is [n,k]: rows of A dot rows of B.
+void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, bool accumulate) {
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      if (accumulate) {
+        crow[j] += acc;
+      } else {
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+// C[m,n] (+)= A^T * B where A is [k,m], B is [k,n].
+void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C[m,n] (+)= A^T * B^T where A is [k,m], B is [n,k].
+void GemmTT(const float* a, const float* b, float* c, size_t m, size_t k,
+            size_t n, bool accumulate) {
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
+      if (accumulate) {
+        crow[j] += acc;
+      } else {
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  SEQFM_CHECK(a.SameShape(b))
+      << "shape mismatch: " << a.ToString(0) << " vs " << b.ToString(0);
+}
+
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n, bool trans_a, bool trans_b, bool accumulate) {
+  if (!trans_a && !trans_b) {
+    GemmNN(a, b, c, m, k, n, accumulate);
+  } else if (!trans_a && trans_b) {
+    GemmNT(a, b, c, m, k, n, accumulate);
+  } else if (trans_a && !trans_b) {
+    GemmTN(a, b, c, m, k, n, accumulate);
+  } else {
+    GemmTT(a, b, c, m, k, n, accumulate);
+  }
+}
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out, bool trans_a,
+            bool trans_b, bool accumulate) {
+  SEQFM_CHECK_EQ(a.rank(), 2u);
+  SEQFM_CHECK_EQ(b.rank(), 2u);
+  const size_t m = trans_a ? a.dim(1) : a.dim(0);
+  const size_t ka = trans_a ? a.dim(0) : a.dim(1);
+  const size_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const size_t n = trans_b ? b.dim(0) : b.dim(1);
+  SEQFM_CHECK_EQ(ka, kb);
+  SEQFM_CHECK_EQ(out->rank(), 2u);
+  SEQFM_CHECK_EQ(out->dim(0), m);
+  SEQFM_CHECK_EQ(out->dim(1), n);
+  Gemm(a.data(), b.data(), out->data(), m, ka, n, trans_a, trans_b, accumulate);
+}
+
+void BatchedMatMul(const Tensor& a, const Tensor& b, Tensor* out, bool trans_a,
+                   bool trans_b, bool accumulate) {
+  SEQFM_CHECK_EQ(a.rank(), 3u);
+  SEQFM_CHECK_EQ(b.rank(), 3u);
+  SEQFM_CHECK_EQ(a.dim(0), b.dim(0));
+  const size_t batch = a.dim(0);
+  const size_t m = trans_a ? a.dim(2) : a.dim(1);
+  const size_t ka = trans_a ? a.dim(1) : a.dim(2);
+  const size_t kb = trans_b ? b.dim(2) : b.dim(1);
+  const size_t n = trans_b ? b.dim(1) : b.dim(2);
+  SEQFM_CHECK_EQ(ka, kb);
+  SEQFM_CHECK_EQ(out->rank(), 3u);
+  SEQFM_CHECK_EQ(out->dim(0), batch);
+  SEQFM_CHECK_EQ(out->dim(1), m);
+  SEQFM_CHECK_EQ(out->dim(2), n);
+  for (size_t i = 0; i < batch; ++i) {
+    Gemm(a.BatchData(i), b.BatchData(i), out->BatchData(i), m, ka, n, trans_a,
+         trans_b, accumulate);
+  }
+}
+
+void BatchedMatMulShared(const Tensor& a, const Tensor& w, Tensor* out,
+                         bool trans_w, bool accumulate) {
+  SEQFM_CHECK_EQ(a.rank(), 3u);
+  SEQFM_CHECK_EQ(w.rank(), 2u);
+  const size_t rows = a.dim(0) * a.dim(1);
+  const size_t k = a.dim(2);
+  const size_t kw = trans_w ? w.dim(1) : w.dim(0);
+  const size_t n = trans_w ? w.dim(0) : w.dim(1);
+  SEQFM_CHECK_EQ(k, kw);
+  SEQFM_CHECK_EQ(out->rank(), 3u);
+  SEQFM_CHECK_EQ(out->dim(0), a.dim(0));
+  SEQFM_CHECK_EQ(out->dim(1), a.dim(1));
+  SEQFM_CHECK_EQ(out->dim(2), n);
+  Gemm(a.data(), w.data(), out->data(), rows, k, n, /*trans_a=*/false, trans_w,
+       accumulate);
+}
+
+void SoftmaxLastDim(const Tensor& in, const Tensor* mask, Tensor* out) {
+  SEQFM_CHECK(in.SameShape(*out));
+  const size_t cols = in.shape().back();
+  const size_t rows = in.size() / cols;
+  size_t mask_rows = 0;
+  const float* mask_data = nullptr;
+  if (mask != nullptr) {
+    SEQFM_CHECK_EQ(mask->rank(), 2u);
+    SEQFM_CHECK_EQ(mask->dim(1), cols);
+    mask_rows = mask->dim(0);
+    mask_data = mask->data();
+    // The mask is broadcast over the leading batch dimension; the number of
+    // attention rows per batch item must equal the mask's row count.
+    SEQFM_CHECK_EQ(rows % mask_rows, 0u);
+  }
+  const float* src = in.data();
+  float* dst = out->data();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = src + r * cols;
+    float* y = dst + r * cols;
+    const float* mrow =
+        mask_data ? mask_data + (r % mask_rows) * cols : nullptr;
+    float max_val = -std::numeric_limits<float>::infinity();
+    for (size_t j = 0; j < cols; ++j) {
+      const float v = x[j] + (mrow ? mrow[j] : 0.0f);
+      if (v > max_val) max_val = v;
+    }
+    // A fully masked row would yield max == -inf; fall back to uniform zeros.
+    if (!std::isfinite(max_val)) {
+      std::fill(y, y + cols, 0.0f);
+      continue;
+    }
+    float total = 0.0f;
+    for (size_t j = 0; j < cols; ++j) {
+      const float v = x[j] + (mrow ? mrow[j] : 0.0f);
+      y[j] = std::isfinite(v) ? std::exp(v - max_val) : 0.0f;
+      total += y[j];
+    }
+    const float inv = 1.0f / total;
+    for (size_t j = 0; j < cols; ++j) y[j] *= inv;
+  }
+}
+
+void Add(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckSameShape(a, b);
+  CheckSameShape(a, *out);
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) out->data()[i] = a.data()[i] + b.data()[i];
+}
+
+void Sub(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckSameShape(a, b);
+  CheckSameShape(a, *out);
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) out->data()[i] = a.data()[i] - b.data()[i];
+}
+
+void Mul(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckSameShape(a, b);
+  CheckSameShape(a, *out);
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) out->data()[i] = a.data()[i] * b.data()[i];
+}
+
+void Relu(const Tensor& in, Tensor* out) {
+  CheckSameShape(in, *out);
+  const size_t n = in.size();
+  for (size_t i = 0; i < n; ++i)
+    out->data()[i] = in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
+}
+
+void Sigmoid(const Tensor& in, Tensor* out) {
+  CheckSameShape(in, *out);
+  const size_t n = in.size();
+  for (size_t i = 0; i < n; ++i) out->data()[i] = StableSigmoid(in.data()[i]);
+}
+
+void Tanh(const Tensor& in, Tensor* out) {
+  CheckSameShape(in, *out);
+  const size_t n = in.size();
+  for (size_t i = 0; i < n; ++i) out->data()[i] = std::tanh(in.data()[i]);
+}
+
+void AddBiasLastDim(const Tensor& in, const Tensor& bias, Tensor* out) {
+  CheckSameShape(in, *out);
+  SEQFM_CHECK_EQ(bias.rank(), 1u);
+  const size_t d = in.shape().back();
+  SEQFM_CHECK_EQ(bias.dim(0), d);
+  const size_t rows = in.size() / d;
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = in.data() + r * d;
+    float* y = out->data() + r * d;
+    for (size_t j = 0; j < d; ++j) y[j] = x[j] + bias.at(j);
+  }
+}
+
+void SumAxis1(const Tensor& in, float scale, Tensor* out, bool accumulate) {
+  SEQFM_CHECK_EQ(in.rank(), 3u);
+  SEQFM_CHECK_EQ(out->rank(), 2u);
+  SEQFM_CHECK_EQ(out->dim(0), in.dim(0));
+  SEQFM_CHECK_EQ(out->dim(1), in.dim(2));
+  const size_t batch = in.dim(0), rows = in.dim(1), d = in.dim(2);
+  if (!accumulate) out->Zero();
+  for (size_t b = 0; b < batch; ++b) {
+    const float* src = in.BatchData(b);
+    float* dst = out->data() + b * d;
+    for (size_t i = 0; i < rows; ++i) {
+      const float* row = src + i * d;
+      for (size_t j = 0; j < d; ++j) dst[j] += scale * row[j];
+    }
+  }
+}
+
+void SumLastDim(const Tensor& in, Tensor* out) {
+  const size_t d = in.shape().back();
+  const size_t rows = in.size() / d;
+  SEQFM_CHECK_EQ(out->size(), rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = in.data() + r * d;
+    float acc = 0.0f;
+    for (size_t j = 0; j < d; ++j) acc += x[j];
+    out->data()[r] = acc;
+  }
+}
+
+float SumAll(const Tensor& in) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < in.size(); ++i) acc += in.data()[i];
+  return acc;
+}
+
+}  // namespace tensor
+}  // namespace seqfm

@@ -1,0 +1,84 @@
+#ifndef SEQFM_TENSOR_OPS_H_
+#define SEQFM_TENSOR_OPS_H_
+
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace seqfm {
+namespace tensor {
+
+/// Forward compute kernels shared by the autograd layer. All kernels take an
+/// \p accumulate flag: when true they add into the output (used for gradient
+/// accumulation), otherwise they overwrite it.
+///
+/// Raw GEMM core: C[m,n] (+)= A op B with optional transposition.
+///   trans_a == false: A is [m,k] row-major; true: A is [k,m] and used as A^T.
+///   trans_b == false: B is [k,n] row-major; true: B is [n,k] and used as B^T.
+void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
+          size_t n, bool trans_a, bool trans_b, bool accumulate);
+
+/// C = A · B for rank-2 tensors; shape-checked wrappers over Gemm.
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out,
+            bool trans_a = false, bool trans_b = false,
+            bool accumulate = false);
+
+/// Batched GEMM over rank-3 tensors: out[i] (+)= A[i] op B[i] per batch item.
+void BatchedMatMul(const Tensor& a, const Tensor& b, Tensor* out,
+                   bool trans_a = false, bool trans_b = false,
+                   bool accumulate = false);
+
+/// out[i] (+)= A[i] · W (rank-3 lhs, shared rank-2 rhs). Equivalent to
+/// flattening A to [batch*rows, k], provided as a convenience.
+void BatchedMatMulShared(const Tensor& a, const Tensor& w, Tensor* out,
+                         bool trans_w = false, bool accumulate = false);
+
+/// Row-wise softmax over the last dimension. If \p mask is non-null it must
+/// point to a [rows_per_batch x cols] additive mask (0 or -inf style values)
+/// that is broadcast over the leading batch dimension before normalizing.
+/// Works for rank-2 ([rows, cols]) and rank-3 ([batch, rows, cols]) input.
+void SoftmaxLastDim(const Tensor& in, const Tensor* mask, Tensor* out);
+
+/// Elementwise kernels (same-shape in/out).
+void Add(const Tensor& a, const Tensor& b, Tensor* out);
+void Sub(const Tensor& a, const Tensor& b, Tensor* out);
+void Mul(const Tensor& a, const Tensor& b, Tensor* out);
+void Relu(const Tensor& in, Tensor* out);
+void Sigmoid(const Tensor& in, Tensor* out);
+void Tanh(const Tensor& in, Tensor* out);
+
+/// Broadcast-add a rank-1 bias of size d over the last dimension.
+void AddBiasLastDim(const Tensor& in, const Tensor& bias, Tensor* out);
+
+/// Reductions.
+/// Sums rank-3 [batch, rows, cols] over rows -> [batch, cols], scaled.
+void SumAxis1(const Tensor& in, float scale, Tensor* out,
+              bool accumulate = false);
+/// Sums over the last dimension: [.., d] -> [.., 1] semantics, emitted as a
+/// rank-2 [rows, 1] tensor for rank-2 input.
+void SumLastDim(const Tensor& in, Tensor* out);
+/// Sum of all elements.
+float SumAll(const Tensor& in);
+
+/// Numerically stable sigmoid for scalars.
+inline float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+/// log(sigmoid(x)) computed stably.
+inline float LogSigmoid(float x) {
+  // log sigmoid(x) = -log(1 + e^{-x}) = min(x,0) - log(1 + e^{-|x|})
+  const float m = x < 0.0f ? x : 0.0f;
+  return m - std::log1p(std::exp(-std::abs(x)));
+}
+
+}  // namespace tensor
+}  // namespace seqfm
+
+#endif  // SEQFM_TENSOR_OPS_H_

@@ -1,0 +1,93 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace seqfm {
+namespace tensor {
+
+namespace {
+size_t NumElements(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> shape) : shape_(std::move(shape)) {
+  SEQFM_CHECK(!shape_.empty() && shape_.size() <= 3)
+      << "rank must be 1..3, got " << shape_.size();
+  for (size_t d : shape_) SEQFM_CHECK_GT(d, 0u);
+  data_.assign(NumElements(shape_), 0.0f);
+}
+
+Tensor Tensor::Ones(std::vector<size_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Result<Tensor> Tensor::FromVector(std::vector<size_t> shape,
+                                  std::vector<float> data) {
+  if (shape.empty() || shape.size() > 3) {
+    return Status::InvalidArgument("tensor rank must be 1..3");
+  }
+  if (NumElements(shape) != data.size()) {
+    return Status::InvalidArgument("shape does not match data size");
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+Status Tensor::ReshapeInPlace(std::vector<size_t> shape) {
+  if (shape.empty() || shape.size() > 3) {
+    return Status::InvalidArgument("tensor rank must be 1..3");
+  }
+  if (NumElements(shape) != data_.size()) {
+    return Status::InvalidArgument("reshape must preserve element count");
+  }
+  shape_ = std::move(shape);
+  return Status::OK();
+}
+
+void Tensor::Fill(float value) {
+  for (auto& x : data_) x = value;
+}
+
+void Tensor::AddScaled(const Tensor& other, float alpha) {
+  SEQFM_CHECK(SameShape(other));
+  const float* src = other.data();
+  float* dst = data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::Scale(float alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+std::string Tensor::ToString(size_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << "x";
+    os << shape_[i];
+  }
+  os << "](";
+  const size_t n = std::min(max_elems, size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (n < size()) os << ", ...";
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tensor
+}  // namespace seqfm

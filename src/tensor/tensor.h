@@ -1,0 +1,131 @@
+#ifndef SEQFM_TENSOR_TENSOR_H_
+#define SEQFM_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace seqfm {
+namespace tensor {
+
+/// \brief Dense row-major float tensor of rank 1 to 3.
+///
+/// This is the numeric workhorse of the library. It is deliberately simple:
+/// contiguous storage, no views, no broadcasting at the storage level —
+/// broadcasting semantics live in the op kernels (see ops.h). Rank 3 tensors
+/// are laid out as [batch][row][col].
+class Tensor {
+ public:
+  /// An empty rank-1 tensor of size 0.
+  Tensor() : shape_{0} {}
+
+  /// Zero-initialized tensor of the given shape. Shape entries must be
+  /// positive and rank must be 1..3; violations abort (programmer error).
+  explicit Tensor(std::vector<size_t> shape);
+
+  /// Named factories ----------------------------------------------------
+
+  /// All-zero tensor.
+  static Tensor Zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
+
+  /// All-one tensor.
+  static Tensor Ones(std::vector<size_t> shape);
+
+  /// Tensor filled with \p value.
+  static Tensor Full(std::vector<size_t> shape, float value);
+
+  /// Builds a tensor from explicit data; checks element count matches.
+  static Result<Tensor> FromVector(std::vector<size_t> shape,
+                                   std::vector<float> data);
+
+  /// Shape access ---------------------------------------------------------
+
+  size_t rank() const { return shape_.size(); }
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t dim(size_t i) const {
+    SEQFM_DCHECK(i < shape_.size());
+    return shape_[i];
+  }
+  /// Total number of elements.
+  size_t size() const { return data_.size(); }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Reinterprets the tensor with a new shape of identical element count.
+  Status ReshapeInPlace(std::vector<size_t> shape);
+
+  /// Element access --------------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(size_t i) {
+    SEQFM_DCHECK(rank() == 1 && i < shape_[0]);
+    return data_[i];
+  }
+  float at(size_t i) const {
+    SEQFM_DCHECK(rank() == 1 && i < shape_[0]);
+    return data_[i];
+  }
+  float& at(size_t i, size_t j) {
+    SEQFM_DCHECK(rank() == 2 && i < shape_[0] && j < shape_[1]);
+    return data_[i * shape_[1] + j];
+  }
+  float at(size_t i, size_t j) const {
+    SEQFM_DCHECK(rank() == 2 && i < shape_[0] && j < shape_[1]);
+    return data_[i * shape_[1] + j];
+  }
+  float& at(size_t b, size_t i, size_t j) {
+    SEQFM_DCHECK(rank() == 3 && b < shape_[0] && i < shape_[1] && j < shape_[2]);
+    return data_[(b * shape_[1] + i) * shape_[2] + j];
+  }
+  float at(size_t b, size_t i, size_t j) const {
+    SEQFM_DCHECK(rank() == 3 && b < shape_[0] && i < shape_[1] && j < shape_[2]);
+    return data_[(b * shape_[1] + i) * shape_[2] + j];
+  }
+
+  /// Pointer to the start of matrix \p b of a rank-3 tensor.
+  float* BatchData(size_t b) {
+    SEQFM_DCHECK(rank() == 3 && b < shape_[0]);
+    return data_.data() + b * shape_[1] * shape_[2];
+  }
+  const float* BatchData(size_t b) const {
+    SEQFM_DCHECK(rank() == 3 && b < shape_[0]);
+    return data_.data() + b * shape_[1] * shape_[2];
+  }
+
+  /// Whole-tensor mutation --------------------------------------------------
+
+  /// Sets every element to \p value.
+  void Fill(float value);
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// In-place axpy: this += alpha * other. Shapes must match.
+  void AddScaled(const Tensor& other, float alpha);
+  /// In-place scale: this *= alpha.
+  void Scale(float alpha);
+
+  /// Scalar value of a single-element tensor.
+  float Item() const {
+    SEQFM_CHECK_EQ(size(), 1u);
+    return data_[0];
+  }
+
+  /// Debug string "[shape] values..." truncated to a few elements.
+  std::string ToString(size_t max_elems = 16) const;
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace tensor
+}  // namespace seqfm
+
+#endif  // SEQFM_TENSOR_TENSOR_H_

@@ -1,0 +1,60 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace seqfm {
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      std::string name = arg.substr(0, eq);
+      if (name.empty()) {
+        return Status::InvalidArgument("flag with empty name: --" + arg);
+      }
+      values_[name] = arg.substr(eq + 1);
+    }
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace seqfm

@@ -1,0 +1,76 @@
+#ifndef SEQFM_UTIL_LOGGING_H_
+#define SEQFM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace seqfm {
+namespace internal {
+
+/// Severity levels for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are discarded. Default: kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// \brief Stream-style log sink. Fatal messages abort the process.
+///
+/// Not intended for direct use; use the SEQFM_LOG / SEQFM_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a LogMessage stream chain so the ternary in SEQFM_CHECK has a
+/// void type on both arms (the glog "voidify" trick; & binds looser than <<).
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace seqfm
+
+#define SEQFM_LOG(level)                                            \
+  ::seqfm::internal::LogMessage(::seqfm::internal::LogLevel::k##level, \
+                                __FILE__, __LINE__)
+
+/// Invariant check: always on (used for shape checks and API contracts).
+/// Aborts with a message when the condition fails.
+#define SEQFM_CHECK(cond)                                          \
+  (cond) ? (void)0                                                 \
+         : ::seqfm::internal::LogMessageVoidify() &                \
+               ::seqfm::internal::LogMessage(                      \
+                   ::seqfm::internal::LogLevel::kFatal, __FILE__,  \
+                   __LINE__)                                       \
+                   << "Check failed: " #cond " "
+
+#define SEQFM_CHECK_EQ(a, b) SEQFM_CHECK((a) == (b))
+#define SEQFM_CHECK_NE(a, b) SEQFM_CHECK((a) != (b))
+#define SEQFM_CHECK_LT(a, b) SEQFM_CHECK((a) < (b))
+#define SEQFM_CHECK_LE(a, b) SEQFM_CHECK((a) <= (b))
+#define SEQFM_CHECK_GT(a, b) SEQFM_CHECK((a) > (b))
+#define SEQFM_CHECK_GE(a, b) SEQFM_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define SEQFM_DCHECK(cond) SEQFM_CHECK(cond)
+#else
+#define SEQFM_DCHECK(cond) \
+  while (false) SEQFM_CHECK(cond)
+#endif
+
+#endif  // SEQFM_UTIL_LOGGING_H_

@@ -1,0 +1,77 @@
+#ifndef SEQFM_UTIL_RESULT_H_
+#define SEQFM_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace seqfm {
+
+/// \brief Value-or-Status carrier, the return type of fallible factories.
+///
+/// Usage:
+/// \code
+///   Result<Tensor> r = Tensor::FromShape({2, 3});
+///   if (!r.ok()) return r.status();
+///   Tensor t = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    SEQFM_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if the result holds an error.
+  const T& ValueOrDie() const& {
+    SEQFM_CHECK(ok()) << "ValueOrDie on error result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    SEQFM_CHECK(ok()) << "ValueOrDie on error result: " << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    SEQFM_CHECK(ok()) << "ValueOrDie on error result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Shorthand operators for accessing the value.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression or returns its error status.
+#define SEQFM_ASSIGN_OR_RETURN(lhs, expr)            \
+  SEQFM_ASSIGN_OR_RETURN_IMPL(                       \
+      SEQFM_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define SEQFM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define SEQFM_CONCAT_NAME(x, y) SEQFM_CONCAT_NAME_IMPL(x, y)
+#define SEQFM_CONCAT_NAME_IMPL(x, y) x##y
+
+}  // namespace seqfm
+
+#endif  // SEQFM_UTIL_RESULT_H_

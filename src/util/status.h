@@ -1,0 +1,91 @@
+#ifndef SEQFM_UTIL_STATUS_H_
+#define SEQFM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace seqfm {
+
+/// Error categories used across the library. Mirrors the coarse-grained codes
+/// used by Arrow / RocksDB style Status objects.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIoError,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Lightweight success/error carrier returned by fallible operations.
+///
+/// The library does not throw exceptions on hot paths; constructors that can
+/// fail are replaced by static factory functions returning Status or
+/// Result<T>. An OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string for logs and test output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Propagates a non-OK status to the caller.
+#define SEQFM_RETURN_NOT_OK(expr)             \
+  do {                                        \
+    ::seqfm::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace seqfm
+
+#endif  // SEQFM_UTIL_STATUS_H_

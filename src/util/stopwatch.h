@@ -1,0 +1,32 @@
+#ifndef SEQFM_UTIL_STOPWATCH_H_
+#define SEQFM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace seqfm {
+
+/// \brief Wall-clock timer used by the trainer and the scalability bench
+/// (Fig. 4 reproduction).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace seqfm
+
+#endif  // SEQFM_UTIL_STOPWATCH_H_

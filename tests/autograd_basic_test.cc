@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace autograd {
+namespace {
+
+using tensor::Tensor;
+
+Variable LeafFrom(std::vector<size_t> shape, std::vector<float> vals,
+                  bool requires_grad = true) {
+  return Variable::Leaf(
+      Tensor::FromVector(std::move(shape), std::move(vals)).ValueOrDie(),
+      requires_grad);
+}
+
+TEST(VariableTest, LeafProperties) {
+  Variable v = LeafFrom({2}, {1, 2});
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.rank(), 1u);
+  EXPECT_EQ(v.dim(0), 2u);
+  Variable c = Variable::Constant(Tensor::Ones({3}));
+  EXPECT_FALSE(c.requires_grad());
+}
+
+TEST(VariableTest, RequiresGradPropagatesThroughOps) {
+  Variable a = LeafFrom({2}, {1, 2}, /*requires_grad=*/true);
+  Variable b = LeafFrom({2}, {3, 4}, /*requires_grad=*/false);
+  EXPECT_TRUE(Add(a, b).requires_grad());
+  EXPECT_FALSE(Add(b, b).requires_grad());
+}
+
+TEST(BackwardTest, SimpleChainRule) {
+  // f = sum(3 * x), df/dx = 3.
+  Variable x = LeafFrom({3}, {1, 2, 3});
+  Variable loss = SumAll(Scale(x, 3.0f));
+  Backward(loss);
+  for (size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad().at(i), 3.0f);
+}
+
+TEST(BackwardTest, GradientAccumulatesAcrossFanOut) {
+  // f = sum(x + x): each element contributes twice.
+  Variable x = LeafFrom({2}, {5, -1});
+  Variable loss = SumAll(Add(x, x));
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x.grad().at(0), 2.0f);
+  EXPECT_FLOAT_EQ(x.grad().at(1), 2.0f);
+}
+
+TEST(BackwardTest, MulProductRule) {
+  Variable a = LeafFrom({2}, {2, 3});
+  Variable b = LeafFrom({2}, {5, 7});
+  Backward(SumAll(Mul(a, b)));
+  EXPECT_FLOAT_EQ(a.grad().at(0), 5.0f);
+  EXPECT_FLOAT_EQ(a.grad().at(1), 7.0f);
+  EXPECT_FLOAT_EQ(b.grad().at(0), 2.0f);
+  EXPECT_FLOAT_EQ(b.grad().at(1), 3.0f);
+}
+
+TEST(BackwardTest, ConstantsReceiveNoGradient) {
+  Variable x = LeafFrom({2}, {1, 2});
+  Variable c = Variable::Constant(Tensor::Ones({2}));
+  Variable loss = SumAll(Mul(x, c));
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x.grad().at(0), 1.0f);
+  // Constant's grad buffer stays zero (allocated lazily on read).
+  EXPECT_FLOAT_EQ(c.grad().at(0), 0.0f);
+}
+
+TEST(BackwardTest, ZeroGradResets) {
+  Variable x = LeafFrom({1}, {4});
+  Backward(SumAll(Mul(x, x)));
+  EXPECT_FLOAT_EQ(x.grad().at(0), 8.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().at(0), 0.0f);
+  Backward(SumAll(Mul(x, x)));
+  EXPECT_FLOAT_EQ(x.grad().at(0), 8.0f);  // no stale accumulation
+}
+
+TEST(BackwardTest, DiamondGraphAccumulatesOnce) {
+  // y = x*x; loss = sum(y + y) -> dx = 2 * 2x.
+  Variable x = LeafFrom({1}, {3});
+  Variable y = Mul(x, x);
+  Backward(SumAll(Add(y, y)));
+  EXPECT_FLOAT_EQ(x.grad().at(0), 12.0f);
+}
+
+TEST(BackwardTest, MeanAllScalesGradient) {
+  Variable x = LeafFrom({4}, {1, 2, 3, 4});
+  Backward(MeanAll(x));
+  for (size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad().at(i), 0.25f);
+}
+
+TEST(GraphTest, GraphSizeCountsNodes) {
+  Variable x = LeafFrom({2}, {1, 2});
+  EXPECT_EQ(GraphSize(x), 1u);
+  Variable y = Add(x, x);
+  EXPECT_EQ(GraphSize(y), 2u);
+  Variable z = SumAll(Mul(y, y));
+  EXPECT_EQ(GraphSize(z), 4u);
+}
+
+TEST(GraphTest, GraphFreedWhenRootDropped) {
+  Variable x = LeafFrom({2}, {1, 2});
+  std::weak_ptr<Node> watch;
+  {
+    Variable y = Add(x, x);
+    watch = y.node();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // op node freed, leaf survives
+  EXPECT_TRUE(x.defined());
+}
+
+TEST(EmbeddingGatherTest, PaddingRowsAreZeroAndSkipGradient) {
+  Variable table = LeafFrom({3, 2}, {1, 2, 3, 4, 5, 6});
+  std::vector<int32_t> idx = {0, -1, 2, 2};
+  Variable out = EmbeddingGather(table, idx, /*batch=*/2, /*n=*/2);
+  EXPECT_EQ(out.value().at(0, 0, 0), 1.0f);
+  EXPECT_EQ(out.value().at(0, 1, 0), 0.0f);  // padding
+  EXPECT_EQ(out.value().at(0, 1, 1), 0.0f);
+  EXPECT_EQ(out.value().at(1, 0, 1), 6.0f);
+  Backward(SumAll(out));
+  EXPECT_FLOAT_EQ(table.grad().at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(table.grad().at(1, 0), 0.0f);  // index 1 never used
+  EXPECT_FLOAT_EQ(table.grad().at(2, 0), 2.0f);  // used twice
+}
+
+TEST(EmbeddingSumGatherTest, SumsPerSample) {
+  Variable w = LeafFrom({4, 1}, {1, 10, 100, 1000});
+  std::vector<int32_t> idx = {0, 2, -1, 3};
+  Variable out = EmbeddingSumGather(w, idx, /*batch=*/2, /*n=*/2);
+  EXPECT_FLOAT_EQ(out.value().at(0, 0), 101.0f);
+  EXPECT_FLOAT_EQ(out.value().at(1, 0), 1000.0f);
+  Backward(SumAll(out));
+  EXPECT_FLOAT_EQ(w.grad().at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(w.grad().at(3, 0), 1.0f);
+}
+
+TEST(LossTest, BprLossValueMatchesFormula) {
+  Variable pos = LeafFrom({2, 1}, {2.0f, 0.0f});
+  Variable neg = LeafFrom({2, 1}, {0.0f, 0.0f});
+  Variable loss = BprLoss(pos, neg);
+  const float expected =
+      0.5f * (-std::log(1.0f / (1.0f + std::exp(-2.0f))) - std::log(0.5f));
+  EXPECT_NEAR(loss.value().at(0), expected, 1e-5f);
+}
+
+TEST(LossTest, BceMatchesCrossEntropy) {
+  Variable logits = LeafFrom({2, 1}, {0.0f, 3.0f});
+  Variable loss = BceWithLogitsLoss(logits, {1.0f, 0.0f});
+  const float p0 = 0.5f, p1 = 1.0f / (1.0f + std::exp(-3.0f));
+  const float expected = 0.5f * (-std::log(p0) - std::log(1.0f - p1));
+  EXPECT_NEAR(loss.value().at(0), expected, 1e-5f);
+}
+
+TEST(LossTest, MseMatchesMeanSquare) {
+  Variable pred = LeafFrom({2, 1}, {1.0f, -1.0f});
+  Variable loss = MseLoss(pred, {3.0f, 0.0f});
+  EXPECT_NEAR(loss.value().at(0), (4.0f + 1.0f) / 2.0f, 1e-6f);
+}
+
+TEST(LossTest, BceIsStableAtExtremeLogits) {
+  Variable logits = LeafFrom({2, 1}, {80.0f, -80.0f});
+  Variable loss = BceWithLogitsLoss(logits, {0.0f, 1.0f});
+  EXPECT_TRUE(std::isfinite(loss.value().at(0)));
+  Backward(loss);
+  EXPECT_TRUE(std::isfinite(logits.grad().at(0, 0)));
+}
+
+TEST(DropoutTest, IdentityAtEval) {
+  Rng rng(33);
+  Variable x = LeafFrom({4}, {1, 2, 3, 4});
+  Variable y = Dropout(x, 0.5f, /*training=*/false, &rng);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(y.value().at(i), x.value().at(i));
+  }
+}
+
+TEST(DropoutTest, TrainingScalesSurvivors) {
+  Rng rng(34);
+  Variable x = Variable::Leaf(Tensor::Ones({1000}), true);
+  Variable y = Dropout(x, 0.8f, /*training=*/true, &rng);
+  size_t zeros = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    const float v = y.value().at(i);
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.25f, 1e-5f);  // 1/keep_prob
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros), 200.0, 60.0);
+}
+
+TEST(ReshapeTest, PreservesLayoutAndGradients) {
+  Variable x = LeafFrom({2, 3}, {1, 2, 3, 4, 5, 6});
+  Variable y = Reshape(x, {3, 2});
+  EXPECT_EQ(y.value().at(2, 1), 6.0f);
+  Backward(SumAll(y));
+  EXPECT_FLOAT_EQ(x.grad().at(1, 2), 1.0f);
+}
+
+TEST(ExpandRowsTest, RepeatsAndSumsBack) {
+  Variable x = LeafFrom({2, 2}, {1, 2, 3, 4});
+  Variable y = ExpandRows(x, 3);
+  EXPECT_EQ(y.value().at(0, 2, 1), 2.0f);
+  EXPECT_EQ(y.value().at(1, 0, 0), 3.0f);
+  Backward(SumAll(y));
+  EXPECT_FLOAT_EQ(x.grad().at(0, 0), 3.0f);  // repeated 3x
+}
+
+}  // namespace
+}  // namespace autograd
+}  // namespace seqfm

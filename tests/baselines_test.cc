@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "baselines/fm.h"
+#include "baselines/registry.h"
+#include "baselines/tfm.h"
+#include "data/dataset.h"
+
+namespace seqfm {
+namespace baselines {
+namespace {
+
+data::Batch MakeBatch(const data::FeatureSpace& space, size_t max_seq_len,
+                      std::vector<std::vector<int32_t>> histories,
+                      std::vector<int32_t> users,
+                      std::vector<int32_t> targets) {
+  data::BatchBuilder builder(space, max_seq_len);
+  static std::vector<data::SequenceExample> examples;  // keep alive per call
+  examples.clear();
+  examples.resize(users.size());
+  std::vector<const data::SequenceExample*> ptrs;
+  for (size_t i = 0; i < users.size(); ++i) {
+    examples[i].user = users[i];
+    examples[i].target = targets[i];
+    examples[i].history = histories[i];
+    ptrs.push_back(&examples[i]);
+  }
+  return builder.Build(ptrs);
+}
+
+BaselineConfig SmallConfig() {
+  BaselineConfig cfg;
+  cfg.embedding_dim = 6;
+  cfg.max_seq_len = 4;
+  cfg.mlp_hidden = 8;
+  cfg.keep_prob = 1.0f;
+  cfg.num_blocks = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized smoke + gradient tests over every baseline
+// ---------------------------------------------------------------------------
+
+class BaselineParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineParamTest, ScoresAreFiniteAndCorrectShape) {
+  data::FeatureSpace space(4, 7);
+  auto model = CreateBaseline(GetParam(), space, SmallConfig());
+  ASSERT_TRUE(model.ok());
+  auto batch =
+      MakeBatch(space, 4, {{0, 1, 2, 3}, {5}, {}}, {0, 1, 3}, {4, 6, 0});
+  auto out = (*model)->Score(batch, /*training=*/false);
+  ASSERT_EQ(out.value().shape(), (std::vector<size_t>{3, 1}));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::isfinite(out.value().at(i, 0))) << GetParam();
+  }
+}
+
+TEST_P(BaselineParamTest, EvaluationIsDeterministic) {
+  data::FeatureSpace space(4, 7);
+  auto model = CreateBaseline(GetParam(), space, SmallConfig());
+  ASSERT_TRUE(model.ok());
+  auto batch = MakeBatch(space, 4, {{2, 3}}, {1}, {5});
+  EXPECT_EQ((*model)->Score(batch, false).value().at(0, 0),
+            (*model)->Score(batch, false).value().at(0, 0));
+}
+
+TEST_P(BaselineParamTest, GradientsFlowFromLoss) {
+  data::FeatureSpace space(4, 7);
+  auto model = CreateBaseline(GetParam(), space, SmallConfig());
+  ASSERT_TRUE(model.ok());
+  auto batch = MakeBatch(space, 4, {{0, 1, 2}, {4, 5}}, {0, 2}, {3, 6});
+  auto out = (*model)->Score(batch, /*training=*/true);
+  autograd::Backward(autograd::SumAll(out));
+  float total = 0.0f;
+  for (const auto& p : (*model)->TrainableParameters()) {
+    for (size_t i = 0; i < p.grad().size(); ++i) {
+      total += std::abs(p.grad().data()[i]);
+    }
+  }
+  EXPECT_GT(total, 0.0f) << GetParam();
+}
+
+TEST_P(BaselineParamTest, HandlesEmptyHistory) {
+  data::FeatureSpace space(4, 7);
+  auto model = CreateBaseline(GetParam(), space, SmallConfig());
+  ASSERT_TRUE(model.ok());
+  auto batch = MakeBatch(space, 4, {{}}, {0}, {1});
+  EXPECT_TRUE(std::isfinite((*model)->Score(batch, false).value().at(0, 0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineParamTest,
+    ::testing::Values("FM", "HOFM", "NFM", "AFM", "Wide&Deep", "DeepCross",
+                      "xDeepFM", "DIN", "SASRec", "TFM", "RRN"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  data::FeatureSpace space(2, 3);
+  EXPECT_FALSE(CreateBaseline("BERT4Rec", space, SmallConfig()).ok());
+}
+
+TEST(RegistryTest, TaskListsMatchPaperTables) {
+  EXPECT_EQ(RankingBaselines().size(), 7u);
+  EXPECT_EQ(ClassificationBaselines().size(), 7u);
+  EXPECT_EQ(RegressionBaselines().size(), 7u);
+  // Task-specific competitors appear only in their task list (Sec. V-B).
+  auto contains = [](const std::vector<std::string>& v, const std::string& s) {
+    return std::find(v.begin(), v.end(), s) != v.end();
+  };
+  EXPECT_TRUE(contains(RankingBaselines(), "SASRec"));
+  EXPECT_TRUE(contains(RankingBaselines(), "TFM"));
+  EXPECT_TRUE(contains(ClassificationBaselines(), "DIN"));
+  EXPECT_TRUE(contains(ClassificationBaselines(), "xDeepFM"));
+  EXPECT_TRUE(contains(RegressionBaselines(), "RRN"));
+  EXPECT_TRUE(contains(RegressionBaselines(), "HOFM"));
+  EXPECT_FALSE(contains(RankingBaselines(), "DIN"));
+}
+
+// ---------------------------------------------------------------------------
+// FM: the sum-of-squares identity against brute force
+// ---------------------------------------------------------------------------
+
+TEST(FmTest, MatchesBruteForcePairwiseInteractions) {
+  data::FeatureSpace space(3, 4);
+  BaselineConfig cfg = SmallConfig();
+  Fm fm(space, cfg);
+  auto batch = MakeBatch(space, 4, {{0, 2}}, {1}, {3});
+
+  const float score = fm.Score(batch, false).value().at(0, 0);
+
+  // Brute force Eq. 2 on the active unified features.
+  std::vector<int32_t> active;
+  for (size_t i = 0; i < batch.n_unified; ++i) {
+    if (batch.unified_ids[i] >= 0) active.push_back(batch.unified_ids[i]);
+  }
+  float expected = 0.0f;  // bias is zero-initialized; weights too
+  const auto named = fm.NamedParameters();
+  const autograd::Variable* table = nullptr;
+  for (const auto& [name, var] : named) {
+    if (name == "embedding.table") table = &var;
+  }
+  ASSERT_NE(table, nullptr);
+  const size_t d = cfg.embedding_dim;
+  for (size_t a = 0; a < active.size(); ++a) {
+    for (size_t b = a + 1; b < active.size(); ++b) {
+      float dot = 0.0f;
+      for (size_t j = 0; j < d; ++j) {
+        dot += table->value().at(active[a], j) * table->value().at(active[b], j);
+      }
+      expected += dot;
+    }
+  }
+  EXPECT_NEAR(score, expected, 1e-3f);
+}
+
+TEST(FmTest, OrderInvariance) {
+  // FM treats the history as a set: permuting it must not change the score.
+  data::FeatureSpace space(3, 6);
+  Fm fm(space, SmallConfig());
+  auto ab = MakeBatch(space, 4, {{0, 1, 2, 3}}, {1}, {4});
+  auto ba = MakeBatch(space, 4, {{3, 2, 1, 0}}, {1}, {4});
+  EXPECT_NEAR(fm.Score(ab, false).value().at(0, 0),
+              fm.Score(ba, false).value().at(0, 0), 1e-4f);
+}
+
+TEST(HofmTest, ThirdOrderMatchesBruteForce) {
+  data::FeatureSpace space(2, 5);
+  BaselineConfig cfg = SmallConfig();
+  Hofm hofm(space, cfg);
+  auto batch = MakeBatch(space, 4, {{0, 1, 2}}, {0}, {3});
+
+  const float score = hofm.Score(batch, false).value().at(0, 0);
+
+  std::vector<int32_t> active;
+  for (size_t i = 0; i < batch.n_unified; ++i) {
+    if (batch.unified_ids[i] >= 0) active.push_back(batch.unified_ids[i]);
+  }
+  const autograd::Variable* t2 = nullptr;
+  const autograd::Variable* t3 = nullptr;
+  for (const auto& [name, var] : hofm.NamedParameters()) {
+    if (name == "embedding.table") t2 = &var;
+    if (name == "embedding3.table") t3 = &var;
+  }
+  ASSERT_NE(t2, nullptr);
+  ASSERT_NE(t3, nullptr);
+  const size_t d = cfg.embedding_dim;
+  float expected = 0.0f;
+  for (size_t a = 0; a < active.size(); ++a) {
+    for (size_t b = a + 1; b < active.size(); ++b) {
+      for (size_t j = 0; j < d; ++j) {
+        expected += t2->value().at(active[a], j) * t2->value().at(active[b], j);
+      }
+      for (size_t c = b + 1; c < active.size(); ++c) {
+        for (size_t j = 0; j < d; ++j) {
+          expected += t3->value().at(active[a], j) *
+                      t3->value().at(active[b], j) *
+                      t3->value().at(active[c], j);
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(score, expected, 2e-3f);
+}
+
+// ---------------------------------------------------------------------------
+// TFM: only the most recent item matters
+// ---------------------------------------------------------------------------
+
+TEST(TfmTest, OnlyLastHistoryItemAffectsScore) {
+  data::FeatureSpace space(3, 8);
+  Tfm tfm(space, SmallConfig());
+  // Same last item (5), different earlier history.
+  auto a = MakeBatch(space, 4, {{0, 1, 5}}, {1}, {6});
+  auto b = MakeBatch(space, 4, {{3, 2, 5}}, {1}, {6});
+  EXPECT_NEAR(tfm.Score(a, false).value().at(0, 0),
+              tfm.Score(b, false).value().at(0, 0), 1e-5f);
+  // Different last item must change the score.
+  auto c = MakeBatch(space, 4, {{0, 1, 4}}, {1}, {6});
+  EXPECT_GT(std::abs(tfm.Score(a, false).value().at(0, 0) -
+                     tfm.Score(c, false).value().at(0, 0)),
+            1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// Sequence-awareness contrast across model families
+// ---------------------------------------------------------------------------
+
+TEST(SequenceAwarenessTest, SasRecIsOrderSensitiveButFmIsNot) {
+  data::FeatureSpace space(3, 8);
+  BaselineConfig cfg = SmallConfig();
+  auto sasrec = CreateBaseline("SASRec", space, cfg).ValueOrDie();
+  auto fm = CreateBaseline("FM", space, cfg).ValueOrDie();
+  auto ab = MakeBatch(space, 4, {{0, 1, 2, 3}}, {1}, {4});
+  auto ba = MakeBatch(space, 4, {{3, 1, 2, 0}}, {1}, {4});
+  const float s1 = sasrec->Score(ab, false).value().at(0, 0);
+  const float s2 = sasrec->Score(ba, false).value().at(0, 0);
+  EXPECT_GT(std::abs(s1 - s2), 1e-7f);
+  const float f1 = fm->Score(ab, false).value().at(0, 0);
+  const float f2 = fm->Score(ba, false).value().at(0, 0);
+  EXPECT_NEAR(f1, f2, 1e-4f);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace seqfm

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "core/seqfm.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+
+namespace seqfm {
+namespace core {
+namespace {
+
+struct TrainFixture {
+  explicit TrainFixture(const std::string& preset, double scale = 0.15)
+      : log(data::SyntheticDatasetGenerator(
+                data::SyntheticDatasetGenerator::Preset(preset, scale)
+                    .ValueOrDie())
+                .Generate()
+                .ValueOrDie()),
+        dataset(data::TemporalDataset::FromLog(log).ValueOrDie()),
+        space(log.num_users(), log.num_objects()),
+        builder(space, /*max_seq_len=*/8) {}
+
+  data::InteractionLog log;
+  data::TemporalDataset dataset;
+  data::FeatureSpace space;
+  data::BatchBuilder builder;
+};
+
+SeqFmConfig TinyModelConfig() {
+  SeqFmConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.max_seq_len = 8;
+  cfg.keep_prob = 1.0f;
+  return cfg;
+}
+
+TrainConfig TinyTrainConfig(Task task) {
+  TrainConfig cfg;
+  cfg.task = task;
+  cfg.epochs = 3;
+  cfg.batch_size = 64;
+  cfg.learning_rate = 5e-3f;
+  cfg.num_negatives = 1;
+  return cfg;
+}
+
+TEST(TrainerTest, RankingLossDecreases) {
+  TrainFixture fx("gowalla");
+  SeqFm model(fx.space, TinyModelConfig());
+  Trainer trainer(&model, &fx.builder, &fx.dataset,
+                  TinyTrainConfig(Task::kRanking));
+  auto result = trainer.Train();
+  ASSERT_EQ(result.epochs.size(), 3u);
+  EXPECT_LT(result.epochs.back().mean_loss, result.epochs.front().mean_loss);
+  // BPR loss starts near log(2) for a random scorer.
+  EXPECT_NEAR(result.epochs.front().mean_loss, 0.693, 0.2);
+}
+
+TEST(TrainerTest, ClassificationLossDecreases) {
+  TrainFixture fx("trivago");
+  SeqFm model(fx.space, TinyModelConfig());
+  Trainer trainer(&model, &fx.builder, &fx.dataset,
+                  TinyTrainConfig(Task::kClassification));
+  auto result = trainer.Train();
+  EXPECT_LT(result.final_loss, result.epochs.front().mean_loss);
+}
+
+TEST(TrainerTest, RegressionLossDecreasesBelowVarianceBaseline) {
+  TrainFixture fx("beauty", 0.3);
+  SeqFm model(fx.space, TinyModelConfig());
+  TrainConfig cfg = TinyTrainConfig(Task::kRegression);
+  cfg.epochs = 8;
+  Trainer trainer(&model, &fx.builder, &fx.dataset, cfg);
+  auto result = trainer.Train();
+  // Ratings live in [1,5] with mean ~3; a model must at least beat the
+  // "predict 0" squared error of ~9-10 by a wide margin.
+  EXPECT_LT(result.final_loss, 2.0);
+  EXPECT_LT(result.final_loss, result.epochs.front().mean_loss);
+}
+
+TEST(TrainerTest, EpochStatsTrackStepsAndTime) {
+  TrainFixture fx("toys", 0.2);
+  SeqFm model(fx.space, TinyModelConfig());
+  TrainConfig cfg = TinyTrainConfig(Task::kRegression);
+  cfg.epochs = 1;
+  Trainer trainer(&model, &fx.builder, &fx.dataset, cfg);
+  auto result = trainer.Train();
+  const size_t expected_steps =
+      (fx.dataset.train().size() + cfg.batch_size - 1) / cfg.batch_size;
+  EXPECT_EQ(result.epochs[0].steps, expected_steps);
+  EXPECT_GT(result.epochs[0].seconds, 0.0);
+  EXPECT_NEAR(result.total_seconds, result.epochs[0].seconds, 1e-6);
+}
+
+TEST(TrainerTest, NegativeRepeatsMultiplySteps) {
+  TrainFixture fx("toys", 0.2);
+  SeqFm model(fx.space, TinyModelConfig());
+  TrainConfig cfg = TinyTrainConfig(Task::kRanking);
+  cfg.epochs = 1;
+  cfg.num_negatives = 3;
+  Trainer trainer(&model, &fx.builder, &fx.dataset, cfg);
+  auto result = trainer.Train();
+  const size_t occurrences = fx.dataset.train().size() * 3;
+  const size_t expected_steps =
+      (occurrences + cfg.batch_size - 1) / cfg.batch_size;
+  EXPECT_EQ(result.epochs[0].steps, expected_steps);
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds) {
+  TrainFixture fx("toys", 0.15);
+  auto run = [&fx]() {
+    SeqFm model(fx.space, TinyModelConfig());
+    Trainer trainer(&model, &fx.builder, &fx.dataset,
+                    TinyTrainConfig(Task::kRegression));
+    return trainer.Train().final_loss;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TrainerTest, WorksWithEveryBaseline) {
+  TrainFixture fx("toys", 0.12);
+  baselines::BaselineConfig bcfg;
+  bcfg.embedding_dim = 8;
+  bcfg.max_seq_len = 8;
+  bcfg.mlp_hidden = 8;
+  bcfg.keep_prob = 1.0f;
+  for (const std::string name :
+       {"FM", "NFM", "AFM", "Wide&Deep", "DeepCross", "xDeepFM", "DIN",
+        "SASRec", "TFM", "RRN", "HOFM"}) {
+    auto model = baselines::CreateBaseline(name, fx.space, bcfg);
+    ASSERT_TRUE(model.ok()) << name;
+    TrainConfig cfg = TinyTrainConfig(Task::kRanking);
+    cfg.epochs = 1;
+    Trainer trainer(model->get(), &fx.builder, &fx.dataset, cfg);
+    auto result = trainer.Train();
+    EXPECT_TRUE(std::isfinite(result.final_loss)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace seqfm

@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/feature_space.h"
+#include "data/interaction.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace data {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FeatureSpace
+// ---------------------------------------------------------------------------
+
+TEST(FeatureSpaceTest, IndexLayout) {
+  FeatureSpace space(10, 20, 3);
+  EXPECT_EQ(space.static_dim(), 33u);
+  EXPECT_EQ(space.dynamic_dim(), 20u);
+  EXPECT_EQ(space.total_dim(), 53u);
+  EXPECT_EQ(space.UserIndex(4), 4);
+  EXPECT_EQ(space.CandidateIndex(0), 10);
+  EXPECT_EQ(space.CandidateIndex(19), 29);
+  EXPECT_EQ(space.SideIndex(2), 32);
+  EXPECT_EQ(space.DynamicIndex(7), 7);
+}
+
+// ---------------------------------------------------------------------------
+// InteractionLog
+// ---------------------------------------------------------------------------
+
+InteractionLog MakeLog() {
+  InteractionLog log(3, 5);
+  // User 0: objects in scrambled timestamp order.
+  log.Add({0, 2, 30, 4.0f});
+  log.Add({0, 1, 10, 3.0f});
+  log.Add({0, 3, 20, 5.0f});
+  // User 1: two events.
+  log.Add({1, 0, 1, 2.0f});
+  log.Add({1, 4, 2, 1.0f});
+  // User 2: four events.
+  for (int t = 0; t < 4; ++t) {
+    log.Add({2, t, t, 3.5f});
+  }
+  log.Finalize();
+  return log;
+}
+
+TEST(InteractionLogTest, FinalizeSortsChronologically) {
+  InteractionLog log = MakeLog();
+  const auto& seq = log.UserSequence(0);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0].object, 1);
+  EXPECT_EQ(seq[1].object, 3);
+  EXPECT_EQ(seq[2].object, 2);
+  EXPECT_EQ(log.num_interactions(), 9u);
+}
+
+TEST(InteractionLogTest, StableSortOnTiedTimestamps) {
+  InteractionLog log(1, 3);
+  log.Add({0, 0, 5, 0.0f});
+  log.Add({0, 1, 5, 0.0f});
+  log.Add({0, 2, 5, 0.0f});
+  log.Finalize();
+  const auto& seq = log.UserSequence(0);
+  EXPECT_EQ(seq[0].object, 0);
+  EXPECT_EQ(seq[1].object, 1);
+  EXPECT_EQ(seq[2].object, 2);
+}
+
+TEST(InteractionLogTest, StatsMatchTableIColumns) {
+  InteractionLog log = MakeLog();
+  LogStats stats = log.ComputeStats();
+  EXPECT_EQ(stats.num_users, 3u);
+  EXPECT_EQ(stats.num_objects, 5u);
+  EXPECT_EQ(stats.num_instances, 9u);
+  EXPECT_EQ(stats.num_sparse_features, 3u + 2u * 5u);
+  EXPECT_NEAR(stats.avg_sequence_length, 3.0, 1e-9);
+}
+
+TEST(InteractionLogTest, FilterRemovesSparseUsersAndObjects) {
+  InteractionLog log(4, 4);
+  // Objects 0,1 are popular (3 users each); object 2 seen by 1 user;
+  // user 3 has a single event.
+  for (int u = 0; u < 3; ++u) {
+    log.Add({u, 0, 0, 0.0f});
+    log.Add({u, 1, 1, 0.0f});
+  }
+  log.Add({0, 2, 2, 0.0f});
+  log.Add({3, 3, 0, 0.0f});
+  log.Finalize();
+  auto filtered = log.Filter(/*min_user_events=*/2, /*min_object_users=*/2);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_users(), 3u);
+  EXPECT_EQ(filtered->num_objects(), 2u);
+  EXPECT_EQ(filtered->num_interactions(), 6u);
+}
+
+TEST(InteractionLogTest, FilterIteratesToFixedPoint) {
+  InteractionLog log(3, 3);
+  // User 2 only interacts with object 2; object 2 only seen by user 2.
+  // Dropping either must cascade.
+  log.Add({0, 0, 0, 0.0f});
+  log.Add({0, 1, 1, 0.0f});
+  log.Add({1, 0, 0, 0.0f});
+  log.Add({1, 1, 1, 0.0f});
+  log.Add({2, 2, 0, 0.0f});
+  log.Add({2, 2, 1, 0.0f});
+  log.Finalize();
+  auto filtered = log.Filter(2, 2);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_users(), 2u);
+  EXPECT_EQ(filtered->num_objects(), 2u);
+}
+
+TEST(InteractionLogTest, FilterRejectsTotalWipeout) {
+  InteractionLog log(1, 1);
+  log.Add({0, 0, 0, 0.0f});
+  log.Finalize();
+  EXPECT_FALSE(log.Filter(100, 100).ok());
+}
+
+TEST(CsvLoaderTest, RoundTripWithHeaderAndRatings) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "seqfm_csv_test.csv").string();
+  {
+    std::ofstream out(path);
+    out << "user,object,timestamp,rating\n";
+    out << "100,7,2,4.5\n100,9,1,3.0\n200,7,5,2.0\n";
+  }
+  auto log = LoadInteractionCsv(path);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_users(), 2u);
+  EXPECT_EQ(log->num_objects(), 2u);
+  EXPECT_EQ(log->num_interactions(), 3u);
+  // User "100" -> id 0; its sequence is sorted by timestamp: obj 9 first.
+  const auto& seq = log->UserSequence(0);
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_FLOAT_EQ(seq[0].rating, 3.0f);
+  EXPECT_FLOAT_EQ(seq[1].rating, 4.5f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoaderTest, RejectsMalformedInput) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "seqfm_bad_csv.csv").string();
+  {
+    std::ofstream out(path);
+    out << "1,2\n";  // too few columns
+  }
+  EXPECT_FALSE(LoadInteractionCsv(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadInteractionCsv("/nonexistent.csv").ok());
+}
+
+// ---------------------------------------------------------------------------
+// TemporalDataset: the leave-one-out protocol
+// ---------------------------------------------------------------------------
+
+TEST(TemporalDatasetTest, LeaveOneOutSplit) {
+  InteractionLog log = MakeLog();
+  auto ds = TemporalDataset::FromLog(log);
+  ASSERT_TRUE(ds.ok());
+  // Users 0 and 2 have >= 3 events -> 1 test + 1 validation each.
+  EXPECT_EQ(ds->test().size(), 2u);
+  EXPECT_EQ(ds->validation().size(), 2u);
+  // Train: user0 1, user1 2 (too short for holdout), user2 2.
+  EXPECT_EQ(ds->train().size(), 5u);
+}
+
+TEST(TemporalDatasetTest, TestTargetIsChronologicallyLast) {
+  InteractionLog log = MakeLog();
+  auto ds = TemporalDataset::FromLog(log).ValueOrDie();
+  for (const auto& ex : ds.test()) {
+    const auto& seq = log.UserSequence(ex.user);
+    EXPECT_EQ(ex.target, seq.back().object);
+    ASSERT_EQ(ex.history.size(), seq.size() - 1);
+    for (size_t i = 0; i < ex.history.size(); ++i) {
+      EXPECT_EQ(ex.history[i], seq[i].object);
+    }
+  }
+}
+
+TEST(TemporalDatasetTest, TrainHistoriesAreStrictPrefixes) {
+  InteractionLog log = MakeLog();
+  auto ds = TemporalDataset::FromLog(log).ValueOrDie();
+  for (const auto& ex : ds.train()) {
+    const auto& seq = log.UserSequence(ex.user);
+    const size_t t = ex.history.size();
+    ASSERT_LT(t, seq.size());
+    EXPECT_EQ(ex.target, seq[t].object) << "target must follow its history";
+  }
+}
+
+TEST(TemporalDatasetTest, InteractedCoversWholeLog) {
+  InteractionLog log = MakeLog();
+  auto ds = TemporalDataset::FromLog(log).ValueOrDie();
+  EXPECT_TRUE(ds.Interacted(0, 1));
+  EXPECT_TRUE(ds.Interacted(0, 2));
+  EXPECT_FALSE(ds.Interacted(0, 0));
+  EXPECT_FALSE(ds.Interacted(1, 3));
+}
+
+TEST(TemporalDatasetTest, WithTrainFractionKeepsEvalSplits) {
+  auto cfg = SyntheticDatasetGenerator::Preset("toys", 0.3).ValueOrDie();
+  auto log = SyntheticDatasetGenerator(cfg).Generate().ValueOrDie();
+  auto ds = TemporalDataset::FromLog(log).ValueOrDie();
+  Rng rng(80);
+  auto half = ds.WithTrainFraction(0.5, &rng);
+  EXPECT_EQ(half.test().size(), ds.test().size());
+  EXPECT_EQ(half.validation().size(), ds.validation().size());
+  EXPECT_LT(half.train().size(), ds.train().size());
+  EXPECT_NEAR(static_cast<double>(half.train().size()),
+              0.5 * static_cast<double>(ds.train().size()),
+              0.12 * static_cast<double>(ds.train().size()));
+}
+
+// ---------------------------------------------------------------------------
+// NegativeSampler
+// ---------------------------------------------------------------------------
+
+TEST(NegativeSamplerTest, NeverReturnsInteractedObjects) {
+  InteractionLog log = MakeLog();
+  auto ds = TemporalDataset::FromLog(log).ValueOrDie();
+  NegativeSampler sampler(&ds);
+  Rng rng(81);
+  for (int i = 0; i < 500; ++i) {
+    const int32_t neg = sampler.Sample(0, &rng);
+    EXPECT_FALSE(ds.Interacted(0, neg));
+  }
+}
+
+TEST(NegativeSamplerTest, SampleManyCount) {
+  InteractionLog log = MakeLog();
+  auto ds = TemporalDataset::FromLog(log).ValueOrDie();
+  NegativeSampler sampler(&ds);
+  Rng rng(82);
+  auto negs = sampler.SampleMany(2, 7, &rng);
+  EXPECT_EQ(negs.size(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// BatchBuilder
+// ---------------------------------------------------------------------------
+
+TEST(BatchBuilderTest, TopPaddingPutsRecentItemsLast) {
+  FeatureSpace space(3, 5);
+  BatchBuilder builder(space, /*max_seq_len=*/4);
+  SequenceExample ex;
+  ex.user = 1;
+  ex.target = 2;
+  ex.history = {0, 3};  // shorter than max_seq_len
+  Batch batch = builder.Build({&ex});
+  ASSERT_EQ(batch.n_seq, 4u);
+  EXPECT_EQ(batch.dynamic_ids[0], -1);
+  EXPECT_EQ(batch.dynamic_ids[1], -1);
+  EXPECT_EQ(batch.dynamic_ids[2], 0);
+  EXPECT_EQ(batch.dynamic_ids[3], 3);
+  EXPECT_EQ(batch.static_ids[0], 1);       // user index
+  EXPECT_EQ(batch.static_ids[1], 3 + 2);   // candidate offset by num_users
+}
+
+TEST(BatchBuilderTest, LongHistoryKeepsMostRecent) {
+  FeatureSpace space(3, 9);
+  BatchBuilder builder(space, 3);
+  SequenceExample ex;
+  ex.user = 0;
+  ex.target = 1;
+  ex.history = {0, 1, 2, 3, 4, 5, 6};
+  Batch batch = builder.Build({&ex});
+  EXPECT_EQ(batch.dynamic_ids[0], 4);
+  EXPECT_EQ(batch.dynamic_ids[1], 5);
+  EXPECT_EQ(batch.dynamic_ids[2], 6);
+}
+
+TEST(BatchBuilderTest, TargetOverrideReplacesCandidate) {
+  FeatureSpace space(3, 5);
+  BatchBuilder builder(space, 2);
+  SequenceExample ex;
+  ex.user = 2;
+  ex.target = 0;
+  std::vector<int32_t> override_targets = {4};
+  Batch batch = builder.Build({&ex}, &override_targets);
+  EXPECT_EQ(batch.static_ids[1], 3 + 4);
+}
+
+TEST(BatchBuilderTest, UnifiedIdsOffsetDynamicFeatures) {
+  FeatureSpace space(3, 5);
+  BatchBuilder builder(space, 2);
+  SequenceExample ex;
+  ex.user = 1;
+  ex.target = 2;
+  ex.history = {4};
+  Batch batch = builder.Build({&ex});
+  ASSERT_EQ(batch.n_unified, 4u);
+  EXPECT_EQ(batch.unified_ids[0], 1);           // user
+  EXPECT_EQ(batch.unified_ids[1], 5);           // candidate (3 users + 2)
+  EXPECT_EQ(batch.unified_ids[2], -1);          // padding stays -1
+  EXPECT_EQ(batch.unified_ids[3], 8 + 4);       // dynamic shifted by 8
+}
+
+TEST(BatchBuilderTest, LabelsCarryRatings) {
+  FeatureSpace space(2, 3);
+  BatchBuilder builder(space, 2);
+  SequenceExample a, b;
+  a.user = 0; a.target = 1; a.rating = 4.5f;
+  b.user = 1; b.target = 2; b.rating = 1.5f;
+  Batch batch = builder.Build({&a, &b});
+  EXPECT_FLOAT_EQ(batch.labels[0], 4.5f);
+  EXPECT_FLOAT_EQ(batch.labels[1], 1.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic generator
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticTest, AllPresetsGenerate) {
+  for (const auto& name : SyntheticDatasetGenerator::PresetNames()) {
+    auto cfg = SyntheticDatasetGenerator::Preset(name, 0.2);
+    ASSERT_TRUE(cfg.ok()) << name;
+    auto log = SyntheticDatasetGenerator(*cfg).Generate();
+    ASSERT_TRUE(log.ok()) << name;
+    EXPECT_GT(log->num_interactions(), 0u) << name;
+  }
+  EXPECT_FALSE(SyntheticDatasetGenerator::Preset("netflix").ok());
+  EXPECT_FALSE(SyntheticDatasetGenerator::Preset("gowalla", -1.0).ok());
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  auto cfg = SyntheticDatasetGenerator::Preset("beauty", 0.2).ValueOrDie();
+  auto a = SyntheticDatasetGenerator(cfg).Generate().ValueOrDie();
+  auto b = SyntheticDatasetGenerator(cfg).Generate().ValueOrDie();
+  ASSERT_EQ(a.num_interactions(), b.num_interactions());
+  for (size_t u = 0; u < a.num_users(); ++u) {
+    const auto& sa = a.UserSequence(static_cast<int32_t>(u));
+    const auto& sb = b.UserSequence(static_cast<int32_t>(u));
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].object, sb[i].object);
+      EXPECT_EQ(sa[i].rating, sb[i].rating);
+    }
+  }
+}
+
+TEST(SyntheticTest, SequenceLengthsInConfiguredRange) {
+  auto cfg = SyntheticDatasetGenerator::Preset("gowalla", 0.2).ValueOrDie();
+  auto log = SyntheticDatasetGenerator(cfg).Generate().ValueOrDie();
+  for (size_t u = 0; u < log.num_users(); ++u) {
+    const size_t len = log.UserSequence(static_cast<int32_t>(u)).size();
+    EXPECT_GE(len, cfg.min_seq_len);
+    EXPECT_LE(len, cfg.max_seq_len);
+  }
+}
+
+TEST(SyntheticTest, RatingsOnlyForRatingPresets) {
+  auto beauty = SyntheticDatasetGenerator(
+                    SyntheticDatasetGenerator::Preset("beauty", 0.2).ValueOrDie())
+                    .Generate()
+                    .ValueOrDie();
+  bool nonzero = false;
+  for (size_t u = 0; u < beauty.num_users(); ++u) {
+    for (const auto& it : beauty.UserSequence(static_cast<int32_t>(u))) {
+      EXPECT_GE(it.rating, 1.0f);
+      EXPECT_LE(it.rating, 5.0f);
+      nonzero = true;
+    }
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+TEST(SyntheticTest, PlantedSequentialStructureIsOrderDependent) {
+  // The generator plants ring transitions: the next object tends to come
+  // from clusters c+1..c+K of a recently visited object (cluster = object %
+  // C by construction). The statistic "fraction of consecutive steps whose
+  // cluster advances by 1..K" must be clearly higher on the real sequences
+  // than on order-destroyed (shuffled) copies — i.e. the signal lives in
+  // the ORDER, which is exactly what sequence-aware models exploit.
+  auto cfg = SyntheticDatasetGenerator::Preset("gowalla", 0.5).ValueOrDie();
+  auto log = SyntheticDatasetGenerator(cfg).Generate().ValueOrDie();
+  const size_t c_count = cfg.num_clusters;
+  const size_t fan = cfg.successors_per_object;
+  Rng shuffle_rng(4242);
+  auto advance_rate = [&](bool shuffled) {
+    size_t advance = 0, total = 0;
+    for (size_t u = 0; u < log.num_users(); ++u) {
+      std::vector<int32_t> objects;
+      for (const auto& it : log.UserSequence(static_cast<int32_t>(u))) {
+        objects.push_back(it.object);
+      }
+      if (shuffled) shuffle_rng.Shuffle(objects);
+      for (size_t t = 1; t < objects.size(); ++t) {
+        const size_t prev = objects[t - 1] % c_count;
+        const size_t cur = objects[t] % c_count;
+        const size_t delta = (cur + c_count - prev) % c_count;
+        advance += (delta >= 1 && delta <= fan);
+        ++total;
+      }
+    }
+    return static_cast<double>(advance) / static_cast<double>(total);
+  };
+  const double real = advance_rate(false);
+  const double control = advance_rate(true);
+  EXPECT_GT(real, control + 0.05)
+      << "real=" << real << " shuffled=" << control;
+}
+
+TEST(SyntheticTest, ScaleChangesUserCount) {
+  auto small = SyntheticDatasetGenerator::Preset("trivago", 0.1).ValueOrDie();
+  auto big = SyntheticDatasetGenerator::Preset("trivago", 1.0).ValueOrDie();
+  EXPECT_LT(small.num_users, big.num_users);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace seqfm

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+
+namespace seqfm {
+namespace eval {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metric math on hand-computed cases
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, RankOfFirst) {
+  EXPECT_EQ(RankOfFirst({5.0f, 1.0f, 2.0f}), 0u);        // best
+  EXPECT_EQ(RankOfFirst({2.0f, 5.0f, 1.0f}), 1u);
+  EXPECT_EQ(RankOfFirst({0.0f, 5.0f, 2.0f, 1.0f}), 3u);  // worst
+  EXPECT_EQ(RankOfFirst({2.0f, 2.0f, 2.0f}), 0u);        // gt wins ties
+}
+
+TEST(MetricsTest, HitAtThreshold) {
+  EXPECT_EQ(HitAt(4, 5), 1.0);
+  EXPECT_EQ(HitAt(5, 5), 0.0);
+  EXPECT_EQ(HitAt(0, 1), 1.0);
+}
+
+TEST(MetricsTest, NdcgValues) {
+  EXPECT_NEAR(NdcgAt(0, 10), 1.0, 1e-9);                  // 1/log2(2)
+  EXPECT_NEAR(NdcgAt(1, 10), 1.0 / std::log2(3.0), 1e-9);
+  EXPECT_EQ(NdcgAt(10, 10), 0.0);
+  EXPECT_GT(NdcgAt(2, 10), NdcgAt(3, 10));                // monotone
+}
+
+TEST(MetricsTest, AucPerfectAndRandomAndInverted) {
+  EXPECT_NEAR(Auc({3.0f, 4.0f}, {1.0f, 2.0f}), 1.0, 1e-9);
+  EXPECT_NEAR(Auc({1.0f, 2.0f}, {3.0f, 4.0f}), 0.0, 1e-9);
+  EXPECT_NEAR(Auc({1.0f}, {1.0f}), 0.5, 1e-9);  // tie -> 1/2
+  // Mixed: pos {2, 0}, neg {1}: pairs (2>1)=1, (0<1)=0 -> 0.5.
+  EXPECT_NEAR(Auc({2.0f, 0.0f}, {1.0f}), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, RmseMaeHandComputed) {
+  const std::vector<float> pred = {1.0f, 3.0f};
+  const std::vector<float> target = {2.0f, 1.0f};
+  EXPECT_NEAR(Mae(pred, target), 1.5, 1e-6);          // (1 + 2)/2
+  EXPECT_NEAR(Rmse(pred, target), std::sqrt(2.5), 1e-6);
+}
+
+TEST(MetricsTest, RrseIsOneForMeanPredictor) {
+  // Predicting the target mean gives RRSE exactly 1.
+  const std::vector<float> target = {1.0f, 2.0f, 3.0f, 6.0f};
+  const float mean = 3.0f;
+  const std::vector<float> pred(4, mean);
+  EXPECT_NEAR(Rrse(pred, target), 1.0, 1e-6);
+  // A perfect predictor gives 0.
+  EXPECT_NEAR(Rrse(target, target), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluators with a controllable stub model
+// ---------------------------------------------------------------------------
+
+/// Scores candidate objects by a fixed per-object utility; ignores history.
+class StubModel : public core::Model {
+ public:
+  StubModel(const data::FeatureSpace& space, std::vector<float> utilities)
+      : space_(space), utilities_(std::move(utilities)) {}
+
+  autograd::Variable Score(const data::Batch& batch, bool) override {
+    tensor::Tensor out({batch.batch_size, 1});
+    for (size_t b = 0; b < batch.batch_size; ++b) {
+      const int32_t cand = batch.static_ids[b * batch.n_static + 1] -
+                           static_cast<int32_t>(space_.num_users());
+      out.at(b, 0) = utilities_[cand];
+    }
+    return autograd::Variable::Constant(std::move(out));
+  }
+  std::vector<autograd::Variable> TrainableParameters() override { return {}; }
+  std::string name() const override { return "Stub"; }
+
+ private:
+  data::FeatureSpace space_;
+  std::vector<float> utilities_;
+};
+
+struct EvalFixture {
+  EvalFixture()
+      : log(MakeLog()),
+        ds(data::TemporalDataset::FromLog(log).ValueOrDie()),
+        space(log.num_users(), log.num_objects()),
+        builder(space, 4) {}
+
+  static data::InteractionLog MakeLog() {
+    data::InteractionLog log(4, 10);
+    // Every user visits objects 0..3 first, so negatives can only come from
+    // objects 4..9; the final (test) object is the user id with a
+    // user-specific rating (non-zero variance across the test split).
+    for (int32_t u = 0; u < 4; ++u) {
+      for (int t = 0; t < 4; ++t) {
+        log.Add({u, static_cast<int32_t>(t), t, 3.0f});
+      }
+      log.Add({u, u, 10, 2.0f + 0.5f * static_cast<float>(u)});
+    }
+    log.Finalize();
+    return log;
+  }
+
+  data::InteractionLog log;
+  data::TemporalDataset ds;
+  data::FeatureSpace space;
+  data::BatchBuilder builder;
+};
+
+TEST(RankingEvaluatorTest, OracleModelGetsPerfectScores) {
+  EvalFixture fx;
+  // Utility: test targets (objects 0..3) score highest.
+  std::vector<float> util(10, 0.0f);
+  for (int i = 0; i < 4; ++i) util[i] = 10.0f + i;
+  StubModel oracle(fx.space, util);
+  RankingEvaluator evaluator(&fx.ds, &fx.builder, /*num_negatives=*/5,
+                             /*seed=*/1);
+  auto metrics = evaluator.Evaluate(&oracle, {1, 5});
+  EXPECT_NEAR(metrics.hr[5], 1.0, 1e-9);
+  EXPECT_NEAR(metrics.ndcg[5], 1.0, 1e-9);
+}
+
+TEST(RankingEvaluatorTest, AntiOracleScoresZero) {
+  EvalFixture fx;
+  std::vector<float> util(10, 1.0f);
+  for (int i = 0; i < 4; ++i) util[i] = -10.0f;  // targets ranked last
+  StubModel anti(fx.space, util);
+  RankingEvaluator evaluator(&fx.ds, &fx.builder, 5, 1);
+  auto metrics = evaluator.Evaluate(&anti, {5});
+  EXPECT_NEAR(metrics.hr[5], 0.0, 1e-9);
+}
+
+TEST(RankingEvaluatorTest, CandidatesFixedAcrossModels) {
+  EvalFixture fx;
+  RankingEvaluator e1(&fx.ds, &fx.builder, 5, 99);
+  RankingEvaluator e2(&fx.ds, &fx.builder, 5, 99);
+  std::vector<float> util(10, 0.0f);
+  util[0] = 1.0f;
+  StubModel m(fx.space, util);
+  auto a = e1.Evaluate(&m, {5, 10});
+  auto b = e2.Evaluate(&m, {5, 10});
+  EXPECT_EQ(a.hr[5], b.hr[5]);
+  EXPECT_EQ(a.ndcg[10], b.ndcg[10]);
+}
+
+TEST(ClassificationEvaluatorTest, OracleAucIsOne) {
+  EvalFixture fx;
+  std::vector<float> util(10, -5.0f);
+  for (int i = 0; i < 4; ++i) util[i] = 5.0f;  // positives high
+  StubModel oracle(fx.space, util);
+  ClassificationEvaluator evaluator(&fx.ds, &fx.builder, 7);
+  auto metrics = evaluator.Evaluate(&oracle);
+  EXPECT_NEAR(metrics.auc, 1.0, 1e-9);
+  EXPECT_LT(metrics.rmse, 0.05);
+  EXPECT_LT(metrics.logloss, 0.05);
+}
+
+TEST(RegressionEvaluatorTest, PerfectAndBiasedPredictors) {
+  EvalFixture fx;
+  // Test target of user u is object u with rating 2.0 + 0.5u.
+  std::vector<float> util(10, 0.0f);
+  for (int u = 0; u < 4; ++u) util[u] = 2.0f + 0.5f * static_cast<float>(u);
+  StubModel perfect(fx.space, util);
+  RegressionEvaluator evaluator(&fx.ds, &fx.builder);
+  auto m = evaluator.Evaluate(&perfect);
+  EXPECT_NEAR(m.mae, 0.0, 1e-6);
+  EXPECT_NEAR(m.rrse, 0.0, 1e-6);
+
+  std::vector<float> biased = util;
+  for (int u = 0; u < 4; ++u) biased[u] += 1.0f;
+  StubModel off(fx.space, biased);
+  auto m2 = evaluator.Evaluate(&off);
+  EXPECT_NEAR(m2.mae, 1.0, 1e-6);
+  EXPECT_NEAR(m2.rmse, 1.0, 1e-6);
+}
+
+TEST(ScoreExamplesTest, ChunksMatchSingleBatch) {
+  EvalFixture fx;
+  std::vector<float> util(10);
+  for (int i = 0; i < 10; ++i) util[i] = static_cast<float>(i);
+  StubModel m(fx.space, util);
+  std::vector<const data::SequenceExample*> examples;
+  for (const auto& ex : fx.ds.train()) examples.push_back(&ex);
+  auto big = ScoreExamples(&m, fx.builder, examples, nullptr, 1000);
+  auto tiny = ScoreExamples(&m, fx.builder, examples, nullptr, 2);
+  ASSERT_EQ(big.size(), tiny.size());
+  for (size_t i = 0; i < big.size(); ++i) EXPECT_EQ(big[i], tiny[i]);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace seqfm

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "optim/optimizer.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace optim {
+namespace {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+Variable Param(std::vector<float> vals) {
+  return Variable::Leaf(
+      Tensor::FromVector({vals.size()}, vals).ValueOrDie(), true);
+}
+
+void SetGrad(Variable& v, std::vector<float> g) {
+  auto& grad = v.mutable_grad();
+  for (size_t i = 0; i < g.size(); ++i) grad.at(i) = g[i];
+}
+
+TEST(SgdTest, PlainStep) {
+  Variable p = Param({1.0f, 2.0f});
+  Sgd opt({p}, 0.1f);
+  SetGrad(p, {10.0f, -5.0f});
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value().at(0), 0.0f);
+  EXPECT_FLOAT_EQ(p.value().at(1), 2.5f);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Variable p = Param({0.0f});
+  Sgd opt({p}, 1.0f, /*momentum=*/0.5f);
+  SetGrad(p, {1.0f});
+  opt.Step();  // vel = 1, p = -1
+  EXPECT_FLOAT_EQ(p.value().at(0), -1.0f);
+  SetGrad(p, {1.0f});
+  opt.Step();  // vel = 1.5, p = -2.5
+  EXPECT_FLOAT_EQ(p.value().at(0), -2.5f);
+}
+
+TEST(AdagradTest, AdaptiveScalingShrinksSteps) {
+  Variable p = Param({0.0f});
+  Adagrad opt({p}, 1.0f);
+  SetGrad(p, {2.0f});
+  opt.Step();  // acc=4, step = 2/2 = 1
+  const float after_first = p.value().at(0);
+  EXPECT_NEAR(after_first, -1.0f, 1e-4f);
+  SetGrad(p, {2.0f});
+  opt.Step();  // acc=8, step = 2/sqrt(8)
+  EXPECT_NEAR(p.value().at(0), after_first - 2.0f / std::sqrt(8.0f), 1e-4f);
+}
+
+TEST(AdamTest, MatchesReferenceForThreeSteps) {
+  // Hand-rolled Adam reference on f(w) = w^2 starting from w=1.
+  const float lr = 0.1f, b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+  float w_ref = 1.0f, m = 0.0f, v = 0.0f;
+  Variable p = Param({1.0f});
+  Adam opt({p}, lr, b1, b2, eps);
+  for (int t = 1; t <= 3; ++t) {
+    const float g_ref = 2.0f * w_ref;
+    m = b1 * m + (1 - b1) * g_ref;
+    v = b2 * v + (1 - b2) * g_ref * g_ref;
+    const float mhat = m / (1 - std::pow(b1, t));
+    const float vhat = v / (1 - std::pow(b2, t));
+    w_ref -= lr * mhat / (std::sqrt(vhat) + eps);
+
+    opt.ZeroGrad();
+    SetGrad(p, {2.0f * p.value().at(0)});
+    opt.Step();
+    EXPECT_NEAR(p.value().at(0), w_ref, 1e-5f) << "step " << t;
+  }
+  EXPECT_EQ(opt.step_count(), 3);
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // With bias correction, |first update| == lr regardless of grad scale.
+  for (float g : {0.001f, 1.0f, 1000.0f}) {
+    Variable p = Param({0.0f});
+    Adam opt({p}, 0.01f);
+    SetGrad(p, {g});
+    opt.Step();
+    EXPECT_NEAR(std::abs(p.value().at(0)), 0.01f, 1e-4f);
+  }
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Variable p = Param({0.0f, 0.0f});
+  Sgd opt({p}, 1.0f);
+  SetGrad(p, {3.0f, 4.0f});  // norm 5
+  const float pre = opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(pre, 5.0f);
+  EXPECT_NEAR(p.grad().at(0), 0.6f, 1e-5f);
+  EXPECT_NEAR(p.grad().at(1), 0.8f, 1e-5f);
+}
+
+TEST(OptimizerTest, ClipLeavesSmallGradientsAlone) {
+  Variable p = Param({0.0f});
+  Sgd opt({p}, 1.0f);
+  SetGrad(p, {0.5f});
+  opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(p.grad().at(0), 0.5f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAllParams) {
+  Variable a = Param({1.0f});
+  Variable b = Param({2.0f});
+  Adam opt({a, b}, 0.1f);
+  SetGrad(a, {1.0f});
+  SetGrad(b, {1.0f});
+  opt.ZeroGrad();
+  EXPECT_EQ(a.grad().at(0), 0.0f);
+  EXPECT_EQ(b.grad().at(0), 0.0f);
+}
+
+TEST(StepDecayTest, HalvesOnSchedule) {
+  Variable p = Param({0.0f});
+  Sgd opt({p}, 1.0f);
+  StepDecaySchedule sched(&opt, /*step_epochs=*/2, /*gamma=*/0.5f);
+  sched.OnEpochEnd(0);
+  EXPECT_FLOAT_EQ(opt.lr(), 1.0f);
+  sched.OnEpochEnd(1);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+  sched.OnEpochEnd(2);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+  sched.OnEpochEnd(3);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.25f);
+}
+
+TEST(ConvergenceTest, AdamMinimizesQuadraticBowl) {
+  // f(w) = sum (w - target)^2 via autograd end-to-end.
+  Rng rng(70);
+  Tensor init({8});
+  tensor::FillNormal(&init, &rng, 2.0f);
+  Variable w = Variable::Leaf(std::move(init), true);
+  const std::vector<float> target(8, 0.7f);
+  Adam opt({w}, 0.05f);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    Variable pred = autograd::Reshape(w, {8, 1});
+    Variable loss = autograd::MseLoss(pred, target);
+    if (step == 0) first_loss = loss.value().at(0);
+    last_loss = loss.value().at(0);
+    autograd::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01f);
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(w.value().at(i), 0.7f, 0.05f);
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace seqfm

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace tensor {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FactoryHelpers) {
+  Tensor ones = Tensor::Ones({4});
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(ones.at(i), 1.0f);
+  Tensor full = Tensor::Full({2, 2}, 3.5f);
+  EXPECT_EQ(full.at(1, 1), 3.5f);
+}
+
+TEST(TensorTest, FromVectorChecksSize) {
+  auto ok = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->at(1, 0), 3.0f);
+  auto bad = Tensor::FromVector({2, 2}, {1, 2, 3});
+  EXPECT_FALSE(bad.ok());
+  auto bad_rank = Tensor::FromVector({}, {});
+  EXPECT_FALSE(bad_rank.ok());
+}
+
+TEST(TensorTest, Rank3IndexingIsRowMajor) {
+  auto t = Tensor::FromVector({2, 2, 3},
+                              {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+               .ValueOrDie();
+  EXPECT_EQ(t.at(0, 1, 2), 5.0f);
+  EXPECT_EQ(t.at(1, 0, 0), 6.0f);
+  EXPECT_EQ(t.BatchData(1)[0], 6.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  auto t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6}).ValueOrDie();
+  ASSERT_TRUE(t.ReshapeInPlace({3, 2}).ok());
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_FALSE(t.ReshapeInPlace({4, 2}).ok());
+}
+
+TEST(TensorTest, AddScaledAndScale) {
+  auto a = Tensor::FromVector({3}, {1, 2, 3}).ValueOrDie();
+  auto b = Tensor::FromVector({3}, {10, 20, 30}).ValueOrDie();
+  a.AddScaled(b, 0.5f);
+  EXPECT_EQ(a.at(0), 6.0f);
+  EXPECT_EQ(a.at(2), 18.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a.at(1), 24.0f);
+}
+
+TEST(TensorTest, ItemRequiresScalar) {
+  auto t = Tensor::FromVector({1}, {7}).ValueOrDie();
+  EXPECT_EQ(t.Item(), 7.0f);
+}
+
+TEST(TensorTest, ToStringShowsShape) {
+  Tensor t({2, 3, 4});
+  const std::string s = t.ToString(2);
+  EXPECT_NE(s.find("2x3x4"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM against a naive reference
+// ---------------------------------------------------------------------------
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const size_t m = ta ? a.dim(1) : a.dim(0);
+  const size_t k = ta ? a.dim(0) : a.dim(1);
+  const size_t n = tb ? b.dim(0) : b.dim(1);
+  Tensor c({m, n});
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at(p, i) : a.at(i, p);
+        const float bv = tb ? b.at(j, p) : b.at(p, j);
+        acc += av * bv;
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+class GemmVariantTest : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(GemmVariantTest, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(21);
+  const size_t m = 5, k = 7, n = 4;
+  Tensor a(ta ? std::vector<size_t>{k, m} : std::vector<size_t>{m, k});
+  Tensor b(tb ? std::vector<size_t>{n, k} : std::vector<size_t>{k, n});
+  FillNormal(&a, &rng, 1.0f);
+  FillNormal(&b, &rng, 1.0f);
+  Tensor got({m, n});
+  MatMul(a, b, &got, ta, tb);
+  Tensor want = NaiveMatMul(a, b, ta, tb);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-4f);
+  }
+}
+
+TEST_P(GemmVariantTest, AccumulateAddsToOutput) {
+  const auto [ta, tb] = GetParam();
+  Rng rng(22);
+  const size_t m = 3, k = 4, n = 2;
+  Tensor a(ta ? std::vector<size_t>{k, m} : std::vector<size_t>{m, k});
+  Tensor b(tb ? std::vector<size_t>{n, k} : std::vector<size_t>{k, n});
+  FillNormal(&a, &rng, 1.0f);
+  FillNormal(&b, &rng, 1.0f);
+  Tensor out = Tensor::Full({m, n}, 10.0f);
+  MatMul(a, b, &out, ta, tb, /*accumulate=*/true);
+  Tensor want = NaiveMatMul(a, b, ta, tb);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.data()[i], want.data()[i] + 10.0f, 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposeCombos, GemmVariantTest,
+    ::testing::Values(std::pair{false, false}, std::pair{false, true},
+                      std::pair{true, false}, std::pair{true, true}));
+
+TEST(BatchedMatMulTest, PerBatchProducts) {
+  Rng rng(23);
+  Tensor a({3, 2, 4}), b({3, 4, 5});
+  FillNormal(&a, &rng, 1.0f);
+  FillNormal(&b, &rng, 1.0f);
+  Tensor out({3, 2, 5});
+  BatchedMatMul(a, b, &out);
+  for (size_t bt = 0; bt < 3; ++bt) {
+    for (size_t i = 0; i < 2; ++i) {
+      for (size_t j = 0; j < 5; ++j) {
+        float acc = 0.0f;
+        for (size_t p = 0; p < 4; ++p) acc += a.at(bt, i, p) * b.at(bt, p, j);
+        EXPECT_NEAR(out.at(bt, i, j), acc, 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(BatchedMatMulSharedTest, EquivalentToFlattened) {
+  Rng rng(24);
+  Tensor a({2, 3, 4}), w({4, 5});
+  FillNormal(&a, &rng, 1.0f);
+  FillNormal(&w, &rng, 1.0f);
+  Tensor out({2, 3, 5});
+  BatchedMatMulShared(a, w, &out);
+  for (size_t bt = 0; bt < 2; ++bt) {
+    for (size_t i = 0; i < 3; ++i) {
+      for (size_t j = 0; j < 5; ++j) {
+        float acc = 0.0f;
+        for (size_t p = 0; p < 4; ++p) acc += a.at(bt, i, p) * w.at(p, j);
+        EXPECT_NEAR(out.at(bt, i, j), acc, 1e-4f);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Softmax
+// ---------------------------------------------------------------------------
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(25);
+  Tensor x({4, 6});
+  FillNormal(&x, &rng, 2.0f);
+  Tensor y({4, 6});
+  SoftmaxLastDim(x, nullptr, &y);
+  for (size_t i = 0; i < 4; ++i) {
+    float total = 0.0f;
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_GT(y.at(i, j), 0.0f);
+      total += y.at(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxTest, LargeValuesAreStable) {
+  auto x = Tensor::FromVector({1, 3}, {1000.0f, 1001.0f, 999.0f}).ValueOrDie();
+  Tensor y({1, 3});
+  SoftmaxLastDim(x, nullptr, &y);
+  for (size_t j = 0; j < 3; ++j) EXPECT_TRUE(std::isfinite(y.at(0, j)));
+  EXPECT_GT(y.at(0, 1), y.at(0, 0));
+}
+
+TEST(SoftmaxTest, MaskedEntriesGetZeroProbability) {
+  Rng rng(26);
+  Tensor x({2, 4});
+  FillNormal(&x, &rng, 1.0f);
+  const float inf = std::numeric_limits<float>::infinity();
+  auto mask =
+      Tensor::FromVector({2, 4}, {0, -inf, 0, -inf, -inf, 0, 0, 0}).ValueOrDie();
+  Tensor y({2, 4});
+  SoftmaxLastDim(x, &mask, &y);
+  EXPECT_EQ(y.at(0, 1), 0.0f);
+  EXPECT_EQ(y.at(0, 3), 0.0f);
+  EXPECT_EQ(y.at(1, 0), 0.0f);
+  EXPECT_NEAR(y.at(0, 0) + y.at(0, 2), 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxTest, MaskBroadcastsOverBatch) {
+  Rng rng(27);
+  Tensor x({3, 2, 2});
+  FillNormal(&x, &rng, 1.0f);
+  const float inf = std::numeric_limits<float>::infinity();
+  auto mask = Tensor::FromVector({2, 2}, {0, -inf, 0, 0}).ValueOrDie();
+  Tensor y({3, 2, 2});
+  SoftmaxLastDim(x, &mask, &y);
+  for (size_t b = 0; b < 3; ++b) {
+    EXPECT_NEAR(y.at(b, 0, 0), 1.0f, 1e-5f);  // row 0: only col 0 open
+    EXPECT_EQ(y.at(b, 0, 1), 0.0f);
+  }
+}
+
+TEST(SoftmaxTest, FullyMaskedRowBecomesZeros) {
+  Tensor x({1, 2});
+  const float inf = std::numeric_limits<float>::infinity();
+  auto mask = Tensor::FromVector({1, 2}, {-inf, -inf}).ValueOrDie();
+  Tensor y({1, 2});
+  SoftmaxLastDim(x, &mask, &y);
+  EXPECT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_EQ(y.at(0, 1), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise & reductions
+// ---------------------------------------------------------------------------
+
+TEST(ElementwiseTest, AddSubMul) {
+  auto a = Tensor::FromVector({3}, {1, 2, 3}).ValueOrDie();
+  auto b = Tensor::FromVector({3}, {4, 5, 6}).ValueOrDie();
+  Tensor out({3});
+  Add(a, b, &out);
+  EXPECT_EQ(out.at(2), 9.0f);
+  Sub(a, b, &out);
+  EXPECT_EQ(out.at(0), -3.0f);
+  Mul(a, b, &out);
+  EXPECT_EQ(out.at(1), 10.0f);
+}
+
+TEST(ElementwiseTest, Activations) {
+  auto x = Tensor::FromVector({4}, {-2, -0.5f, 0, 3}).ValueOrDie();
+  Tensor y({4});
+  Relu(x, &y);
+  EXPECT_EQ(y.at(0), 0.0f);
+  EXPECT_EQ(y.at(3), 3.0f);
+  Sigmoid(x, &y);
+  EXPECT_NEAR(y.at(2), 0.5f, 1e-6f);
+  EXPECT_NEAR(y.at(3), 1.0f / (1.0f + std::exp(-3.0f)), 1e-6f);
+  Tanh(x, &y);
+  EXPECT_NEAR(y.at(0), std::tanh(-2.0f), 1e-6f);
+}
+
+TEST(ElementwiseTest, StableSigmoidExtremes) {
+  EXPECT_NEAR(StableSigmoid(100.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(StableSigmoid(-100.0f), 0.0f, 1e-6f);
+  EXPECT_TRUE(std::isfinite(LogSigmoid(-100.0f)));
+  EXPECT_NEAR(LogSigmoid(100.0f), 0.0f, 1e-5f);
+}
+
+TEST(ReductionTest, AddBiasBroadcasts) {
+  auto x = Tensor::FromVector({2, 3}, {0, 0, 0, 1, 1, 1}).ValueOrDie();
+  auto b = Tensor::FromVector({3}, {10, 20, 30}).ValueOrDie();
+  Tensor y({2, 3});
+  AddBiasLastDim(x, b, &y);
+  EXPECT_EQ(y.at(0, 2), 30.0f);
+  EXPECT_EQ(y.at(1, 0), 11.0f);
+}
+
+TEST(ReductionTest, SumAxis1WithScale) {
+  auto x = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8}).ValueOrDie();
+  Tensor out({2, 2});
+  SumAxis1(x, 0.5f, &out);
+  EXPECT_EQ(out.at(0, 0), 2.0f);  // (1+3)/2
+  EXPECT_EQ(out.at(1, 1), 7.0f);  // (6+8)/2
+}
+
+TEST(ReductionTest, SumLastAndSumAll) {
+  auto x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6}).ValueOrDie();
+  Tensor out({2});
+  SumLastDim(x, &out);
+  EXPECT_EQ(out.at(0), 6.0f);
+  EXPECT_EQ(out.at(1), 15.0f);
+  EXPECT_EQ(SumAll(x), 21.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Initializers
+// ---------------------------------------------------------------------------
+
+TEST(InitTest, XavierBoundsRespectFanInOut) {
+  Rng rng(30);
+  Tensor w({100, 50});
+  FillXavier(&w, &rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < w.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(w.data()[i]));
+  }
+  EXPECT_LE(max_abs, bound);
+  EXPECT_GT(max_abs, bound * 0.5f);  // not degenerate
+}
+
+TEST(InitTest, NormalStddev) {
+  Rng rng(31);
+  Tensor w({200, 50});
+  FillNormal(&w, &rng, 0.1f);
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    sum_sq += static_cast<double>(w.data()[i]) * w.data()[i];
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / w.size()), 0.1, 0.01);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace seqfm
