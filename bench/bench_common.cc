@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace bench {
@@ -34,6 +35,15 @@ BenchOptions BenchOptions::FromFlags(const FlagParser& flags) {
   opts.validate_every = static_cast<size_t>(
       flags.GetInt("validate-every", opts.validate_every));
   opts.seed = static_cast<uint64_t>(flags.GetInt("seed", opts.seed));
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads < 0) {
+    SEQFM_LOG(Warning) << "ignoring invalid --threads=" << threads;
+  } else {
+    opts.threads = static_cast<size_t>(threads);
+    if (opts.threads > 0) {
+      util::SetGlobalThreads(opts.threads);
+    }
+  }
   return opts;
 }
 

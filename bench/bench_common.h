@@ -27,6 +27,7 @@ namespace bench {
 ///   --batch=N        mini-batch size
 ///   --lr=F           Adam learning rate
 ///   --seed=N         global seed
+///   --threads=N      thread-pool size (0 = SEQFM_THREADS env / hardware)
 ///   --quick          shrink everything for a fast smoke run
 struct BenchOptions {
   double scale = 1.0;
@@ -40,6 +41,9 @@ struct BenchOptions {
   /// Epoch-selection cadence on the validation split (0 = off).
   size_t validate_every = 5;
   uint64_t seed = 42;
+  /// Global thread-pool size applied by FromFlags; 0 keeps the default
+  /// (SEQFM_THREADS env or hardware concurrency).
+  size_t threads = 0;
   bool quick = false;
 
   static BenchOptions FromFlags(const FlagParser& flags);

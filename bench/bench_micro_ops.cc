@@ -8,7 +8,9 @@
 #include "nn/layers.h"
 #include "nn/masks.h"
 #include "tensor/init.h"
+#include "tensor/ops.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace {
@@ -21,6 +23,68 @@ Variable RandomBatch(size_t batch, size_t n, size_t d, Rng* rng) {
   tensor::FillNormal(&t, rng, 1.0f);
   return Variable::Constant(std::move(t));
 }
+
+// ---------------------------------------------------------------------------
+// GEMM backbone: 512x512x512 across thread counts, against the naive
+// reference. The acceptance bar for the parallel backbone is >= 2x at 4
+// threads over the 1-thread blocked kernel (given >= 4 cores).
+// ---------------------------------------------------------------------------
+
+void GemmBenchArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)
+      ->UseRealTime();
+}
+
+void BM_Gemm512(benchmark::State& state) {
+  const size_t m = 512, k = 512, n = 512;
+  Rng rng(7);
+  Tensor a({m, k}), b({k, n}), c({m, n});
+  tensor::FillNormal(&a, &rng, 1.0f);
+  tensor::FillNormal(&b, &rng, 1.0f);
+  util::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    tensor::MatMul(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(m * n * k) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+  util::SetGlobalThreads(1);
+}
+BENCHMARK(BM_Gemm512)->Apply(GemmBenchArgs);
+
+void BM_Gemm512_Reference(benchmark::State& state) {
+  const size_t m = 512, k = 512, n = 512;
+  Rng rng(7);
+  Tensor a({m, k}), b({k, n}), c({m, n});
+  tensor::FillNormal(&a, &rng, 1.0f);
+  tensor::FillNormal(&b, &rng, 1.0f);
+  for (auto _ : state) {
+    tensor::GemmReference(a.data(), b.data(), c.data(), m, k, n, false, false,
+                          false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(m * n * k) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Gemm512_Reference)->Unit(benchmark::kMillisecond);
+
+void BM_Gemm512_Transposed(benchmark::State& state) {
+  // The A^T · B shape that dominates the backward pass.
+  const size_t m = 512, k = 512, n = 512;
+  Rng rng(8);
+  Tensor a({k, m}), b({k, n}), c({m, n});
+  tensor::FillNormal(&a, &rng, 1.0f);
+  tensor::FillNormal(&b, &rng, 1.0f);
+  util::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    tensor::MatMul(a, b, &c, /*trans_a=*/true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  util::SetGlobalThreads(1);
+}
+BENCHMARK(BM_Gemm512_Transposed)->Apply(GemmBenchArgs);
 
 void BM_SelfAttentionForward_SeqLen(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -6,10 +6,17 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace autograd {
 namespace internal {
+
+// Grain tuning for the parallel op loops lives next to ParallelFor; see
+// util::kEwGrain / util::kMathGrain / util::GrainForRows.
+using util::GrainForRows;
+using util::kEwGrain;
+using util::kMathGrain;
 
 /// Allocates an op node: requires_grad is inherited from the parents, the
 /// backward closure is attached by the caller after construction.

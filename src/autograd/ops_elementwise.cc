@@ -55,14 +55,18 @@ Variable Mul(const Variable& a, const Variable& b) {
       const float* g = self->grad.data();
       const float* bv = pb->value.data();
       float* da = pa->grad.data();
-      for (size_t i = 0; i < n; ++i) da[i] += g[i] * bv[i];
+      util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) da[i] += g[i] * bv[i];
+      });
     }
     if (pb->requires_grad) {
       pb->EnsureGrad();
       const float* g = self->grad.data();
       const float* av = pa->value.data();
       float* db = pb->grad.data();
-      for (size_t i = 0; i < n; ++i) db[i] += g[i] * av[i];
+      util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) db[i] += g[i] * av[i];
+      });
     }
   };
   return Variable(node);
@@ -125,11 +129,14 @@ Variable AddBroadcastBatch(const Variable& x, const Variable& table) {
   SEQFM_CHECK_EQ(x.dim(2), table.dim(1));
   const size_t batch = x.dim(0), rows = x.dim(1), d = x.dim(2);
   Tensor out = x.value();
-  for (size_t b = 0; b < batch; ++b) {
-    float* dst = out.BatchData(b);
-    const float* src = table.value().data();
-    for (size_t i = 0; i < rows * d; ++i) dst[i] += src[i];
-  }
+  const float* src = table.value().data();
+  util::ParallelFor(batch, internal::GrainForRows(rows * d, internal::kEwGrain),
+                    [&out, src, rows, d](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      float* dst = out.BatchData(b);
+      for (size_t i = 0; i < rows * d; ++i) dst[i] += src[i];
+    }
+  });
   auto node =
       MakeNode("add_broadcast_batch", {x.node(), table.node()}, std::move(out));
   Node* self = node.get();
@@ -139,6 +146,8 @@ Variable AddBroadcastBatch(const Variable& x, const Variable& table) {
     if (px->requires_grad) px->AccumulateGrad(self->grad);
     if (pt->requires_grad) {
       pt->EnsureGrad();
+      // The table gradient sums over the batch into one shared buffer; it
+      // stays serial so the reduction order never depends on thread count.
       float* dt = pt->grad.data();
       for (size_t b = 0; b < batch; ++b) {
         const float* g = self->grad.BatchData(b);
@@ -162,9 +171,11 @@ Variable Relu(const Variable& x) {
     const float* g = self->grad.data();
     const float* xv = p->value.data();
     float* dx = p->grad.data();
-    for (size_t i = 0; i < n; ++i) {
-      if (xv[i] > 0.0f) dx[i] += g[i];
-    }
+    util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        if (xv[i] > 0.0f) dx[i] += g[i];
+      }
+    });
   };
   return Variable(node);
 }
@@ -182,7 +193,9 @@ Variable Sigmoid(const Variable& x) {
     const float* g = self->grad.data();
     const float* y = self->value.data();
     float* dx = p->grad.data();
-    for (size_t i = 0; i < n; ++i) dx[i] += g[i] * y[i] * (1.0f - y[i]);
+    util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) dx[i] += g[i] * y[i] * (1.0f - y[i]);
+    });
   };
   return Variable(node);
 }
@@ -200,7 +213,9 @@ Variable Tanh(const Variable& x) {
     const float* g = self->grad.data();
     const float* y = self->value.data();
     float* dx = p->grad.data();
-    for (size_t i = 0; i < n; ++i) dx[i] += g[i] * (1.0f - y[i] * y[i]);
+    util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) dx[i] += g[i] * (1.0f - y[i] * y[i]);
+    });
   };
   return Variable(node);
 }

@@ -15,14 +15,20 @@ Variable EmbeddingGather(const Variable& table,
   const size_t vocab = table.dim(0), d = table.dim(1);
   Tensor out({batch, n, d});
   const float* tv = table.value().data();
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int32_t idx = indices[i];
-    float* dst = out.data() + i * d;
-    if (idx < 0) continue;  // padding -> zero row (already zeroed)
-    SEQFM_CHECK_LT(static_cast<size_t>(idx), vocab);
-    const float* src = tv + static_cast<size_t>(idx) * d;
-    for (size_t j = 0; j < d; ++j) dst[j] = src[j];
-  }
+  float* out_data = out.data();
+  // Gather rows are disjoint writes, so the index loop splits freely.
+  util::ParallelFor(indices.size(),
+                    internal::GrainForRows(d, internal::kEwGrain),
+                    [&indices, out_data, tv, vocab, d](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const int32_t idx = indices[i];
+      float* dst = out_data + i * d;
+      if (idx < 0) continue;  // padding -> zero row (already zeroed)
+      SEQFM_CHECK_LT(static_cast<size_t>(idx), vocab);
+      const float* src = tv + static_cast<size_t>(idx) * d;
+      for (size_t j = 0; j < d; ++j) dst[j] = src[j];
+    }
+  });
   auto node = MakeNode("embedding_gather", {table.node()}, std::move(out));
   Node* self = node.get();
   node->backward_fn = [self, indices, d]() {
@@ -31,13 +37,22 @@ Variable EmbeddingGather(const Variable& table,
     p->EnsureGrad();
     const float* g = self->grad.data();
     float* dt = p->grad.data();
-    for (size_t i = 0; i < indices.size(); ++i) {
-      const int32_t idx = indices[i];
-      if (idx < 0) continue;
-      const float* gr = g + i * d;
-      float* dst = dt + static_cast<size_t>(idx) * d;
-      for (size_t j = 0; j < d; ++j) dst[j] += gr[j];
-    }
+    // Scatter-add: duplicate indices collide on table rows, so the split is
+    // over COLUMNS of the embedding dimension — each chunk scans every index
+    // but owns a disjoint column slice. No atomics are needed and each
+    // dt[row, j] accumulates in the same (ascending i) order for every
+    // thread count, keeping training bit-for-bit reproducible.
+    util::ParallelFor(d, internal::GrainForRows(indices.size(),
+                                                internal::kEwGrain),
+                      [&indices, g, dt, d](size_t j0, size_t j1) {
+      for (size_t i = 0; i < indices.size(); ++i) {
+        const int32_t idx = indices[i];
+        if (idx < 0) continue;
+        const float* gr = g + i * d;
+        float* dst = dt + static_cast<size_t>(idx) * d;
+        for (size_t j = j0; j < j1; ++j) dst[j] += gr[j];
+      }
+    });
   };
   return Variable(node);
 }
@@ -51,22 +66,28 @@ Variable EmbeddingSumGather(const Variable& weights,
   const size_t vocab = weights.dim(0);
   Tensor out({batch, 1});
   const float* wv = weights.value().data();
-  for (size_t b = 0; b < batch; ++b) {
-    float acc = 0.0f;
-    for (size_t i = 0; i < n; ++i) {
-      const int32_t idx = indices[b * n + i];
-      if (idx < 0) continue;
-      SEQFM_CHECK_LT(static_cast<size_t>(idx), vocab);
-      acc += wv[idx];
+  float* out_data = out.data();
+  util::ParallelFor(batch, internal::GrainForRows(n, internal::kEwGrain),
+                    [&indices, out_data, wv, vocab, n](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      float acc = 0.0f;
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t idx = indices[b * n + i];
+        if (idx < 0) continue;
+        SEQFM_CHECK_LT(static_cast<size_t>(idx), vocab);
+        acc += wv[idx];
+      }
+      out_data[b] = acc;
     }
-    out.at(b, 0) = acc;
-  }
+  });
   auto node = MakeNode("embedding_sum_gather", {weights.node()}, std::move(out));
   Node* self = node.get();
   node->backward_fn = [self, indices, batch, n]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
+    // Scalar weights leave no conflict-free axis to split (every chunk would
+    // race on dw[idx]); the loop is cheap, so it stays serial.
     float* dw = p->grad.data();
     for (size_t b = 0; b < batch; ++b) {
       const float g = self->grad.at(b, 0);

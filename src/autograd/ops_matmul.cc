@@ -79,15 +79,22 @@ Variable Bmm(const Variable& a, const Variable& b, bool trans_a,
   node->backward_fn = [self, trans_a, trans_b, batch, m, k, n]() {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
+    if (pa->requires_grad) pa->EnsureGrad();
+    if (pb->requires_grad) pb->EnsureGrad();
     // For C = A'·B' (primed = possibly transposed):
     //   dA' = dC·B'^T and dB' = A'^T·dC, then un-transpose:
     //   trans_a ? dA = (dA')^T = B'·dC^T : dA = dC·B'^T
-    for (size_t i = 0; i < batch; ++i) {
+    // Each batch item owns disjoint slices of dA and dB, so the batch loop
+    // splits across the pool (the inner Gemms then run inline).
+    const size_t per_item = m * n * k;
+    util::ParallelFor(batch,
+                      internal::GrainForRows(per_item, util::kMinParallelWork),
+                      [=](size_t b0, size_t b1) {
+    for (size_t i = b0; i < b1; ++i) {
       const float* ga = self->grad.BatchData(i);
       const float* av = pa->value.BatchData(i);
       const float* bv = pb->value.BatchData(i);
       if (pa->requires_grad) {
-        pa->EnsureGrad();
         float* da = pa->grad.BatchData(i);
         if (!trans_a) {
           // dA[m,k] += dC[m,n] · (B')^T; B' is [k,n]:
@@ -104,7 +111,6 @@ Variable Bmm(const Variable& a, const Variable& b, bool trans_a,
         }
       }
       if (pb->requires_grad) {
-        pb->EnsureGrad();
         float* db = pb->grad.BatchData(i);
         if (!trans_b) {
           // B is [k,n]; dB[k,n] += (A')^T[k,m] · dC[m,n].
@@ -121,6 +127,7 @@ Variable Bmm(const Variable& a, const Variable& b, bool trans_a,
         }
       }
     }
+    });
   };
   return Variable(node);
 }
@@ -132,29 +139,39 @@ Variable BmmLeftShared(const Variable& w, const Variable& p) {
   const size_t batch = p.dim(0);
   const size_t h2 = w.dim(0), h = w.dim(1), d = p.dim(2);
   Tensor out({batch, h2, d});
-  for (size_t b = 0; b < batch; ++b) {
-    tensor::Gemm(w.value().data(), p.value().BatchData(b), out.BatchData(b),
-                 h2, h, d, false, false, false);
-  }
+  util::ParallelFor(batch, internal::GrainForRows(h2 * h * d, util::kMinParallelWork),
+                    [&, h2, h, d](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      tensor::Gemm(w.value().data(), p.value().BatchData(b), out.BatchData(b),
+                   h2, h, d, false, false, false);
+    }
+  });
   auto node = MakeNode("bmm_left_shared", {w.node(), p.node()}, std::move(out));
   Node* self = node.get();
   node->backward_fn = [self, batch, h2, h, d]() {
     Node* pw = self->parents[0].get();
     Node* pp = self->parents[1].get();
-    for (size_t b = 0; b < batch; ++b) {
-      const float* g = self->grad.BatchData(b);
-      if (pw->requires_grad) {
-        pw->EnsureGrad();
-        // dW[h2,h] += dC[h2,d] · P^T[d,h], with P [h,d].
-        tensor::Gemm(g, pp->value.BatchData(b), pw->grad.data(), h2, d, h,
-                     false, true, true);
+    if (pw->requires_grad) {
+      pw->EnsureGrad();
+      // dW[h2,h] += dC[h2,d] · P^T[d,h] summed over the batch into one
+      // shared buffer; serial so the reduction order never depends on
+      // thread count.
+      for (size_t b = 0; b < batch; ++b) {
+        tensor::Gemm(self->grad.BatchData(b), pp->value.BatchData(b),
+                     pw->grad.data(), h2, d, h, false, true, true);
       }
-      if (pp->requires_grad) {
-        pp->EnsureGrad();
-        // dP[h,d] += W^T[h,h2] · dC[h2,d].
-        tensor::Gemm(pw->value.data(), g, pp->grad.BatchData(b), h, h2, d,
-                     true, false, true);
-      }
+    }
+    if (pp->requires_grad) {
+      pp->EnsureGrad();
+      // dP[h,d] += W^T[h,h2] · dC[h2,d]: disjoint per batch item.
+      util::ParallelFor(batch,
+                        internal::GrainForRows(h * h2 * d, util::kMinParallelWork),
+                        [=](size_t b0, size_t b1) {
+        for (size_t b = b0; b < b1; ++b) {
+          tensor::Gemm(pw->value.data(), self->grad.BatchData(b),
+                       pp->grad.BatchData(b), h, h2, d, true, false, true);
+        }
+      });
     }
   };
   return Variable(node);
@@ -165,33 +182,42 @@ Variable RowDot(const Variable& a, const Variable& b) {
   SEQFM_CHECK(a.value().SameShape(b.value()));
   const size_t batch = a.dim(0), d = a.dim(1);
   Tensor out({batch, 1});
-  for (size_t i = 0; i < batch; ++i) {
-    const float* x = a.value().data() + i * d;
-    const float* y = b.value().data() + i * d;
-    float acc = 0.0f;
-    for (size_t j = 0; j < d; ++j) acc += x[j] * y[j];
-    out.at(i, 0) = acc;
-  }
+  const float* av = a.value().data();
+  const float* bv = b.value().data();
+  float* out_data = out.data();
+  util::ParallelFor(batch, internal::GrainForRows(d, internal::kEwGrain),
+                    [=](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const float* x = av + i * d;
+      const float* y = bv + i * d;
+      float acc = 0.0f;
+      for (size_t j = 0; j < d; ++j) acc += x[j] * y[j];
+      out_data[i] = acc;
+    }
+  });
   auto node = MakeNode("row_dot", {a.node(), b.node()}, std::move(out));
   Node* self = node.get();
   node->backward_fn = [self, batch, d]() {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
-    for (size_t i = 0; i < batch; ++i) {
-      const float g = self->grad.at(i, 0);
-      if (pa->requires_grad) {
-        pa->EnsureGrad();
-        const float* y = pb->value.data() + i * d;
-        float* da = pa->grad.data() + i * d;
-        for (size_t j = 0; j < d; ++j) da[j] += g * y[j];
+    if (pa->requires_grad) pa->EnsureGrad();
+    if (pb->requires_grad) pb->EnsureGrad();
+    util::ParallelFor(batch, internal::GrainForRows(d, internal::kEwGrain),
+                      [=](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        const float g = self->grad.at(i, 0);
+        if (pa->requires_grad) {
+          const float* y = pb->value.data() + i * d;
+          float* da = pa->grad.data() + i * d;
+          for (size_t j = 0; j < d; ++j) da[j] += g * y[j];
+        }
+        if (pb->requires_grad) {
+          const float* x = pa->value.data() + i * d;
+          float* db = pb->grad.data() + i * d;
+          for (size_t j = 0; j < d; ++j) db[j] += g * x[j];
+        }
       }
-      if (pb->requires_grad) {
-        pb->EnsureGrad();
-        const float* x = pa->value.data() + i * d;
-        float* db = pb->grad.data() + i * d;
-        for (size_t j = 0; j < d; ++j) db[j] += g * x[j];
-      }
-    }
+    });
   };
   return Variable(node);
 }

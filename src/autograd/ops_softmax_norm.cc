@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "autograd/ops_common.h"
@@ -28,14 +30,18 @@ Variable MaskedSoftmax(const Variable& x, const Variable& mask) {
     const float* g = self->grad.data();
     float* dx = px->grad.data();
     // dx_j = p_j * (g_j - sum_k g_k p_k); masked entries have p_j = 0.
-    for (size_t r = 0; r < rows; ++r) {
-      const float* pr = p + r * cols;
-      const float* gr = g + r * cols;
-      float* dr = dx + r * cols;
-      float dot = 0.0f;
-      for (size_t j = 0; j < cols; ++j) dot += gr[j] * pr[j];
-      for (size_t j = 0; j < cols; ++j) dr[j] += pr[j] * (gr[j] - dot);
-    }
+    // Rows are independent, so the row loop splits across the pool.
+    util::ParallelFor(rows, internal::GrainForRows(cols, internal::kMathGrain),
+                      [=](size_t r0, size_t r1) {
+      for (size_t r = r0; r < r1; ++r) {
+        const float* pr = p + r * cols;
+        const float* gr = g + r * cols;
+        float* dr = dx + r * cols;
+        float dot = 0.0f;
+        for (size_t j = 0; j < cols; ++j) dot += gr[j] * pr[j];
+        for (size_t j = 0; j < cols; ++j) dr[j] += pr[j] * (gr[j] - dot);
+      }
+    });
   };
   return Variable(node);
 }
@@ -53,26 +59,32 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   const float* xv = x.value().data();
   const float* gv = gamma.value().data();
   const float* bv = beta.value().data();
-  for (size_t r = 0; r < rows; ++r) {
-    const float* xr = xv + r * d;
-    float mean = 0.0f;
-    for (size_t j = 0; j < d; ++j) mean += xr[j];
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (size_t j = 0; j < d; ++j) {
-      const float c = xr[j] - mean;
-      var += c * c;
+  float* xhat_data = xhat.data();
+  float* out_data = out.data();
+  float* inv_std_data = inv_std.data();
+  util::ParallelFor(rows, internal::GrainForRows(d, internal::kMathGrain),
+                    [=](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const float* xr = xv + r * d;
+      float mean = 0.0f;
+      for (size_t j = 0; j < d; ++j) mean += xr[j];
+      mean /= static_cast<float>(d);
+      float var = 0.0f;
+      for (size_t j = 0; j < d; ++j) {
+        const float c = xr[j] - mean;
+        var += c * c;
+      }
+      var /= static_cast<float>(d);
+      const float is = 1.0f / std::sqrt(var + eps);
+      inv_std_data[r] = is;
+      float* hr = xhat_data + r * d;
+      float* yr = out_data + r * d;
+      for (size_t j = 0; j < d; ++j) {
+        hr[j] = (xr[j] - mean) * is;
+        yr[j] = gv[j] * hr[j] + bv[j];
+      }
     }
-    var /= static_cast<float>(d);
-    const float is = 1.0f / std::sqrt(var + eps);
-    inv_std[r] = is;
-    float* hr = xhat.data() + r * d;
-    float* yr = out.data() + r * d;
-    for (size_t j = 0; j < d; ++j) {
-      hr[j] = (xr[j] - mean) * is;
-      yr[j] = gv[j] * hr[j] + bv[j];
-    }
-  }
+  });
 
   auto node = MakeNode("layer_norm", {x.node(), gamma.node(), beta.node()},
                        std::move(out));
@@ -84,38 +96,54 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
     Node* pb = self->parents[2].get();
     const float* g = self->grad.data();
     const float* gv = pg->value.data();
-    for (size_t r = 0; r < rows; ++r) {
-      const float* gr = g + r * d;
-      const float* hr = xhat.data() + r * d;
-      if (pg->requires_grad) {
-        pg->EnsureGrad();
-        float* dg = pg->grad.data();
-        for (size_t j = 0; j < d; ++j) dg[j] += gr[j] * hr[j];
-      }
-      if (pb->requires_grad) {
-        pb->EnsureGrad();
-        float* db = pb->grad.data();
-        for (size_t j = 0; j < d; ++j) db[j] += gr[j];
-      }
-      if (px->requires_grad) {
-        px->EnsureGrad();
-        // dxhat = g ⊙ gamma;
-        // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat ⊙ xhat)).
-        float mean_dh = 0.0f, mean_dh_h = 0.0f;
-        for (size_t j = 0; j < d; ++j) {
-          const float dh = gr[j] * gv[j];
-          mean_dh += dh;
-          mean_dh_h += dh * hr[j];
+    // dgamma/dbeta reduce over rows into shared [d] buffers; that pass stays
+    // serial so the accumulation order is independent of thread count. The
+    // per-row dx math carries the heavy arithmetic and parallelizes cleanly.
+    if (pg->requires_grad || pb->requires_grad) {
+      for (size_t r = 0; r < rows; ++r) {
+        const float* gr = g + r * d;
+        const float* hr = xhat.data() + r * d;
+        if (pg->requires_grad) {
+          pg->EnsureGrad();
+          float* dg = pg->grad.data();
+          for (size_t j = 0; j < d; ++j) dg[j] += gr[j] * hr[j];
         }
-        mean_dh /= static_cast<float>(d);
-        mean_dh_h /= static_cast<float>(d);
-        float* dx = px->grad.data() + r * d;
-        const float is = inv_std[r];
-        for (size_t j = 0; j < d; ++j) {
-          const float dh = gr[j] * gv[j];
-          dx[j] += is * (dh - mean_dh - hr[j] * mean_dh_h);
+        if (pb->requires_grad) {
+          pb->EnsureGrad();
+          float* db = pb->grad.data();
+          for (size_t j = 0; j < d; ++j) db[j] += gr[j];
         }
       }
+    }
+    if (px->requires_grad) {
+      px->EnsureGrad();
+      float* dx_base = px->grad.data();
+      const float* hbase = xhat.data();
+      const float* is_base = inv_std.data();
+      util::ParallelFor(rows,
+                        internal::GrainForRows(d, internal::kMathGrain),
+                        [=](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const float* gr = g + r * d;
+          const float* hr = hbase + r * d;
+          // dxhat = g ⊙ gamma;
+          // dx = inv_std * (dxhat - mean(dxhat) - xhat * mean(dxhat ⊙ xhat)).
+          float mean_dh = 0.0f, mean_dh_h = 0.0f;
+          for (size_t j = 0; j < d; ++j) {
+            const float dh = gr[j] * gv[j];
+            mean_dh += dh;
+            mean_dh_h += dh * hr[j];
+          }
+          mean_dh /= static_cast<float>(d);
+          mean_dh_h /= static_cast<float>(d);
+          float* dx = dx_base + r * d;
+          const float is = is_base[r];
+          for (size_t j = 0; j < d; ++j) {
+            const float dh = gr[j] * gv[j];
+            dx[j] += is * (dh - mean_dh - hr[j] * mean_dh_h);
+          }
+        }
+      });
     }
   };
   return Variable(node);
@@ -130,8 +158,32 @@ Variable Dropout(const Variable& x, float keep_prob, bool training, Rng* rng) {
   // mask entries are 0 (dropped) or 1/keep_prob (inverted dropout scaling).
   Tensor mask(x.value().shape());
   const float scale = 1.0f / keep_prob;
-  for (size_t i = 0; i < n; ++i) {
-    mask.data()[i] = rng->Bernoulli(keep_prob) ? scale : 0.0f;
+  float* mask_data = mask.data();
+  constexpr size_t kDropoutChunk = 4096;
+  constexpr size_t kDropoutParallelMin = util::kMinParallelWork;
+  if (n < kDropoutParallelMin) {
+    // Small tensors stay serial and keep the caller's stream untouched.
+    for (size_t i = 0; i < n; ++i) {
+      mask_data[i] = rng->Bernoulli(keep_prob) ? scale : 0.0f;
+    }
+  } else {
+    // Large masks are generated in fixed-size chunks, each drawing from its
+    // own child stream derived serially with Rng::SplitN BEFORE dispatch.
+    // Chunk boundaries depend only on n, so for a fixed seed the mask is
+    // identical at every thread count while still filling in parallel.
+    const size_t num_chunks = (n + kDropoutChunk - 1) / kDropoutChunk;
+    std::vector<Rng> streams = rng->SplitN(num_chunks);
+    util::ParallelFor(num_chunks, 1, [&streams, mask_data, n, scale,
+                                      keep_prob](size_t c0, size_t c1) {
+      for (size_t c = c0; c < c1; ++c) {
+        Rng& stream = streams[c];
+        const size_t begin = c * kDropoutChunk;
+        const size_t end = std::min(n, begin + kDropoutChunk);
+        for (size_t i = begin; i < end; ++i) {
+          mask_data[i] = stream.Bernoulli(keep_prob) ? scale : 0.0f;
+        }
+      }
+    });
   }
   Tensor out(x.value().shape());
   tensor::Mul(x.value(), mask, &out);
@@ -145,7 +197,9 @@ Variable Dropout(const Variable& x, float keep_prob, bool training, Rng* rng) {
     const float* g = self->grad.data();
     const float* m = mask.data();
     float* dx = p->grad.data();
-    for (size_t i = 0; i < n; ++i) dx[i] += g[i] * m[i];
+    util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) dx[i] += g[i] * m[i];
+    });
   };
   return Variable(node);
 }

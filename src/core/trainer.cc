@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace core {
@@ -17,6 +18,11 @@ Trainer::Trainer(Model* model, const data::BatchBuilder* builder,
       rng_(config.seed), sampler_(dataset) {
   SEQFM_CHECK_GT(config_.epochs, 0u);
   SEQFM_CHECK_GT(config_.batch_size, 0u);
+  // One pool per process: sizing it here lets every kernel the step touches
+  // (forward, backward, optimizer-side tensor ops) share the same workers.
+  if (config_.num_threads > 0) {
+    util::SetGlobalThreads(config_.num_threads);
+  }
   optimizer_ = std::make_unique<optim::Adam>(model_->TrainableParameters(),
                                              config_.learning_rate);
 }

@@ -36,6 +36,14 @@ struct TrainConfig {
   /// epoch are restored after training (the paper's use of the held-out
   /// second-last records, Sec. V-C).
   size_t validate_every = 0;
+  /// Size of the process-global util::ThreadPool shared by the forward and
+  /// backward kernels. 0 keeps the current pool (SEQFM_THREADS env or
+  /// hardware concurrency). A non-zero value recreates the pool at Trainer
+  /// construction, so do not construct a Trainer with it while another
+  /// thread is mid-training (see util::SetGlobalThreads). Loss curves are
+  /// bit-for-bit identical for every value — see the determinism contract
+  /// in util/thread_pool.h.
+  size_t num_threads = 0;
   uint64_t seed = 42;
   bool verbose = false;
 };

@@ -2,80 +2,166 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace tensor {
 
 namespace {
 
-// C[m,n] (+)= A[m,k] * B[k,n], all row-major, ikj loop order so that the
-// inner loop streams both B and C rows (auto-vectorizes well).
-void GemmNN(const float* a, const float* b, float* c, size_t m, size_t k,
-            size_t n, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0f);
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
+// ---------------------------------------------------------------------------
+// GEMM
+//
+// C[m,n] (+)= A op B, row-major. The kernel is cache-blocked over N,
+// register-tiled over kMr rows of C, and its outer M loop is dispatched in
+// row chunks across the global thread pool. Each output element is owned by
+// exactly one chunk and accumulates its k products in ascending-p order into
+// a private accumulator that is added to C once at the end, so the result is
+// bit-for-bit identical to GemmReference for every blocking, grain, and
+// thread count.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kMr = 4;    // register-tile height (rows of C per pass)
+constexpr size_t kNc = 512;  // cache-block width (columns of C per pass)
+// Grain cutoffs are shared with the autograd layer; see util/thread_pool.h.
+using util::GrainForRows;
+using util::kEwGrain;
+using util::kMathGrain;
+// GEMMs below this many multiply-adds run serially on the caller.
+constexpr size_t kGemmParallelMinWork = util::kMinParallelWork;
+
+inline void StoreRow(const float* acc, float* crow, size_t jn,
+                     bool accumulate) {
+  if (accumulate) {
+    for (size_t j = 0; j < jn; ++j) crow[j] += acc[j];
+  } else {
+    for (size_t j = 0; j < jn; ++j) crow[j] = acc[j];
+  }
+}
+
+// Rows [0, rows) of `arows` ([rows, k] contiguous) times non-transposed B
+// ([k, n]), written to the matching rows of C starting at crows. Streams a
+// kNc-wide block of B per pass; four C rows share each B row load.
+void GemmRowsBNormal(const float* arows, const float* b, float* crows,
+                     size_t rows, size_t k, size_t n, bool accumulate) {
+  float acc[kMr * kNc];
+  for (size_t j0 = 0; j0 < n; j0 += kNc) {
+    const size_t jn = std::min(n - j0, kNc);
+    size_t i = 0;
+    for (; i + kMr <= rows; i += kMr) {
+      std::fill(acc, acc + kMr * jn, 0.0f);
+      const float* a0 = arows + i * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      for (size_t p = 0; p < k; ++p) {
+        const float* brow = b + p * n + j0;
+        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+        float* r0 = acc;
+        float* r1 = acc + jn;
+        float* r2 = acc + 2 * jn;
+        float* r3 = acc + 3 * jn;
+        for (size_t j = 0; j < jn; ++j) {
+          r0[j] += v0 * brow[j];
+          r1[j] += v1 * brow[j];
+          r2[j] += v2 * brow[j];
+          r3[j] += v3 * brow[j];
+        }
+      }
+      for (size_t r = 0; r < kMr; ++r) {
+        StoreRow(acc + r * jn, crows + (i + r) * n + j0, jn, accumulate);
+      }
+    }
+    for (; i < rows; ++i) {
+      std::fill(acc, acc + jn, 0.0f);
+      const float* ar = arows + i * k;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = ar[p];
+        const float* brow = b + p * n + j0;
+        for (size_t j = 0; j < jn; ++j) acc[j] += av * brow[j];
+      }
+      StoreRow(acc, crows + i * n + j0, jn, accumulate);
+    }
+  }
+}
+
+// Rows [0, rows) of `arows` times transposed B (stored [n, k]): pure dot
+// products, register-tiled so four rows of A share each B row.
+void GemmRowsBTrans(const float* arows, const float* b, float* crows,
+                    size_t rows, size_t k, size_t n, bool accumulate) {
+  size_t i = 0;
+  for (; i + kMr <= rows; i += kMr) {
+    const float* a0 = arows + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    float* crow = crows + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        const float bv = brow[p];
+        s0 += a0[p] * bv;
+        s1 += a1[p] * bv;
+        s2 += a2[p] * bv;
+        s3 += a3[p] * bv;
+      }
+      if (accumulate) {
+        crow[j] += s0;
+        crow[n + j] += s1;
+        crow[2 * n + j] += s2;
+        crow[3 * n + j] += s3;
+      } else {
+        crow[j] = s0;
+        crow[n + j] = s1;
+        crow[2 * n + j] = s2;
+        crow[3 * n + j] = s3;
+      }
+    }
+  }
+  for (; i < rows; ++i) {
+    const float* ar = arows + i * k;
+    float* crow = crows + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float s = 0.0f;
+      for (size_t p = 0; p < k; ++p) s += ar[p] * brow[p];
+      if (accumulate) {
+        crow[j] += s;
+      } else {
+        crow[j] = s;
+      }
+    }
+  }
+}
+
+// Computes C rows [i0, i1). When A is transposed (stored [k, m]) its rows are
+// first packed contiguously so both inner kernels see a [rows, k] panel.
+void GemmRowRange(const float* a, const float* b, float* c, size_t m, size_t k,
+                  size_t n, bool trans_a, bool trans_b, bool accumulate,
+                  size_t i0, size_t i1) {
+  const size_t rows = i1 - i0;
+  const float* arows;
+  std::vector<float> packed;
+  if (trans_a) {
+    packed.resize(rows * k);
     for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      const float* src = a + p * m + i0;
+      for (size_t i = 0; i < rows; ++i) packed[i * k + p] = src[i];
     }
+    arows = packed.data();
+  } else {
+    arows = a + i0 * k;
   }
-}
-
-// C[m,n] (+)= A[m,k] * B^T where B is [n,k]: rows of A dot rows of B.
-void GemmNT(const float* a, const float* b, float* c, size_t m, size_t k,
-            size_t n, bool accumulate) {
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      if (accumulate) {
-        crow[j] += acc;
-      } else {
-        crow[j] = acc;
-      }
-    }
-  }
-}
-
-// C[m,n] (+)= A^T * B where A is [k,m], B is [k,n].
-void GemmTN(const float* a, const float* b, float* c, size_t m, size_t k,
-            size_t n, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0f);
-  for (size_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-// C[m,n] (+)= A^T * B^T where A is [k,m], B is [n,k].
-void GemmTT(const float* a, const float* b, float* c, size_t m, size_t k,
-            size_t n, bool accumulate) {
-  for (size_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
-      if (accumulate) {
-        crow[j] += acc;
-      } else {
-        crow[j] = acc;
-      }
-    }
+  float* crows = c + i0 * n;
+  if (trans_b) {
+    GemmRowsBTrans(arows, b, crows, rows, k, n, accumulate);
+  } else {
+    GemmRowsBNormal(arows, b, crows, rows, k, n, accumulate);
   }
 }
 
@@ -86,17 +172,54 @@ void CheckSameShape(const Tensor& a, const Tensor& b) {
 
 }  // namespace
 
+void GemmReference(const float* a, const float* b, float* c, size_t m,
+                   size_t k, size_t n, bool trans_a, bool trans_b,
+                   bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[p * m + i] : a[i * k + p];
+        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += av * bv;
+      }
+      float* dst = c + i * n + j;
+      if (accumulate) {
+        *dst += acc;
+      } else {
+        *dst = acc;
+      }
+    }
+  }
+}
+
 void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
           size_t n, bool trans_a, bool trans_b, bool accumulate) {
-  if (!trans_a && !trans_b) {
-    GemmNN(a, b, c, m, k, n, accumulate);
-  } else if (!trans_a && trans_b) {
-    GemmNT(a, b, c, m, k, n, accumulate);
-  } else if (trans_a && !trans_b) {
-    GemmTN(a, b, c, m, k, n, accumulate);
-  } else {
-    GemmTT(a, b, c, m, k, n, accumulate);
+  // Degenerate sizes are legal and handled explicitly: an empty output is a
+  // no-op, and k == 0 is an empty sum (zero unless accumulating).
+  if (m == 0 || n == 0) return;
+  SEQFM_CHECK(c != nullptr) << "Gemm: null C with " << m << "x" << n
+                            << " output";
+  if (k == 0) {
+    if (!accumulate) std::fill(c, c + m * n, 0.0f);
+    return;
   }
+  SEQFM_CHECK(a != nullptr) << "Gemm: null A with k=" << k;
+  SEQFM_CHECK(b != nullptr) << "Gemm: null B with k=" << k;
+  const size_t work = m * n * k;
+  if (work < kGemmParallelMinWork) {
+    GemmRowRange(a, b, c, m, k, n, trans_a, trans_b, accumulate, 0, m);
+    return;
+  }
+  const size_t grain = std::max(kMr, GrainForRows(n * k, kGemmParallelMinWork));
+  util::ParallelFor(m, grain, [=](size_t i0, size_t i1) {
+    GemmRowRange(a, b, c, m, k, n, trans_a, trans_b, accumulate, i0, i1);
+  });
 }
 
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out, bool trans_a,
@@ -129,10 +252,18 @@ void BatchedMatMul(const Tensor& a, const Tensor& b, Tensor* out, bool trans_a,
   SEQFM_CHECK_EQ(out->dim(0), batch);
   SEQFM_CHECK_EQ(out->dim(1), m);
   SEQFM_CHECK_EQ(out->dim(2), n);
-  for (size_t i = 0; i < batch; ++i) {
-    Gemm(a.BatchData(i), b.BatchData(i), out->BatchData(i), m, ka, n, trans_a,
-         trans_b, accumulate);
-  }
+  // Parallelize over the batch; the per-item Gemm then runs inline on the
+  // worker (nested ParallelFor calls are serial), which is the right split
+  // for the many-small-matrices shape attention produces.
+  const size_t per_item = m * n * ka;
+  const size_t grain = GrainForRows(per_item, kGemmParallelMinWork);
+  util::ParallelFor(batch, grain, [&, trans_a, trans_b,
+                                   accumulate](size_t b0, size_t b1) {
+    for (size_t i = b0; i < b1; ++i) {
+      Gemm(a.BatchData(i), b.BatchData(i), out->BatchData(i), m, ka, n,
+           trans_a, trans_b, accumulate);
+    }
+  });
 }
 
 void BatchedMatMulShared(const Tensor& a, const Tensor& w, Tensor* out,
@@ -169,70 +300,93 @@ void SoftmaxLastDim(const Tensor& in, const Tensor* mask, Tensor* out) {
   }
   const float* src = in.data();
   float* dst = out->data();
-  for (size_t r = 0; r < rows; ++r) {
-    const float* x = src + r * cols;
-    float* y = dst + r * cols;
-    const float* mrow =
-        mask_data ? mask_data + (r % mask_rows) * cols : nullptr;
-    float max_val = -std::numeric_limits<float>::infinity();
-    for (size_t j = 0; j < cols; ++j) {
-      const float v = x[j] + (mrow ? mrow[j] : 0.0f);
-      if (v > max_val) max_val = v;
+  util::ParallelFor(rows, GrainForRows(cols, kMathGrain), [=](size_t r0,
+                                                              size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const float* x = src + r * cols;
+      float* y = dst + r * cols;
+      const float* mrow =
+          mask_data ? mask_data + (r % mask_rows) * cols : nullptr;
+      float max_val = -std::numeric_limits<float>::infinity();
+      for (size_t j = 0; j < cols; ++j) {
+        const float v = x[j] + (mrow ? mrow[j] : 0.0f);
+        if (v > max_val) max_val = v;
+      }
+      // A fully masked row would yield max == -inf; fall back to zeros.
+      if (!std::isfinite(max_val)) {
+        std::fill(y, y + cols, 0.0f);
+        continue;
+      }
+      float total = 0.0f;
+      for (size_t j = 0; j < cols; ++j) {
+        const float v = x[j] + (mrow ? mrow[j] : 0.0f);
+        y[j] = std::isfinite(v) ? std::exp(v - max_val) : 0.0f;
+        total += y[j];
+      }
+      const float inv = 1.0f / total;
+      for (size_t j = 0; j < cols; ++j) y[j] *= inv;
     }
-    // A fully masked row would yield max == -inf; fall back to uniform zeros.
-    if (!std::isfinite(max_val)) {
-      std::fill(y, y + cols, 0.0f);
-      continue;
-    }
-    float total = 0.0f;
-    for (size_t j = 0; j < cols; ++j) {
-      const float v = x[j] + (mrow ? mrow[j] : 0.0f);
-      y[j] = std::isfinite(v) ? std::exp(v - max_val) : 0.0f;
-      total += y[j];
-    }
-    const float inv = 1.0f / total;
-    for (size_t j = 0; j < cols; ++j) y[j] *= inv;
-  }
+  });
 }
 
 void Add(const Tensor& a, const Tensor& b, Tensor* out) {
   CheckSameShape(a, b);
   CheckSameShape(a, *out);
-  const size_t n = a.size();
-  for (size_t i = 0; i < n; ++i) out->data()[i] = a.data()[i] + b.data()[i];
+  const float* av = a.data();
+  const float* bv = b.data();
+  float* y = out->data();
+  util::ParallelFor(a.size(), kEwGrain, [=](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) y[i] = av[i] + bv[i];
+  });
 }
 
 void Sub(const Tensor& a, const Tensor& b, Tensor* out) {
   CheckSameShape(a, b);
   CheckSameShape(a, *out);
-  const size_t n = a.size();
-  for (size_t i = 0; i < n; ++i) out->data()[i] = a.data()[i] - b.data()[i];
+  const float* av = a.data();
+  const float* bv = b.data();
+  float* y = out->data();
+  util::ParallelFor(a.size(), kEwGrain, [=](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) y[i] = av[i] - bv[i];
+  });
 }
 
 void Mul(const Tensor& a, const Tensor& b, Tensor* out) {
   CheckSameShape(a, b);
   CheckSameShape(a, *out);
-  const size_t n = a.size();
-  for (size_t i = 0; i < n; ++i) out->data()[i] = a.data()[i] * b.data()[i];
+  const float* av = a.data();
+  const float* bv = b.data();
+  float* y = out->data();
+  util::ParallelFor(a.size(), kEwGrain, [=](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) y[i] = av[i] * bv[i];
+  });
 }
 
 void Relu(const Tensor& in, Tensor* out) {
   CheckSameShape(in, *out);
-  const size_t n = in.size();
-  for (size_t i = 0; i < n; ++i)
-    out->data()[i] = in.data()[i] > 0.0f ? in.data()[i] : 0.0f;
+  const float* x = in.data();
+  float* y = out->data();
+  util::ParallelFor(in.size(), kEwGrain, [=](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  });
 }
 
 void Sigmoid(const Tensor& in, Tensor* out) {
   CheckSameShape(in, *out);
-  const size_t n = in.size();
-  for (size_t i = 0; i < n; ++i) out->data()[i] = StableSigmoid(in.data()[i]);
+  const float* x = in.data();
+  float* y = out->data();
+  util::ParallelFor(in.size(), kMathGrain, [=](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) y[i] = StableSigmoid(x[i]);
+  });
 }
 
 void Tanh(const Tensor& in, Tensor* out) {
   CheckSameShape(in, *out);
-  const size_t n = in.size();
-  for (size_t i = 0; i < n; ++i) out->data()[i] = std::tanh(in.data()[i]);
+  const float* x = in.data();
+  float* y = out->data();
+  util::ParallelFor(in.size(), kMathGrain, [=](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) y[i] = std::tanh(x[i]);
+  });
 }
 
 void AddBiasLastDim(const Tensor& in, const Tensor& bias, Tensor* out) {
@@ -241,11 +395,17 @@ void AddBiasLastDim(const Tensor& in, const Tensor& bias, Tensor* out) {
   const size_t d = in.shape().back();
   SEQFM_CHECK_EQ(bias.dim(0), d);
   const size_t rows = in.size() / d;
-  for (size_t r = 0; r < rows; ++r) {
-    const float* x = in.data() + r * d;
-    float* y = out->data() + r * d;
-    for (size_t j = 0; j < d; ++j) y[j] = x[j] + bias.at(j);
-  }
+  const float* x = in.data();
+  const float* bv = bias.data();
+  float* y = out->data();
+  util::ParallelFor(rows, GrainForRows(d, kEwGrain), [=](size_t r0,
+                                                         size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * d;
+      float* yr = y + r * d;
+      for (size_t j = 0; j < d; ++j) yr[j] = xr[j] + bv[j];
+    }
+  });
 }
 
 void SumAxis1(const Tensor& in, float scale, Tensor* out, bool accumulate) {
@@ -255,29 +415,42 @@ void SumAxis1(const Tensor& in, float scale, Tensor* out, bool accumulate) {
   SEQFM_CHECK_EQ(out->dim(1), in.dim(2));
   const size_t batch = in.dim(0), rows = in.dim(1), d = in.dim(2);
   if (!accumulate) out->Zero();
-  for (size_t b = 0; b < batch; ++b) {
-    const float* src = in.BatchData(b);
-    float* dst = out->data() + b * d;
-    for (size_t i = 0; i < rows; ++i) {
-      const float* row = src + i * d;
-      for (size_t j = 0; j < d; ++j) dst[j] += scale * row[j];
+  // Each batch item owns a disjoint output row, so the batch loop is safe to
+  // split across the pool.
+  float* out_data = out->data();
+  util::ParallelFor(batch, GrainForRows(rows * d, kEwGrain),
+                    [&in, out_data, scale, rows, d](size_t b0, size_t b1) {
+    for (size_t b = b0; b < b1; ++b) {
+      const float* src = in.BatchData(b);
+      float* dst = out_data + b * d;
+      for (size_t i = 0; i < rows; ++i) {
+        const float* row = src + i * d;
+        for (size_t j = 0; j < d; ++j) dst[j] += scale * row[j];
+      }
     }
-  }
+  });
 }
 
 void SumLastDim(const Tensor& in, Tensor* out) {
   const size_t d = in.shape().back();
   const size_t rows = in.size() / d;
   SEQFM_CHECK_EQ(out->size(), rows);
-  for (size_t r = 0; r < rows; ++r) {
-    const float* x = in.data() + r * d;
-    float acc = 0.0f;
-    for (size_t j = 0; j < d; ++j) acc += x[j];
-    out->data()[r] = acc;
-  }
+  const float* x = in.data();
+  float* y = out->data();
+  util::ParallelFor(rows, GrainForRows(d, kEwGrain), [=](size_t r0,
+                                                         size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * d;
+      float acc = 0.0f;
+      for (size_t j = 0; j < d; ++j) acc += xr[j];
+      y[r] = acc;
+    }
+  });
 }
 
 float SumAll(const Tensor& in) {
+  // Deliberately serial: a parallel reduction would make the result depend
+  // on the chunking, breaking bit-for-bit thread-count invariance.
   float acc = 0.0f;
   for (size_t i = 0; i < in.size(); ++i) acc += in.data()[i];
   return acc;

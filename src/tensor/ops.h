@@ -16,8 +16,24 @@ namespace tensor {
 /// Raw GEMM core: C[m,n] (+)= A op B with optional transposition.
 ///   trans_a == false: A is [m,k] row-major; true: A is [k,m] and used as A^T.
 ///   trans_b == false: B is [k,n] row-major; true: B is [n,k] and used as B^T.
+///
+/// The kernel is cache-blocked, register-tiled, and dispatches row chunks of
+/// C across the global util::ThreadPool once the problem is large enough.
+/// Each output element sums its k products in ascending order into a private
+/// accumulator added to C exactly once, so results are bit-for-bit identical
+/// to GemmReference for every thread count.
+///
+/// Degenerate sizes are handled explicitly: m == 0 or n == 0 is a no-op and
+/// k == 0 is an empty sum (C is zeroed unless accumulating). Null pointers
+/// with non-degenerate sizes abort.
 void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
           size_t n, bool trans_a, bool trans_b, bool accumulate);
+
+/// Naive single-threaded triple-loop GEMM with the same contract as Gemm.
+/// The comparison oracle for tests and the baseline for bench_micro_ops.
+void GemmReference(const float* a, const float* b, float* c, size_t m,
+                   size_t k, size_t n, bool trans_a, bool trans_b,
+                   bool accumulate);
 
 /// C = A · B for rank-2 tensors; shape-checked wrappers over Gemm.
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out,

@@ -84,11 +84,21 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Split() {
+  // Seed the child through SplitMix64 rather than copying raw xoshiro
+  // outputs into its state: raw outputs of nearby draws are correlated
+  // across lanes, while the remix gives every child a well-mixed state.
+  uint64_t sm = NextUint64();
   Rng child(0);
-  // Mix a fresh state from this generator's stream.
-  for (auto& lane : child.s_) lane = NextUint64();
+  for (auto& lane : child.s_) lane = SplitMix64(sm);
   child.has_cached_normal_ = false;
   return child;
+}
+
+std::vector<Rng> Rng::SplitN(size_t n) {
+  std::vector<Rng> children;
+  children.reserve(n);
+  for (size_t i = 0; i < n; ++i) children.push_back(Split());
+  return children;
 }
 
 ZipfSampler::ZipfSampler(size_t num_items, double exponent) {

@@ -64,7 +64,18 @@ class Rng {
   }
 
   /// Derives an independent generator (for parallel or nested streams).
+  /// The child state is produced by an independent SplitMix64 remix of one
+  /// parent draw — never raw xoshiro outputs — so sibling streams do not
+  /// share correlated state lanes.
   Rng Split();
+
+  /// Derives \p n independent child generators in one call. This is the
+  /// entry point for parallel work: derive one child per CHUNK (by chunk
+  /// index, serially, before dispatching to the thread pool), never one per
+  /// worker thread, so the streams each chunk consumes are fixed by the
+  /// seed alone and results are identical for every thread count. See
+  /// autograd::Dropout for the canonical use.
+  std::vector<Rng> SplitN(size_t n);
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,146 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "util/logging.h"
+
+namespace seqfm {
+namespace util {
+
+namespace {
+/// True while the current thread is executing pool work (worker or
+/// submitter); nested ParallelFor calls from such threads run inline.
+thread_local bool t_in_pool_work = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  SEQFM_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads - 1);
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks() {
+  for (;;) {
+    size_t b, e;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_ >= end_) return;
+      b = next_;
+      e = std::min(end_, b + chunk_);
+      next_ = e;
+      ++active_;
+    }
+    const bool was_in_pool_work = t_in_pool_work;
+    t_in_pool_work = true;
+    (*fn_)(b, e);
+    t_in_pool_work = was_in_pool_work;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (next_ >= end_ && active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this]() {
+      return shutdown_ || (fn_ != nullptr && next_ < end_);
+    });
+    if (shutdown_) return;
+    lock.unlock();
+    RunChunks();
+    lock.lock();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  grain = std::max<size_t>(1, grain);
+  if (workers_.empty() || n <= grain || t_in_pool_work) {
+    // Inline execution. Note t_in_pool_work stays as-is: a range that is
+    // merely too small to split (e.g. a batch dimension of 1) must not
+    // suppress parallelism in nested calls that do have enough work.
+    fn(begin, end);
+    return;
+  }
+  const size_t max_chunks = (n + grain - 1) / grain;
+  const size_t chunks = std::min(num_threads(), max_chunks);
+  std::lock_guard<std::mutex> region_lock(region_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    next_ = begin;
+    end_ = end;
+    chunk_ = (n + chunks - 1) / chunks;
+    active_ = 0;
+  }
+  work_cv_.notify_all();
+  RunChunks();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this]() { return next_ >= end_ && active_ == 0; });
+    fn_ = nullptr;
+  }
+}
+
+size_t DefaultThreads() {
+  if (const char* env = std::getenv("SEQFM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<size_t>(parsed);
+    SEQFM_LOG(Warning) << "ignoring invalid SEQFM_THREADS='" << env << "'";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool& GetOrCreatePool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  return *g_pool;
+}
+}  // namespace
+
+ThreadPool& GlobalPool() { return GetOrCreatePool(); }
+
+void SetGlobalThreads(size_t num_threads) {
+  SEQFM_CHECK_GE(num_threads, 1u);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool && g_pool->num_threads() == num_threads) return;
+  g_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+size_t GlobalThreads() { return GetOrCreatePool().num_threads(); }
+
+bool InParallelRegion() { return t_in_pool_work; }
+
+namespace internal {
+void ParallelForImpl(size_t n, size_t grain,
+                     const std::function<void(size_t, size_t)>& fn) {
+  GetOrCreatePool().ParallelFor(0, n, grain, fn);
+}
+}  // namespace internal
+
+}  // namespace util
+}  // namespace seqfm

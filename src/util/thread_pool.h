@@ -1,0 +1,133 @@
+#ifndef SEQFM_UTIL_THREAD_POOL_H_
+#define SEQFM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seqfm {
+namespace util {
+
+/// \brief Fixed-size thread pool backing every parallel loop in the library.
+///
+/// Deliberately simple: no work stealing and no futures. Work is submitted as
+/// a contiguous index range through ParallelFor, which splits it into chunks,
+/// lets the calling thread participate, and blocks until every chunk has run.
+///
+/// Determinism contract: kernels dispatched through the pool must compute
+/// each output element entirely within one chunk (no cross-chunk floating
+/// point reductions), so results are bit-for-bit identical for any thread
+/// count. See tensor/ops.cc for the canonical example.
+class ThreadPool {
+ public:
+  /// Creates a pool that runs work on \p num_threads threads total: the
+  /// calling thread plus num_threads - 1 workers. num_threads must be >= 1;
+  /// a pool of 1 runs everything inline.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute ParallelFor work (workers + caller).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(chunk_begin, chunk_end) over disjoint chunks covering
+  /// [begin, end) and blocks until all chunks are done. Ranges of at most
+  /// \p grain elements (and all work when the pool has a single thread) run
+  /// inline on the caller. Nested calls from inside pool work also run
+  /// inline, so kernels may call ParallelFor unconditionally.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Pulls chunks of the active region until none remain. Both workers and
+  /// the submitting thread execute this.
+  void RunChunks();
+
+  std::vector<std::thread> workers_;
+
+  /// Serializes parallel regions: only one ParallelFor is active at a time.
+  std::mutex region_mu_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "a region has chunks left"
+  std::condition_variable done_cv_;  // submitter: "all chunks finished"
+  const std::function<void(size_t, size_t)>* fn_ = nullptr;  // active region
+  size_t next_ = 0;    // first index not yet claimed
+  size_t end_ = 0;     // one past the last index of the region
+  size_t chunk_ = 0;   // chunk size for the region
+  size_t active_ = 0;  // chunks currently executing
+  bool shutdown_ = false;
+};
+
+/// Number of threads the process-global pool should use: the SEQFM_THREADS
+/// environment variable when set (clamped to >= 1), otherwise the hardware
+/// concurrency.
+size_t DefaultThreads();
+
+/// The process-global pool shared by forward, backward, and the benches.
+/// Lazily constructed with DefaultThreads() on first use.
+ThreadPool& GlobalPool();
+
+/// Resizes the global pool (used by --threads flags and TrainConfig).
+/// Destroys and recreates the pool, so it must NOT be called while any
+/// thread is running pool work — size the pool between training runs, not
+/// during them.
+void SetGlobalThreads(size_t num_threads);
+
+/// Current size of the global pool (constructs it if needed).
+size_t GlobalThreads();
+
+/// True while the current thread is executing pool work; nested parallel
+/// loops run inline in that case.
+bool InParallelRegion();
+
+namespace internal {
+/// Type-erased slow path of the free ParallelFor (dispatches to GlobalPool).
+void ParallelForImpl(size_t n, size_t grain,
+                     const std::function<void(size_t, size_t)>& fn);
+}  // namespace internal
+
+/// Convenience wrapper: GlobalPool().ParallelFor(0, n, grain, fn). A
+/// template so the serial fast path (small n, nested call, 1-thread pool)
+/// invokes the body directly without materializing a std::function — op
+/// kernels call this on every tensor, most of which sit below the grain.
+template <typename Fn>
+void ParallelFor(size_t n, size_t grain, Fn&& fn) {
+  if (n == 0) return;
+  if (n <= (grain == 0 ? 1 : grain) || InParallelRegion() ||
+      GlobalThreads() == 1) {
+    fn(size_t{0}, n);
+    return;
+  }
+  internal::ParallelForImpl(n, grain,
+                            std::function<void(size_t, size_t)>(
+                                std::forward<Fn>(fn)));
+}
+
+/// Shared grain sizes for the compute kernels: loops with fewer elements
+/// than the grain stay serial so small tensors never pay dispatch overhead.
+/// Transcendental loops (exp/tanh/softmax rows) use the smaller cutoff
+/// because each element is more expensive.
+constexpr size_t kEwGrain = size_t{1} << 14;
+constexpr size_t kMathGrain = size_t{1} << 12;
+/// Minimum units of heavy inner work (GEMM multiply-adds, RNG draws) a
+/// loop must carry before it is worth dispatching to the pool at all.
+constexpr size_t kMinParallelWork = size_t{1} << 15;
+
+/// Outer-loop grain so each parallel chunk carries at least `min_work`
+/// elements of inner work.
+inline size_t GrainForRows(size_t inner_work, size_t min_work) {
+  const size_t grain = min_work / (inner_work == 0 ? 1 : inner_work);
+  return grain == 0 ? 1 : grain;
+}
+
+}  // namespace util
+}  // namespace seqfm
+
+#endif  // SEQFM_UTIL_THREAD_POOL_H_

@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "autograd/variable.h"
 #include "tensor/init.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace autograd {
@@ -174,6 +176,30 @@ TEST(LossTest, BceIsStableAtExtremeLogits) {
   EXPECT_TRUE(std::isfinite(loss.value().at(0)));
   Backward(loss);
   EXPECT_TRUE(std::isfinite(logits.grad().at(0, 0)));
+}
+
+TEST(DropoutTest, LargeMaskIdenticalAcrossThreadCounts) {
+  // Tensors past the parallel cutoff generate their mask from per-chunk
+  // Rng::SplitN streams; the mask must depend only on the seed, never on
+  // how many pool threads filled it.
+  const size_t n = 50000;
+  auto mask_with_threads = [n](size_t threads) {
+    util::SetGlobalThreads(threads);
+    Rng rng(55);
+    Variable x = Variable::Leaf(Tensor::Ones({n}), false);
+    Variable y = Dropout(x, 0.7f, /*training=*/true, &rng);
+    std::vector<float> vals(y.value().data(), y.value().data() + n);
+    return vals;
+  };
+  const auto serial = mask_with_threads(1);
+  const auto parallel = mask_with_threads(8);
+  util::SetGlobalThreads(1);
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the mask actually drops something and scales survivors.
+  size_t zeros = 0;
+  for (float v : serial) zeros += (v == 0.0f);
+  EXPECT_GT(zeros, n / 10);
+  EXPECT_LT(zeros, n / 2);
 }
 
 TEST(DropoutTest, IdentityAtEval) {

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "baselines/registry.h"
 #include "core/seqfm.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
+#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace core {
@@ -115,6 +118,34 @@ TEST(TrainerTest, DeterministicGivenSeeds) {
     return trainer.Train().final_loss;
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(TrainerTest, LossCurveIdenticalAcrossThreadCounts) {
+  // The determinism contract of the parallel backbone: for a fixed seed the
+  // ENTIRE loss curve is bit-for-bit identical no matter how many threads
+  // the pool runs — every kernel chunk owns its output elements and every
+  // RNG stream is derived serially before dispatch (util/rng.h SplitN).
+  TrainFixture fx("toys", 0.15);
+  auto run = [&fx](size_t threads) {
+    core::SeqFmConfig mcfg = TinyModelConfig();
+    mcfg.keep_prob = 0.8f;  // exercise dropout's per-chunk streams too
+    SeqFm model(fx.space, mcfg);
+    TrainConfig cfg = TinyTrainConfig(Task::kRanking);
+    cfg.epochs = 2;
+    cfg.num_threads = threads;  // resizes the process-global pool
+    Trainer trainer(&model, &fx.builder, &fx.dataset, cfg);
+    auto result = trainer.Train();
+    std::vector<double> curve;
+    for (const auto& epoch : result.epochs) curve.push_back(epoch.mean_loss);
+    return curve;
+  };
+  const std::vector<double> one_thread = run(1);
+  const std::vector<double> four_threads = run(4);
+  util::SetGlobalThreads(1);
+  ASSERT_EQ(one_thread.size(), four_threads.size());
+  for (size_t i = 0; i < one_thread.size(); ++i) {
+    EXPECT_EQ(one_thread[i], four_threads[i]) << "epoch " << i;
+  }
 }
 
 TEST(TrainerTest, WorksWithEveryBaseline) {

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
+#include <vector>
 
 #include "tensor/init.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace tensor {
@@ -134,6 +137,132 @@ INSTANTIATE_TEST_SUITE_P(
     AllTransposeCombos, GemmVariantTest,
     ::testing::Values(std::pair{false, false}, std::pair{false, true},
                       std::pair{true, false}, std::pair{true, true}));
+
+// ---------------------------------------------------------------------------
+// Blocked/parallel GEMM vs the naive reference: bit-for-bit, odd shapes,
+// every transpose combo, several thread counts.
+// ---------------------------------------------------------------------------
+
+struct GemmShape {
+  size_t m, k, n;
+};
+
+class GemmBitExactTest
+    : public ::testing::TestWithParam<std::tuple<GemmShape, size_t>> {
+ protected:
+  void TearDown() override { util::SetGlobalThreads(1); }
+};
+
+TEST_P(GemmBitExactTest, MatchesReferenceBitForBit) {
+  const auto [shape, threads] = GetParam();
+  util::SetGlobalThreads(threads);
+  const auto [m, k, n] = shape;
+  Rng rng(91);
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      for (const bool accumulate : {false, true}) {
+        std::vector<float> a(m * k), b(k * n);
+        for (auto& v : a) v = static_cast<float>(rng.Normal());
+        for (auto& v : b) v = static_cast<float>(rng.Normal());
+        std::vector<float> got(m * n), want(m * n);
+        for (size_t i = 0; i < m * n; ++i) {
+          got[i] = want[i] = static_cast<float>(i % 17) - 8.0f;
+        }
+        Gemm(a.data(), b.data(), got.data(), m, k, n, ta, tb, accumulate);
+        GemmReference(a.data(), b.data(), want.data(), m, k, n, ta, tb,
+                      accumulate);
+        for (size_t i = 0; i < m * n; ++i) {
+          ASSERT_EQ(got[i], want[i])
+              << "m=" << m << " k=" << k << " n=" << n << " ta=" << ta
+              << " tb=" << tb << " acc=" << accumulate
+              << " threads=" << threads << " elem=" << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapesAcrossThreads, GemmBitExactTest,
+    ::testing::Combine(::testing::Values(GemmShape{1, 1, 1},     // scalar
+                                         GemmShape{1, 7, 5},     // single row
+                                         GemmShape{257, 3, 2},   // tall-skinny
+                                         GemmShape{5, 1, 33},    // k = 1
+                                         GemmShape{6, 64, 6},    // deep-narrow
+                                         GemmShape{33, 17, 129}  // off-tile
+                                         ),
+                       ::testing::Values(size_t{1}, size_t{2}, size_t{8})));
+
+// A shape large enough (>= kGemmParallelMinWork) to actually cross the
+// parallel dispatch threshold at every tested thread count.
+TEST(GemmBitExactLargeTest, ParallelPathMatchesSerialBitForBit) {
+  const size_t m = 96, k = 48, n = 64;
+  Rng rng(92);
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& v : a) v = static_cast<float>(rng.Normal());
+  for (auto& v : b) v = static_cast<float>(rng.Normal());
+  std::vector<float> serial(m * n);
+  util::SetGlobalThreads(1);
+  Gemm(a.data(), b.data(), serial.data(), m, k, n, false, false, false);
+  for (const size_t threads : {2u, 4u, 8u}) {
+    util::SetGlobalThreads(threads);
+    std::vector<float> parallel(m * n);
+    Gemm(a.data(), b.data(), parallel.data(), m, k, n, false, false, false);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+  util::SetGlobalThreads(1);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate sizes and contract violations
+// ---------------------------------------------------------------------------
+
+TEST(GemmDegenerateTest, EmptyOutputIsNoOp) {
+  float b_data[4] = {1, 2, 3, 4};
+  // m == 0 and n == 0 must not touch C (even a null C is legal then).
+  Gemm(b_data, b_data, nullptr, 0, 2, 2, false, false, false);
+  float c = 42.0f;
+  Gemm(b_data, b_data, &c, 0, 2, 2, false, false, false);
+  EXPECT_EQ(c, 42.0f);
+  Gemm(b_data, b_data, &c, 1, 2, 0, false, false, false);
+  EXPECT_EQ(c, 42.0f);
+}
+
+TEST(GemmDegenerateTest, KZeroIsEmptySum) {
+  float c[4] = {1, 2, 3, 4};
+  // Overwrite semantics: C <- 0 (A and B may be null since k == 0).
+  Gemm(nullptr, nullptr, c, 2, 0, 2, false, false, false);
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+  float c2[4] = {1, 2, 3, 4};
+  // Accumulate semantics: C unchanged.
+  Gemm(nullptr, nullptr, c2, 2, 0, 2, false, false, true);
+  EXPECT_EQ(c2[0], 1.0f);
+  EXPECT_EQ(c2[3], 4.0f);
+}
+
+TEST(GemmDegenerateTest, ReferenceAgreesOnDegenerateCases) {
+  float c[4] = {1, 2, 3, 4};
+  GemmReference(nullptr, nullptr, c, 2, 0, 2, false, false, false);
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+  float sentinel = 7.0f;
+  GemmReference(nullptr, nullptr, &sentinel, 0, 3, 3, false, false, false);
+  EXPECT_EQ(sentinel, 7.0f);
+}
+
+TEST(GemmDeathTest, NullPointersWithRealWorkAbort) {
+  float x[4] = {1, 2, 3, 4};
+  EXPECT_DEATH(Gemm(nullptr, x, x, 2, 2, 2, false, false, false), "null A");
+  EXPECT_DEATH(Gemm(x, nullptr, x, 2, 2, 2, false, false, false), "null B");
+  EXPECT_DEATH(Gemm(x, x, nullptr, 2, 2, 2, false, false, false), "null C");
+}
+
+TEST(GemmDeathTest, MatMulShapeMismatchAborts) {
+  Tensor a({2, 3}), b({4, 2}), out({2, 2});
+  EXPECT_DEATH(MatMul(a, b, &out), "Check failed");
+  Tensor bad_out({3, 2});
+  Tensor b_ok({3, 2});
+  EXPECT_DEATH(MatMul(a, b_ok, &bad_out), "Check failed");
+}
 
 TEST(BatchedMatMulTest, PerBatchProducts) {
   Rng rng(23);

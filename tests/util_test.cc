@@ -4,11 +4,16 @@
 #include <cmath>
 #include <numeric>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "util/flags.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace {
@@ -202,6 +207,118 @@ TEST(RngTest, SplitProducesIndependentStream) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(child.NextUint64(), child2.NextUint64());
   }
+}
+
+TEST(RngTest, SplitNChildrenAreDeterministic) {
+  Rng a(77), b(77);
+  auto kids_a = a.SplitN(5);
+  auto kids_b = b.SplitN(5);
+  ASSERT_EQ(kids_a.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    for (int d = 0; d < 20; ++d) {
+      EXPECT_EQ(kids_a[i].NextUint64(), kids_b[i].NextUint64());
+    }
+  }
+}
+
+TEST(RngTest, SplitNChildrenAreMutuallyIndependent) {
+  Rng parent(78);
+  auto kids = parent.SplitN(4);
+  // Sibling streams (and the continued parent stream) should not collide.
+  for (size_t i = 0; i < kids.size(); ++i) {
+    for (size_t j = i + 1; j < kids.size(); ++j) {
+      Rng x = kids[i], y = kids[j];
+      int same = 0;
+      for (int d = 0; d < 64; ++d) same += (x.NextUint64() == y.NextUint64());
+      EXPECT_LT(same, 2) << "children " << i << " and " << j;
+    }
+  }
+  Rng child = kids[0];
+  int same = 0;
+  for (int d = 0; d < 64; ++d) {
+    same += (parent.NextUint64() == child.NextUint64());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitStreamsSurviveUniformity) {
+  // The hardened Split() must still give statistically uniform children.
+  Rng parent(79);
+  auto kids = parent.SplitN(8);
+  for (auto& kid : kids) {
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) total += kid.Uniform();
+    EXPECT_NEAR(total / n, 0.5, 0.02);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ParallelFor
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  util::ThreadPool pool(4);
+  const size_t n = 100000;
+  std::vector<int> hits(n, 0);
+  pool.ParallelFor(0, n, 1024, [&hits](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  bool same_thread = true;
+  pool.ParallelFor(0, 100, 1, [&](size_t, size_t) {
+    same_thread = same_thread && (std::this_thread::get_id() == caller);
+  });
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(ThreadPoolTest, SmallRangesStaySerialOnCaller) {
+  util::ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> same_thread{true};
+  // n <= grain -> must run inline on the calling thread.
+  pool.ParallelFor(0, 100, 100, [&](size_t, size_t) {
+    if (std::this_thread::get_id() != caller) same_thread = false;
+  });
+  EXPECT_TRUE(same_thread.load());
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineAndCoversRange) {
+  util::ThreadPool pool(4);
+  const size_t outer = 64, inner = 64;
+  std::vector<int> hits(outer * inner, 0);
+  pool.ParallelFor(0, outer, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      pool.ParallelFor(0, inner, 1, [&, i](size_t ib, size_t ie) {
+        for (size_t j = ib; j < ie; ++j) ++hits[i * inner + j];
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i], 1);
+}
+
+TEST(ThreadPoolTest, BackToBackRegionsWork) {
+  util::ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(0, 1000, 10, [&total](size_t b, size_t e) {
+      total += e - b;
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 1000u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizes) {
+  util::SetGlobalThreads(3);
+  EXPECT_EQ(util::GlobalThreads(), 3u);
+  util::SetGlobalThreads(1);
+  EXPECT_EQ(util::GlobalThreads(), 1u);
 }
 
 TEST(ZipfSamplerTest, LowIndicesAreMorePopular) {
