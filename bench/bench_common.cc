@@ -1,12 +1,60 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
 namespace bench {
+
+const std::vector<std::string>& CommonBenchFlags() {
+  static const std::vector<std::string> kFlags = {
+      "scale",          "epochs", "dim",   "seq-len", "negatives",
+      "eval-negatives", "batch",  "lr",    "validate-every", "seed",
+      "threads",        "quick",
+  };
+  return kFlags;
+}
+
+FlagParser ParseBenchFlagsOrDie(int argc, const char* const* argv,
+                                const std::vector<std::string>& extra_flags) {
+  auto usage = [&] {
+    std::fprintf(stderr, "accepted flags:");
+    for (const auto& f : CommonBenchFlags()) {
+      std::fprintf(stderr, " --%s", f.c_str());
+    }
+    for (const auto& f : extra_flags) std::fprintf(stderr, " --%s", f.c_str());
+    std::fprintf(stderr, "\n");
+  };
+  FlagParser flags;
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    usage();
+    std::exit(2);
+  }
+  if (!flags.positional().empty()) {
+    std::fprintf(stderr, "unexpected positional argument: %s\n",
+                 flags.positional().front().c_str());
+    usage();
+    std::exit(2);
+  }
+  for (const std::string& name : flags.Keys()) {
+    const bool known =
+        std::find(CommonBenchFlags().begin(), CommonBenchFlags().end(),
+                  name) != CommonBenchFlags().end() ||
+        std::find(extra_flags.begin(), extra_flags.end(), name) !=
+            extra_flags.end();
+    if (!known) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      usage();
+      std::exit(2);
+    }
+  }
+  return flags;
+}
 
 BenchOptions BenchOptions::FromFlags(const FlagParser& flags) {
   BenchOptions opts;

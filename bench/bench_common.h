@@ -29,6 +29,16 @@ namespace bench {
 ///   --seed=N         global seed
 ///   --threads=N      thread-pool size (0 = SEQFM_THREADS env / hardware)
 ///   --quick          shrink everything for a fast smoke run
+/// Flags consumed by BenchOptions::FromFlags, accepted by every bench.
+const std::vector<std::string>& CommonBenchFlags();
+
+/// Parses argv and rejects unknown flags: on a flag outside
+/// CommonBenchFlags() + \p extra_flags (or a malformed one) it prints the
+/// accepted set to stderr and exits with status 2 instead of silently
+/// ignoring the typo. Positional arguments are also rejected.
+FlagParser ParseBenchFlagsOrDie(int argc, const char* const* argv,
+                                const std::vector<std::string>& extra_flags);
+
 struct BenchOptions {
   double scale = 1.0;
   size_t epochs = 5;

@@ -47,11 +47,7 @@ double RunOne(const std::string& dataset_name, const BenchOptions& base,
 }
 
 int Run(int argc, char** argv) {
-  FlagParser flags;
-  if (Status st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
+  FlagParser flags = ParseBenchFlagsOrDie(argc, argv, {"full", "datasets"});
   BenchOptions opts = BenchOptions::FromFlags(flags);
   // 12+ SeqFM trainings per dataset: default to a reduced budget
   // (override with --scale/--epochs).

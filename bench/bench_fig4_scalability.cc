@@ -17,11 +17,7 @@ namespace bench {
 namespace {
 
 int Run(int argc, char** argv) {
-  FlagParser flags;
-  if (Status st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
+  FlagParser flags = ParseBenchFlagsOrDie(argc, argv, {"thread-sweep"});
   BenchOptions opts = BenchOptions::FromFlags(flags);
   // Timing does not need many epochs; the per-epoch time is what scales.
   opts.epochs = static_cast<size_t>(flags.GetInt("epochs", 3));

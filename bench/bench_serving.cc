@@ -1,0 +1,200 @@
+// Serving throughput bench: scores/sec and p50/p99 latency for scoring
+// candidate catalogs through
+//   (a) the taped training-path forward (status quo before src/serve/),
+//   (b) the tape-free generic forward (NoGradGuard micro-batches), and
+//   (c) the serve::Predictor factored catalog program (SeqFM fast path),
+// across thread counts. All three paths produce bit-for-bit identical
+// scores; the bench asserts that before timing.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "autograd/variable.h"
+#include "bench/bench_common.h"
+#include "serve/predictor.h"
+#include "util/thread_pool.h"
+
+namespace seqfm {
+namespace bench {
+namespace {
+
+struct PathStats {
+  double scores_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double PercentileMs(std::vector<double>* latencies, double q) {
+  if (latencies->empty()) return 0.0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(latencies->size())));
+  return (*latencies)[idx] * 1e3;
+}
+
+/// Scores \p candidates for \p ex through the taped training-path forward in
+/// batches of \p batch_size, recording one latency sample per batch.
+std::vector<float> ScoreTaped(core::Model* model,
+                              const data::BatchBuilder& builder,
+                              const data::SequenceExample& ex,
+                              const std::vector<int32_t>& candidates,
+                              size_t batch_size,
+                              std::vector<double>* latencies) {
+  std::vector<float> scores;
+  scores.reserve(candidates.size());
+  for (size_t start = 0; start < candidates.size(); start += batch_size) {
+    const size_t end = std::min(candidates.size(), start + batch_size);
+    std::vector<const data::SequenceExample*> repeated(end - start, &ex);
+    std::vector<int32_t> chunk(candidates.begin() + start,
+                               candidates.begin() + end);
+    data::Batch batch = builder.Build(repeated, &chunk);
+    const auto t0 = std::chrono::steady_clock::now();
+    autograd::Variable out = model->Score(batch, /*training=*/false);
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies->push_back(std::chrono::duration<double>(t1 - t0).count());
+    for (size_t i = 0; i < end - start; ++i) {
+      scores.push_back(out.value().data()[i]);
+    }
+  }
+  return scores;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags =
+      ParseBenchFlagsOrDie(argc, argv, {"candidates", "requests",
+                                        "thread-sweep"});
+  BenchOptions opts = BenchOptions::FromFlags(flags);
+  // Acceptance workload: batch 256 unless the caller asks otherwise.
+  const size_t batch = flags.Has("batch") ? opts.batch_size : 256;
+  const size_t requests = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("requests", opts.quick ? 4 : 16)));
+
+  PrintBanner("Serving throughput — taped vs tape-free vs factored catalog",
+              "src/serve/ subsystem (no paper counterpart); catalog scoring "
+              "for next-object ranking");
+
+  PreparedDataset prep = PrepareDataset("gowalla", opts);
+  auto model = MakeModel("SeqFM", prep.space, opts);
+
+  size_t num_candidates = static_cast<size_t>(
+      flags.GetInt("candidates", prep.space.num_objects()));
+  num_candidates = std::min(num_candidates, prep.space.num_objects());
+  std::vector<int32_t> catalog(num_candidates);
+  for (size_t i = 0; i < num_candidates; ++i) {
+    catalog[i] = static_cast<int32_t>(i);
+  }
+  const auto& examples = prep.dataset.test().empty() ? prep.dataset.train()
+                                                     : prep.dataset.test();
+  SEQFM_CHECK(!examples.empty());
+
+  serve::PredictorOptions generic_opts;
+  generic_opts.micro_batch = batch;
+  generic_opts.enable_seqfm_fast_path = false;
+  serve::Predictor generic(model.get(), prep.builder.get(), generic_opts);
+  serve::PredictorOptions fast_opts;
+  fast_opts.micro_batch = batch;
+  serve::Predictor fast(model.get(), prep.builder.get(), fast_opts);
+
+  std::printf("model=SeqFM dim=%zu seq-len=%zu | catalog=%zu candidates, "
+              "%zu requests, batch=%zu | fast path %s\n",
+              opts.dim, opts.max_seq_len, num_candidates, requests, batch,
+              fast.fast_path_active() ? "ACTIVE" : "inactive");
+
+  // Parity gate: all three paths must agree bit-for-bit before any timing.
+  {
+    std::vector<double> scratch;
+    const auto& ex = examples.front();
+    std::vector<float> ref =
+        ScoreTaped(model.get(), *prep.builder, ex, catalog, batch, &scratch);
+    const std::vector<float> tf = generic.ScoreCandidates(ex, catalog);
+    const std::vector<float> fc = fast.ScoreCandidates(ex, catalog);
+    size_t mismatches = 0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      if (std::memcmp(&ref[i], &tf[i], sizeof(float)) != 0) ++mismatches;
+      if (std::memcmp(&ref[i], &fc[i], sizeof(float)) != 0) ++mismatches;
+    }
+    std::printf("parity check: %zu mismatching scores (must be 0)\n",
+                mismatches);
+    if (mismatches != 0) return 1;
+  }
+
+  std::vector<size_t> thread_counts;
+  for (const std::string& t :
+       SplitCsv(flags.GetString("thread-sweep", "1,2,4"))) {
+    // Validate here: a malformed token must get the usage treatment, not an
+    // uncaught std::stoul exception or a SetGlobalThreads(0) check-fail.
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(t.c_str(), &end, 10);
+    if (end == t.c_str() || *end != '\0' || value == 0 || value > 1024) {
+      std::fprintf(stderr,
+                   "invalid --thread-sweep entry '%s' (want 1..1024)\n",
+                   t.c_str());
+      return 2;
+    }
+    thread_counts.push_back(static_cast<size_t>(value));
+  }
+
+  for (size_t threads : thread_counts) {
+    util::SetGlobalThreads(threads);
+    auto run_path = [&](const std::function<void(const data::SequenceExample&,
+                                                 std::vector<double>*)>& fn) {
+      std::vector<double> latencies;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t r = 0; r < requests; ++r) {
+        fn(examples[r % examples.size()], &latencies);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      PathStats stats;
+      const double total = std::chrono::duration<double>(t1 - t0).count();
+      stats.scores_per_sec =
+          static_cast<double>(requests * num_candidates) / total;
+      stats.p50_ms = PercentileMs(&latencies, 0.50);
+      stats.p99_ms = PercentileMs(&latencies, 0.99);
+      return stats;
+    };
+
+    PathStats taped = run_path([&](const data::SequenceExample& ex,
+                                   std::vector<double>* lat) {
+      (void)ScoreTaped(model.get(), *prep.builder, ex, catalog, batch, lat);
+    });
+    PathStats tape_free = run_path([&](const data::SequenceExample& ex,
+                                       std::vector<double>* lat) {
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)generic.ScoreCandidates(ex, catalog);
+      const auto t1 = std::chrono::steady_clock::now();
+      lat->push_back(std::chrono::duration<double>(t1 - t0).count());
+    });
+    PathStats factored = run_path([&](const data::SequenceExample& ex,
+                                      std::vector<double>* lat) {
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)fast.ScoreCandidates(ex, catalog);
+      const auto t1 = std::chrono::steady_clock::now();
+      lat->push_back(std::chrono::duration<double>(t1 - t0).count());
+    });
+
+    std::printf("\n[threads=%zu] %-28s %12s %10s %10s %9s\n", threads, "path",
+                "scores/sec", "p50 ms", "p99 ms", "speedup");
+    auto print_row = [&](const char* name, const char* unit,
+                         const PathStats& s) {
+      std::printf("            %-28s %12.0f %7.3f/%s %7.3f/%s %8.2fx\n", name,
+                  s.scores_per_sec, s.p50_ms, unit, s.p99_ms, unit,
+                  s.scores_per_sec / taped.scores_per_sec);
+    };
+    print_row("taped forward (batch)", "b", taped);
+    print_row("tape-free forward (batch)", "rq", tape_free);
+    print_row("factored catalog (request)", "rq", factored);
+    std::fflush(stdout);
+  }
+  std::printf("\nLatency units: /b = per batch-%zu forward, /rq = per "
+              "catalog request.\n", batch);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seqfm
+
+int main(int argc, char** argv) { return seqfm::bench::Run(argc, argv); }

@@ -8,11 +8,7 @@ namespace bench {
 namespace {
 
 int Run(int argc, char** argv) {
-  FlagParser flags;
-  if (Status st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
+  FlagParser flags = ParseBenchFlagsOrDie(argc, argv, {});
   BenchOptions opts = BenchOptions::FromFlags(flags);
 
   PrintBanner("Table I — Statistics of datasets in use",

@@ -10,11 +10,7 @@ namespace bench {
 namespace {
 
 int Run(int argc, char** argv) {
-  FlagParser flags;
-  if (Status st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
+  FlagParser flags = ParseBenchFlagsOrDie(argc, argv, {"models", "datasets"});
   BenchOptions opts = BenchOptions::FromFlags(flags);
 
   PrintBanner("Table III — Classification task (CTR prediction)",

@@ -18,11 +18,7 @@ struct Ablation {
 };
 
 int Run(int argc, char** argv) {
-  FlagParser flags;
-  if (Status st = flags.Parse(argc, argv); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
+  FlagParser flags = ParseBenchFlagsOrDie(argc, argv, {"extras", "datasets"});
   BenchOptions opts = BenchOptions::FromFlags(flags);
   // Ablation trains 6 architectures per dataset; default to a reduced
   // budget and one dataset per task (override with --scale/--epochs/

@@ -14,7 +14,10 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
+#include "serve/checkpoint.h"
+#include "serve/predictor.h"
 #include "util/flags.h"
+#include "util/stopwatch.h"
 
 using namespace seqfm;
 
@@ -74,9 +77,28 @@ int main(int argc, char** argv) {
               "FM HR@10=%.3f NDCG@10=%.3f\n",
               m_seqfm.hr[10], m_seqfm.ndcg[10], m_fm.hr[10], m_fm.ndcg[10]);
 
-  // Personalised top-5 recommendations for the first few test users: score
-  // every POI the user has not visited, given their full history.
-  std::printf("\ntop-5 next-POI recommendations (SeqFM):\n");
+  // Production-style serving: persist the trained model, restore it into a
+  // fresh instance, and answer top-5 requests through serve::Predictor —
+  // tape-free forwards, with SeqFM's factored catalog program active.
+  const std::string ckpt = "/tmp/next_poi_seqfm.ckpt";
+  if (auto st = serve::Checkpoint::Save(seqfm, ckpt); !st.ok()) {
+    std::fprintf(stderr, "checkpoint save failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  core::SeqFm served(space, model_config);
+  auto predictor = serve::Predictor::FromCheckpoint(&served, &builder, ckpt);
+  if (!predictor.ok()) {
+    std::fprintf(stderr, "%s\n", predictor.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncheckpoint round trip: %s (%zu parameters), fast path %s\n",
+              ckpt.c_str(), served.NumParameters(),
+              (*predictor)->fast_path_active() ? "active" : "inactive");
+
+  std::printf("top-5 next-POI recommendations (served from checkpoint):\n");
+  Stopwatch serve_timer;
+  size_t scored = 0;
   const size_t show_users = std::min<size_t>(3, dataset->test().size());
   for (size_t i = 0; i < show_users; ++i) {
     const auto& ex = dataset->test()[i];
@@ -87,13 +109,8 @@ int main(int argc, char** argv) {
       }
     }
     candidates.push_back(ex.target);  // the ground truth next POI
-    std::vector<const data::SequenceExample*> repeated(candidates.size(), &ex);
-    auto scores = eval::ScoreExamples(&seqfm, builder, repeated, &candidates);
-
-    std::vector<size_t> order(candidates.size());
-    for (size_t j = 0; j < order.size(); ++j) order[j] = j;
-    std::sort(order.begin(), order.end(),
-              [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+    const auto top = (*predictor)->TopK(ex, candidates, 5);
+    scored += candidates.size();
 
     std::printf("  user %d, recent POIs:", ex.user);
     const size_t tail = std::min<size_t>(5, ex.history.size());
@@ -101,12 +118,13 @@ int main(int argc, char** argv) {
       std::printf(" %d", ex.history[j]);
     }
     std::printf("  | actual next: %d\n    recommended:", ex.target);
-    for (size_t r = 0; r < 5 && r < order.size(); ++r) {
-      const int32_t poi = candidates[order[r]];
-      std::printf(" %d(%.2f)%s", poi, scores[order[r]],
-                  poi == ex.target ? "*" : "");
+    for (const auto& item : top) {
+      std::printf(" %d(%.2f)%s", item.item, item.score,
+                  item.item == ex.target ? "*" : "");
     }
     std::printf("   (* = ground truth)\n");
   }
+  std::printf("served %zu candidate scores in %.1f ms\n", scored,
+              serve_timer.ElapsedSeconds() * 1e3);
   return 0;
 }

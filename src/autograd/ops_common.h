@@ -20,11 +20,18 @@ using util::kMathGrain;
 
 /// Allocates an op node: requires_grad is inherited from the parents, the
 /// backward closure is attached by the caller after construction.
+///
+/// When the thread's grad mode is off (NoGradGuard), the node is detached:
+/// parents are dropped and requires_grad stays false, so the graph is never
+/// retained and every op file's `if (node->requires_grad)` backward guard
+/// skips closure construction and tape buffers. Callers must gate backward
+/// attachment on node->requires_grad, never on the parents directly.
 inline NodePtr MakeNode(std::string op, std::vector<NodePtr> parents,
                         tensor::Tensor value) {
   auto node = std::make_shared<Node>();
   node->op = std::move(op);
   node->value = std::move(value);
+  if (!GradMode()) return node;
   node->parents = std::move(parents);
   for (const auto& p : node->parents) {
     if (p->requires_grad) {
@@ -33,6 +40,25 @@ inline NodePtr MakeNode(std::string op, std::vector<NodePtr> parents,
     }
   }
   return node;
+}
+
+/// Output tensor for a kernel that overwrites every element. The taped path
+/// keeps the historical zero-filled allocation; the tape-free path skips the
+/// fill, which is a pure memory-bandwidth saving — the kernel writes the
+/// same values either way, so parity between the two modes is bit-for-bit.
+inline tensor::Tensor OutputBuffer(std::vector<size_t> shape) {
+  return GradMode() ? tensor::Tensor(std::move(shape))
+                    : tensor::Tensor::Uninitialized(std::move(shape));
+}
+
+/// True when the op being built must record tape state (saved intermediates,
+/// backward closures) for at least one of its inputs.
+inline bool TapeActive(std::initializer_list<const Variable*> inputs) {
+  if (!GradMode()) return false;
+  for (const Variable* v : inputs) {
+    if (v->defined() && v->requires_grad()) return true;
+  }
+  return false;
 }
 
 }  // namespace internal

@@ -11,11 +11,11 @@ using internal::MakeNode;
 using tensor::Tensor;
 
 Variable Add(const Variable& a, const Variable& b) {
-  Tensor out(a.value().shape());
+  Tensor out = internal::OutputBuffer(a.value().shape());
   tensor::Add(a.value(), b.value(), &out);
   auto node = MakeNode("add", {a.node(), b.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     for (int i = 0; i < 2; ++i) {
       Node* p = self->parents[i].get();
       if (p->requires_grad) p->AccumulateGrad(self->grad);
@@ -25,11 +25,11 @@ Variable Add(const Variable& a, const Variable& b) {
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
-  Tensor out(a.value().shape());
+  Tensor out = internal::OutputBuffer(a.value().shape());
   tensor::Sub(a.value(), b.value(), &out);
   auto node = MakeNode("sub", {a.node(), b.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
     if (pa->requires_grad) pa->AccumulateGrad(self->grad);
@@ -42,11 +42,11 @@ Variable Sub(const Variable& a, const Variable& b) {
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
-  Tensor out(a.value().shape());
+  Tensor out = internal::OutputBuffer(a.value().shape());
   tensor::Mul(a.value(), b.value(), &out);
   auto node = MakeNode("mul", {a.node(), b.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
     const size_t n = self->grad.size();
@@ -73,11 +73,18 @@ Variable Mul(const Variable& a, const Variable& b) {
 }
 
 Variable Scale(const Variable& a, float alpha) {
-  Tensor out = a.value();
-  out.Scale(alpha);
+  Tensor out = internal::OutputBuffer(a.value().shape());
+  {
+    const float* x = a.value().data();
+    float* y = out.data();
+    const size_t n = out.size();
+    util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) y[i] = x[i] * alpha;
+    });
+  }
   auto node = MakeNode("scale", {a.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, alpha]() {
+  if (node->requires_grad) node->backward_fn = [self, alpha]() {
     Node* p = self->parents[0].get();
     if (p->requires_grad) {
       p->EnsureGrad();
@@ -88,11 +95,15 @@ Variable Scale(const Variable& a, float alpha) {
 }
 
 Variable AddScalar(const Variable& a, float alpha) {
-  Tensor out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) out.data()[i] += alpha;
+  Tensor out = internal::OutputBuffer(a.value().shape());
+  {
+    const float* x = a.value().data();
+    float* y = out.data();
+    for (size_t i = 0; i < out.size(); ++i) y[i] = x[i] + alpha;
+  }
   auto node = MakeNode("add_scalar", {a.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* p = self->parents[0].get();
     if (p->requires_grad) p->AccumulateGrad(self->grad);
   };
@@ -100,11 +111,11 @@ Variable AddScalar(const Variable& a, float alpha) {
 }
 
 Variable AddBias(const Variable& x, const Variable& bias) {
-  Tensor out(x.value().shape());
+  Tensor out = internal::OutputBuffer(x.value().shape());
   tensor::AddBiasLastDim(x.value(), bias.value(), &out);
   auto node = MakeNode("add_bias", {x.node(), bias.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* px = self->parents[0].get();
     Node* pb = self->parents[1].get();
     if (px->requires_grad) px->AccumulateGrad(self->grad);
@@ -128,19 +139,20 @@ Variable AddBroadcastBatch(const Variable& x, const Variable& table) {
   SEQFM_CHECK_EQ(x.dim(1), table.dim(0));
   SEQFM_CHECK_EQ(x.dim(2), table.dim(1));
   const size_t batch = x.dim(0), rows = x.dim(1), d = x.dim(2);
-  Tensor out = x.value();
+  Tensor out = internal::OutputBuffer(x.value().shape());
   const float* src = table.value().data();
   util::ParallelFor(batch, internal::GrainForRows(rows * d, internal::kEwGrain),
-                    [&out, src, rows, d](size_t b0, size_t b1) {
+                    [&out, &x, src, rows, d](size_t b0, size_t b1) {
     for (size_t b = b0; b < b1; ++b) {
+      const float* xb = x.value().BatchData(b);
       float* dst = out.BatchData(b);
-      for (size_t i = 0; i < rows * d; ++i) dst[i] += src[i];
+      for (size_t i = 0; i < rows * d; ++i) dst[i] = xb[i] + src[i];
     }
   });
   auto node =
       MakeNode("add_broadcast_batch", {x.node(), table.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, rows, d]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, rows, d]() {
     Node* px = self->parents[0].get();
     Node* pt = self->parents[1].get();
     if (px->requires_grad) px->AccumulateGrad(self->grad);
@@ -159,11 +171,11 @@ Variable AddBroadcastBatch(const Variable& x, const Variable& table) {
 }
 
 Variable Relu(const Variable& x) {
-  Tensor out(x.value().shape());
+  Tensor out = internal::OutputBuffer(x.value().shape());
   tensor::Relu(x.value(), &out);
   auto node = MakeNode("relu", {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -181,11 +193,11 @@ Variable Relu(const Variable& x) {
 }
 
 Variable Sigmoid(const Variable& x) {
-  Tensor out(x.value().shape());
+  Tensor out = internal::OutputBuffer(x.value().shape());
   tensor::Sigmoid(x.value(), &out);
   auto node = MakeNode("sigmoid", {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -201,11 +213,11 @@ Variable Sigmoid(const Variable& x) {
 }
 
 Variable Tanh(const Variable& x) {
-  Tensor out(x.value().shape());
+  Tensor out = internal::OutputBuffer(x.value().shape());
   tensor::Tanh(x.value(), &out);
   auto node = MakeNode("tanh", {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();

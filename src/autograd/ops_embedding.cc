@@ -13,7 +13,7 @@ Variable EmbeddingGather(const Variable& table,
   SEQFM_CHECK_EQ(table.rank(), 2u);
   SEQFM_CHECK_EQ(indices.size(), batch * n);
   const size_t vocab = table.dim(0), d = table.dim(1);
-  Tensor out({batch, n, d});
+  Tensor out = internal::OutputBuffer({batch, n, d});
   const float* tv = table.value().data();
   float* out_data = out.data();
   // Gather rows are disjoint writes, so the index loop splits freely.
@@ -23,7 +23,10 @@ Variable EmbeddingGather(const Variable& table,
     for (size_t i = i0; i < i1; ++i) {
       const int32_t idx = indices[i];
       float* dst = out_data + i * d;
-      if (idx < 0) continue;  // padding -> zero row (already zeroed)
+      if (idx < 0) {  // padding -> zero row (output may be uninitialized)
+        for (size_t j = 0; j < d; ++j) dst[j] = 0.0f;
+        continue;
+      }
       SEQFM_CHECK_LT(static_cast<size_t>(idx), vocab);
       const float* src = tv + static_cast<size_t>(idx) * d;
       for (size_t j = 0; j < d; ++j) dst[j] = src[j];
@@ -31,7 +34,7 @@ Variable EmbeddingGather(const Variable& table,
   });
   auto node = MakeNode("embedding_gather", {table.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, indices, d]() {
+  if (node->requires_grad) node->backward_fn = [self, indices, d]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -64,7 +67,7 @@ Variable EmbeddingSumGather(const Variable& weights,
   SEQFM_CHECK_EQ(weights.dim(1), 1u);
   SEQFM_CHECK_EQ(indices.size(), batch * n);
   const size_t vocab = weights.dim(0);
-  Tensor out({batch, 1});
+  Tensor out = internal::OutputBuffer({batch, 1});
   const float* wv = weights.value().data();
   float* out_data = out.data();
   util::ParallelFor(batch, internal::GrainForRows(n, internal::kEwGrain),
@@ -82,7 +85,8 @@ Variable EmbeddingSumGather(const Variable& weights,
   });
   auto node = MakeNode("embedding_sum_gather", {weights.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, indices, batch, n]() {
+  if (node->requires_grad)
+    node->backward_fn = [self, indices, batch, n]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();

@@ -24,7 +24,7 @@ Variable BprLoss(const Variable& pos, const Variable& neg) {
   out.at(0) = total / static_cast<float>(batch);
   auto node = MakeNode("bpr_loss", {pos.node(), neg.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch]() {
+  if (node->requires_grad) node->backward_fn = [self, batch]() {
     Node* pp = self->parents[0].get();
     Node* pn = self->parents[1].get();
     const float g = self->grad.at(0) / static_cast<float>(batch);
@@ -63,7 +63,7 @@ Variable BceWithLogitsLoss(const Variable& logits,
   out.at(0) = total / static_cast<float>(batch);
   auto node = MakeNode("bce_loss", {logits.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, labels, batch]() {
+  if (node->requires_grad) node->backward_fn = [self, labels, batch]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -90,7 +90,7 @@ Variable MseLoss(const Variable& pred, const std::vector<float>& targets) {
   out.at(0) = total / static_cast<float>(batch);
   auto node = MakeNode("mse_loss", {pred.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, targets, batch]() {
+  if (node->requires_grad) node->backward_fn = [self, targets, batch]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();

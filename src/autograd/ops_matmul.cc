@@ -11,11 +11,11 @@ using tensor::Tensor;
 Variable MatMul(const Variable& a, const Variable& b) {
   SEQFM_CHECK_EQ(a.rank(), 2u);
   SEQFM_CHECK_EQ(b.rank(), 2u);
-  Tensor out({a.dim(0), b.dim(1)});
+  Tensor out = internal::OutputBuffer({a.dim(0), b.dim(1)});
   tensor::MatMul(a.value(), b.value(), &out);
   auto node = MakeNode("matmul", {a.node(), b.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
     // dA = dC · B^T, dB = A^T · dC
@@ -37,11 +37,11 @@ Variable BmmShared(const Variable& a, const Variable& w) {
   SEQFM_CHECK_EQ(a.rank(), 3u);
   SEQFM_CHECK_EQ(w.rank(), 2u);
   SEQFM_CHECK_EQ(a.dim(2), w.dim(0));
-  Tensor out({a.dim(0), a.dim(1), w.dim(1)});
+  Tensor out = internal::OutputBuffer({a.dim(0), a.dim(1), w.dim(1)});
   tensor::BatchedMatMulShared(a.value(), w.value(), &out);
   auto node = MakeNode("bmm_shared", {a.node(), w.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* pa = self->parents[0].get();
     Node* pw = self->parents[1].get();
     const size_t rows = pa->value.dim(0) * pa->value.dim(1);
@@ -72,11 +72,12 @@ Variable Bmm(const Variable& a, const Variable& b, bool trans_a,
   const size_t m = trans_a ? a.dim(2) : a.dim(1);
   const size_t k = trans_a ? a.dim(1) : a.dim(2);
   const size_t n = trans_b ? b.dim(1) : b.dim(2);
-  Tensor out({batch, m, n});
+  Tensor out = internal::OutputBuffer({batch, m, n});
   tensor::BatchedMatMul(a.value(), b.value(), &out, trans_a, trans_b);
   auto node = MakeNode("bmm", {a.node(), b.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, trans_a, trans_b, batch, m, k, n]() {
+  if (node->requires_grad)
+    node->backward_fn = [self, trans_a, trans_b, batch, m, k, n]() {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
     if (pa->requires_grad) pa->EnsureGrad();
@@ -138,7 +139,7 @@ Variable BmmLeftShared(const Variable& w, const Variable& p) {
   SEQFM_CHECK_EQ(w.dim(1), p.dim(1));
   const size_t batch = p.dim(0);
   const size_t h2 = w.dim(0), h = w.dim(1), d = p.dim(2);
-  Tensor out({batch, h2, d});
+  Tensor out = internal::OutputBuffer({batch, h2, d});
   util::ParallelFor(batch, internal::GrainForRows(h2 * h * d, util::kMinParallelWork),
                     [&, h2, h, d](size_t b0, size_t b1) {
     for (size_t b = b0; b < b1; ++b) {
@@ -148,7 +149,7 @@ Variable BmmLeftShared(const Variable& w, const Variable& p) {
   });
   auto node = MakeNode("bmm_left_shared", {w.node(), p.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, h2, h, d]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, h2, h, d]() {
     Node* pw = self->parents[0].get();
     Node* pp = self->parents[1].get();
     if (pw->requires_grad) {
@@ -181,7 +182,7 @@ Variable RowDot(const Variable& a, const Variable& b) {
   SEQFM_CHECK_EQ(a.rank(), 2u);
   SEQFM_CHECK(a.value().SameShape(b.value()));
   const size_t batch = a.dim(0), d = a.dim(1);
-  Tensor out({batch, 1});
+  Tensor out = internal::OutputBuffer({batch, 1});
   const float* av = a.value().data();
   const float* bv = b.value().data();
   float* out_data = out.data();
@@ -197,7 +198,7 @@ Variable RowDot(const Variable& a, const Variable& b) {
   });
   auto node = MakeNode("row_dot", {a.node(), b.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, d]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, d]() {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
     if (pa->requires_grad) pa->EnsureGrad();

@@ -13,14 +13,14 @@ using internal::MakeNode;
 using tensor::Tensor;
 
 Variable MaskedSoftmax(const Variable& x, const Variable& mask) {
-  Tensor out(x.value().shape());
+  Tensor out = internal::OutputBuffer(x.value().shape());
   const Tensor* mask_tensor = mask.defined() ? &mask.value() : nullptr;
   tensor::SoftmaxLastDim(x.value(), mask_tensor, &out);
   std::vector<NodePtr> parents = {x.node()};
   if (mask.defined()) parents.push_back(mask.node());
   auto node = MakeNode("masked_softmax", std::move(parents), std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* px = self->parents[0].get();
     if (!px->requires_grad) return;
     px->EnsureGrad();
@@ -53,15 +53,19 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   SEQFM_CHECK_EQ(beta.value().size(), d);
   const size_t rows = x.value().size() / d;
 
-  Tensor out(x.value().shape());
-  Tensor xhat(x.value().shape());
-  std::vector<float> inv_std(rows);
+  // The normalized activations and per-row inverse stddev are tape state:
+  // only materialized when a backward pass can consume them. The tape-free
+  // forward keeps the identical arithmetic in registers.
+  const bool tape = internal::TapeActive({&x, &gamma, &beta});
+  Tensor out = internal::OutputBuffer(x.value().shape());
+  Tensor xhat = tape ? Tensor(x.value().shape()) : Tensor();
+  std::vector<float> inv_std(tape ? rows : 0);
   const float* xv = x.value().data();
   const float* gv = gamma.value().data();
   const float* bv = beta.value().data();
-  float* xhat_data = xhat.data();
+  float* xhat_data = tape ? xhat.data() : nullptr;
   float* out_data = out.data();
-  float* inv_std_data = inv_std.data();
+  float* inv_std_data = tape ? inv_std.data() : nullptr;
   util::ParallelFor(rows, internal::GrainForRows(d, internal::kMathGrain),
                     [=](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
@@ -76,12 +80,12 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
       }
       var /= static_cast<float>(d);
       const float is = 1.0f / std::sqrt(var + eps);
-      inv_std_data[r] = is;
-      float* hr = xhat_data + r * d;
+      if (inv_std_data != nullptr) inv_std_data[r] = is;
       float* yr = out_data + r * d;
       for (size_t j = 0; j < d; ++j) {
-        hr[j] = (xr[j] - mean) * is;
-        yr[j] = gv[j] * hr[j] + bv[j];
+        const float h = (xr[j] - mean) * is;
+        if (xhat_data != nullptr) xhat_data[r * d + j] = h;
+        yr[j] = gv[j] * h + bv[j];
       }
     }
   });
@@ -89,8 +93,9 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   auto node = MakeNode("layer_norm", {x.node(), gamma.node(), beta.node()},
                        std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, d, rows, xhat = std::move(xhat),
-                       inv_std = std::move(inv_std)]() {
+  if (node->requires_grad)
+    node->backward_fn = [self, d, rows, xhat = std::move(xhat),
+                         inv_std = std::move(inv_std)]() {
     Node* px = self->parents[0].get();
     Node* pg = self->parents[1].get();
     Node* pb = self->parents[2].get();
@@ -185,11 +190,12 @@ Variable Dropout(const Variable& x, float keep_prob, bool training, Rng* rng) {
       }
     });
   }
-  Tensor out(x.value().shape());
+  Tensor out = internal::OutputBuffer(x.value().shape());
   tensor::Mul(x.value(), mask, &out);
   auto node = MakeNode("dropout", {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, mask = std::move(mask)]() {
+  if (node->requires_grad)
+    node->backward_fn = [self, mask = std::move(mask)]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();

@@ -20,7 +20,7 @@ Variable ConcatLastDim(const std::vector<Variable>& parts) {
     total += p.dim(1);
     parents.push_back(p.node());
   }
-  Tensor out({batch, total});
+  Tensor out = internal::OutputBuffer({batch, total});
   size_t offset = 0;
   for (const auto& p : parts) {
     const size_t d = p.dim(1);
@@ -33,7 +33,7 @@ Variable ConcatLastDim(const std::vector<Variable>& parts) {
   }
   auto node = MakeNode("concat_last", std::move(parents), std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, total]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, total]() {
     size_t offset = 0;
     for (auto& parent : self->parents) {
       Node* p = parent.get();
@@ -58,7 +58,7 @@ Variable ConcatAxis1(const Variable& a, const Variable& b) {
   SEQFM_CHECK_EQ(a.dim(0), b.dim(0));
   SEQFM_CHECK_EQ(a.dim(2), b.dim(2));
   const size_t batch = a.dim(0), na = a.dim(1), nb = b.dim(1), d = a.dim(2);
-  Tensor out({batch, na + nb, d});
+  Tensor out = internal::OutputBuffer({batch, na + nb, d});
   for (size_t i = 0; i < batch; ++i) {
     float* dst = out.BatchData(i);
     const float* sa = a.value().BatchData(i);
@@ -68,7 +68,7 @@ Variable ConcatAxis1(const Variable& a, const Variable& b) {
   }
   auto node = MakeNode("concat_axis1", {a.node(), b.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, na, nb, d]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, na, nb, d]() {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
     for (size_t i = 0; i < batch; ++i) {
@@ -92,11 +92,11 @@ namespace {
 Variable ReduceAxis1(const Variable& x, float scale, const char* name) {
   SEQFM_CHECK_EQ(x.rank(), 3u);
   const size_t batch = x.dim(0), rows = x.dim(1), d = x.dim(2);
-  Tensor out({batch, d});
+  Tensor out = internal::OutputBuffer({batch, d});
   tensor::SumAxis1(x.value(), scale, &out);
   auto node = MakeNode(name, {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, rows, d, scale]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, rows, d, scale]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -124,7 +124,7 @@ Variable SliceRow(const Variable& x, size_t row) {
   SEQFM_CHECK_EQ(x.rank(), 3u);
   SEQFM_CHECK_LT(row, x.dim(1));
   const size_t batch = x.dim(0), d = x.dim(2);
-  Tensor out({batch, d});
+  Tensor out = internal::OutputBuffer({batch, d});
   for (size_t b = 0; b < batch; ++b) {
     const float* src = x.value().BatchData(b) + row * d;
     float* dst = out.data() + b * d;
@@ -132,7 +132,7 @@ Variable SliceRow(const Variable& x, size_t row) {
   }
   auto node = MakeNode("slice_row", {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, row, d]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, row, d]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -150,11 +150,11 @@ Variable SumLastDimKeep(const Variable& x) {
   const size_t rows = x.value().size() / d;
   std::vector<size_t> out_shape = x.value().shape();
   out_shape.back() = 1;
-  Tensor out(out_shape);
+  Tensor out = internal::OutputBuffer(out_shape);
   tensor::SumLastDim(x.value(), &out);
   auto node = MakeNode("sum_last", {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, rows, d]() {
+  if (node->requires_grad) node->backward_fn = [self, rows, d]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -173,7 +173,7 @@ Variable Reshape(const Variable& x, std::vector<size_t> shape) {
       << "reshape must preserve element count";
   auto node = MakeNode("reshape", {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self]() {
+  if (node->requires_grad) node->backward_fn = [self]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -190,7 +190,7 @@ Variable ExpandRows(const Variable& x, size_t n) {
   SEQFM_CHECK_EQ(x.rank(), 2u);
   SEQFM_CHECK_GT(n, 0u);
   const size_t batch = x.dim(0), d = x.dim(1);
-  Tensor out({batch, n, d});
+  Tensor out = internal::OutputBuffer({batch, n, d});
   for (size_t b = 0; b < batch; ++b) {
     const float* src = x.value().data() + b * d;
     float* dst = out.BatchData(b);
@@ -200,7 +200,7 @@ Variable ExpandRows(const Variable& x, size_t n) {
   }
   auto node = MakeNode("expand_rows", {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, n, d]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, n, d]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -217,11 +217,11 @@ Variable ExpandRows(const Variable& x, size_t n) {
 
 namespace {
 Variable ReduceAll(const Variable& x, float scale, const char* name) {
-  Tensor out({1});
+  Tensor out = internal::OutputBuffer({1});
   out.at(0) = tensor::SumAll(x.value()) * scale;
   auto node = MakeNode(name, {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, scale]() {
+  if (node->requires_grad) node->backward_fn = [self, scale]() {
     Node* p = self->parents[0].get();
     if (!p->requires_grad) return;
     p->EnsureGrad();
@@ -245,7 +245,7 @@ Variable PairwiseProductUpper(const Variable& x) {
   const size_t batch = x.dim(0), n = x.dim(1), d = x.dim(2);
   SEQFM_CHECK_GE(n, 2u);
   const size_t pairs = n * (n - 1) / 2;
-  Tensor out({batch, pairs, d});
+  Tensor out = internal::OutputBuffer({batch, pairs, d});
   for (size_t b = 0; b < batch; ++b) {
     const float* src = x.value().BatchData(b);
     float* dst = out.BatchData(b);
@@ -261,7 +261,7 @@ Variable PairwiseProductUpper(const Variable& x) {
   }
   auto node = MakeNode("pairwise_upper", {x.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, n, d]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, n, d]() {
     Node* px = self->parents[0].get();
     if (!px->requires_grad) return;
     px->EnsureGrad();
@@ -294,7 +294,7 @@ Variable PairwiseProductCross(const Variable& a, const Variable& b) {
   SEQFM_CHECK_EQ(a.dim(0), b.dim(0));
   SEQFM_CHECK_EQ(a.dim(2), b.dim(2));
   const size_t batch = a.dim(0), h = a.dim(1), m = b.dim(1), d = a.dim(2);
-  Tensor out({batch, h * m, d});
+  Tensor out = internal::OutputBuffer({batch, h * m, d});
   for (size_t bt = 0; bt < batch; ++bt) {
     const float* sa = a.value().BatchData(bt);
     const float* sb = b.value().BatchData(bt);
@@ -310,7 +310,7 @@ Variable PairwiseProductCross(const Variable& a, const Variable& b) {
   }
   auto node = MakeNode("pairwise_cross", {a.node(), b.node()}, std::move(out));
   Node* self = node.get();
-  node->backward_fn = [self, batch, h, m, d]() {
+  if (node->requires_grad) node->backward_fn = [self, batch, h, m, d]() {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
     for (size_t bt = 0; bt < batch; ++bt) {

@@ -7,6 +7,22 @@ namespace autograd {
 
 namespace {
 
+// Thread-scoped so a serving thread can run tape-free while a training
+// thread keeps recording; NoGradGuard restores the previous value on exit.
+thread_local bool g_grad_mode = true;
+
+}  // namespace
+
+bool GradMode() { return g_grad_mode; }
+
+bool SetGradMode(bool enabled) {
+  const bool prev = g_grad_mode;
+  g_grad_mode = enabled;
+  return prev;
+}
+
+namespace {
+
 // Iterative post-order DFS producing a topological order (parents before
 // children in the returned vector; we then walk it backwards).
 void TopoSort(Node* root, std::vector<Node*>* order) {

@@ -47,6 +47,38 @@ class Node {
 
 using NodePtr = std::shared_ptr<Node>;
 
+/// True while the calling thread records the computation graph (the default).
+/// When false, ops still run their forward kernels but build detached nodes:
+/// no parents, no backward closures, no saved intermediates — so each
+/// intermediate tensor is freed as soon as its consumer finishes. This is the
+/// serving fast path; results are bit-for-bit identical to the taped forward.
+bool GradMode();
+
+/// Sets the calling thread's grad mode and returns the previous value.
+/// Prefer NoGradGuard; this exists for the guard and for tests.
+bool SetGradMode(bool enabled);
+
+/// \brief RAII scope that disables graph construction on the current thread.
+///
+/// \code
+///   autograd::NoGradGuard guard;
+///   Variable scores = model->Score(batch, /*training=*/false);
+/// \endcode
+///
+/// Guards nest, and each restores the mode it found, so an inference-mode
+/// forward interleaved between training steps never leaks into the tape.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(SetGradMode(false)) {}
+  ~NoGradGuard() { SetGradMode(prev_); }
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// \brief Handle to a graph node; the user-facing autograd type.
 ///
 /// Variables are cheap to copy (shared_ptr semantics). Leaf variables with

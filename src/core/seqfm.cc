@@ -54,6 +54,29 @@ SeqFm::SeqFm(const data::FeatureSpace& space, const SeqFmConfig& config)
   p_ = RegisterParameter("p", std::move(p));
 
   causal_mask_ = nn::MakeCausalMask(config_.max_seq_len);
+  if (config_.use_cross_view) {
+    // Materialize the cross mask for the standard BatchBuilder layout
+    // (n_static = 2: user + candidate one-hots) so concurrent tape-free
+    // Score calls never hit the lazy rebuild below — that write is the one
+    // piece of mutable state in an otherwise read-only eval forward.
+    cross_mask_ = nn::MakeCrossMask(2, config_.max_seq_len);
+  }
+}
+
+SeqFm::ServingView SeqFm::serving_view() const {
+  ServingView view;
+  view.static_embedding = static_embedding_.get();
+  view.dynamic_embedding = dynamic_embedding_.get();
+  view.static_attention = static_attention_.get();
+  view.dynamic_attention = dynamic_attention_.get();
+  view.cross_attention = cross_attention_.get();
+  view.ffn = ffn_.get();
+  view.w0 = w0_;
+  view.w_static = w_static_;
+  view.w_dynamic = w_dynamic_;
+  view.p = p_;
+  view.causal_mask = causal_mask_;
+  return view;
 }
 
 size_t SeqFm::num_views() const {

@@ -69,6 +69,24 @@ class SeqFm : public nn::Module, public Model {
   /// Number of views enabled by the configuration (1..3).
   size_t num_views() const;
 
+  /// \brief Read-only handles to the model internals consumed by the serving
+  /// fast path (serve::Predictor's factored catalog program).
+  ///
+  /// Attention pointers are null for views disabled by the config. Variables
+  /// are cheap shared handles to the live parameters, so a checkpoint load
+  /// into this model is immediately visible through the view.
+  struct ServingView {
+    const nn::Embedding* static_embedding = nullptr;
+    const nn::Embedding* dynamic_embedding = nullptr;
+    const nn::SelfAttention* static_attention = nullptr;
+    const nn::SelfAttention* dynamic_attention = nullptr;
+    const nn::SelfAttention* cross_attention = nullptr;
+    const nn::ResidualFeedForward* ffn = nullptr;
+    autograd::Variable w0, w_static, w_dynamic, p;
+    autograd::Variable causal_mask;
+  };
+  ServingView serving_view() const;
+
  private:
   /// Intra-view pooling + shared FFN for one view's attention output.
   autograd::Variable PoolAndRefine(const autograd::Variable& h, float divisor,

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "autograd/variable.h"
 #include "eval/metrics.h"
+#include "serve/predictor.h"
 #include "tensor/ops.h"
 
 namespace seqfm {
@@ -12,6 +14,9 @@ std::vector<float> ScoreExamples(
     core::Model* model, const data::BatchBuilder& builder,
     const std::vector<const data::SequenceExample*>& examples,
     const std::vector<int32_t>* target_override, size_t batch_size) {
+  // Evaluation never backpropagates, so every forward here takes the
+  // tape-free path; results are bit-for-bit identical to the taped forward.
+  autograd::NoGradGuard no_grad;
   std::vector<float> scores;
   scores.reserve(examples.size());
   for (size_t start = 0; start < examples.size(); start += batch_size) {
@@ -63,8 +68,10 @@ RankingEvaluator::RankingEvaluator(const data::TemporalDataset* dataset,
   }
 }
 
-RankingEvaluator::Metrics RankingEvaluator::Evaluate(
-    core::Model* model, const std::vector<size_t>& ks) const {
+RankingEvaluator::Metrics RankingEvaluator::EvaluateWith(
+    const std::function<std::vector<float>(
+        const data::SequenceExample&, const std::vector<int32_t>&)>& score_fn,
+    const std::vector<size_t>& ks) const {
   Metrics metrics;
   for (size_t k : ks) {
     metrics.hr[k] = 0.0;
@@ -75,11 +82,8 @@ RankingEvaluator::Metrics RankingEvaluator::Evaluate(
   if (test.empty()) return metrics;
 
   for (size_t i = 0; i < test.size(); ++i) {
-    const auto& cands = candidates_[i];
     // Score [ground truth, negatives...] with the same history.
-    std::vector<const data::SequenceExample*> repeated(cands.size(), &test[i]);
-    std::vector<float> scores =
-        ScoreExamples(model, *builder_, repeated, &cands);
+    std::vector<float> scores = score_fn(test[i], candidates_[i]);
     const size_t rank = RankOfFirst(scores);
     for (size_t k : ks) {
       metrics.hr[k] += HitAt(rank, k);
@@ -92,6 +96,25 @@ RankingEvaluator::Metrics RankingEvaluator::Evaluate(
     metrics.ndcg[k] /= denom;
   }
   return metrics;
+}
+
+RankingEvaluator::Metrics RankingEvaluator::Evaluate(
+    core::Model* model, const std::vector<size_t>& ks) const {
+  return EvaluateWith(
+      [&](const data::SequenceExample& ex, const std::vector<int32_t>& cands) {
+        std::vector<const data::SequenceExample*> repeated(cands.size(), &ex);
+        return ScoreExamples(model, *builder_, repeated, &cands);
+      },
+      ks);
+}
+
+RankingEvaluator::Metrics RankingEvaluator::Evaluate(
+    const serve::Predictor& predictor, const std::vector<size_t>& ks) const {
+  return EvaluateWith(
+      [&](const data::SequenceExample& ex, const std::vector<int32_t>& cands) {
+        return predictor.ScoreCandidates(ex, cands);
+      },
+      ks);
 }
 
 // ---------------------------------------------------------------------------

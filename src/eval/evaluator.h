@@ -1,6 +1,7 @@
 #ifndef SEQFM_EVAL_EVALUATOR_H_
 #define SEQFM_EVAL_EVALUATOR_H_
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -9,6 +10,11 @@
 #include "util/rng.h"
 
 namespace seqfm {
+
+namespace serve {
+class Predictor;
+}  // namespace serve
+
 namespace eval {
 
 /// \brief Next-object ranking evaluation (Sec. V-C): each test positive is
@@ -33,8 +39,23 @@ class RankingEvaluator {
   };
   Metrics Evaluate(core::Model* model, const std::vector<size_t>& ks) const;
 
+  /// Same metrics computed through the serving fast path: candidate sets are
+  /// scored by the Predictor (tape-free micro-batches, and the factored
+  /// catalog program for SeqFM). Scores are bit-for-bit identical to the
+  /// Model::Score path, so both overloads report identical metrics.
+  Metrics Evaluate(const serve::Predictor& predictor,
+                   const std::vector<size_t>& ks) const;
+
  private:
   const std::vector<data::SequenceExample>& Examples() const;
+
+  /// Shared metric loop; the overloads only differ in how a candidate set is
+  /// scored.
+  Metrics EvaluateWith(
+      const std::function<std::vector<float>(
+          const data::SequenceExample&, const std::vector<int32_t>&)>&
+          score_fn,
+      const std::vector<size_t>& ks) const;
 
   const data::TemporalDataset* dataset_;
   const data::BatchBuilder* builder_;

@@ -1,7 +1,10 @@
 #include "nn/module.h"
 
-#include <cstdint>
-#include <fstream>
+// Deliberate layering exception: the checkpoint format lives in serve/ (its
+// consumer), and these convenience wrappers keep the original Module API.
+// The cycle is .cc-level only — serve/checkpoint.h forward-declares Module —
+// and both sides live in the single seqfm_core target.
+#include "serve/checkpoint.h"
 
 namespace seqfm {
 namespace nn {
@@ -55,77 +58,12 @@ void Module::RegisterModule(std::string name, Module* child) {
   children_.emplace_back(std::move(name), child);
 }
 
-namespace {
-constexpr uint32_t kMagic = 0x5345514d;  // "SEQM"
-}  // namespace
-
 Status Module::SaveParameters(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  const auto named = NamedParameters();
-  const uint32_t magic = kMagic;
-  const uint64_t count = named.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& [name, var] : named) {
-    const uint64_t name_len = name.size();
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(name.data(), static_cast<std::streamsize>(name_len));
-    const auto& t = var.value();
-    const uint64_t rank = t.rank();
-    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
-    for (size_t i = 0; i < t.rank(); ++i) {
-      const uint64_t d = t.dim(i);
-      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
-    }
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.size() * sizeof(float)));
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return serve::Checkpoint::Save(*this, path);
 }
 
 Status Module::LoadParameters(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  uint32_t magic = 0;
-  uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kMagic) {
-    return Status::IoError("bad checkpoint header: " + path);
-  }
-  auto named = NamedParameters();
-  if (count != named.size()) {
-    return Status::InvalidArgument("checkpoint parameter count mismatch");
-  }
-  for (auto& [expected_name, var] : named) {
-    uint64_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    std::string name(name_len, '\0');
-    in.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (name != expected_name) {
-      return Status::InvalidArgument("checkpoint name mismatch: expected " +
-                                     expected_name + ", got " + name);
-    }
-    uint64_t rank = 0;
-    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
-    auto& t = var.mutable_value();
-    if (rank != t.rank()) {
-      return Status::InvalidArgument("checkpoint rank mismatch for " + name);
-    }
-    for (size_t i = 0; i < t.rank(); ++i) {
-      uint64_t d = 0;
-      in.read(reinterpret_cast<char*>(&d), sizeof(d));
-      if (d != t.dim(i)) {
-        return Status::InvalidArgument("checkpoint shape mismatch for " + name);
-      }
-    }
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.size() * sizeof(float)));
-    if (!in) return Status::IoError("truncated checkpoint: " + path);
-  }
-  return Status::OK();
+  return serve::Checkpoint::Load(this, path);
 }
 
 }  // namespace nn

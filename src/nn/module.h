@@ -38,10 +38,12 @@ class Module {
   /// Zeroes the gradients of every parameter.
   void ZeroGrad();
 
-  /// Writes all parameters to a binary checkpoint.
+  /// Writes all parameters to a binary checkpoint (thin wrapper over
+  /// serve::Checkpoint::Save, which documents the versioned format).
   Status SaveParameters(const std::string& path) const;
-  /// Restores parameters from a checkpoint written by SaveParameters; shapes
-  /// must match exactly.
+  /// Restores parameters from a checkpoint written by SaveParameters; names,
+  /// order, and shapes must match exactly. Wrapper over
+  /// serve::Checkpoint::Load.
   Status LoadParameters(const std::string& path);
 
  protected:

@@ -1,0 +1,279 @@
+#include "serve/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/module.h"
+#include "util/logging.h"
+
+namespace seqfm {
+namespace serve {
+
+namespace {
+
+// FNV-1a, the 64-bit variant: cheap, streaming, and strong enough to catch
+// bit rot and truncation-with-padding; this is an integrity check, not a
+// cryptographic one.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+// Sanity bounds for manifest fields. A value beyond these means the file is
+// garbage, not a legitimate checkpoint — reject with a Status instead of
+// letting reserve()/seekg() act on attacker-sized numbers (the never-abort
+// contract covers crafted files too).
+constexpr uint64_t kMaxTensors = 1u << 20;
+constexpr uint64_t kMaxNameLen = 4096;
+constexpr uint64_t kMaxDim = 1ull << 32;
+constexpr uint64_t kMaxElements = 1ull << 40;
+
+uint64_t FnvUpdate(uint64_t hash, const char* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+// Reads the header and every manifest entry, seeking over payloads.
+Status ReadManifest(std::ifstream& in, const std::string& path,
+                    CheckpointManifest* manifest) {
+  uint32_t magic = 0, version = 0;
+  uint64_t count = 0;
+  if (!ReadPod(in, &magic) || !ReadPod(in, &version) || !ReadPod(in, &count)) {
+    return Status::IoError("truncated checkpoint header: " + path);
+  }
+  if (magic != Checkpoint::kMagic) {
+    return Status::InvalidArgument("bad checkpoint magic in " + path +
+                                   " (not a SeqFM checkpoint)");
+  }
+  if (version != Checkpoint::kVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) + " in " +
+        path + " (expected " + std::to_string(Checkpoint::kVersion) + ")");
+  }
+  if (count > kMaxTensors) {
+    return Status::InvalidArgument("corrupted tensor count in " + path);
+  }
+  manifest->version = version;
+  manifest->entries.reserve(count);
+  for (uint64_t t = 0; t < count; ++t) {
+    CheckpointEntry entry;
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len)) {
+      return Status::IoError("truncated checkpoint manifest: " + path);
+    }
+    if (name_len == 0 || name_len > kMaxNameLen) {
+      return Status::InvalidArgument("corrupted checkpoint manifest: " + path);
+    }
+    entry.name.resize(name_len);
+    in.read(entry.name.data(), static_cast<std::streamsize>(name_len));
+    uint32_t dtype = 0, rank = 0;
+    if (!in || !ReadPod(in, &dtype) || !ReadPod(in, &rank)) {
+      return Status::IoError("truncated checkpoint manifest: " + path);
+    }
+    if (dtype != static_cast<uint32_t>(CheckpointDtype::kFloat32)) {
+      return Status::InvalidArgument("unsupported dtype tag " +
+                                     std::to_string(dtype) + " in " + path);
+    }
+    entry.dtype = static_cast<CheckpointDtype>(dtype);
+    if (rank == 0 || rank > 3) {
+      return Status::InvalidArgument("corrupted tensor rank in " + path);
+    }
+    entry.shape.resize(rank);
+    for (uint32_t i = 0; i < rank; ++i) {
+      uint64_t dim = 0;
+      if (!ReadPod(in, &dim) || dim == 0) {
+        return Status::IoError("truncated tensor shape in " + path);
+      }
+      if (dim > kMaxDim) {
+        return Status::InvalidArgument("corrupted tensor shape in " + path);
+      }
+      entry.shape[i] = static_cast<size_t>(dim);
+    }
+    // Rank <= 3 and dims <= 2^32 bound the product at 2^96 conceptually, but
+    // num_elements() multiplies in size_t; re-check against kMaxElements so
+    // the seek offset below cannot wrap.
+    uint64_t elements = 1;
+    for (size_t d : entry.shape) {
+      if (elements > kMaxElements / d) {
+        return Status::InvalidArgument("corrupted tensor shape in " + path);
+      }
+      elements *= d;
+    }
+    in.seekg(static_cast<std::streamoff>(elements * sizeof(float)),
+             std::ios::cur);
+    // seekg past EOF does not fail on all libraries; peek() forces the check.
+    if (!in || in.peek() == std::ifstream::traits_type::eof()) {
+      return Status::IoError("truncated checkpoint payload: " + path);
+    }
+    manifest->entries.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Checkpoint::Save(const nn::Module& module, const std::string& path) {
+  SEQFM_CHECK(!path.empty()) << "Checkpoint::Save: empty path";
+  // Write to a sibling temp file and rename into place, so a crash or a
+  // full disk mid-save never destroys the previous good checkpoint.
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open checkpoint for write: " + tmp_path);
+  }
+  const auto named = module.NamedParameters();
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint64_t>(named.size()));
+  uint64_t hash = kFnvOffset;
+  for (const auto& [name, var] : named) {
+    WritePod(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WritePod(out, static_cast<uint32_t>(CheckpointDtype::kFloat32));
+    const auto& t = var.value();
+    WritePod(out, static_cast<uint32_t>(t.rank()));
+    for (size_t i = 0; i < t.rank(); ++i) {
+      WritePod(out, static_cast<uint64_t>(t.dim(i)));
+    }
+    const char* payload = reinterpret_cast<const char*>(t.data());
+    const size_t bytes = t.size() * sizeof(float);
+    out.write(payload, static_cast<std::streamsize>(bytes));
+    hash = FnvUpdate(hash, payload, bytes);
+  }
+  WritePod(out, hash);
+  out.flush();
+  out.close();
+  if (!out) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("checkpoint write failed: " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot move checkpoint into place: " + path);
+  }
+  return Status::OK();
+}
+
+Status Checkpoint::Load(nn::Module* module, const std::string& path) {
+  SEQFM_CHECK(module != nullptr) << "Checkpoint::Load: null module";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint for read: " + path);
+  }
+  uint32_t magic = 0, version = 0;
+  uint64_t count = 0;
+  if (!ReadPod(in, &magic) || !ReadPod(in, &version) || !ReadPod(in, &count)) {
+    return Status::IoError("truncated checkpoint header: " + path);
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad checkpoint magic in " + path +
+                                   " (not a SeqFM checkpoint)");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) + " in " +
+        path + " (expected " + std::to_string(kVersion) + ")");
+  }
+  auto named = module->NamedParameters();
+  if (count != named.size()) {
+    return Status::InvalidArgument(
+        "checkpoint parameter count mismatch: file has " +
+        std::to_string(count) + ", module has " +
+        std::to_string(named.size()));
+  }
+
+  // Loads are transactional: everything is validated and read into staging
+  // buffers first, so a bad file never leaves the module half-restored.
+  std::vector<tensor::Tensor> staged;
+  staged.reserve(named.size());
+  uint64_t hash = kFnvOffset;
+  for (auto& [expected_name, var] : named) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len == 0 || name_len > kMaxNameLen) {
+      return Status::IoError("truncated checkpoint manifest: " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) return Status::IoError("truncated checkpoint manifest: " + path);
+    if (name != expected_name) {
+      return Status::InvalidArgument("checkpoint name mismatch: expected '" +
+                                     expected_name + "', got '" + name + "'");
+    }
+    uint32_t dtype = 0, rank = 0;
+    if (!ReadPod(in, &dtype) || !ReadPod(in, &rank)) {
+      return Status::IoError("truncated checkpoint manifest: " + path);
+    }
+    if (dtype != static_cast<uint32_t>(CheckpointDtype::kFloat32)) {
+      return Status::InvalidArgument("unsupported dtype tag " +
+                                     std::to_string(dtype) + " for '" + name +
+                                     "' in " + path);
+    }
+    const auto& current = var.value();
+    if (rank != current.rank()) {
+      return Status::InvalidArgument(
+          "checkpoint rank mismatch for '" + name + "': file " +
+          std::to_string(rank) + ", module " + std::to_string(current.rank()));
+    }
+    std::vector<size_t> shape(rank);
+    for (uint32_t i = 0; i < rank; ++i) {
+      uint64_t dim = 0;
+      if (!ReadPod(in, &dim)) {
+        return Status::IoError("truncated tensor shape in " + path);
+      }
+      shape[i] = static_cast<size_t>(dim);
+      if (shape[i] != current.dim(i)) {
+        return Status::InvalidArgument(
+            "checkpoint shape mismatch for '" + name + "' at dim " +
+            std::to_string(i) + ": file " + std::to_string(shape[i]) +
+            ", module " + std::to_string(current.dim(i)));
+      }
+    }
+    tensor::Tensor buf = tensor::Tensor::Uninitialized(shape);
+    char* payload = reinterpret_cast<char*>(buf.data());
+    const size_t bytes = buf.size() * sizeof(float);
+    in.read(payload, static_cast<std::streamsize>(bytes));
+    if (!in || static_cast<size_t>(in.gcount()) != bytes) {
+      return Status::IoError("truncated checkpoint payload for '" + name +
+                             "' in " + path);
+    }
+    hash = FnvUpdate(hash, payload, bytes);
+    staged.push_back(std::move(buf));
+  }
+  uint64_t stored_hash = 0;
+  if (!ReadPod(in, &stored_hash)) {
+    return Status::IoError("missing checkpoint checksum in " + path);
+  }
+  if (stored_hash != hash) {
+    return Status::IoError("checkpoint payload corrupted (checksum mismatch) "
+                           "in " + path);
+  }
+  for (size_t i = 0; i < named.size(); ++i) {
+    named[i].second.mutable_value() = std::move(staged[i]);
+  }
+  return Status::OK();
+}
+
+Result<CheckpointManifest> Checkpoint::Inspect(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint for read: " + path);
+  }
+  CheckpointManifest manifest;
+  if (Status st = ReadManifest(in, path, &manifest); !st.ok()) return st;
+  return manifest;
+}
+
+}  // namespace serve
+}  // namespace seqfm

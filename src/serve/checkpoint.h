@@ -1,0 +1,86 @@
+#ifndef SEQFM_SERVE_CHECKPOINT_H_
+#define SEQFM_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace seqfm {
+
+namespace nn {
+class Module;
+}  // namespace nn
+
+namespace serve {
+
+/// Element type tag stored per tensor. Only f32 exists today; the tag is in
+/// the format so readers can reject checkpoints from future dtypes instead
+/// of misinterpreting their payload.
+enum class CheckpointDtype : uint32_t {
+  kFloat32 = 1,
+};
+
+/// One entry of the checkpoint manifest: the qualified parameter name as
+/// produced by nn::Module::NamedParameters ("shared_ffn.w0", ...), its dtype
+/// and its shape.
+struct CheckpointEntry {
+  std::string name;
+  CheckpointDtype dtype = CheckpointDtype::kFloat32;
+  std::vector<size_t> shape;
+
+  size_t num_elements() const {
+    size_t n = 1;
+    for (size_t d : shape) n *= d;
+    return n;
+  }
+};
+
+/// Parsed header + manifest of a checkpoint file (no payload data).
+struct CheckpointManifest {
+  uint32_t version = 0;
+  std::vector<CheckpointEntry> entries;
+
+  size_t total_parameters() const {
+    size_t n = 0;
+    for (const auto& e : entries) n += e.num_elements();
+    return n;
+  }
+};
+
+/// \brief Binary serialization of nn::Module parameter trees.
+///
+/// Format (little-endian, version 2):
+///   uint32 magic 'SQFM' | uint32 version | uint64 tensor count
+///   per tensor: uint32 name_len | name bytes | uint32 dtype | uint32 rank |
+///               uint64 dims[rank] | float payload[prod(dims)]
+///   footer: uint64 FNV-1a hash over every payload byte, in file order.
+///
+/// All failure paths (missing file, bad magic, unsupported version, name or
+/// shape mismatch, truncation, payload corruption) return util::Status — a
+/// serving process must never abort because a checkpoint on disk is bad.
+/// Null module pointers are programmer errors and SEQFM_CHECK-fail.
+class Checkpoint {
+ public:
+  /// Writes every named parameter of \p module to \p path.
+  static Status Save(const nn::Module& module, const std::string& path);
+
+  /// Restores parameters in place. The module must have been constructed
+  /// with the same architecture: names, order, and shapes must match the
+  /// manifest exactly.
+  static Status Load(nn::Module* module, const std::string& path);
+
+  /// Reads header + manifest without touching the payload (beyond seeking).
+  static Result<CheckpointManifest> Inspect(const std::string& path);
+
+  /// Format constants, exposed for tests that craft corrupted files.
+  static constexpr uint32_t kMagic = 0x4d465153;  // "SQFM" little-endian
+  static constexpr uint32_t kVersion = 2;
+};
+
+}  // namespace serve
+}  // namespace seqfm
+
+#endif  // SEQFM_SERVE_CHECKPOINT_H_

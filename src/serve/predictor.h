@@ -1,0 +1,97 @@
+#ifndef SEQFM_SERVE_PREDICTOR_H_
+#define SEQFM_SERVE_PREDICTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_interface.h"
+#include "core/seqfm.h"
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace seqfm {
+namespace serve {
+
+struct PredictorOptions {
+  /// Candidates scored per tape-free forward. Also the chunk the candidate
+  /// loop hands to the shared util::ThreadPool.
+  size_t micro_batch = 256;
+  /// Use the factored SeqFM catalog program when the model supports it (all
+  /// three views enabled, default masking). The program computes the
+  /// candidate-invariant work — the whole dynamic view and the dynamic-side
+  /// projections of the cross view — once per request and only re-scores the
+  /// candidate-dependent rows, the same way an LLM server reuses its KV
+  /// cache across decode steps. Scores are bit-for-bit identical to the
+  /// batched Model::Score path; set to false to force the generic path.
+  bool enable_seqfm_fast_path = true;
+};
+
+/// One ranked catalog entry returned by Predictor::TopK.
+struct ScoredItem {
+  int32_t item = 0;
+  float score = 0.0f;
+};
+
+/// \brief Forward-only scoring front end: the serving counterpart of
+/// core::Trainer.
+///
+/// A Predictor wraps a trained model (any core::Model) and scores candidate
+/// catalogs without constructing autograd state: every forward runs under
+/// autograd::NoGradGuard in micro-batches, and SeqFM requests take the
+/// factored catalog program described in PredictorOptions. Scoring is
+/// read-only on the model and safe to call concurrently after construction.
+class Predictor {
+ public:
+  /// Wraps an already-trained in-process model. Both pointers are borrowed
+  /// and must outlive the Predictor.
+  Predictor(core::Model* model, const data::BatchBuilder* builder,
+            PredictorOptions options = {});
+
+  /// Restores \p model from \p checkpoint_path (the model must be an
+  /// nn::Module, which SeqFM and every registry baseline is), then wraps it.
+  /// Returns the checkpoint's Status error on any load failure.
+  static Result<std::unique_ptr<Predictor>> FromCheckpoint(
+      core::Model* model, const data::BatchBuilder* builder,
+      const std::string& checkpoint_path, PredictorOptions options = {});
+
+  /// Scores each candidate object for the example's (user, history) context.
+  /// scores[i] corresponds to candidates[i]. Bit-for-bit identical to
+  /// scoring the same candidate batch through Model::Score.
+  std::vector<float> ScoreCandidates(
+      const data::SequenceExample& ex,
+      const std::vector<int32_t>& candidates) const;
+
+  /// Top-k of \p candidates by score (descending; ties broken by candidate
+  /// position for determinism). k is clamped to candidates.size().
+  std::vector<ScoredItem> TopK(const data::SequenceExample& ex,
+                               const std::vector<int32_t>& candidates,
+                               size_t k) const;
+
+  /// Top-k over the full object catalog [0, num_objects).
+  std::vector<ScoredItem> TopKAll(const data::SequenceExample& ex,
+                                  size_t k) const;
+
+  /// True when requests will take the factored SeqFM catalog program.
+  bool fast_path_active() const { return seqfm_ != nullptr; }
+
+  const core::Model* model() const { return model_; }
+
+ private:
+  std::vector<float> ScoreGeneric(const data::SequenceExample& ex,
+                                  const std::vector<int32_t>& candidates) const;
+  std::vector<float> ScoreFactored(const data::SequenceExample& ex,
+                                   const std::vector<int32_t>& candidates) const;
+
+  core::Model* model_;
+  const data::BatchBuilder* builder_;
+  PredictorOptions options_;
+  /// Non-null iff the fast path applies to this model + config.
+  core::SeqFm* seqfm_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace seqfm
+
+#endif  // SEQFM_SERVE_PREDICTOR_H_

@@ -20,6 +20,18 @@ Tensor::Tensor(std::vector<size_t> shape) : shape_(std::move(shape)) {
   data_.assign(NumElements(shape_), 0.0f);
 }
 
+Tensor Tensor::Uninitialized(std::vector<size_t> shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  SEQFM_CHECK(!t.shape_.empty() && t.shape_.size() <= 3)
+      << "rank must be 1..3, got " << t.shape_.size();
+  for (size_t d : t.shape_) SEQFM_CHECK_GT(d, 0u);
+  // resize() default-initializes through DefaultInitAllocator, i.e. leaves
+  // the floats unwritten.
+  t.data_.resize(NumElements(t.shape_));
+  return t;
+}
+
 Tensor Tensor::Ones(std::vector<size_t> shape) {
   return Full(std::move(shape), 1.0f);
 }
@@ -40,7 +52,9 @@ Result<Tensor> Tensor::FromVector(std::vector<size_t> shape,
   }
   Tensor t;
   t.shape_ = std::move(shape);
-  t.data_ = std::move(data);
+  // Allocator types differ (plain vs. default-init), so this is a copy; the
+  // factory only runs on cold paths (tests, constant construction).
+  t.data_.assign(data.begin(), data.end());
   return t;
 }
 

@@ -13,6 +13,34 @@
 namespace seqfm {
 namespace tensor {
 
+namespace internal {
+
+/// Allocator whose value-less construct is a no-op, so a resize() performs
+/// default (i.e. no) initialization of the new floats. This is what lets
+/// Tensor::Uninitialized hand kernels an output buffer without paying the
+/// zero-fill; explicit fills (assign, Fill) are unaffected.
+template <typename T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+
+  using std::allocator<T>::allocator;
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    ::new (static_cast<void*>(ptr)) U(std::forward<Args>(args)...);
+  }
+  template <typename U>
+  void construct(U* ptr) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+};
+
+}  // namespace internal
+
 /// \brief Dense row-major float tensor of rank 1 to 3.
 ///
 /// This is the numeric workhorse of the library. It is deliberately simple:
@@ -32,6 +60,12 @@ class Tensor {
 
   /// All-zero tensor.
   static Tensor Zeros(std::vector<size_t> shape) { return Tensor(std::move(shape)); }
+
+  /// Tensor whose elements are NOT initialized. Only for op outputs whose
+  /// kernel overwrites every element before the tensor escapes — reading an
+  /// element before writing it is undefined. The serving fast path uses this
+  /// to skip the zero-fill on intermediates that live for one kernel.
+  static Tensor Uninitialized(std::vector<size_t> shape);
 
   /// All-one tensor.
   static Tensor Ones(std::vector<size_t> shape);
@@ -122,7 +156,7 @@ class Tensor {
 
  private:
   std::vector<size_t> shape_;
-  std::vector<float> data_;
+  std::vector<float, internal::DefaultInitAllocator<float>> data_;
 };
 
 }  // namespace tensor

@@ -33,6 +33,16 @@ bool FlagParser::Has(const std::string& name) const {
   return values_.count(name) > 0;
 }
 
+std::vector<std::string> FlagParser::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    keys.push_back(name);  // std::map iterates in sorted order
+  }
+  return keys;
+}
+
 std::string FlagParser::GetString(const std::string& name,
                                   const std::string& def) const {
   auto it = values_.find(name);

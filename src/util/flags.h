@@ -30,6 +30,10 @@ class FlagParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Names of every flag that was supplied, sorted. Lets binaries reject
+  /// unknown flags instead of silently ignoring a typo.
+  std::vector<std::string> Keys() const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

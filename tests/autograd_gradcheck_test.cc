@@ -4,6 +4,7 @@
 // would corrupt every experiment downstream.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <functional>
 
 #include "autograd/gradcheck.h"
@@ -418,6 +419,65 @@ TEST(GradCheckComposition, AttentionLikeStack) {
       {RandomLeaf({2, 3, 4}, &rng), RandomLeaf({4, 4}, &rng),
        RandomLeaf({4, 4}, &rng), RandomLeaf({4, 4}, &rng),
        RandomLeaf({4}, &rng), RandomLeaf({4}, &rng)});
+}
+
+// ---------------------------------------------------------------------------
+// Inference mode must not leak into training
+// ---------------------------------------------------------------------------
+
+// Runs a taped forward+backward on an attention-like stack; optionally runs a
+// tape-free forward of the same stack between graph construction and the
+// backward pass, and between two backward passes. Gradients of every leaf
+// must be bit-for-bit identical whether or not inference-mode forwards are
+// interleaved — the no-grad guard may not perturb tape state.
+TEST(NoGradInterleaving, GradientsUnchangedByInferenceForwards) {
+  auto build_leaves = [] {
+    Rng rng(177);  // fixed seed: both runs see identical parameters
+    std::vector<Variable> v;
+    v.push_back(RandomLeaf({2, 3, 4}, &rng));
+    v.push_back(RandomLeaf({4, 4}, &rng));
+    v.push_back(RandomLeaf({4, 4}, &rng));
+    return v;
+  };
+  auto forward = [](const std::vector<Variable>& v) {
+    auto q = BmmShared(v[0], v[1]);
+    auto k = BmmShared(v[0], v[2]);
+    auto scores = Scale(Bmm(q, k, false, true), 0.5f);
+    auto probs = MaskedSoftmax(scores, Variable());
+    return SumAll(Bmm(probs, v[0]));
+  };
+
+  auto run = [&](bool interleave) {
+    std::vector<Variable> v = build_leaves();
+    Variable loss = forward(v);
+    if (interleave) {
+      NoGradGuard guard;
+      (void)forward(v);  // inference forward between tape build and backward
+    }
+    Backward(loss);
+    if (interleave) {
+      NoGradGuard guard;
+      (void)forward(v);
+    }
+    // Second accumulation pass on a fresh graph (optimizer-style reuse).
+    Variable loss2 = forward(v);
+    Backward(loss2);
+    std::vector<tensor::Tensor> grads;
+    for (auto& leaf : v) grads.push_back(leaf.grad());
+    return grads;
+  };
+
+  const auto clean = run(/*interleave=*/false);
+  const auto interleaved = run(/*interleave=*/true);
+  ASSERT_EQ(clean.size(), interleaved.size());
+  for (size_t i = 0; i < clean.size(); ++i) {
+    ASSERT_EQ(clean[i].size(), interleaved[i].size());
+    EXPECT_EQ(std::memcmp(clean[i].data(), interleaved[i].data(),
+                          clean[i].size() * sizeof(float)),
+              0)
+        << "leaf " << i;
+  }
+  EXPECT_TRUE(GradMode()) << "guard must restore grad mode";
 }
 
 }  // namespace

@@ -185,26 +185,27 @@ TEST(HofmTest, ThirdOrderMatchesBruteForce) {
   for (size_t i = 0; i < batch.n_unified; ++i) {
     if (batch.unified_ids[i] >= 0) active.push_back(batch.unified_ids[i]);
   }
-  const autograd::Variable* t2 = nullptr;
-  const autograd::Variable* t3 = nullptr;
+  // Copy the handles: NamedParameters() returns a temporary, so keeping
+  // pointers into it would dangle (Variables are cheap shared_ptr wrappers).
+  autograd::Variable t2, t3;
   for (const auto& [name, var] : hofm.NamedParameters()) {
-    if (name == "embedding.table") t2 = &var;
-    if (name == "embedding3.table") t3 = &var;
+    if (name == "embedding.table") t2 = var;
+    if (name == "embedding3.table") t3 = var;
   }
-  ASSERT_NE(t2, nullptr);
-  ASSERT_NE(t3, nullptr);
+  ASSERT_TRUE(t2.defined());
+  ASSERT_TRUE(t3.defined());
   const size_t d = cfg.embedding_dim;
   float expected = 0.0f;
   for (size_t a = 0; a < active.size(); ++a) {
     for (size_t b = a + 1; b < active.size(); ++b) {
       for (size_t j = 0; j < d; ++j) {
-        expected += t2->value().at(active[a], j) * t2->value().at(active[b], j);
+        expected += t2.value().at(active[a], j) * t2.value().at(active[b], j);
       }
       for (size_t c = b + 1; c < active.size(); ++c) {
         for (size_t j = 0; j < d; ++j) {
-          expected += t3->value().at(active[a], j) *
-                      t3->value().at(active[b], j) *
-                      t3->value().at(active[c], j);
+          expected += t3.value().at(active[a], j) *
+                      t3.value().at(active[b], j) *
+                      t3.value().at(active[c], j);
         }
       }
     }
