@@ -1,19 +1,27 @@
 // Serving throughput bench: scores/sec and p50/p99 latency for scoring
 // candidate catalogs through
 //   (a) the taped training-path forward (status quo before src/serve/),
-//   (b) the tape-free generic forward (NoGradGuard micro-batches), and
+//   (b) the tape-free generic forward (NoGradGuard micro-batches),
 //   (c) the serve::Predictor factored catalog program (SeqFM fast path),
-// across thread counts. All three paths produce bit-for-bit identical
-// scores; the bench asserts that before timing.
+//   (d) the factored program behind a serve::ContextCache (PR 3), and
+//   (e) serve::BatchServer fusing many requests into multi-user waves,
+// across thread counts. Every path produces bit-for-bit identical scores;
+// the bench asserts that (including cached-warm and batch-served results)
+// before any timing and exits 1 on the first mismatch.
+//
+// --smoke runs the parity gates only, on tiny shapes, and exits — the mode
+// CI uses under ASan+UBSan.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 
 #include "autograd/variable.h"
 #include "bench/bench_common.h"
 #include "serve/predictor.h"
+#include "serve/server.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -62,17 +70,85 @@ std::vector<float> ScoreTaped(core::Model* model,
   return scores;
 }
 
+size_t CountMismatches(const std::vector<float>& ref,
+                       const std::vector<float>& got) {
+  if (ref.size() != got.size()) return ref.size() + got.size();
+  size_t mismatches = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (std::memcmp(&ref[i], &got[i], sizeof(float)) != 0) ++mismatches;
+  }
+  return mismatches;
+}
+
+/// The repeated-user multi-request workload: request r comes from user
+/// r % users and re-ranks a rotating slate of \p slate candidates, so a
+/// (user, history) context is re-requested requests/users times — the
+/// cache-hit-heavy traffic shape the ContextCache targets.
+struct RequestWorkload {
+  std::vector<const data::SequenceExample*> examples;  // per request
+  std::vector<std::vector<int32_t>> slates;            // per request
+};
+
+RequestWorkload MakeRequestWorkload(
+    const std::vector<data::SequenceExample>& pool, size_t num_objects,
+    size_t requests, size_t users, size_t slate) {
+  // Pick `users` examples with distinct user ids (histories differ too, so
+  // each is one distinct serving context).
+  std::vector<const data::SequenceExample*> distinct;
+  for (const auto& ex : pool) {
+    bool seen = false;
+    for (const auto* d : distinct) seen = seen || d->user == ex.user;
+    if (!seen) distinct.push_back(&ex);
+    if (distinct.size() >= users) break;
+  }
+  RequestWorkload w;
+  for (size_t r = 0; r < requests; ++r) {
+    w.examples.push_back(distinct[r % distinct.size()]);
+    std::vector<int32_t> s(slate);
+    for (size_t j = 0; j < slate; ++j) {
+      s[j] = static_cast<int32_t>((r * 7 + j) % num_objects);
+    }
+    w.slates.push_back(std::move(s));
+  }
+  return w;
+}
+
 int Run(int argc, char** argv) {
-  FlagParser flags =
-      ParseBenchFlagsOrDie(argc, argv, {"candidates", "requests",
-                                        "thread-sweep"});
+  FlagParser flags = ParseBenchFlagsOrDie(
+      argc, argv,
+      {"candidates", "requests", "thread-sweep", "smoke", "users", "slate",
+       "cache-mb", "wave"});
+  const bool smoke = flags.GetBool("smoke", false);
   BenchOptions opts = BenchOptions::FromFlags(flags);
+  if (smoke) {
+    // Tiny shapes: the gates exercise every serving path bit-for-bit under
+    // sanitizers without paying for a timed workload.
+    if (!flags.Has("scale")) opts.scale = 0.2;
+    if (!flags.Has("dim")) opts.dim = 8;
+  } else {
+    // Serving-shaped defaults: the paper's latent dim (64) and a long
+    // check-in history. At the training benches' tiny dim=16/seq=20 the
+    // per-request context is too cheap for caching to matter; serving heavy
+    // users is exactly where the (user, history) context dominates.
+    if (!flags.Has("dim")) opts.dim = 64;
+    if (!flags.Has("seq-len")) opts.max_seq_len = 50;
+  }
   // Acceptance workload: batch 256 unless the caller asks otherwise.
   const size_t batch = flags.Has("batch") ? opts.batch_size : 256;
   const size_t requests = static_cast<size_t>(
       std::max<int64_t>(1, flags.GetInt("requests", opts.quick ? 4 : 16)));
+  const size_t rb_requests = smoke ? 8 : std::max<size_t>(requests, 64);
+  const size_t rb_users = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("users", 8)));
+  const size_t rb_slate = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("slate", 8)));
+  const size_t cache_mb = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("cache-mb", 64)));
+  const size_t wave = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("wave", 64)));
 
-  PrintBanner("Serving throughput — taped vs tape-free vs factored catalog",
+  PrintBanner("Serving throughput — taped vs tape-free vs factored vs "
+              "cached vs request-batched",
               "src/serve/ subsystem (no paper counterpart); catalog scoring "
               "for next-object ranking");
 
@@ -97,33 +173,72 @@ int Run(int argc, char** argv) {
   serve::PredictorOptions fast_opts;
   fast_opts.micro_batch = batch;
   serve::Predictor fast(model.get(), prep.builder.get(), fast_opts);
+  serve::PredictorOptions cached_opts = fast_opts;
+  cached_opts.context_cache_bytes = cache_mb << 20;
+  serve::Predictor cached(model.get(), prep.builder.get(), cached_opts);
 
   std::printf("model=SeqFM dim=%zu seq-len=%zu | catalog=%zu candidates, "
-              "%zu requests, batch=%zu | fast path %s\n",
+              "%zu requests, batch=%zu | fast path %s, cache %zu MiB\n",
               opts.dim, opts.max_seq_len, num_candidates, requests, batch,
-              fast.fast_path_active() ? "ACTIVE" : "inactive");
+              fast.fast_path_active() ? "ACTIVE" : "inactive", cache_mb);
 
-  // Parity gate: all three paths must agree bit-for-bit before any timing.
-  {
+  const RequestWorkload workload =
+      MakeRequestWorkload(examples, prep.space.num_objects(), rb_requests,
+                          rb_users, std::min(rb_slate, num_candidates));
+
+  // -------------------------------------------------------------------------
+  // Parity gates: every serving path must agree with the taped forward
+  // bit-for-bit before any timing. Runs at each sweep thread count in smoke
+  // mode, at the first otherwise.
+  // -------------------------------------------------------------------------
+  auto run_parity_gates = [&]() -> size_t {
+    size_t mismatches = 0;
     std::vector<double> scratch;
     const auto& ex = examples.front();
-    std::vector<float> ref =
+    const std::vector<float> ref =
         ScoreTaped(model.get(), *prep.builder, ex, catalog, batch, &scratch);
-    const std::vector<float> tf = generic.ScoreCandidates(ex, catalog);
-    const std::vector<float> fc = fast.ScoreCandidates(ex, catalog);
-    size_t mismatches = 0;
-    for (size_t i = 0; i < ref.size(); ++i) {
-      if (std::memcmp(&ref[i], &tf[i], sizeof(float)) != 0) ++mismatches;
-      if (std::memcmp(&ref[i], &fc[i], sizeof(float)) != 0) ++mismatches;
+    mismatches += CountMismatches(ref, generic.ScoreCandidates(ex, catalog));
+    mismatches += CountMismatches(ref, fast.ScoreCandidates(ex, catalog));
+    // Cached path twice: the cold pass fills the cache, the warm pass must
+    // serve the memoized context with identical bits.
+    cached.InvalidateContextCache();
+    mismatches += CountMismatches(ref, cached.ScoreCandidates(ex, catalog));
+    mismatches += CountMismatches(ref, cached.ScoreCandidates(ex, catalog));
+
+    // Batch-served parity over the repeated-user workload (fused waves +
+    // cache): top-K of every request must equal the taped reference's.
+    cached.InvalidateContextCache();
+    serve::BatchServerOptions server_opts;
+    server_opts.max_wave_requests = wave;
+    serve::BatchServer server(&cached, server_opts);
+    std::vector<std::future<std::vector<serve::ScoredItem>>> futures;
+    for (size_t r = 0; r < workload.examples.size(); ++r) {
+      futures.push_back(
+          server.Submit(*workload.examples[r], workload.slates[r], 10));
     }
-    std::printf("parity check: %zu mismatching scores (must be 0)\n",
-                mismatches);
-    if (mismatches != 0) return 1;
-  }
+    for (size_t r = 0; r < futures.size(); ++r) {
+      const std::vector<float> rref =
+          ScoreTaped(model.get(), *prep.builder, *workload.examples[r],
+                     workload.slates[r], batch, &scratch);
+      const auto want = serve::SelectTopK(workload.slates[r], rref, 10);
+      const auto got = futures[r].get();
+      if (got.size() != want.size()) {
+        ++mismatches;
+        continue;
+      }
+      for (size_t j = 0; j < got.size(); ++j) {
+        if (got[j].item != want[j].item ||
+            std::memcmp(&got[j].score, &want[j].score, sizeof(float)) != 0) {
+          ++mismatches;
+        }
+      }
+    }
+    return mismatches;
+  };
 
   std::vector<size_t> thread_counts;
-  for (const std::string& t :
-       SplitCsv(flags.GetString("thread-sweep", "1,2,4"))) {
+  for (const std::string& t : SplitCsv(
+           flags.GetString("thread-sweep", smoke ? "1,2" : "1,2,4"))) {
     // Validate here: a malformed token must get the usage treatment, not an
     // uncaught std::stoul exception or a SetGlobalThreads(0) check-fail.
     char* end = nullptr;
@@ -137,6 +252,22 @@ int Run(int argc, char** argv) {
     thread_counts.push_back(static_cast<size_t>(value));
   }
 
+  for (size_t threads : smoke ? thread_counts
+                              : std::vector<size_t>{thread_counts.front()}) {
+    util::SetGlobalThreads(threads);
+    const size_t mismatches = run_parity_gates();
+    std::printf("parity gates @threads=%zu: %zu mismatching results "
+                "(must be 0)\n", threads, mismatches);
+    if (mismatches != 0) return 1;
+  }
+  if (smoke) {
+    std::printf("smoke mode: parity gates passed, skipping timed runs.\n");
+    return 0;
+  }
+
+  // -------------------------------------------------------------------------
+  // Full-catalog sweep: one request at a time (PR 2 paths).
+  // -------------------------------------------------------------------------
   for (size_t threads : thread_counts) {
     util::SetGlobalThreads(threads);
     auto run_path = [&](const std::function<void(const data::SequenceExample&,
@@ -188,8 +319,102 @@ int Run(int argc, char** argv) {
     print_row("factored catalog (request)", "rq", factored);
     std::fflush(stdout);
   }
+
+  // -------------------------------------------------------------------------
+  // Request-batched serving: the repeated-user workload through the PR 2
+  // factored path (baseline), the ContextCache, and the BatchServer. The
+  // acceptance criterion is cached/batched >= 2x the uncached factored path.
+  // -------------------------------------------------------------------------
+  std::printf("\n--- request-batched serving: %zu requests over %zu users, "
+              "slate=%zu, wave<=%zu ---\n",
+              rb_requests, rb_users, std::min(rb_slate, num_candidates),
+              wave);
+  const size_t rb_scores = rb_requests * std::min(rb_slate, num_candidates);
+  for (size_t threads : thread_counts) {
+    util::SetGlobalThreads(threads);
+
+    auto run_serial = [&](const serve::Predictor& p) {
+      std::vector<double> latencies;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t r = 0; r < rb_requests; ++r) {
+        const auto s0 = std::chrono::steady_clock::now();
+        (void)p.ScoreCandidates(*workload.examples[r], workload.slates[r]);
+        const auto s1 = std::chrono::steady_clock::now();
+        latencies.push_back(std::chrono::duration<double>(s1 - s0).count());
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      PathStats stats;
+      stats.scores_per_sec =
+          static_cast<double>(rb_scores) /
+          std::chrono::duration<double>(t1 - t0).count();
+      stats.p50_ms = PercentileMs(&latencies, 0.50);
+      stats.p99_ms = PercentileMs(&latencies, 0.99);
+      return stats;
+    };
+
+    const PathStats uncached = run_serial(fast);
+    cached.InvalidateContextCache();
+    // Counters are cumulative over the process; report this run's delta.
+    const auto cache_before = cached.context_cache()->stats();
+    const PathStats with_cache = run_serial(cached);
+    auto cache_stats = cached.context_cache()->stats();
+    cache_stats.hits -= cache_before.hits;
+    cache_stats.misses -= cache_before.misses;
+
+    cached.InvalidateContextCache();
+    PathStats batched;
+    {
+      serve::BatchServerOptions server_opts;
+      server_opts.max_wave_requests = wave;
+      serve::BatchServer server(&cached, server_opts);
+      std::vector<std::future<std::vector<serve::ScoredItem>>> futures;
+      std::vector<std::chrono::steady_clock::time_point> submit_at;
+      std::vector<double> latencies(rb_requests);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t r = 0; r < rb_requests; ++r) {
+        submit_at.push_back(std::chrono::steady_clock::now());
+        futures.push_back(
+            server.Submit(*workload.examples[r], workload.slates[r], 10));
+      }
+      for (size_t r = 0; r < rb_requests; ++r) {
+        (void)futures[r].get();
+        latencies[r] = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - submit_at[r]).count();
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      batched.scores_per_sec =
+          static_cast<double>(rb_scores) /
+          std::chrono::duration<double>(t1 - t0).count();
+      batched.p50_ms = PercentileMs(&latencies, 0.50);
+      batched.p99_ms = PercentileMs(&latencies, 0.99);
+    }
+
+    std::printf("\n[threads=%zu] %-28s %12s %10s %10s %9s\n", threads, "path",
+                "scores/sec", "p50 ms", "p99 ms", "speedup");
+    auto print_row = [&](const char* name, const PathStats& s) {
+      std::printf("            %-28s %12.0f %7.3f    %7.3f    %8.2fx\n", name,
+                  s.scores_per_sec, s.p50_ms, s.p99_ms,
+                  s.scores_per_sec / uncached.scores_per_sec);
+    };
+    print_row("factored, no cache (PR 2)", uncached);
+    print_row("factored + context cache", with_cache);
+    print_row("batch server (fused+cache)", batched);
+    std::printf("            cache: %llu hits / %llu misses (%.1f%% hit "
+                "rate), %zu entries, %.1f KiB\n",
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses),
+                100.0 * cache_stats.hit_rate(), cache_stats.entries,
+                static_cast<double>(cache_stats.bytes) / 1024.0);
+    const double best = std::max(with_cache.scores_per_sec,
+                                 batched.scores_per_sec);
+    std::printf("            acceptance: best cached/batched = %.2fx "
+                "uncached (criterion: >= 2x)\n",
+                best / uncached.scores_per_sec);
+    std::fflush(stdout);
+  }
   std::printf("\nLatency units: /b = per batch-%zu forward, /rq = per "
-              "catalog request.\n", batch);
+              "catalog request; request-batched latencies are per request "
+              "(batch-server latency includes queueing).\n", batch);
   return 0;
 }
 

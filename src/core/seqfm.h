@@ -1,9 +1,12 @@
 #ifndef SEQFM_CORE_SEQFM_H_
 #define SEQFM_CORE_SEQFM_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "autograd/variable.h"
 #include "core/model_interface.h"
 #include "data/feature_space.h"
 #include "nn/layers.h"
@@ -41,6 +44,35 @@ struct SeqFmConfig {
   bool mask_padding_keys = false;
 
   uint64_t seed = 42;
+};
+
+/// \brief Candidate-invariant state of one factored catalog request:
+/// everything the (user, history) context determines, computed once per
+/// request by SeqFm::ComputeSharedContext and re-used for every candidate.
+///
+/// This is the serving analogue of an LLM server's KV cache: the dynamic
+/// view and the history-side cross projections do not depend on the
+/// candidate, so serve::Predictor computes them once and serve::ContextCache
+/// memoizes them across requests keyed on (user, history hash). Variables
+/// hold detached (tape-free) tensors; the struct is immutable after
+/// construction and safe to share across scoring threads.
+struct SharedContext {
+  size_t n = 0;          // max_seq_len
+  size_t d = 0;          // embedding dim
+  float inv_sqrt_d = 1.0f;
+  int32_t user_index = 0;
+  std::vector<int32_t> dynamic_ids;  // builder layout, length n
+  autograd::Variable h_dyn;   // dynamic-view output, [1, d]
+  autograd::Variable q_dyn;   // cross-view projections of the history rows,
+  autograd::Variable k_dyn;   //   [1, n, d]
+  autograd::Variable v_dyn;
+  autograd::Variable k_user;  // cross-view projections of the user row,
+  autograd::Variable v_user;  //   [1, 1, d]
+  autograd::Variable out_user;  // cross-view output of the user row, [1, 1, d]
+
+  /// Resident bytes of the context's tensors + id buffer — the unit of
+  /// serve::ContextCache's byte budget.
+  size_t ApproxBytes() const;
 };
 
 /// \brief Sequence-Aware Factorization Machine (the paper's model, Eq. 19):
@@ -86,6 +118,20 @@ class SeqFm : public nn::Module, public Model {
     autograd::Variable causal_mask;
   };
   ServingView serving_view() const;
+
+  /// \brief Computes the candidate-invariant SharedContext for one request.
+  ///
+  /// \p user_index is the static-space index of the user row and
+  /// \p dynamic_ids the BatchBuilder-layout history row (length max_seq_len,
+  /// -1 padding) — both exactly as BatchBuilder::Build lays them out, so
+  /// factored scores stay bit-for-bit identical to the batched forward.
+  /// Runs tape-free (NoGradGuard internally) regardless of the caller's grad
+  /// mode: contexts outlive the request inside serve::ContextCache, and a
+  /// cached autograd tape would pin the whole graph. Preconditions (checked):
+  /// all three views enabled, mask_padding_keys off, dynamic_ids.size() ==
+  /// max_seq_len.
+  SharedContext ComputeSharedContext(int32_t user_index,
+                                     std::vector<int32_t> dynamic_ids) const;
 
  private:
   /// Intra-view pooling + shared FFN for one view's attention output.

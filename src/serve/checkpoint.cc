@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "nn/module.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace seqfm {
@@ -11,11 +12,11 @@ namespace serve {
 
 namespace {
 
-// FNV-1a, the 64-bit variant: cheap, streaming, and strong enough to catch
-// bit rot and truncation-with-padding; this is an integrity check, not a
-// cryptographic one.
-constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr uint64_t kFnvPrime = 0x00000100000001b3ull;
+// Payload integrity uses the shared 64-bit FNV-1a from util/hash.h (the same
+// function keys serve::ContextCache); the streaming FnvUpdate form lets the
+// checksum fold in tensor payloads as they are written/read.
+using util::FnvUpdate;
+constexpr uint64_t kFnvOffset = util::kFnv64Offset;
 
 // Sanity bounds for manifest fields. A value beyond these means the file is
 // garbage, not a legitimate checkpoint — reject with a Status instead of
@@ -25,14 +26,6 @@ constexpr uint64_t kMaxTensors = 1u << 20;
 constexpr uint64_t kMaxNameLen = 4096;
 constexpr uint64_t kMaxDim = 1ull << 32;
 constexpr uint64_t kMaxElements = 1ull << 40;
-
-uint64_t FnvUpdate(uint64_t hash, const char* data, size_t len) {
-  for (size_t i = 0; i < len; ++i) {
-    hash ^= static_cast<unsigned char>(data[i]);
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
 
 template <typename T>
 void WritePod(std::ofstream& out, T value) {

@@ -1,0 +1,108 @@
+#include "serve/context_cache.h"
+
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace seqfm {
+namespace serve {
+
+ContextCache::ContextCache(size_t byte_budget) : byte_budget_(byte_budget) {}
+
+uint64_t ContextCache::KeyHash(int32_t user_index,
+                               const std::vector<int32_t>& dynamic_ids) {
+  uint64_t h = util::FnvUpdate(util::kFnv64Offset, &user_index,
+                               sizeof(user_index));
+  return util::FnvUpdate(h, dynamic_ids.data(),
+                         dynamic_ids.size() * sizeof(int32_t));
+}
+
+ContextCache::LruList::iterator ContextCache::Find(
+    uint64_t hash, int32_t user_index,
+    const std::vector<int32_t>& dynamic_ids) {
+  auto [lo, hi] = index_.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second->user_index == user_index &&
+        it->second->dynamic_ids == dynamic_ids) {
+      return it->second;
+    }
+  }
+  return lru_.end();
+}
+
+ContextCache::ContextPtr ContextCache::GetOrCompute(
+    int32_t user_index, const std::vector<int32_t>& dynamic_ids,
+    const std::function<ContextPtr()>& compute) {
+  const uint64_t hash = KeyHash(user_index, dynamic_ids);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = Find(hash, user_index, dynamic_ids);
+    if (it != lru_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it);  // most recently used
+      return it->context;
+    }
+    ++misses_;
+  }
+
+  // Compute outside the lock so a slow context build never serializes
+  // unrelated requests. Racing threads on the same cold key may duplicate
+  // the work; both results are bit-identical, and only one is inserted.
+  ContextPtr context = compute();
+  SEQFM_CHECK(context != nullptr) << "ContextCache: compute returned null";
+  const size_t cost = context->ApproxBytes() + sizeof(Entry);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = Find(hash, user_index, dynamic_ids);
+  if (it != lru_.end()) {
+    // A racing thread inserted while we computed; keep the cached copy (no
+    // extra hit counted — this call already recorded its miss).
+    lru_.splice(lru_.begin(), lru_, it);
+    return it->context;
+  }
+  if (cost > byte_budget_) return context;  // uncacheable, serve uncached
+  lru_.push_front(Entry{user_index, dynamic_ids, context, cost, hash});
+  index_.emplace(hash, lru_.begin());
+  bytes_ += cost;
+  while (bytes_ > byte_budget_ && lru_.size() > 1) EvictBack();
+  return context;
+}
+
+void ContextCache::EvictBack() {
+  const Entry& victim = lru_.back();
+  auto [lo, hi] = index_.equal_range(victim.hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == std::prev(lru_.end())) {
+      index_.erase(it);
+      break;
+    }
+  }
+  bytes_ -= victim.bytes;
+  lru_.pop_back();
+  ++evictions_;
+}
+
+void ContextCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  ++invalidations_;
+}
+
+ContextCacheStats ContextCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ContextCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.invalidations = invalidations_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.byte_budget = byte_budget_;
+  return s;
+}
+
+}  // namespace serve
+}  // namespace seqfm

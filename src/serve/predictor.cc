@@ -35,6 +35,11 @@ Predictor::Predictor(core::Model* model, const data::BatchBuilder* builder,
       seqfm_ = seqfm;
     }
   }
+  if (seqfm_ != nullptr && options_.context_cache_bytes > 0) {
+    cache_ = std::make_unique<ContextCache>(options_.context_cache_bytes);
+  }
+  full_catalog_.resize(builder_->space().num_objects());
+  std::iota(full_catalog_.begin(), full_catalog_.end(), 0);
 }
 
 Result<std::unique_ptr<Predictor>> Predictor::FromCheckpoint(
@@ -50,12 +55,46 @@ Result<std::unique_ptr<Predictor>> Predictor::FromCheckpoint(
   return std::make_unique<Predictor>(model, builder, options);
 }
 
+Status Predictor::ReloadCheckpoint(const std::string& path) {
+  auto* module = dynamic_cast<nn::Module*>(model_);
+  if (module == nullptr) {
+    return Status::InvalidArgument(
+        "model '" + model_->name() + "' is not an nn::Module; cannot restore");
+  }
+  SEQFM_RETURN_NOT_OK(Checkpoint::Load(module, path));
+  // The load swapped parameter tensors in place; every cached context now
+  // describes the old weights.
+  InvalidateContextCache();
+  return Status::OK();
+}
+
+void Predictor::InvalidateContextCache() {
+  if (cache_) cache_->Invalidate();
+}
+
 std::vector<float> Predictor::ScoreCandidates(
     const data::SequenceExample& ex,
     const std::vector<int32_t>& candidates) const {
   if (candidates.empty()) return {};
   return seqfm_ != nullptr ? ScoreFactored(ex, candidates)
                            : ScoreGeneric(ex, candidates);
+}
+
+void Predictor::ScoreGenericRange(const data::SequenceExample& ex,
+                                  const std::vector<int32_t>& candidates,
+                                  size_t begin, size_t end,
+                                  float* scores) const {
+  // Grad mode is thread-scoped, so the guard must live here — this runs
+  // directly on pool workers (ScoreGeneric) and on BatchServer wave tasks.
+  autograd::NoGradGuard no_grad;
+  std::vector<const data::SequenceExample*> repeated(end - begin, &ex);
+  std::vector<int32_t> override_chunk(candidates.begin() + begin,
+                                      candidates.begin() + end);
+  data::Batch batch = builder_->Build(repeated, &override_chunk);
+  Variable out = model_->Score(batch, /*training=*/false);
+  SEQFM_CHECK_EQ(out.value().size(), end - begin);
+  const float* src = out.value().data();
+  for (size_t i = begin; i < end; ++i) scores[i] = src[i - begin];
 }
 
 std::vector<float> Predictor::ScoreGeneric(
@@ -66,204 +105,155 @@ std::vector<float> Predictor::ScoreGeneric(
   const size_t num_chunks = (total + chunk_size - 1) / chunk_size;
   std::vector<float> scores(total);
 
-  auto score_chunk = [&](size_t c) {
-    // Grad mode is thread-scoped, so the guard must live in the worker.
-    autograd::NoGradGuard no_grad;
-    const size_t begin = c * chunk_size;
-    const size_t end = std::min(total, begin + chunk_size);
-    std::vector<const data::SequenceExample*> repeated(end - begin, &ex);
-    std::vector<int32_t> override_chunk(candidates.begin() + begin,
-                                        candidates.begin() + end);
-    data::Batch batch = builder_->Build(repeated, &override_chunk);
-    Variable out = model_->Score(batch, /*training=*/false);
-    SEQFM_CHECK_EQ(out.value().size(), end - begin);
-    const float* src = out.value().data();
-    for (size_t i = begin; i < end; ++i) scores[i] = src[i - begin];
-  };
-
   // Safe to fan out from the first chunk: eval-mode Score is read-only for
   // every model (SeqFM materializes its cross mask in its constructor, and
   // the baselines build masks as per-call locals).
   util::ParallelFor(num_chunks, 1, [&](size_t c0, size_t c1) {
-    for (size_t c = c0; c < c1; ++c) score_chunk(c);
+    for (size_t c = c0; c < c1; ++c) {
+      const size_t begin = c * chunk_size;
+      ScoreGenericRange(ex, candidates, begin,
+                        std::min(total, begin + chunk_size), scores.data());
+    }
   });
   return scores;
 }
 
-namespace {
+Predictor::ContextPtr Predictor::AcquireContext(
+    const data::SequenceExample& ex) const {
+  SEQFM_CHECK(seqfm_ != nullptr)
+      << "AcquireContext requires the factored SeqFM fast path";
+  // Reuse the BatchBuilder for the index layout so padding and index mapping
+  // are byte-identical to the taped path.
+  const std::vector<const data::SequenceExample*> one = {&ex};
+  const data::Batch base = builder_->Build(one);
+  const int32_t user_index = base.static_ids[0];
+  const size_t n = seqfm_->config().max_seq_len;
+  std::vector<int32_t> dynamic_ids(
+      base.dynamic_ids.begin(),
+      base.dynamic_ids.begin() + static_cast<ptrdiff_t>(n));
+  auto compute = [&]() {
+    return std::make_shared<const core::SharedContext>(
+        seqfm_->ComputeSharedContext(user_index, dynamic_ids));
+  };
+  if (cache_) return cache_->GetOrCompute(user_index, dynamic_ids, compute);
+  return compute();
+}
 
-/// Candidate-invariant state of one factored catalog request: everything the
-/// (user, history) context determines, computed once per request.
-struct SharedContext {
-  size_t n = 0;          // max_seq_len
-  size_t d = 0;          // embedding dim
-  float inv_sqrt_d = 1.0f;
-  int32_t user_index = 0;
-  std::vector<int32_t> dynamic_ids;  // builder layout, length n
-  Variable h_dyn;     // dynamic-view output, [1, d]
-  Variable q_dyn;     // cross-view projections of the history rows, [1, n, d]
-  Variable k_dyn;
-  Variable v_dyn;
-  Variable k_user;    // cross-view projections of the user row, [1, 1, d]
-  Variable v_user;
-  Variable out_user;  // cross-view output of the user row, [1, 1, d]
-};
+void Predictor::ScoreFactoredRange(const core::SharedContext& ctx,
+                                   const std::vector<int32_t>& candidates,
+                                   size_t begin, size_t end,
+                                   float* scores) const {
+  namespace ag = autograd;
+  autograd::NoGradGuard no_grad;
+  const core::SeqFm::ServingView view = seqfm_->serving_view();
+  const core::SeqFmConfig& cfg = seqfm_->config();
+  const data::FeatureSpace& space = builder_->space();
+  const size_t count = end - begin;
+  const size_t n = ctx.n, d = ctx.d;
 
-}  // namespace
+  // Index layout mirrors BatchBuilder::Build: [user, candidate] per row.
+  std::vector<int32_t> static_ids(count * 2);
+  std::vector<int32_t> cand_ids(count);
+  for (size_t i = 0; i < count; ++i) {
+    static_ids[2 * i] = ctx.user_index;
+    static_ids[2 * i + 1] = space.CandidateIndex(candidates[begin + i]);
+    cand_ids[i] = static_ids[2 * i + 1];
+  }
+
+  // Static view: candidate-dependent but tiny (two rows); this is the
+  // identical computation the full forward runs.
+  Variable e_static = view.static_embedding->Forward(static_ids, count, 2);
+  Variable h_att = view.static_attention->Forward(e_static, Variable());
+  Variable h_stat = view.ffn->Forward(ag::MeanAxis1(h_att, 2.0f),
+                                      cfg.keep_prob, false, nullptr);
+
+  // Cross view, candidate side.
+  Variable e_cand = view.static_embedding->Forward(cand_ids, count, 1);
+  Variable q_cand = ag::BmmShared(e_cand, view.cross_attention->wq());
+  Variable k_cand = ag::BmmShared(e_cand, view.cross_attention->wk());
+  Variable v_cand = ag::BmmShared(e_cand, view.cross_attention->wv());
+
+  // Candidate static rows attend to every history column.
+  Variable sc = ag::Scale(ag::Bmm(ag::Reshape(q_cand, {1, count, d}),
+                                  ctx.k_dyn, false, true),
+                          ctx.inv_sqrt_d);               // [1, count, n]
+  Variable pc = ag::MaskedSoftmax(sc, Variable());
+  Variable out_cand =
+      ag::Reshape(ag::Bmm(pc, ctx.v_dyn), {count, 1, d});
+
+  // History rows attend to the two static columns (user, candidate). The
+  // user column is shared; only the candidate column changes per item.
+  Variable s_user = ag::Bmm(ctx.q_dyn, ctx.k_user, false, true);  // [1,n,1]
+  Variable s_user_tiled = ag::Reshape(
+      ag::ExpandRows(ag::Reshape(s_user, {1, n}), count), {count * n, 1});
+  Variable s_cand = ag::Reshape(
+      ag::Bmm(ag::Reshape(k_cand, {1, count, d}), ctx.q_dyn, false, true),
+      {count * n, 1});                                   // [c-major]
+  Variable probs2 = ag::MaskedSoftmax(
+      ag::Scale(ag::ConcatLastDim({s_user_tiled, s_cand}), ctx.inv_sqrt_d),
+      Variable());                                       // [count*n, 2]
+
+  Variable v_user_tiled = ag::Reshape(
+      ag::ExpandRows(ag::Reshape(ctx.v_user, {1, d}), count * n),
+      {count * n, 1, d});
+  Variable v_cand_tiled = ag::Reshape(
+      ag::ExpandRows(ag::Reshape(v_cand, {count, d}), n), {count * n, 1, d});
+  Variable v_pairs = ag::ConcatAxis1(v_user_tiled, v_cand_tiled);
+  Variable out_dyn = ag::Reshape(
+      ag::Bmm(ag::Reshape(probs2, {count * n, 1, 2}), v_pairs),
+      {count, n, d});
+
+  // Reassemble the cross-attention output in the full path's row order
+  // (user, candidate, history...), pool, and refine.
+  Variable out_user_tiled = ag::Reshape(
+      ag::ExpandRows(ag::Reshape(ctx.out_user, {1, d}), count),
+      {count, 1, d});
+  Variable cross_rows =
+      ag::ConcatAxis1(ag::ConcatAxis1(out_user_tiled, out_cand), out_dyn);
+  Variable pooled_cross =
+      ag::MeanAxis1(cross_rows, static_cast<float>(2 + n));
+  Variable h_cross =
+      view.ffn->Forward(pooled_cross, cfg.keep_prob, false, nullptr);
+
+  // Aggregation and the linear head, in the full path's operation order.
+  Variable h_dyn_tiled = ag::Reshape(
+      ag::ExpandRows(ag::Reshape(ctx.h_dyn, {1, d}), count), {count, d});
+  Variable h_agg = ag::ConcatLastDim({h_stat, h_dyn_tiled, h_cross});
+  Variable f = ag::MatMul(h_agg, view.p);
+  Variable ws = ag::EmbeddingSumGather(view.w_static, static_ids, count, 2);
+  Variable wd_one =
+      ag::EmbeddingSumGather(view.w_dynamic, ctx.dynamic_ids, 1, n);
+  Variable wd = ag::Reshape(
+      ag::ExpandRows(ag::Reshape(wd_one, {1, 1}), count), {count, 1});
+  Variable out = ag::AddBias(ag::Add(f, ag::Add(ws, wd)), view.w0);
+
+  const float* src = out.value().data();
+  for (size_t i = 0; i < count; ++i) scores[begin + i] = src[i];
+}
 
 std::vector<float> Predictor::ScoreFactored(
     const data::SequenceExample& ex,
     const std::vector<int32_t>& candidates) const {
-  namespace ag = autograd;
-  const core::SeqFm::ServingView view = seqfm_->serving_view();
-  const core::SeqFmConfig& cfg = seqfm_->config();
-  const data::FeatureSpace& space = builder_->space();
-
-  SharedContext ctx;
-  ctx.n = cfg.max_seq_len;
-  ctx.d = cfg.embedding_dim;
-  ctx.inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(ctx.d));
-
-  {
-    autograd::NoGradGuard no_grad;
-    // Reuse the BatchBuilder for the index layout so padding and index
-    // mapping are byte-identical to the taped path.
-    const std::vector<const data::SequenceExample*> one = {&ex};
-    data::Batch base = builder_->Build(one);
-    ctx.user_index = base.static_ids[0];
-    ctx.dynamic_ids.assign(base.dynamic_ids.begin(),
-                           base.dynamic_ids.begin() +
-                               static_cast<ptrdiff_t>(ctx.n));
-
-    // Dynamic view: depends only on the history, so one row suffices.
-    Variable e_dyn =
-        view.dynamic_embedding->Forward(ctx.dynamic_ids, 1, ctx.n);
-    Variable h = view.dynamic_attention->Forward(e_dyn, view.causal_mask);
-    Variable pooled = ag::MeanAxis1(h, static_cast<float>(ctx.n));
-    ctx.h_dyn = view.ffn->Forward(pooled, cfg.keep_prob, /*training=*/false,
-                                  /*rng=*/nullptr);
-
-    // Cross view, history side: projections of the dynamic rows and the full
-    // output of the user row (a static row attends only to dynamic columns,
-    // none of which involve the candidate).
-    ctx.q_dyn = ag::BmmShared(e_dyn, view.cross_attention->wq());
-    ctx.k_dyn = ag::BmmShared(e_dyn, view.cross_attention->wk());
-    ctx.v_dyn = ag::BmmShared(e_dyn, view.cross_attention->wv());
-
-    const std::vector<int32_t> user_only = {ctx.user_index};
-    Variable e_user = view.static_embedding->Forward(user_only, 1, 1);
-    Variable q_user = ag::BmmShared(e_user, view.cross_attention->wq());
-    ctx.k_user = ag::BmmShared(e_user, view.cross_attention->wk());
-    ctx.v_user = ag::BmmShared(e_user, view.cross_attention->wv());
-
-    Variable su = ag::Scale(ag::Bmm(q_user, ctx.k_dyn, false, true),
-                            ctx.inv_sqrt_d);               // [1, 1, n]
-    Variable pu = ag::MaskedSoftmax(su, Variable());
-    ctx.out_user = ag::Bmm(pu, ctx.v_dyn);                 // [1, 1, d]
-  }
-
+  const ContextPtr ctx = AcquireContext(ex);
   const size_t total = candidates.size();
   const size_t chunk_size = options_.micro_batch;
   const size_t num_chunks = (total + chunk_size - 1) / chunk_size;
   std::vector<float> scores(total);
 
-  auto score_chunk = [&](size_t chunk) {
-    autograd::NoGradGuard no_grad;
-    const size_t begin = chunk * chunk_size;
-    const size_t end = std::min(total, begin + chunk_size);
-    const size_t count = end - begin;
-    const size_t n = ctx.n, d = ctx.d;
-
-    // Index layout mirrors BatchBuilder::Build: [user, candidate] per row.
-    std::vector<int32_t> static_ids(count * 2);
-    std::vector<int32_t> cand_ids(count);
-    for (size_t i = 0; i < count; ++i) {
-      static_ids[2 * i] = ctx.user_index;
-      static_ids[2 * i + 1] = space.CandidateIndex(candidates[begin + i]);
-      cand_ids[i] = static_ids[2 * i + 1];
-    }
-
-    // Static view: candidate-dependent but tiny (two rows); this is the
-    // identical computation the full forward runs.
-    Variable e_static = view.static_embedding->Forward(static_ids, count, 2);
-    Variable h_att = view.static_attention->Forward(e_static, Variable());
-    Variable h_stat = view.ffn->Forward(ag::MeanAxis1(h_att, 2.0f),
-                                        cfg.keep_prob, false, nullptr);
-
-    // Cross view, candidate side.
-    Variable e_cand = view.static_embedding->Forward(cand_ids, count, 1);
-    Variable q_cand = ag::BmmShared(e_cand, view.cross_attention->wq());
-    Variable k_cand = ag::BmmShared(e_cand, view.cross_attention->wk());
-    Variable v_cand = ag::BmmShared(e_cand, view.cross_attention->wv());
-
-    // Candidate static rows attend to every history column.
-    Variable sc = ag::Scale(ag::Bmm(ag::Reshape(q_cand, {1, count, d}),
-                                    ctx.k_dyn, false, true),
-                            ctx.inv_sqrt_d);               // [1, count, n]
-    Variable pc = ag::MaskedSoftmax(sc, Variable());
-    Variable out_cand =
-        ag::Reshape(ag::Bmm(pc, ctx.v_dyn), {count, 1, d});
-
-    // History rows attend to the two static columns (user, candidate). The
-    // user column is shared; only the candidate column changes per item.
-    Variable s_user = ag::Bmm(ctx.q_dyn, ctx.k_user, false, true);  // [1,n,1]
-    Variable s_user_tiled = ag::Reshape(
-        ag::ExpandRows(ag::Reshape(s_user, {1, n}), count), {count * n, 1});
-    Variable s_cand = ag::Reshape(
-        ag::Bmm(ag::Reshape(k_cand, {1, count, d}), ctx.q_dyn, false, true),
-        {count * n, 1});                                   // [c-major]
-    Variable probs2 = ag::MaskedSoftmax(
-        ag::Scale(ag::ConcatLastDim({s_user_tiled, s_cand}), ctx.inv_sqrt_d),
-        Variable());                                       // [count*n, 2]
-
-    Variable v_user_tiled = ag::Reshape(
-        ag::ExpandRows(ag::Reshape(ctx.v_user, {1, d}), count * n),
-        {count * n, 1, d});
-    Variable v_cand_tiled = ag::Reshape(
-        ag::ExpandRows(ag::Reshape(v_cand, {count, d}), n), {count * n, 1, d});
-    Variable v_pairs = ag::ConcatAxis1(v_user_tiled, v_cand_tiled);
-    Variable out_dyn = ag::Reshape(
-        ag::Bmm(ag::Reshape(probs2, {count * n, 1, 2}), v_pairs),
-        {count, n, d});
-
-    // Reassemble the cross-attention output in the full path's row order
-    // (user, candidate, history...), pool, and refine.
-    Variable out_user_tiled = ag::Reshape(
-        ag::ExpandRows(ag::Reshape(ctx.out_user, {1, d}), count),
-        {count, 1, d});
-    Variable cross_rows =
-        ag::ConcatAxis1(ag::ConcatAxis1(out_user_tiled, out_cand), out_dyn);
-    Variable pooled_cross =
-        ag::MeanAxis1(cross_rows, static_cast<float>(2 + n));
-    Variable h_cross =
-        view.ffn->Forward(pooled_cross, cfg.keep_prob, false, nullptr);
-
-    // Aggregation and the linear head, in the full path's operation order.
-    Variable h_dyn_tiled = ag::Reshape(
-        ag::ExpandRows(ag::Reshape(ctx.h_dyn, {1, d}), count), {count, d});
-    Variable h_agg = ag::ConcatLastDim({h_stat, h_dyn_tiled, h_cross});
-    Variable f = ag::MatMul(h_agg, view.p);
-    Variable ws = ag::EmbeddingSumGather(view.w_static, static_ids, count, 2);
-    Variable wd_one =
-        ag::EmbeddingSumGather(view.w_dynamic, ctx.dynamic_ids, 1, n);
-    Variable wd = ag::Reshape(
-        ag::ExpandRows(ag::Reshape(wd_one, {1, 1}), count), {count, 1});
-    Variable out = ag::AddBias(ag::Add(f, ag::Add(ws, wd)), view.w0);
-
-    const float* src = out.value().data();
-    for (size_t i = 0; i < count; ++i) scores[begin + i] = src[i];
-  };
-
   util::ParallelFor(num_chunks, 1, [&](size_t c0, size_t c1) {
-    for (size_t c = c0; c < c1; ++c) score_chunk(c);
+    for (size_t c = c0; c < c1; ++c) {
+      const size_t begin = c * chunk_size;
+      ScoreFactoredRange(*ctx, candidates, begin,
+                         std::min(total, begin + chunk_size), scores.data());
+    }
   });
   return scores;
 }
 
-std::vector<ScoredItem> Predictor::TopK(const data::SequenceExample& ex,
-                                        const std::vector<int32_t>& candidates,
-                                        size_t k) const {
-  const std::vector<float> scores = ScoreCandidates(ex, candidates);
+std::vector<ScoredItem> SelectTopK(const std::vector<int32_t>& candidates,
+                                   const std::vector<float>& scores,
+                                   size_t k) {
+  SEQFM_CHECK_EQ(candidates.size(), scores.size());
   k = std::min(k, candidates.size());
   std::vector<size_t> order(candidates.size());
   std::iota(order.begin(), order.end(), size_t{0});
@@ -286,11 +276,15 @@ std::vector<ScoredItem> Predictor::TopK(const data::SequenceExample& ex,
   return top;
 }
 
+std::vector<ScoredItem> Predictor::TopK(const data::SequenceExample& ex,
+                                        const std::vector<int32_t>& candidates,
+                                        size_t k) const {
+  return SelectTopK(candidates, ScoreCandidates(ex, candidates), k);
+}
+
 std::vector<ScoredItem> Predictor::TopKAll(const data::SequenceExample& ex,
                                            size_t k) const {
-  std::vector<int32_t> catalog(builder_->space().num_objects());
-  std::iota(catalog.begin(), catalog.end(), 0);
-  return TopK(ex, catalog, k);
+  return TopK(ex, full_catalog_, k);
 }
 
 }  // namespace serve

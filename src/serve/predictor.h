@@ -9,6 +9,7 @@
 #include "core/model_interface.h"
 #include "core/seqfm.h"
 #include "data/dataset.h"
+#include "serve/context_cache.h"
 #include "util/result.h"
 
 namespace seqfm {
@@ -26,6 +27,12 @@ struct PredictorOptions {
   /// cache across decode steps. Scores are bit-for-bit identical to the
   /// batched Model::Score path; set to false to force the generic path.
   bool enable_seqfm_fast_path = true;
+  /// Byte budget for the (user, history) SharedContext LRU cache in front of
+  /// the factored path; 0 disables caching. Each entry holds the per-request
+  /// candidate-invariant tensors, roughly 4*(3*n*d + 4*d) bytes for seq-len
+  /// n and dim d (~39 KiB at n=50, d=64), so 64 MiB caches ~1.7k such
+  /// contexts. Ignored when the fast path is inactive.
+  size_t context_cache_bytes = 0;
 };
 
 /// One ranked catalog entry returned by Predictor::TopK.
@@ -34,16 +41,27 @@ struct ScoredItem {
   float score = 0.0f;
 };
 
+/// Top-k of \p candidates by \p scores (descending; NaN scores sort last and
+/// ties break by candidate position for determinism). k is clamped to
+/// candidates.size(). Shared by Predictor::TopK and BatchServer.
+std::vector<ScoredItem> SelectTopK(const std::vector<int32_t>& candidates,
+                                   const std::vector<float>& scores, size_t k);
+
 /// \brief Forward-only scoring front end: the serving counterpart of
 /// core::Trainer.
 ///
 /// A Predictor wraps a trained model (any core::Model) and scores candidate
 /// catalogs without constructing autograd state: every forward runs under
 /// autograd::NoGradGuard in micro-batches, and SeqFM requests take the
-/// factored catalog program described in PredictorOptions. Scoring is
-/// read-only on the model and safe to call concurrently after construction.
+/// factored catalog program described in PredictorOptions, optionally
+/// memoized by a serve::ContextCache. Scoring is read-only on the model and
+/// safe to call concurrently after construction; ReloadCheckpoint is the one
+/// mutating call and requires the caller to quiesce scoring first
+/// (BatchServer::ReloadCheckpoint does).
 class Predictor {
  public:
+  using ContextPtr = ContextCache::ContextPtr;
+
   /// Wraps an already-trained in-process model. Both pointers are borrowed
   /// and must outlive the Predictor.
   Predictor(core::Model* model, const data::BatchBuilder* builder,
@@ -69,14 +87,47 @@ class Predictor {
                                const std::vector<int32_t>& candidates,
                                size_t k) const;
 
-  /// Top-k over the full object catalog [0, num_objects).
+  /// Top-k over the full object catalog [0, num_objects). The identity
+  /// catalog is materialized once at construction, not per request.
   std::vector<ScoredItem> TopKAll(const data::SequenceExample& ex,
                                   size_t k) const;
+
+  /// Reloads model parameters from \p path (hot-swap to a newer training
+  /// snapshot) and invalidates the context cache so no request is served
+  /// from tensors of the old parameters. No scoring call may be in flight;
+  /// serve through BatchServer::ReloadCheckpoint for a quiesced reload.
+  Status ReloadCheckpoint(const std::string& path);
+
+  /// Drops all cached contexts. Call after mutating model parameters by any
+  /// route other than ReloadCheckpoint. No-op when caching is off.
+  void InvalidateContextCache();
+
+  // --- Fused-scoring building blocks (used by serve::BatchServer) ---------
+
+  /// The (cached) SharedContext for this example. Fast path only
+  /// (fast_path_active() must hold).
+  ContextPtr AcquireContext(const data::SequenceExample& ex) const;
+
+  /// Scores candidates[begin, end) into scores[begin, end) through the
+  /// factored program against \p ctx. Sets up its own NoGradGuard, so it can
+  /// run directly on pool worker threads.
+  void ScoreFactoredRange(const core::SharedContext& ctx,
+                          const std::vector<int32_t>& candidates,
+                          size_t begin, size_t end, float* scores) const;
+
+  /// Generic-path equivalent of ScoreFactoredRange (any model).
+  void ScoreGenericRange(const data::SequenceExample& ex,
+                         const std::vector<int32_t>& candidates,
+                         size_t begin, size_t end, float* scores) const;
 
   /// True when requests will take the factored SeqFM catalog program.
   bool fast_path_active() const { return seqfm_ != nullptr; }
 
+  /// Non-null iff the fast path is active and context_cache_bytes > 0.
+  const ContextCache* context_cache() const { return cache_.get(); }
+
   const core::Model* model() const { return model_; }
+  const PredictorOptions& options() const { return options_; }
 
  private:
   std::vector<float> ScoreGeneric(const data::SequenceExample& ex,
@@ -89,6 +140,9 @@ class Predictor {
   PredictorOptions options_;
   /// Non-null iff the fast path applies to this model + config.
   core::SeqFm* seqfm_ = nullptr;
+  std::unique_ptr<ContextCache> cache_;
+  /// [0, num_objects) — built once so TopKAll does not re-materialize it.
+  std::vector<int32_t> full_catalog_;
 };
 
 }  // namespace serve

@@ -1,0 +1,168 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace seqfm {
+namespace serve {
+
+BatchServer::BatchServer(Predictor* predictor, BatchServerOptions options)
+    : predictor_(predictor), options_(options) {
+  SEQFM_CHECK(predictor_ != nullptr) << "BatchServer: null predictor";
+  SEQFM_CHECK_GT(options_.max_wave_requests, 0u);
+  dispatcher_ = std::thread([this]() { DispatchLoop(); });
+}
+
+BatchServer::~BatchServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();  // DispatchLoop drains the queue before returning
+}
+
+std::future<std::vector<ScoredItem>> BatchServer::Submit(
+    const data::SequenceExample& ex, std::vector<int32_t> candidates,
+    size_t k) {
+  Request req;
+  req.ex = ex;
+  req.candidates = std::move(candidates);
+  req.k = k;
+  std::future<std::vector<ScoredItem>> result = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SEQFM_CHECK(!shutdown_) << "BatchServer::Submit after shutdown";
+    queue_.push_back(std::move(req));
+    ++stats_.requests_admitted;
+  }
+  cv_.notify_one();
+  return result;
+}
+
+Status BatchServer::ReloadCheckpoint(const std::string& path) {
+  // serve_mu_ quiesces serving: the in-flight wave (if any) completes
+  // against the old parameters, then the reload + cache invalidation run
+  // with no scoring in progress.
+  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  return predictor_->ReloadCheckpoint(path);
+}
+
+BatchServerStats BatchServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BatchServer::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void BatchServer::DispatchLoop() {
+  for (;;) {
+    std::vector<Request> wave;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to drain
+      const size_t take = std::min(queue_.size(), options_.max_wave_requests);
+      wave.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        wave.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.waves;
+      stats_.largest_wave = std::max<uint64_t>(stats_.largest_wave, take);
+    }
+    std::lock_guard<std::mutex> serve_lock(serve_mu_);
+    ServeWave(&wave);
+  }
+}
+
+void BatchServer::ServeWave(std::vector<Request>* wave) {
+  const size_t num_requests = wave->size();
+  const size_t chunk_size = options_.micro_batch > 0
+                                ? options_.micro_batch
+                                : predictor_->options().micro_batch;
+
+  // Phase 1 (fast path only): resolve each unique (user, history) context
+  // once per wave. The map dedupes duplicate users inside the wave before
+  // they even reach the ContextCache, so a cold cache never computes the
+  // same context twice in one wave; groups resolve concurrently on the pool.
+  std::vector<Predictor::ContextPtr> contexts(num_requests);
+  if (predictor_->fast_path_active()) {
+    std::map<std::pair<int32_t, std::vector<int32_t>>, std::vector<size_t>>
+        groups;
+    for (size_t r = 0; r < num_requests; ++r) {
+      if ((*wave)[r].candidates.empty() || (*wave)[r].k == 0) continue;
+      groups[{(*wave)[r].ex.user, (*wave)[r].ex.history}].push_back(r);
+    }
+    std::vector<const std::vector<size_t>*> group_list;
+    group_list.reserve(groups.size());
+    for (const auto& [key, members] : groups) group_list.push_back(&members);
+    util::ParallelFor(group_list.size(), 1, [&](size_t g0, size_t g1) {
+      for (size_t g = g0; g < g1; ++g) {
+        const std::vector<size_t>& members = *group_list[g];
+        const Predictor::ContextPtr ctx =
+            predictor_->AcquireContext((*wave)[members.front()].ex);
+        for (size_t r : members) contexts[r] = ctx;
+      }
+    });
+  }
+
+  // Phase 2: one fused ParallelFor over every candidate chunk of every
+  // request in the wave — this is the multi-user scoring wave that keeps
+  // all pool threads busy regardless of per-request catalog size.
+  struct ChunkTask {
+    size_t request;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<ChunkTask> tasks;
+  std::vector<std::vector<float>> scores(num_requests);
+  for (size_t r = 0; r < num_requests; ++r) {
+    const size_t total = (*wave)[r].candidates.size();
+    if (total == 0 || (*wave)[r].k == 0) continue;
+    scores[r].resize(total);
+    for (size_t begin = 0; begin < total; begin += chunk_size) {
+      tasks.push_back({r, begin, std::min(total, begin + chunk_size)});
+    }
+  }
+  util::ParallelFor(tasks.size(), 1, [&](size_t t0, size_t t1) {
+    for (size_t t = t0; t < t1; ++t) {
+      const ChunkTask& task = tasks[t];
+      const Request& req = (*wave)[task.request];
+      if (contexts[task.request] != nullptr) {
+        predictor_->ScoreFactoredRange(*contexts[task.request],
+                                       req.candidates, task.begin, task.end,
+                                       scores[task.request].data());
+      } else {
+        predictor_->ScoreGenericRange(req.ex, req.candidates, task.begin,
+                                      task.end, scores[task.request].data());
+      }
+    }
+  });
+
+  // Phase 3: per-request top-K selection and promise fulfillment. The
+  // served counter is published first so a client that observed its future
+  // resolve always sees its request counted.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.requests_served += num_requests;
+  }
+  for (size_t r = 0; r < num_requests; ++r) {
+    Request& req = (*wave)[r];
+    if (scores[r].empty()) {
+      req.promise.set_value({});
+      continue;
+    }
+    req.promise.set_value(SelectTopK(req.candidates, scores[r], req.k));
+  }
+}
+
+}  // namespace serve
+}  // namespace seqfm

@@ -1,0 +1,116 @@
+#ifndef SEQFM_SERVE_SERVER_H_
+#define SEQFM_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/predictor.h"
+#include "util/status.h"
+
+namespace seqfm {
+namespace serve {
+
+struct BatchServerOptions {
+  /// Most requests fused into one scoring wave. The dispatcher drains up to
+  /// this many queued requests at once and scores all their candidate
+  /// chunks through a single ParallelFor, so the pool stays busy even when
+  /// each individual catalog is too small to feed every thread.
+  size_t max_wave_requests = 64;
+  /// Candidate chunk per pool task; 0 uses the Predictor's micro_batch.
+  size_t micro_batch = 0;
+};
+
+/// Counters exposed by BatchServer::stats().
+struct BatchServerStats {
+  uint64_t requests_admitted = 0;
+  uint64_t requests_served = 0;
+  uint64_t waves = 0;
+  uint64_t largest_wave = 0;
+
+  double avg_wave_size() const {
+    return waves == 0 ? 0.0 : static_cast<double>(requests_served) /
+                                  static_cast<double>(waves);
+  }
+};
+
+/// \brief Request-batched serving front end over a serve::Predictor.
+///
+/// Submit() admits (example, candidates, k) requests from any thread and
+/// returns a future of the ranked top-K. A dispatcher thread fuses queued
+/// requests into multi-user scoring waves: per wave it resolves each unique
+/// (user, history) SharedContext once (through the Predictor's ContextCache
+/// when enabled), then scores every candidate chunk of every request in one
+/// ParallelFor on the shared util::ThreadPool — raising pool utilization
+/// over the one-catalog-at-a-time Predictor loop. Results are bit-for-bit
+/// identical to Predictor::TopK (and so to Model::Score).
+///
+/// The destructor drains the queue: every admitted request is served before
+/// shutdown, so futures never dangle. Submit after destruction begins is a
+/// programmer error (check-fails).
+class BatchServer {
+ public:
+  /// \p predictor is borrowed and must outlive the server.
+  explicit BatchServer(Predictor* predictor, BatchServerOptions options = {});
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Enqueues one request; the future resolves with the top-k of
+  /// \p candidates for \p ex (semantics identical to Predictor::TopK: k
+  /// clamped, descending score, position tie-break). Thread-safe.
+  std::future<std::vector<ScoredItem>> Submit(const data::SequenceExample& ex,
+                                              std::vector<int32_t> candidates,
+                                              size_t k);
+
+  /// Hot-swaps model parameters from \p path with serving quiesced: waits
+  /// for the in-flight wave to finish, reloads, and invalidates the context
+  /// cache, so no request is ever scored against a mix of old parameters
+  /// and stale contexts. Requests queued behind the reload score against
+  /// the new parameters.
+  Status ReloadCheckpoint(const std::string& path);
+
+  BatchServerStats stats() const;
+
+  /// Requests admitted but not yet picked up by the dispatcher.
+  size_t pending() const;
+
+ private:
+  struct Request {
+    data::SequenceExample ex;
+    std::vector<int32_t> candidates;
+    size_t k = 0;
+    std::promise<std::vector<ScoredItem>> promise;
+  };
+
+  void DispatchLoop();
+  /// Scores one wave and fulfills its promises. Caller holds serve_mu_.
+  void ServeWave(std::vector<Request>* wave);
+
+  Predictor* predictor_;
+  BatchServerOptions options_;
+
+  mutable std::mutex mu_;  // guards queue_, shutdown_, stats_
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+  BatchServerStats stats_;
+
+  /// Held while a wave executes; ReloadCheckpoint quiesces on it.
+  std::mutex serve_mu_;
+
+  /// Last member: starts after every field above is initialized.
+  std::thread dispatcher_;
+};
+
+}  // namespace serve
+}  // namespace seqfm
+
+#endif  // SEQFM_SERVE_SERVER_H_

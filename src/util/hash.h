@@ -1,0 +1,36 @@
+#ifndef SEQFM_UTIL_HASH_H_
+#define SEQFM_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace seqfm {
+namespace util {
+
+/// 64-bit FNV-1a: cheap, streaming, and strong enough to catch bit rot,
+/// truncation-with-padding, and to key caches on id sequences. This is an
+/// integrity/bucketing hash, not a cryptographic one — collision-sensitive
+/// callers (serve::ContextCache) must still compare full keys on lookup.
+inline constexpr uint64_t kFnv64Offset = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnv64Prime = 0x00000100000001b3ull;
+
+/// Folds \p len bytes at \p data into a running FNV-1a state. Start from
+/// kFnv64Offset (or use Fnv1a64) and chain calls to hash multi-part keys.
+inline uint64_t FnvUpdate(uint64_t hash, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnv64Prime;
+  }
+  return hash;
+}
+
+/// One-shot FNV-1a over a byte range.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  return FnvUpdate(kFnv64Offset, data, len);
+}
+
+}  // namespace util
+}  // namespace seqfm
+
+#endif  // SEQFM_UTIL_HASH_H_

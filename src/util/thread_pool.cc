@@ -18,19 +18,47 @@ thread_local bool t_in_pool_work = false;
 
 ThreadPool::ThreadPool(size_t num_threads) {
   SEQFM_CHECK_GE(num_threads, 1u);
+  StartWorkers(num_threads);
+}
+
+ThreadPool::~ThreadPool() { StopWorkers(); }
+
+void ThreadPool::StartWorkers(size_t num_threads) {
   workers_.reserve(num_threads - 1);
   for (size_t i = 0; i + 1 < num_threads; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
   }
+  num_threads_.store(num_threads, std::memory_order_release);
 }
 
-ThreadPool::~ThreadPool() {
+void ThreadPool::StopWorkers() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+  {
+    // Reset so Resize can start a fresh worker set on the same object.
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = false;
+  }
+}
+
+void ThreadPool::Resize(size_t num_threads) {
+  SEQFM_CHECK_GE(num_threads, 1u);
+  // Resizing from inside pool work would deadlock on region_mu_ (the outer
+  // ParallelFor holds it for the whole region); fail loudly instead.
+  SEQFM_CHECK(!t_in_pool_work)
+      << "ThreadPool::Resize called from inside pool work";
+  // Waits until no parallel region is active, and keeps new regions out
+  // while workers are being swapped. Threads already holding a reference to
+  // this pool stay valid: the object is never destroyed, only re-staffed.
+  std::lock_guard<std::mutex> region_lock(region_mu_);
+  if (num_threads == this->num_threads()) return;
+  StopWorkers();
+  StartWorkers(num_threads);
 }
 
 void ThreadPool::RunChunks() {
@@ -74,7 +102,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (end <= begin) return;
   const size_t n = end - begin;
   grain = std::max<size_t>(1, grain);
-  if (workers_.empty() || n <= grain || t_in_pool_work) {
+  // num_threads() (not workers_.size()) so the check never races with a
+  // concurrent Resize; a stale read is benign — the work either runs inline
+  // or serializes against the resize on region_mu_ below.
+  if (num_threads() == 1 || n <= grain || t_in_pool_work) {
     // Inline execution. Note t_in_pool_work stays as-is: a range that is
     // merely too small to split (e.g. a batch dimension of 1) must not
     // suppress parallelism in nested calls that do have enough work.
@@ -103,8 +134,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 
 size_t DefaultThreads() {
   if (const char* env = std::getenv("SEQFM_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<size_t>(parsed);
+    // endptr check: "4garbage" must hit the warning path below, not silently
+    // become 4 (strtol stops at the first non-digit and reports success).
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
     SEQFM_LOG(Warning) << "ignoring invalid SEQFM_THREADS='" << env << "'";
   }
   const unsigned hw = std::thread::hardware_concurrency();
@@ -126,9 +162,22 @@ ThreadPool& GlobalPool() { return GetOrCreatePool(); }
 
 void SetGlobalThreads(size_t num_threads) {
   SEQFM_CHECK_GE(num_threads, 1u);
-  std::lock_guard<std::mutex> lock(g_pool_mu);
-  if (g_pool && g_pool->num_threads() == num_threads) return;
-  g_pool = std::make_unique<ThreadPool>(num_threads);
+  // Never destroy the pool: other threads may hold the ThreadPool& returned
+  // by GlobalPool() or be mid-ParallelFor (replacing the object was a
+  // use-after-free window). Resize re-staffs the same object after draining
+  // the active region. The resize runs outside g_pool_mu — the pointer is
+  // stable once created, and holding g_pool_mu through the drain could
+  // deadlock against a region whose body lazily calls GlobalThreads().
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (!g_pool) {
+      g_pool = std::make_unique<ThreadPool>(num_threads);
+      return;
+    }
+    pool = g_pool.get();
+  }
+  pool->Resize(num_threads);
 }
 
 size_t GlobalThreads() { return GetOrCreatePool().num_threads(); }

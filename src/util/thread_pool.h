@@ -1,6 +1,7 @@
 #ifndef SEQFM_UTIL_THREAD_POOL_H_
 #define SEQFM_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -32,8 +33,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total threads that execute ParallelFor work (workers + caller).
-  size_t num_threads() const { return workers_.size() + 1; }
+  /// Total threads that execute ParallelFor work (workers + caller). Safe to
+  /// call concurrently with Resize.
+  size_t num_threads() const {
+    return num_threads_.load(std::memory_order_acquire);
+  }
+
+  /// Resizes the pool in place: waits for the active parallel region (if
+  /// any) to finish, joins the old workers, and starts new ones. References
+  /// to the pool stay valid across the call, and a ParallelFor racing with
+  /// the resize simply runs before or after it. Must not be called from
+  /// inside pool work (it would deadlock on its own region; check-fails
+  /// loudly instead). No-op when the size is unchanged.
+  void Resize(size_t num_threads);
 
   /// Runs fn(chunk_begin, chunk_end) over disjoint chunks covering
   /// [begin, end) and blocks until all chunks are done. Ranges of at most
@@ -48,8 +60,15 @@ class ThreadPool {
   /// Pulls chunks of the active region until none remain. Both workers and
   /// the submitting thread execute this.
   void RunChunks();
+  /// Spawns workers for a total of \p num_threads threads (ctor / Resize).
+  void StartWorkers(size_t num_threads);
+  /// Joins and clears all workers, leaving the pool restartable.
+  void StopWorkers();
 
   std::vector<std::thread> workers_;
+  /// Mirrors workers_.size() + 1 so num_threads() is race-free while Resize
+  /// mutates the vector.
+  std::atomic<size_t> num_threads_{1};
 
   /// Serializes parallel regions: only one ParallelFor is active at a time.
   std::mutex region_mu_;
@@ -66,18 +85,21 @@ class ThreadPool {
 };
 
 /// Number of threads the process-global pool should use: the SEQFM_THREADS
-/// environment variable when set (clamped to >= 1), otherwise the hardware
-/// concurrency.
+/// environment variable when it parses as a whole positive integer (no
+/// trailing garbage), otherwise the hardware concurrency. Malformed values
+/// are rejected with a warning, never silently truncated.
 size_t DefaultThreads();
 
 /// The process-global pool shared by forward, backward, and the benches.
-/// Lazily constructed with DefaultThreads() on first use.
+/// Lazily constructed with DefaultThreads() on first use. The returned
+/// reference stays valid for the life of the process — SetGlobalThreads
+/// resizes the pool in place instead of replacing it.
 ThreadPool& GlobalPool();
 
 /// Resizes the global pool (used by --threads flags and TrainConfig).
-/// Destroys and recreates the pool, so it must NOT be called while any
-/// thread is running pool work — size the pool between training runs, not
-/// during them.
+/// Safe to call while other threads hold the GlobalPool() reference or are
+/// mid-ParallelFor: the resize drains the active region first and never
+/// destroys the pool object. Calling it from inside pool work check-fails.
 void SetGlobalThreads(size_t num_threads);
 
 /// Current size of the global pool (constructs it if needed).

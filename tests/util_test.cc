@@ -1,14 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 
 #include <atomic>
 #include <thread>
 #include <vector>
 
 #include "util/flags.h"
+#include "util/hash.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -319,6 +323,110 @@ TEST(ThreadPoolTest, GlobalPoolResizes) {
   EXPECT_EQ(util::GlobalThreads(), 3u);
   util::SetGlobalThreads(1);
   EXPECT_EQ(util::GlobalThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsKeepsPoolReferenceValid) {
+  // SetGlobalThreads must resize the pool in place: long-lived ThreadPool&
+  // handles from GlobalPool() (the old implementation destroyed and
+  // replaced the object, leaving them dangling) stay usable.
+  util::SetGlobalThreads(2);
+  util::ThreadPool& held = util::GlobalPool();
+  util::SetGlobalThreads(4);
+  EXPECT_EQ(&util::GlobalPool(), &held);
+  EXPECT_EQ(held.num_threads(), 4u);
+  std::atomic<size_t> covered{0};
+  held.ParallelFor(0, 1000, 10,
+                   [&covered](size_t b, size_t e) { covered += e - b; });
+  EXPECT_EQ(covered.load(), 1000u);
+  util::SetGlobalThreads(1);
+  EXPECT_EQ(&util::GlobalPool(), &held);
+}
+
+TEST(ThreadPoolTest, ResizeWhileOtherThreadsRunParallelForIsSafe) {
+  // Regression for the SetGlobalThreads use-after-free window: resizing
+  // drains the active region instead of destroying the pool under running
+  // ParallelFor calls. Meaningful failure mode under ASan/TSan.
+  util::SetGlobalThreads(4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> users;
+  for (int t = 0; t < 3; ++t) {
+    users.emplace_back([&stop]() {
+      util::ThreadPool& pool = util::GlobalPool();  // held across resizes
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::atomic<size_t> covered{0};
+        pool.ParallelFor(0, 4096, 64,
+                         [&covered](size_t b, size_t e) { covered += e - b; });
+        EXPECT_EQ(covered.load(), 4096u);
+      }
+    });
+  }
+  for (size_t n : {1u, 3u, 2u, 4u, 1u, 4u, 2u, 1u}) {
+    util::SetGlobalThreads(n);
+    EXPECT_EQ(util::GlobalThreads(), n);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (auto& u : users) u.join();
+  util::SetGlobalThreads(1);
+}
+
+TEST(ThreadPoolDeathTest, ResizeFromInsidePoolWorkDies) {
+  // Resizing from a pool task would self-deadlock on the region lock; the
+  // check must fire before the lock is touched.
+  EXPECT_DEATH(
+      {
+        util::ThreadPool pool(2);
+        pool.ParallelFor(0, 16, 1, [&pool](size_t, size_t) { pool.Resize(3); });
+      },
+      "inside pool work");
+}
+
+TEST(ThreadPoolTest, DefaultThreadsRejectsMalformedEnv) {
+  const char* old = std::getenv("SEQFM_THREADS");
+  const std::string saved = old ? old : "";
+  unsetenv("SEQFM_THREADS");
+  const size_t fallback = util::DefaultThreads();  // hardware concurrency
+
+  setenv("SEQFM_THREADS", "5", 1);
+  EXPECT_EQ(util::DefaultThreads(), 5u);
+  // Trailing garbage must not silently parse as the leading digits.
+  setenv("SEQFM_THREADS", "5garbage", 1);
+  EXPECT_EQ(util::DefaultThreads(), fallback);
+  setenv("SEQFM_THREADS", "4.5", 1);
+  EXPECT_EQ(util::DefaultThreads(), fallback);
+  setenv("SEQFM_THREADS", "garbage", 1);
+  EXPECT_EQ(util::DefaultThreads(), fallback);
+  setenv("SEQFM_THREADS", "", 1);
+  EXPECT_EQ(util::DefaultThreads(), fallback);
+  setenv("SEQFM_THREADS", "0", 1);
+  EXPECT_EQ(util::DefaultThreads(), fallback);
+  setenv("SEQFM_THREADS", "-2", 1);
+  EXPECT_EQ(util::DefaultThreads(), fallback);
+
+  if (old) {
+    setenv("SEQFM_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("SEQFM_THREADS");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a (util/hash.h)
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, Fnv1a64KnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(util::Fnv1a64("", 0), util::kFnv64Offset);
+  EXPECT_EQ(util::Fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(util::Fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(HashTest, FnvUpdateStreamsLikeOneShot) {
+  const char data[] = "abcdef";
+  uint64_t streamed = util::kFnv64Offset;
+  streamed = util::FnvUpdate(streamed, data, 2);
+  streamed = util::FnvUpdate(streamed, data + 2, 4);
+  EXPECT_EQ(streamed, util::Fnv1a64(data, 6));
 }
 
 TEST(ZipfSamplerTest, LowIndicesAreMorePopular) {
