@@ -219,5 +219,29 @@ std::vector<std::string> SplitCsv(const std::string& csv) {
   return out;
 }
 
+std::vector<size_t> ParseSizeListOrDie(const FlagParser& flags,
+                                       const std::string& name,
+                                       const std::string& default_csv,
+                                       size_t max_value) {
+  std::vector<size_t> values;
+  for (const std::string& tok :
+       SplitCsv(flags.GetString(name, default_csv))) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0' || value == 0 ||
+        value > max_value) {
+      std::fprintf(stderr, "invalid --%s entry '%s' (want 1..%zu)\n",
+                   name.c_str(), tok.c_str(), max_value);
+      std::exit(2);
+    }
+    values.push_back(static_cast<size_t>(value));
+  }
+  if (values.empty()) {
+    std::fprintf(stderr, "--%s: empty list\n", name.c_str());
+    std::exit(2);
+  }
+  return values;
+}
+
 }  // namespace bench
 }  // namespace seqfm

@@ -93,6 +93,15 @@ std::string FormatCell(double value, int width = 7, int precision = 3);
 /// Splits "a,b,c" into {"a","b","c"} (used by --models / --datasets flags).
 std::vector<std::string> SplitCsv(const std::string& csv);
 
+/// Parses the CSV flag \p name (default \p default_csv) as a list of sizes
+/// in [1, max_value]. A malformed, out-of-range, or empty list prints a
+/// usage line and exits 2 — the shared validation behind --thread-sweep and
+/// --shards style sweep flags.
+std::vector<size_t> ParseSizeListOrDie(const FlagParser& flags,
+                                       const std::string& name,
+                                       const std::string& default_csv,
+                                       size_t max_value);
+
 }  // namespace bench
 }  // namespace seqfm
 

@@ -78,12 +78,8 @@ int Run(int argc, char** argv) {
               "is expected to transfer.)\n");
 
   // ---- Thread scalability sweep (parallel backbone) ----------------------
-  std::vector<size_t> thread_counts;
-  for (const std::string& tok :
-       SplitCsv(flags.GetString("thread-sweep", "1,2,4,8"))) {
-    const long v = std::strtol(tok.c_str(), nullptr, 10);
-    if (v >= 1) thread_counts.push_back(static_cast<size_t>(v));
-  }
+  const std::vector<size_t> thread_counts =
+      ParseSizeListOrDie(flags, "thread-sweep", "1,2,4,8", 1024);
   std::printf("\nThread scalability at proportion 1.0 (%zu epochs per "
               "point):\n",
               opts.epochs);

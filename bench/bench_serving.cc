@@ -3,11 +3,14 @@
 //   (a) the taped training-path forward (status quo before src/serve/),
 //   (b) the tape-free generic forward (NoGradGuard micro-batches),
 //   (c) the serve::Predictor factored catalog program (SeqFM fast path),
-//   (d) the factored program behind a serve::ContextCache (PR 3), and
-//   (e) serve::BatchServer fusing many requests into multi-user waves,
-// across thread counts. Every path produces bit-for-bit identical scores;
-// the bench asserts that (including cached-warm and batch-served results)
-// before any timing and exits 1 on the first mismatch.
+//   (d) the factored program behind a serve::ContextCache (PR 3),
+//   (e) serve::BatchServer fusing many requests into multi-user waves, and
+//   (f) serve::ShardedPredictor partitioning the catalog across shards with
+//       a deterministic cross-shard top-K merge (--shards sweep),
+// across thread counts. Every path produces bit-for-bit identical scores
+// and rankings; the bench asserts that (including cached-warm,
+// batch-served, and sharded results) before any timing and exits 1 on the
+// first mismatch.
 //
 // --smoke runs the parity gates only, on tiny shapes, and exits — the mode
 // CI uses under ASan+UBSan.
@@ -22,6 +25,7 @@
 #include "bench/bench_common.h"
 #include "serve/predictor.h"
 #include "serve/server.h"
+#include "serve/shard.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -41,6 +45,38 @@ double PercentileMs(std::vector<double>* latencies, double q) {
       latencies->size() - 1,
       static_cast<size_t>(q * static_cast<double>(latencies->size())));
   return (*latencies)[idx] * 1e3;
+}
+
+/// The one timing harness behind every measured path: runs fn(r, &latencies)
+/// for each request, derives scores/sec from \p total_scores over the whole
+/// run, and p50/p99 from the latency samples fn appends (usually one per
+/// request; the taped path appends one per forward batch).
+PathStats MeasurePath(size_t requests, size_t total_scores,
+                      const std::function<void(size_t, std::vector<double>*)>&
+                          fn) {
+  std::vector<double> latencies;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < requests; ++r) fn(r, &latencies);
+  const auto t1 = std::chrono::steady_clock::now();
+  PathStats stats;
+  stats.scores_per_sec = static_cast<double>(total_scores) /
+                         std::chrono::duration<double>(t1 - t0).count();
+  stats.p50_ms = PercentileMs(&latencies, 0.50);
+  stats.p99_ms = PercentileMs(&latencies, 0.99);
+  return stats;
+}
+
+/// MeasurePath with the harness itself timing each request as one sample.
+PathStats MeasurePathPerRequest(size_t requests, size_t total_scores,
+                                const std::function<void(size_t)>& fn) {
+  return MeasurePath(requests, total_scores,
+                     [&](size_t r, std::vector<double>* latencies) {
+                       const auto s0 = std::chrono::steady_clock::now();
+                       fn(r);
+                       const auto s1 = std::chrono::steady_clock::now();
+                       latencies->push_back(
+                           std::chrono::duration<double>(s1 - s0).count());
+                     });
 }
 
 /// Scores \p candidates for \p ex through the taped training-path forward in
@@ -117,7 +153,7 @@ int Run(int argc, char** argv) {
   FlagParser flags = ParseBenchFlagsOrDie(
       argc, argv,
       {"candidates", "requests", "thread-sweep", "smoke", "users", "slate",
-       "cache-mb", "wave"});
+       "cache-mb", "wave", "shards"});
   const bool smoke = flags.GetBool("smoke", false);
   BenchOptions opts = BenchOptions::FromFlags(flags);
   if (smoke) {
@@ -148,7 +184,7 @@ int Run(int argc, char** argv) {
       std::max<int64_t>(1, flags.GetInt("wave", 64)));
 
   PrintBanner("Serving throughput — taped vs tape-free vs factored vs "
-              "cached vs request-batched",
+              "cached vs request-batched vs sharded",
               "src/serve/ subsystem (no paper counterpart); catalog scoring "
               "for next-object ranking");
 
@@ -186,6 +222,10 @@ int Run(int argc, char** argv) {
       MakeRequestWorkload(examples, prep.space.num_objects(), rb_requests,
                           rb_users, std::min(rb_slate, num_candidates));
 
+  // Shard sweep (--shards): same CSV validation treatment as --thread-sweep.
+  const std::vector<size_t> shard_counts = ParseSizeListOrDie(
+      flags, "shards", smoke ? "1,2,3,8" : "1,2,4,8", 4096);
+
   // -------------------------------------------------------------------------
   // Parity gates: every serving path must agree with the taped forward
   // bit-for-bit before any timing. Runs at each sweep thread count in smoke
@@ -205,6 +245,23 @@ int Run(int argc, char** argv) {
     mismatches += CountMismatches(ref, cached.ScoreCandidates(ex, catalog));
     mismatches += CountMismatches(ref, cached.ScoreCandidates(ex, catalog));
 
+    // Shared ranking comparison for every top-K gate below: item equality
+    // plus score-bit equality, size mismatch counted as all-wrong.
+    auto count_ranking_mismatches =
+        [](const std::vector<serve::ScoredItem>& got,
+           const std::vector<serve::ScoredItem>& want) {
+          if (got.size() != want.size()) return want.size() + 1;
+          size_t bad = 0;
+          for (size_t j = 0; j < got.size(); ++j) {
+            if (got[j].item != want[j].item ||
+                std::memcmp(&got[j].score, &want[j].score,
+                            sizeof(float)) != 0) {
+              ++bad;
+            }
+          }
+          return bad;
+        };
+
     // Batch-served parity over the repeated-user workload (fused waves +
     // cache): top-K of every request must equal the taped reference's.
     cached.InvalidateContextCache();
@@ -220,37 +277,35 @@ int Run(int argc, char** argv) {
       const std::vector<float> rref =
           ScoreTaped(model.get(), *prep.builder, *workload.examples[r],
                      workload.slates[r], batch, &scratch);
-      const auto want = serve::SelectTopK(workload.slates[r], rref, 10);
-      const auto got = futures[r].get();
-      if (got.size() != want.size()) {
-        ++mismatches;
-        continue;
-      }
-      for (size_t j = 0; j < got.size(); ++j) {
-        if (got[j].item != want[j].item ||
-            std::memcmp(&got[j].score, &want[j].score, sizeof(float)) != 0) {
-          ++mismatches;
-        }
-      }
+      mismatches += count_ranking_mismatches(
+          futures[r].get(), serve::SelectTopK(workload.slates[r], rref, 10));
+    }
+
+    // Sharded catalog parity: every shard count (and a sharded BatchServer)
+    // must reproduce the unsharded Predictor ranking bit-for-bit — items
+    // and score bits — regardless of shard boundaries. Rank the same
+    // `catalog` everywhere: TopKAll would cover the full object space even
+    // when --candidates trimmed the bench catalog.
+    const size_t gate_k = std::min<size_t>(10, num_candidates);
+    const auto want_top = fast.TopK(ex, catalog, gate_k);
+    for (size_t shards : shard_counts) {
+      serve::ShardedPredictor sharded(&fast, {shards, 0});
+      mismatches +=
+          count_ranking_mismatches(sharded.TopK(ex, catalog, gate_k),
+                                   want_top);
+      serve::BatchServerOptions sharded_server_opts;
+      sharded_server_opts.num_shards = shards;
+      serve::BatchServer sharded_server(&fast, sharded_server_opts);
+      mismatches += count_ranking_mismatches(
+          sharded_server.Submit(ex, catalog, gate_k).get(), want_top);
     }
     return mismatches;
   };
 
-  std::vector<size_t> thread_counts;
-  for (const std::string& t : SplitCsv(
-           flags.GetString("thread-sweep", smoke ? "1,2" : "1,2,4"))) {
-    // Validate here: a malformed token must get the usage treatment, not an
-    // uncaught std::stoul exception or a SetGlobalThreads(0) check-fail.
-    char* end = nullptr;
-    const unsigned long value = std::strtoul(t.c_str(), &end, 10);
-    if (end == t.c_str() || *end != '\0' || value == 0 || value > 1024) {
-      std::fprintf(stderr,
-                   "invalid --thread-sweep entry '%s' (want 1..1024)\n",
-                   t.c_str());
-      return 2;
-    }
-    thread_counts.push_back(static_cast<size_t>(value));
-  }
+  // Validated here so a malformed token gets the usage treatment, not an
+  // uncaught exception or a SetGlobalThreads(0) check-fail.
+  const std::vector<size_t> thread_counts = ParseSizeListOrDie(
+      flags, "thread-sweep", smoke ? "1,2" : "1,2,4", 1024);
 
   for (size_t threads : smoke ? thread_counts
                               : std::vector<size_t>{thread_counts.front()}) {
@@ -268,43 +323,24 @@ int Run(int argc, char** argv) {
   // -------------------------------------------------------------------------
   // Full-catalog sweep: one request at a time (PR 2 paths).
   // -------------------------------------------------------------------------
+  const size_t sweep_scores = requests * num_candidates;
   for (size_t threads : thread_counts) {
     util::SetGlobalThreads(threads);
-    auto run_path = [&](const std::function<void(const data::SequenceExample&,
-                                                 std::vector<double>*)>& fn) {
-      std::vector<double> latencies;
-      const auto t0 = std::chrono::steady_clock::now();
-      for (size_t r = 0; r < requests; ++r) {
-        fn(examples[r % examples.size()], &latencies);
-      }
-      const auto t1 = std::chrono::steady_clock::now();
-      PathStats stats;
-      const double total = std::chrono::duration<double>(t1 - t0).count();
-      stats.scores_per_sec =
-          static_cast<double>(requests * num_candidates) / total;
-      stats.p50_ms = PercentileMs(&latencies, 0.50);
-      stats.p99_ms = PercentileMs(&latencies, 0.99);
-      return stats;
-    };
-
-    PathStats taped = run_path([&](const data::SequenceExample& ex,
-                                   std::vector<double>* lat) {
-      (void)ScoreTaped(model.get(), *prep.builder, ex, catalog, batch, lat);
-    });
-    PathStats tape_free = run_path([&](const data::SequenceExample& ex,
-                                       std::vector<double>* lat) {
-      const auto t0 = std::chrono::steady_clock::now();
-      (void)generic.ScoreCandidates(ex, catalog);
-      const auto t1 = std::chrono::steady_clock::now();
-      lat->push_back(std::chrono::duration<double>(t1 - t0).count());
-    });
-    PathStats factored = run_path([&](const data::SequenceExample& ex,
-                                      std::vector<double>* lat) {
-      const auto t0 = std::chrono::steady_clock::now();
-      (void)fast.ScoreCandidates(ex, catalog);
-      const auto t1 = std::chrono::steady_clock::now();
-      lat->push_back(std::chrono::duration<double>(t1 - t0).count());
-    });
+    const PathStats taped = MeasurePath(
+        requests, sweep_scores, [&](size_t r, std::vector<double>* lat) {
+          (void)ScoreTaped(model.get(), *prep.builder,
+                           examples[r % examples.size()], catalog, batch,
+                           lat);
+        });
+    const PathStats tape_free =
+        MeasurePathPerRequest(requests, sweep_scores, [&](size_t r) {
+          (void)generic.ScoreCandidates(examples[r % examples.size()],
+                                        catalog);
+        });
+    const PathStats factored =
+        MeasurePathPerRequest(requests, sweep_scores, [&](size_t r) {
+          (void)fast.ScoreCandidates(examples[r % examples.size()], catalog);
+        });
 
     std::printf("\n[threads=%zu] %-28s %12s %10s %10s %9s\n", threads, "path",
                 "scores/sec", "p50 ms", "p99 ms", "speedup");
@@ -317,6 +353,45 @@ int Run(int argc, char** argv) {
     print_row("taped forward (batch)", "b", taped);
     print_row("tape-free forward (batch)", "rq", tape_free);
     print_row("factored catalog (request)", "rq", factored);
+    std::fflush(stdout);
+  }
+
+  // -------------------------------------------------------------------------
+  // Sharded catalog sweep: full-catalog top-10 through ShardedPredictor at
+  // each --shards value, against the unsharded factored TopKAll baseline.
+  // Sharding bounds per-request memory (shards * k heap entries instead of a
+  // full score vector) and must never change a bit of the ranking; the gate
+  // above already enforced parity, this section reports the cost.
+  // -------------------------------------------------------------------------
+  std::printf("\n--- sharded catalog serving: full-catalog top-10, "
+              "%zu requests ---\n", requests);
+  const size_t shard_k = std::min<size_t>(10, num_candidates);
+  for (size_t threads : thread_counts) {
+    util::SetGlobalThreads(threads);
+    const PathStats unsharded =
+        MeasurePathPerRequest(requests, sweep_scores, [&](size_t r) {
+          (void)fast.TopK(examples[r % examples.size()], catalog, shard_k);
+        });
+    std::printf("\n[threads=%zu] %-28s %12s %10s %10s %9s\n", threads, "path",
+                "scores/sec", "p50 ms", "p99 ms", "vs unshard");
+    std::printf("            %-28s %12.0f %7.3f    %7.3f    %8.2fx\n",
+                "unsharded top-K (baseline)", unsharded.scores_per_sec,
+                unsharded.p50_ms, unsharded.p99_ms, 1.0);
+    for (size_t shards : shard_counts) {
+      serve::ShardedPredictor sharded(&fast, {shards, 0});
+      // Partition once, serve many — the intended deployment shape.
+      const serve::ShardedCatalog sharded_catalog(catalog, shards);
+      const PathStats s =
+          MeasurePathPerRequest(requests, sweep_scores, [&](size_t r) {
+            (void)sharded.TopK(examples[r % examples.size()],
+                               sharded_catalog, shard_k);
+          });
+      char name[64];
+      std::snprintf(name, sizeof(name), "sharded top-K (%zu shards)", shards);
+      std::printf("            %-28s %12.0f %7.3f    %7.3f    %8.2fx\n", name,
+                  s.scores_per_sec, s.p50_ms, s.p99_ms,
+                  s.scores_per_sec / unsharded.scores_per_sec);
+    }
     std::fflush(stdout);
   }
 
@@ -334,22 +409,9 @@ int Run(int argc, char** argv) {
     util::SetGlobalThreads(threads);
 
     auto run_serial = [&](const serve::Predictor& p) {
-      std::vector<double> latencies;
-      const auto t0 = std::chrono::steady_clock::now();
-      for (size_t r = 0; r < rb_requests; ++r) {
-        const auto s0 = std::chrono::steady_clock::now();
+      return MeasurePathPerRequest(rb_requests, rb_scores, [&](size_t r) {
         (void)p.ScoreCandidates(*workload.examples[r], workload.slates[r]);
-        const auto s1 = std::chrono::steady_clock::now();
-        latencies.push_back(std::chrono::duration<double>(s1 - s0).count());
-      }
-      const auto t1 = std::chrono::steady_clock::now();
-      PathStats stats;
-      stats.scores_per_sec =
-          static_cast<double>(rb_scores) /
-          std::chrono::duration<double>(t1 - t0).count();
-      stats.p50_ms = PercentileMs(&latencies, 0.50);
-      stats.p99_ms = PercentileMs(&latencies, 0.99);
-      return stats;
+      });
     };
 
     const PathStats uncached = run_serial(fast);

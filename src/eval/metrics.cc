@@ -9,7 +9,7 @@ namespace seqfm {
 namespace eval {
 
 size_t RankOfFirst(const std::vector<float>& scores) {
-  SEQFM_CHECK(!scores.empty());
+  SEQFM_CHECK(!scores.empty()) << "RankOfFirst: empty score vector";
   const float gt = scores[0];
   size_t rank = 0;
   for (size_t i = 1; i < scores.size(); ++i) {
@@ -25,8 +25,10 @@ double NdcgAt(size_t rank, size_t k) {
 
 double Auc(const std::vector<float>& positive_scores,
            const std::vector<float>& negative_scores) {
-  SEQFM_CHECK(!positive_scores.empty());
-  SEQFM_CHECK(!negative_scores.empty());
+  SEQFM_CHECK(!positive_scores.empty())
+      << "Auc: no positive scores (statistic would be 0/0)";
+  SEQFM_CHECK(!negative_scores.empty())
+      << "Auc: no negative scores (statistic would be 0/0)";
   // Sort negatives once; for each positive, count strictly smaller negatives
   // plus half of the ties: O((P+N) log N).
   std::vector<float> neg = negative_scores;
@@ -45,7 +47,7 @@ double Auc(const std::vector<float>& positive_scores,
 double Rmse(const std::vector<float>& predictions,
             const std::vector<float>& targets) {
   SEQFM_CHECK_EQ(predictions.size(), targets.size());
-  SEQFM_CHECK(!predictions.empty());
+  SEQFM_CHECK(!predictions.empty()) << "Rmse: empty input (mean would be 0/0)";
   double acc = 0.0;
   for (size_t i = 0; i < predictions.size(); ++i) {
     const double e = static_cast<double>(predictions[i]) - targets[i];
@@ -57,7 +59,7 @@ double Rmse(const std::vector<float>& predictions,
 double Mae(const std::vector<float>& predictions,
            const std::vector<float>& targets) {
   SEQFM_CHECK_EQ(predictions.size(), targets.size());
-  SEQFM_CHECK(!predictions.empty());
+  SEQFM_CHECK(!predictions.empty()) << "Mae: empty input (mean would be 0/0)";
   double acc = 0.0;
   for (size_t i = 0; i < predictions.size(); ++i) {
     acc += std::abs(static_cast<double>(predictions[i]) - targets[i]);
@@ -68,7 +70,7 @@ double Mae(const std::vector<float>& predictions,
 double Rrse(const std::vector<float>& predictions,
             const std::vector<float>& targets) {
   SEQFM_CHECK_EQ(predictions.size(), targets.size());
-  SEQFM_CHECK(!predictions.empty());
+  SEQFM_CHECK(!predictions.empty()) << "Rrse: empty input (ratio would be 0/0)";
   double mean = 0.0;
   for (float t : targets) mean += t;
   mean /= static_cast<double>(targets.size());

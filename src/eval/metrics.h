@@ -9,10 +9,16 @@ namespace eval {
 
 /// Pure metric functions (Eqs. 27-28). All are deterministic and covered by
 /// hand-computed unit tests.
+///
+/// Degenerate inputs are programmer errors, not silent NaNs: every function
+/// here SEQFM_CHECK-fails on empty inputs (and on mismatched lengths /
+/// zero-variance targets where those apply) instead of returning a 0/0. The
+/// checks are always on — eval_test pins the behavior with death tests.
 
 /// 0-based rank of element 0 (the ground truth) when \p scores is sorted
 /// descending; ties count items strictly greater only, so the ground truth
 /// wins ties (consistent with the leave-one-out protocols in [25], [37]).
+/// Check-fails on an empty score vector.
 size_t RankOfFirst(const std::vector<float>& scores);
 
 /// HR@K for one test case given the ground-truth rank (Eq. 27).
@@ -23,19 +29,25 @@ inline double HitAt(size_t rank, size_t k) { return rank < k ? 1.0 : 0.0; }
 double NdcgAt(size_t rank, size_t k);
 
 /// Area under the ROC curve via the Mann-Whitney statistic; ties contribute
-/// 1/2. Requires at least one positive and one negative score.
+/// 1/2. Requires at least one positive and one negative score — with either
+/// class empty the statistic is 0/0, so the function check-fails rather
+/// than returning NaN.
 double Auc(const std::vector<float>& positive_scores,
            const std::vector<float>& negative_scores);
 
-/// Root mean squared error.
+/// Root mean squared error. Check-fails on empty or mismatched-length
+/// inputs (the empty mean would be 0/0).
 double Rmse(const std::vector<float>& predictions,
             const std::vector<float>& targets);
 
-/// Mean absolute error (Eq. 28).
+/// Mean absolute error (Eq. 28). Check-fails on empty or mismatched-length
+/// inputs.
 double Mae(const std::vector<float>& predictions,
            const std::vector<float>& targets);
 
 /// Root relative squared error (Eq. 28): sqrt(sum (p-t)^2 / sum (t-mean)^2).
+/// Check-fails on empty or mismatched-length inputs and on zero-variance
+/// targets (the denominator would make any prediction score 0/0 or x/0).
 double Rrse(const std::vector<float>& predictions,
             const std::vector<float>& targets);
 

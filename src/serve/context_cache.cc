@@ -51,12 +51,18 @@ ContextCache::ContextPtr ContextCache::GetOrCompute(
   // the work; both results are bit-identical, and only one is inserted.
   ContextPtr context = compute();
   SEQFM_CHECK(context != nullptr) << "ContextCache: compute returned null";
-  const size_t cost = context->ApproxBytes() + sizeof(Entry);
+  // Entry cost charges the context tensors AND the entry's own copy of the
+  // id key: the header promises "ids + entry overhead included", and
+  // sizeof(Entry) only covers the vector object, not its heap payload.
+  const size_t cost = context->ApproxBytes() +
+                      dynamic_ids.size() * sizeof(int32_t) + sizeof(Entry);
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = Find(hash, user_index, dynamic_ids);
   if (it != lru_.end()) {
-    // A racing thread inserted while we computed; keep the cached copy (no
+    // A racing thread inserted while we computed (compute ran outside the
+    // lock — possibly interleaved with an Invalidate); keep the cached copy
+    // and never double-insert, so bytes_ can't leak on an overwrite (no
     // extra hit counted — this call already recorded its miss).
     lru_.splice(lru_.begin(), lru_, it);
     return it->context;

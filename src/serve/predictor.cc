@@ -8,6 +8,7 @@
 #include "autograd/variable.h"
 #include "nn/module.h"
 #include "serve/checkpoint.h"
+#include "serve/shard.h"  // RankBefore, the serving-wide ranking order
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -82,8 +83,7 @@ std::vector<float> Predictor::ScoreCandidates(
 
 void Predictor::ScoreGenericRange(const data::SequenceExample& ex,
                                   const std::vector<int32_t>& candidates,
-                                  size_t begin, size_t end,
-                                  float* scores) const {
+                                  size_t begin, size_t end, float* out) const {
   // Grad mode is thread-scoped, so the guard must live here — this runs
   // directly on pool workers (ScoreGeneric) and on BatchServer wave tasks.
   autograd::NoGradGuard no_grad;
@@ -91,10 +91,10 @@ void Predictor::ScoreGenericRange(const data::SequenceExample& ex,
   std::vector<int32_t> override_chunk(candidates.begin() + begin,
                                       candidates.begin() + end);
   data::Batch batch = builder_->Build(repeated, &override_chunk);
-  Variable out = model_->Score(batch, /*training=*/false);
-  SEQFM_CHECK_EQ(out.value().size(), end - begin);
-  const float* src = out.value().data();
-  for (size_t i = begin; i < end; ++i) scores[i] = src[i - begin];
+  Variable scored = model_->Score(batch, /*training=*/false);
+  SEQFM_CHECK_EQ(scored.value().size(), end - begin);
+  const float* src = scored.value().data();
+  for (size_t i = 0; i < end - begin; ++i) out[i] = src[i];
 }
 
 std::vector<float> Predictor::ScoreGeneric(
@@ -112,7 +112,8 @@ std::vector<float> Predictor::ScoreGeneric(
     for (size_t c = c0; c < c1; ++c) {
       const size_t begin = c * chunk_size;
       ScoreGenericRange(ex, candidates, begin,
-                        std::min(total, begin + chunk_size), scores.data());
+                        std::min(total, begin + chunk_size),
+                        scores.data() + begin);
     }
   });
   return scores;
@@ -142,7 +143,7 @@ Predictor::ContextPtr Predictor::AcquireContext(
 void Predictor::ScoreFactoredRange(const core::SharedContext& ctx,
                                    const std::vector<int32_t>& candidates,
                                    size_t begin, size_t end,
-                                   float* scores) const {
+                                   float* out_scores) const {
   namespace ag = autograd;
   autograd::NoGradGuard no_grad;
   const core::SeqFm::ServingView view = seqfm_->serving_view();
@@ -228,7 +229,7 @@ void Predictor::ScoreFactoredRange(const core::SharedContext& ctx,
   Variable out = ag::AddBias(ag::Add(f, ag::Add(ws, wd)), view.w0);
 
   const float* src = out.value().data();
-  for (size_t i = 0; i < count; ++i) scores[begin + i] = src[i];
+  for (size_t i = 0; i < count; ++i) out_scores[i] = src[i];
 }
 
 std::vector<float> Predictor::ScoreFactored(
@@ -244,7 +245,8 @@ std::vector<float> Predictor::ScoreFactored(
     for (size_t c = c0; c < c1; ++c) {
       const size_t begin = c * chunk_size;
       ScoreFactoredRange(*ctx, candidates, begin,
-                         std::min(total, begin + chunk_size), scores.data());
+                         std::min(total, begin + chunk_size),
+                         scores.data() + begin);
     }
   });
   return scores;
@@ -257,17 +259,15 @@ std::vector<ScoredItem> SelectTopK(const std::vector<int32_t>& candidates,
   k = std::min(k, candidates.size());
   std::vector<size_t> order(candidates.size());
   std::iota(order.begin(), order.end(), size_t{0});
-  // NaN scores (diverged checkpoints) sort last; plain `>` on NaN would
-  // break partial_sort's strict-weak-ordering precondition.
+  // RankBefore is the one serving-wide order (score desc, NaN last, ties by
+  // candidate id then position): ranking here through the same comparator
+  // the per-shard heaps and the cross-shard merge use is what makes sharded
+  // results bit-identical to this function. Ties used to break by position,
+  // which silently diverged from any sharded merge — see serve/shard.h.
   std::partial_sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
                     order.end(), [&](size_t a, size_t b) {
-                      const bool a_nan = std::isnan(scores[a]);
-                      const bool b_nan = std::isnan(scores[b]);
-                      if (a_nan != b_nan) return b_nan;
-                      if (!a_nan && scores[a] != scores[b]) {
-                        return scores[a] > scores[b];
-                      }
-                      return a < b;  // deterministic tie-break
+                      return RankBefore({scores[a], candidates[a], a},
+                                        {scores[b], candidates[b], b});
                     });
   std::vector<ScoredItem> top(k);
   for (size_t i = 0; i < k; ++i) {

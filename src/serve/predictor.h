@@ -41,9 +41,14 @@ struct ScoredItem {
   float score = 0.0f;
 };
 
-/// Top-k of \p candidates by \p scores (descending; NaN scores sort last and
-/// ties break by candidate position for determinism). k is clamped to
-/// candidates.size(). Shared by Predictor::TopK and BatchServer.
+/// Top-k of \p candidates by \p scores under the serving-wide total order
+/// (serve::RankBefore): descending score, NaN scores last, score ties by
+/// candidate **id** ascending, duplicate ids by position. Ordering ties by
+/// id rather than by position in the candidates vector is what keeps
+/// sharded and unsharded rankings identical — a shard boundary changes
+/// positions but never ids. k is clamped to candidates.size(). Used by
+/// Predictor::TopK; BatchServer and ShardedPredictor produce the same
+/// rankings through per-shard TopKHeaps + MergeTopK over the same order.
 std::vector<ScoredItem> SelectTopK(const std::vector<int32_t>& candidates,
                                    const std::vector<float>& scores, size_t k);
 
@@ -82,7 +87,7 @@ class Predictor {
       const std::vector<int32_t>& candidates) const;
 
   /// Top-k of \p candidates by score (descending; ties broken by candidate
-  /// position for determinism). k is clamped to candidates.size().
+  /// id — see SelectTopK). k is clamped to candidates.size().
   std::vector<ScoredItem> TopK(const data::SequenceExample& ex,
                                const std::vector<int32_t>& candidates,
                                size_t k) const;
@@ -108,20 +113,27 @@ class Predictor {
   /// (fast_path_active() must hold).
   ContextPtr AcquireContext(const data::SequenceExample& ex) const;
 
-  /// Scores candidates[begin, end) into scores[begin, end) through the
-  /// factored program against \p ctx. Sets up its own NoGradGuard, so it can
-  /// run directly on pool worker threads.
+  /// Scores candidates[begin, end) through the factored program against
+  /// \p ctx, writing the end - begin results to out[0, end - begin). Taking
+  /// a chunk-local output buffer (rather than a catalog-sized one indexed by
+  /// begin) is what lets sharded serving bound its memory to one chunk per
+  /// pool thread. Sets up its own NoGradGuard, so it can run directly on
+  /// pool worker threads.
   void ScoreFactoredRange(const core::SharedContext& ctx,
                           const std::vector<int32_t>& candidates,
-                          size_t begin, size_t end, float* scores) const;
+                          size_t begin, size_t end, float* out) const;
 
   /// Generic-path equivalent of ScoreFactoredRange (any model).
   void ScoreGenericRange(const data::SequenceExample& ex,
                          const std::vector<int32_t>& candidates,
-                         size_t begin, size_t end, float* scores) const;
+                         size_t begin, size_t end, float* out) const;
 
   /// True when requests will take the factored SeqFM catalog program.
   bool fast_path_active() const { return seqfm_ != nullptr; }
+
+  /// The identity catalog [0, num_objects) behind TopKAll, built once at
+  /// construction (ShardedPredictor partitions it instead of re-deriving).
+  const std::vector<int32_t>& full_catalog() const { return full_catalog_; }
 
   /// Non-null iff the fast path is active and context_cache_bytes > 0.
   const ContextCache* context_cache() const { return cache_.get(); }

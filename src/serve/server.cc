@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 #include <utility>
 
+#include "serve/shard.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -14,16 +16,25 @@ BatchServer::BatchServer(Predictor* predictor, BatchServerOptions options)
     : predictor_(predictor), options_(options) {
   SEQFM_CHECK(predictor_ != nullptr) << "BatchServer: null predictor";
   SEQFM_CHECK_GT(options_.max_wave_requests, 0u);
+  SEQFM_CHECK_GT(options_.num_shards, 0u);
   dispatcher_ = std::thread([this]() { DispatchLoop(); });
 }
 
-BatchServer::~BatchServer() {
+BatchServer::~BatchServer() { Shutdown(); }
+
+void BatchServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
-  dispatcher_.join();  // DispatchLoop drains the queue before returning
+  // call_once: concurrent Shutdown callers (or Shutdown racing the
+  // destructor) must not both join the dispatcher; late callers block here
+  // until the first join completes, so "after Shutdown returns, all admitted
+  // futures are resolved" holds for every caller.
+  std::call_once(join_once_, [this]() {
+    dispatcher_.join();  // DispatchLoop drains the queue before returning
+  });
 }
 
 std::future<std::vector<ScoredItem>> BatchServer::Submit(
@@ -36,7 +47,14 @@ std::future<std::vector<ScoredItem>> BatchServer::Submit(
   std::future<std::vector<ScoredItem>> result = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    SEQFM_CHECK(!shutdown_) << "BatchServer::Submit after shutdown";
+    if (shutdown_) {
+      // Lost the race with Shutdown: the dispatcher may already have drained
+      // past us (or exited), so enqueueing could strand the promise and
+      // deadlock the caller's get(). Fail the future cleanly instead.
+      req.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("BatchServer::Submit after shutdown")));
+      return result;
+    }
     queue_.push_back(std::move(req));
     ++stats_.requests_admitted;
   }
@@ -114,40 +132,47 @@ void BatchServer::ServeWave(std::vector<Request>* wave) {
     });
   }
 
-  // Phase 2: one fused ParallelFor over every candidate chunk of every
-  // request in the wave — this is the multi-user scoring wave that keeps
-  // all pool threads busy regardless of per-request catalog size.
-  struct ChunkTask {
+  // Phase 2: one fused ParallelFor over every (request, shard, chunk) task
+  // of the wave — the multi-user scoring wave that keeps all pool threads
+  // busy regardless of per-request catalog size. Each request's candidates
+  // are partitioned into num_shards contiguous shards (chunks never
+  // straddle a boundary) and reduced into per-shard bounded top-K heaps, so
+  // the wave holds requests * shards * k retained entries plus one
+  // chunk-local score buffer per pool thread — never a full score vector.
+  const size_t num_shards = options_.num_shards;
+  struct WaveTask {
     size_t request;
-    size_t begin;
-    size_t end;
+    ShardChunk chunk;
   };
-  std::vector<ChunkTask> tasks;
-  std::vector<std::vector<float>> scores(num_requests);
+  std::vector<WaveTask> tasks;
+  std::vector<std::vector<TopKHeap>> heaps(num_requests);
   for (size_t r = 0; r < num_requests; ++r) {
     const size_t total = (*wave)[r].candidates.size();
     if (total == 0 || (*wave)[r].k == 0) continue;
-    scores[r].resize(total);
-    for (size_t begin = 0; begin < total; begin += chunk_size) {
-      tasks.push_back({r, begin, std::min(total, begin + chunk_size)});
+    heaps[r].assign(num_shards, TopKHeap(std::min((*wave)[r].k, total)));
+    for (const ShardChunk& chunk : MakeShardChunks(
+             ShardedCatalog::Bounds(total, num_shards), chunk_size)) {
+      tasks.push_back({r, chunk});
     }
   }
+  // Chunk tasks of the same (request, shard) may run concurrently; its heap
+  // is fed under a mutex, and the retained set is push-order independent
+  // (RankBefore is a strict total order), so results are deterministic for
+  // any pool schedule.
+  std::vector<std::mutex> heap_mu(num_requests * num_shards);
   util::ParallelFor(tasks.size(), 1, [&](size_t t0, size_t t1) {
+    std::vector<float> chunk_scores;
     for (size_t t = t0; t < t1; ++t) {
-      const ChunkTask& task = tasks[t];
+      const WaveTask& task = tasks[t];
       const Request& req = (*wave)[task.request];
-      if (contexts[task.request] != nullptr) {
-        predictor_->ScoreFactoredRange(*contexts[task.request],
-                                       req.candidates, task.begin, task.end,
-                                       scores[task.request].data());
-      } else {
-        predictor_->ScoreGenericRange(req.ex, req.candidates, task.begin,
-                                      task.end, scores[task.request].data());
-      }
+      ScoreChunkIntoHeap(*predictor_, contexts[task.request].get(), req.ex,
+                         req.candidates, task.chunk, &chunk_scores,
+                         &heap_mu[task.request * num_shards + task.chunk.shard],
+                         &heaps[task.request][task.chunk.shard]);
     }
   });
 
-  // Phase 3: per-request top-K selection and promise fulfillment. The
+  // Phase 3: per-request cross-shard merge and promise fulfillment. The
   // served counter is published first so a client that observed its future
   // resolve always sees its request counted.
   {
@@ -156,11 +181,11 @@ void BatchServer::ServeWave(std::vector<Request>* wave) {
   }
   for (size_t r = 0; r < num_requests; ++r) {
     Request& req = (*wave)[r];
-    if (scores[r].empty()) {
+    if (heaps[r].empty()) {
       req.promise.set_value({});
       continue;
     }
-    req.promise.set_value(SelectTopK(req.candidates, scores[r], req.k));
+    req.promise.set_value(MergeTopK(heaps[r], req.k));
   }
 }
 

@@ -25,6 +25,14 @@ struct BatchServerOptions {
   size_t max_wave_requests = 64;
   /// Candidate chunk per pool task; 0 uses the Predictor's micro_batch.
   size_t micro_batch = 0;
+  /// Contiguous shards each request's candidate list is partitioned into.
+  /// Every (request, shard, chunk) task of a wave still fans out through the
+  /// one fused ParallelFor; sharding only changes the reduction: each shard
+  /// keeps a bounded top-K heap and the per-request result is the
+  /// cross-shard merge, so a wave's memory is O(requests * shards * k)
+  /// instead of O(sum of catalog sizes). Results are bit-identical to
+  /// Predictor::TopK for any value (see serve::RankBefore).
+  size_t num_shards = 1;
 };
 
 /// Counters exposed by BatchServer::stats().
@@ -51,9 +59,11 @@ struct BatchServerStats {
 /// over the one-catalog-at-a-time Predictor loop. Results are bit-for-bit
 /// identical to Predictor::TopK (and so to Model::Score).
 ///
-/// The destructor drains the queue: every admitted request is served before
-/// shutdown, so futures never dangle. Submit after destruction begins is a
-/// programmer error (check-fails).
+/// Shutdown (and the destructor, which calls it) drains the queue: every
+/// admitted request is served before the dispatcher exits, so futures never
+/// dangle. A Submit that loses the race with shutdown fails its future
+/// cleanly with a std::runtime_error instead of deadlocking, dropping the
+/// promise, or crashing the process.
 class BatchServer {
  public:
   /// \p predictor is borrowed and must outlive the server.
@@ -65,10 +75,18 @@ class BatchServer {
 
   /// Enqueues one request; the future resolves with the top-k of
   /// \p candidates for \p ex (semantics identical to Predictor::TopK: k
-  /// clamped, descending score, position tie-break). Thread-safe.
+  /// clamped, descending score, candidate-id tie-break). Thread-safe, and
+  /// safe to race with Shutdown: once shutdown has begun the returned
+  /// future fails with std::runtime_error rather than ever blocking.
   std::future<std::vector<ScoredItem>> Submit(const data::SequenceExample& ex,
                                               std::vector<int32_t> candidates,
                                               size_t k);
+
+  /// Stops admitting requests, serves everything already admitted, and joins
+  /// the dispatcher. Idempotent and safe to call from several threads
+  /// concurrently; the destructor calls it. After it returns every admitted
+  /// future is resolved and later Submits fail cleanly.
+  void Shutdown();
 
   /// Hot-swaps model parameters from \p path with serving quiesced: waits
   /// for the in-flight wave to finish, reloads, and invalidates the context
@@ -102,6 +120,8 @@ class BatchServer {
   std::deque<Request> queue_;
   bool shutdown_ = false;
   BatchServerStats stats_;
+  /// Serializes the dispatcher join across concurrent Shutdown callers.
+  std::once_flag join_once_;
 
   /// Held while a wave executes; ReloadCheckpoint quiesces on it.
   std::mutex serve_mu_;

@@ -49,6 +49,28 @@ TEST(MetricsTest, RmseMaeHandComputed) {
   EXPECT_NEAR(Rmse(pred, target), std::sqrt(2.5), 1e-6);
 }
 
+// Degenerate inputs must die loudly (the metric would otherwise be 0/0 =
+// NaN and poison every aggregate downstream); metrics.h documents this
+// contract, these tests pin it.
+TEST(MetricsDeathTest, EmptyInputsCheckFailInsteadOfReturningNan) {
+  EXPECT_DEATH((void)RankOfFirst({}), "empty score vector");
+  EXPECT_DEATH((void)Auc({}, {1.0f}), "no positive scores");
+  EXPECT_DEATH((void)Auc({1.0f}, {}), "no negative scores");
+  EXPECT_DEATH((void)Auc({}, {}), "no positive scores");
+  EXPECT_DEATH((void)Rmse({}, {}), "empty input");
+  EXPECT_DEATH((void)Mae({}, {}), "empty input");
+  EXPECT_DEATH((void)Rrse({}, {}), "empty input");
+}
+
+TEST(MetricsDeathTest, MismatchedLengthsAndZeroVarianceCheckFail) {
+  EXPECT_DEATH((void)Rmse({1.0f}, {1.0f, 2.0f}), "");
+  EXPECT_DEATH((void)Mae({1.0f, 2.0f}, {1.0f}), "");
+  EXPECT_DEATH((void)Rrse({1.0f}, {1.0f, 2.0f}), "");
+  // Constant targets: the RRSE denominator is 0, so any prediction would
+  // score x/0 or 0/0.
+  EXPECT_DEATH((void)Rrse({1.0f, 2.0f}, {3.0f, 3.0f}), "zero variance");
+}
+
 TEST(MetricsTest, RrseIsOneForMeanPredictor) {
   // Predicting the target mean gives RRSE exactly 1.
   const std::vector<float> target = {1.0f, 2.0f, 3.0f, 6.0f};

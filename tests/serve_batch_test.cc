@@ -15,6 +15,7 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -205,6 +206,49 @@ TEST(ContextCacheTest, InvalidateDropsEverything) {
   EXPECT_EQ(cache.stats().misses, 3u);  // re-fetch after invalidation misses
 }
 
+TEST(ContextCacheTest, ReinsertionAfterInvalidateDoesNotLeakBytes) {
+  serve::ContextCache cache(1 << 20);
+  const std::vector<int32_t> ids = {1, 2, 3};
+  // compute() runs outside the cache lock, so a checkpoint reload can
+  // invalidate mid-compute and the wave's entry is then (re)inserted into
+  // the emptied cache — the racing-overwrite shape from the field. Repeating
+  // the race must leave exactly one entry's worth of bytes, never an
+  // accumulating residue.
+  auto racing_compute = [&]() {
+    cache.Invalidate();
+    return MakeContext(64);
+  };
+  cache.GetOrCompute(7, ids, racing_compute);
+  const auto once = cache.stats();
+  ASSERT_EQ(once.entries, 1u);
+  ASSERT_GT(once.bytes, 0u);
+  for (int i = 0; i < 3; ++i) {
+    cache.Invalidate();  // re-arm: the resident key would otherwise just hit
+    cache.GetOrCompute(7, ids, racing_compute);
+  }
+  const auto again = cache.stats();
+  EXPECT_EQ(again.entries, 1u);
+  EXPECT_EQ(again.bytes, once.bytes) << "bytes leaked across re-insertions";
+  // A plain re-lookup of the resident key must not double-charge either.
+  cache.GetOrCompute(7, ids, [] { return MakeContext(64); });
+  EXPECT_EQ(cache.stats().bytes, once.bytes);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ContextCacheTest, EntryCostChargesTheIdPayload) {
+  // Same context tensors, histories of different lengths: the longer id key
+  // must cost more, since the entry stores its own copy of the ids (the
+  // header promises "ids + entry overhead included").
+  serve::ContextCache short_ids(1 << 20);
+  serve::ContextCache long_ids(1 << 20);
+  short_ids.GetOrCompute(0, std::vector<int32_t>(4, 1),
+                         [] { return MakeContext(64); });
+  long_ids.GetOrCompute(0, std::vector<int32_t>(1004, 1),
+                        [] { return MakeContext(64); });
+  EXPECT_GE(long_ids.stats().bytes,
+            short_ids.stats().bytes + 1000 * sizeof(int32_t));
+}
+
 TEST(ContextCacheTest, KeyHashMatchesFnvComposition) {
   const std::vector<int32_t> ids = {4, -1, 7};
   const int32_t user = 3;
@@ -333,7 +377,8 @@ TEST(ServingEdgeCaseTest, DuplicateCandidatesKeepBothSlots) {
   // Identical candidates must score bit-identically in every slot.
   EXPECT_EQ(std::memcmp(&scores[0], &scores[1], sizeof(float)), 0);
   EXPECT_EQ(std::memcmp(&scores[0], &scores[3], sizeof(float)), 0);
-  // Ties break by position, so duplicates stay in submission order.
+  // Ties break by candidate id, then by position for duplicates of the same
+  // id — so the three 5s all survive, in submission order among themselves.
   const auto top = predictor.TopK(ex, dupes, 4);
   ASSERT_EQ(top.size(), 4u);
   int fives = 0;
@@ -550,6 +595,71 @@ TEST(BatchServerTest, DestructorDrainsQueuedRequests) {
   for (auto& f : futures) {
     EXPECT_EQ(f.get().size(), 2u);
   }
+}
+
+TEST(BatchServerTest, SubmitRacingShutdownServesOrFailsCleanly) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  core::SeqFm model(space, SmallSeqFmConfig());
+  const auto catalog = FullCatalog(space);
+  serve::PredictorOptions opts;
+  opts.context_cache_bytes = 1 << 20;
+  serve::Predictor predictor(&model, &builder, opts);
+  const auto ex = TestExamples()[0];
+
+  // Submitters hammer the server while another thread shuts it down
+  // mid-traffic. Every future must resolve: either with a real top-k
+  // (admitted before the cutoff — Shutdown drains those) or with the clean
+  // std::runtime_error (lost the race). A deadlock here fails via test
+  // timeout; a dropped promise via std::future_error on get().
+  for (int round = 0; round < 4; ++round) {
+    serve::BatchServer server(&predictor, {});
+    std::atomic<bool> start{false};
+    std::atomic<int> served{0}, rejected{0}, broken{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&]() {
+        while (!start.load()) std::this_thread::yield();
+        for (int r = 0; r < 16; ++r) {
+          auto future = server.Submit(ex, catalog, 2);
+          try {
+            if (future.get().size() == 2) ++served;
+          } catch (const std::runtime_error&) {
+            ++rejected;  // clean post-shutdown failure
+          } catch (const std::future_error&) {
+            ++broken;  // promise dropped — the bug this test locks down
+          }
+        }
+      });
+    }
+    start.store(true);
+    // Shut down concurrently with the submitters (round 0 immediately, later
+    // rounds after a few waves are likely in flight).
+    for (int i = 0; i < round * 100; ++i) std::this_thread::yield();
+    server.Shutdown();
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(served.load() + rejected.load(), 64) << "round " << round;
+    EXPECT_EQ(broken.load(), 0) << "round " << round;
+    // Shutdown is idempotent, and Submit after it fails without blocking.
+    server.Shutdown();
+    EXPECT_THROW(server.Submit(ex, catalog, 2).get(), std::runtime_error);
+  }
+}
+
+TEST(BatchServerTest, ConcurrentShutdownCallsAreSafe) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  core::SeqFm model(space, SmallSeqFmConfig());
+  serve::Predictor predictor(&model, &builder, {});
+  serve::BatchServer server(&predictor, {});
+  auto pending = server.Submit(TestExamples()[0], FullCatalog(space), 3);
+  std::vector<std::thread> closers;
+  for (int c = 0; c < 4; ++c) {
+    closers.emplace_back([&]() { server.Shutdown(); });
+  }
+  for (auto& t : closers) t.join();
+  // Whichever closer won, the admitted request was drained first.
+  EXPECT_EQ(pending.get().size(), 3u);
 }
 
 TEST(BatchServerDeathTest, NullPredictorDies) {
