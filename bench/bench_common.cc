@@ -1,6 +1,7 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -217,6 +218,60 @@ std::vector<std::string> SplitCsv(const std::string& csv) {
   }
   if (!cur.empty()) out.push_back(cur);
   return out;
+}
+
+void JsonResultWriter::Add(const std::string& key, double value) {
+  // JSON has no nan/inf tokens; a degenerate metric becomes null rather
+  // than making the whole file unparseable.
+  if (!std::isfinite(value)) {
+    entries_.emplace_back(key, "null");
+    return;
+  }
+  char buf[64];
+  // %.17g round-trips every double.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  entries_.emplace_back(key, buf);
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+void JsonResultWriter::Add(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+std::string JsonResultWriter::ToJson() const {
+  std::string out = "{\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += "  \"" + JsonEscape(entries_[i].first) + "\": " +
+           entries_[i].second;
+    if (i + 1 < entries_.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool JsonResultWriter::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    SEQFM_LOG(Warning) << "cannot write bench results to " << path;
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) SEQFM_LOG(Warning) << "short write of bench results to " << path;
+  else std::printf("bench results written to %s\n", path.c_str());
+  return ok;
 }
 
 std::vector<size_t> ParseSizeListOrDie(const FlagParser& flags,

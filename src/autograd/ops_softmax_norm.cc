@@ -4,6 +4,7 @@
 
 #include "autograd/ops.h"
 #include "autograd/ops_common.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace seqfm {
@@ -30,15 +31,16 @@ Variable MaskedSoftmax(const Variable& x, const Variable& mask) {
     const float* g = self->grad.data();
     float* dx = px->grad.data();
     // dx_j = p_j * (g_j - sum_k g_k p_k); masked entries have p_j = 0.
-    // Rows are independent, so the row loop splits across the pool.
+    // Rows are independent, so the row loop splits across the pool. The
+    // g·p reduction goes through the dispatched lane-blocked dot.
+    const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
     util::ParallelFor(rows, internal::GrainForRows(cols, internal::kMathGrain),
-                      [=](size_t r0, size_t r1) {
+                      [=, &kt](size_t r0, size_t r1) {
       for (size_t r = r0; r < r1; ++r) {
         const float* pr = p + r * cols;
         const float* gr = g + r * cols;
         float* dr = dx + r * cols;
-        float dot = 0.0f;
-        for (size_t j = 0; j < cols; ++j) dot += gr[j] * pr[j];
+        const float dot = kt.dot(gr, pr, cols);
         for (size_t j = 0; j < cols; ++j) dr[j] += pr[j] * (gr[j] - dot);
       }
     });
@@ -66,27 +68,21 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   float* xhat_data = tape ? xhat.data() : nullptr;
   float* out_data = out.data();
   float* inv_std_data = tape ? inv_std.data() : nullptr;
+  // Mean and variance use the dispatched lane-blocked reductions; the
+  // normalize/affine pass is the dispatched row map. Identical bits at every
+  // SIMD level and thread count.
+  const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
   util::ParallelFor(rows, internal::GrainForRows(d, internal::kMathGrain),
-                    [=](size_t r0, size_t r1) {
+                    [=, &kt](size_t r0, size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
       const float* xr = xv + r * d;
-      float mean = 0.0f;
-      for (size_t j = 0; j < d; ++j) mean += xr[j];
-      mean /= static_cast<float>(d);
-      float var = 0.0f;
-      for (size_t j = 0; j < d; ++j) {
-        const float c = xr[j] - mean;
-        var += c * c;
-      }
-      var /= static_cast<float>(d);
+      const float mean = kt.reduce_sum(xr, d) / static_cast<float>(d);
+      const float var =
+          kt.reduce_sum_sq_diff(xr, mean, d) / static_cast<float>(d);
       const float is = 1.0f / std::sqrt(var + eps);
       if (inv_std_data != nullptr) inv_std_data[r] = is;
-      float* yr = out_data + r * d;
-      for (size_t j = 0; j < d; ++j) {
-        const float h = (xr[j] - mean) * is;
-        if (xhat_data != nullptr) xhat_data[r * d + j] = h;
-        yr[j] = gv[j] * h + bv[j];
-      }
+      kt.layer_norm_row(xr, gv, bv, mean, is, d, out_data + r * d,
+                        xhat_data != nullptr ? xhat_data + r * d : nullptr);
     }
   });
 
@@ -203,8 +199,9 @@ Variable Dropout(const Variable& x, float keep_prob, bool training, Rng* rng) {
     const float* g = self->grad.data();
     const float* m = mask.data();
     float* dx = p->grad.data();
-    util::ParallelFor(n, internal::kEwGrain, [=](size_t i0, size_t i1) {
-      for (size_t i = i0; i < i1; ++i) dx[i] += g[i] * m[i];
+    const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
+    util::ParallelFor(n, internal::kEwGrain, [=, &kt](size_t i0, size_t i1) {
+      kt.madd(g + i0, m + i0, dx + i0, i1 - i0);
     });
   };
   return Variable(node);

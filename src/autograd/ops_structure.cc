@@ -168,9 +168,26 @@ Variable SumLastDimKeep(const Variable& x) {
 }
 
 Variable Reshape(const Variable& x, std::vector<size_t> shape) {
-  Tensor out = x.value();
-  SEQFM_CHECK(out.ReshapeInPlace(std::move(shape)).ok())
-      << "reshape must preserve element count";
+  Tensor out;
+  if (GradMode()) {
+    // Taped path: the historical single-pass copy-construct.
+    out = x.value();
+    SEQFM_CHECK(out.ReshapeInPlace(std::move(shape)).ok())
+        << "reshape must preserve element count";
+  } else {
+    // Tape-free path: copy through OutputBuffer so the buffer comes from
+    // the scratch arena (reshape is all over the factored catalog program)
+    // rather than the heap, and skips the zero-fill.
+    size_t count = 1;
+    for (size_t d : shape) count *= d;
+    SEQFM_CHECK_EQ(count, x.value().size())
+        << "reshape must preserve element count";
+    out = internal::OutputBuffer(std::move(shape));
+    const float* src = x.value().data();
+    float* dst = out.data();
+    const size_t n = out.size();
+    for (size_t i = 0; i < n; ++i) dst[i] = src[i];
+  }
   auto node = MakeNode("reshape", {x.node()}, std::move(out));
   Node* self = node.get();
   if (node->requires_grad) node->backward_fn = [self]() {

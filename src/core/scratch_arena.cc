@@ -1,0 +1,158 @@
+#include "core/scratch_arena.h"
+
+#include <atomic>
+#include <new>
+
+#include "util/logging.h"
+
+// ASan integration: rewound arena ranges are poisoned so use-after-rewind
+// (a tensor escaping its ScratchScope) crashes loudly under the sanitizer
+// CI job instead of reading recycled scratch.
+#if defined(__SANITIZE_ADDRESS__)
+#define SEQFM_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SEQFM_ARENA_ASAN 1
+#endif
+#endif
+
+#ifdef SEQFM_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define SEQFM_ARENA_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define SEQFM_ARENA_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define SEQFM_ARENA_POISON(p, n) ((void)0)
+#define SEQFM_ARENA_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace seqfm {
+namespace core {
+
+namespace {
+
+/// First block size; later blocks double (or jump straight to an oversized
+/// request). 1 MiB covers small-model serving without growth while staying
+/// negligible per thread.
+constexpr size_t kInitialBlockBytes = size_t{1} << 20;
+
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_heap_refills{0};
+std::atomic<size_t> g_bytes_reserved{0};
+std::atomic<size_t> g_high_water{0};
+
+void UpdateHighWater(size_t in_use) {
+  size_t cur = g_high_water.load(std::memory_order_relaxed);
+  while (in_use > cur &&
+         !g_high_water.compare_exchange_weak(cur, in_use,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+size_t RoundUp(size_t bytes) {
+  return (bytes + ScratchArena::kAlignment - 1) &
+         ~(ScratchArena::kAlignment - 1);
+}
+
+}  // namespace
+
+ScratchArena::~ScratchArena() {
+  for (Block& b : blocks_) {
+    SEQFM_ARENA_UNPOISON(b.data, b.capacity);
+    g_bytes_reserved.fetch_sub(b.capacity, std::memory_order_relaxed);
+    ::operator delete(b.data, std::align_val_t{kAlignment});
+  }
+}
+
+size_t ScratchArena::bytes_reserved() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.capacity;
+  return total;
+}
+
+void* ScratchArena::Allocate(size_t bytes) {
+  bytes = RoundUp(bytes == 0 ? 1 : bytes);
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  // Reuse reserved capacity first: bump in the current block, else move on
+  // to the next reserved block (earlier requests may have left several).
+  while (current_ < blocks_.size()) {
+    Block& b = blocks_[current_];
+    if (b.used + bytes <= b.capacity) {
+      char* p = b.data + b.used;
+      b.used += bytes;
+      in_use_ += bytes;
+      UpdateHighWater(in_use_);
+      SEQFM_ARENA_UNPOISON(p, bytes);
+      return p;
+    }
+    ++current_;
+  }
+  // Refill: geometric growth so any request shape settles after O(log)
+  // refills; counted globally so tests can assert steady state needs none.
+  size_t capacity = blocks_.empty() ? kInitialBlockBytes
+                                    : blocks_.back().capacity * 2;
+  if (capacity < bytes) capacity = RoundUp(bytes);
+  Block b;
+  b.data = static_cast<char*>(
+      ::operator new(capacity, std::align_val_t{kAlignment}));
+  b.capacity = capacity;
+  b.used = bytes;
+  SEQFM_ARENA_POISON(b.data, b.capacity);
+  SEQFM_ARENA_UNPOISON(b.data, bytes);
+  current_ = blocks_.size();
+  blocks_.push_back(b);
+  in_use_ += bytes;
+  UpdateHighWater(in_use_);
+  g_heap_refills.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_reserved.fetch_add(capacity, std::memory_order_relaxed);
+  return b.data;
+}
+
+void ScratchArena::RewindTo(const Mark& m) {
+  SEQFM_DCHECK(m.block <= blocks_.size());
+  for (size_t i = blocks_.size(); i-- > m.block + 1;) {
+    Block& b = blocks_[i];
+    SEQFM_ARENA_POISON(b.data, b.capacity);
+    b.used = 0;
+  }
+  if (m.block < blocks_.size()) {
+    Block& b = blocks_[m.block];
+    SEQFM_DCHECK(m.used <= b.used);
+    SEQFM_ARENA_POISON(b.data + m.used, b.capacity - m.used);
+    b.used = m.used;
+  }
+  current_ = m.block;
+  in_use_ = m.in_use;
+}
+
+namespace {
+thread_local bool t_scope_active = false;
+}  // namespace
+
+ScratchArena& ThreadScratchArena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+bool ScratchScopeActive() { return t_scope_active; }
+
+ScratchScope::ScratchScope()
+    : mark_(ThreadScratchArena().mark()), prev_active_(t_scope_active) {
+  t_scope_active = true;
+}
+
+ScratchScope::~ScratchScope() {
+  ThreadScratchArena().RewindTo(mark_);
+  t_scope_active = prev_active_;
+}
+
+ScratchStats GlobalScratchStats() {
+  ScratchStats stats;
+  stats.allocations = g_allocations.load(std::memory_order_relaxed);
+  stats.heap_refills = g_heap_refills.load(std::memory_order_relaxed);
+  stats.bytes_reserved = g_bytes_reserved.load(std::memory_order_relaxed);
+  stats.high_water = g_high_water.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace core
+}  // namespace seqfm

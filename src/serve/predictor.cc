@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "autograd/ops.h"
 #include "autograd/variable.h"
@@ -86,7 +87,11 @@ void Predictor::ScoreGenericRange(const data::SequenceExample& ex,
                                   size_t begin, size_t end, float* out) const {
   // Grad mode is thread-scoped, so the guard must live here — this runs
   // directly on pool workers (ScoreGeneric) and on BatchServer wave tasks.
+  // The scratch scope routes every op output of the forward into the
+  // worker's arena; results are copied into `out` before it closes.
   autograd::NoGradGuard no_grad;
+  std::optional<core::ScratchScope> scratch;
+  if (options_.use_scratch_arena) scratch.emplace();
   std::vector<const data::SequenceExample*> repeated(end - begin, &ex);
   std::vector<int32_t> override_chunk(candidates.begin() + begin,
                                       candidates.begin() + end);
@@ -146,6 +151,12 @@ void Predictor::ScoreFactoredRange(const core::SharedContext& ctx,
                                    float* out_scores) const {
   namespace ag = autograd;
   autograd::NoGradGuard no_grad;
+  // Every intermediate of the factored program below lives in the worker
+  // thread's scratch arena and is released wholesale when this chunk
+  // returns — zero tensor heap traffic once the arena is warm. The scores
+  // are copied into out_scores before the scope closes.
+  std::optional<core::ScratchScope> scratch;
+  if (options_.use_scratch_arena) scratch.emplace();
   const core::SeqFm::ServingView view = seqfm_->serving_view();
   const core::SeqFmConfig& cfg = seqfm_->config();
   const data::FeatureSpace& space = builder_->space();

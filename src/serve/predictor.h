@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/model_interface.h"
+#include "core/scratch_arena.h"
 #include "core/seqfm.h"
 #include "data/dataset.h"
 #include "serve/context_cache.h"
@@ -33,6 +34,13 @@ struct PredictorOptions {
   /// n and dim d (~39 KiB at n=50, d=64), so 64 MiB caches ~1.7k such
   /// contexts. Ignored when the fast path is inactive.
   size_t context_cache_bytes = 0;
+  /// Draw tape-free op outputs from the worker thread's core::ScratchArena
+  /// (zero tensor heap allocations in steady state). Off = every op output
+  /// is an individual heap allocation, the pre-arena behavior — kept as an
+  /// escape hatch and as bench_serving's arena-off baseline. The arena
+  /// retains each worker's per-chunk high-water mark (tens of MiB at
+  /// serving shapes) for reuse across requests.
+  bool use_scratch_arena = true;
 };
 
 /// One ranked catalog entry returned by Predictor::TopK.
@@ -137,6 +145,13 @@ class Predictor {
 
   /// Non-null iff the fast path is active and context_cache_bytes > 0.
   const ContextCache* context_cache() const { return cache_.get(); }
+
+  /// Scratch-arena counters for the tape-free scoring scopes (process-wide;
+  /// see core::ScratchStats). In steady state heap_refills stays flat while
+  /// allocations keeps counting — serving without heap allocations.
+  core::ScratchStats scratch_stats() const {
+    return core::GlobalScratchStats();
+  }
 
   const core::Model* model() const { return model_; }
   const PredictorOptions& options() const { return options_; }

@@ -72,7 +72,9 @@ Status BatchServer::ReloadCheckpoint(const std::string& path) {
 
 BatchServerStats BatchServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  BatchServerStats out = stats_;
+  out.scratch = core::GlobalScratchStats();
+  return out;
 }
 
 size_t BatchServer::pending() const {

@@ -1,0 +1,119 @@
+#ifndef SEQFM_TENSOR_KERNELS_H_
+#define SEQFM_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+#include "util/cpu.h"
+
+namespace seqfm {
+namespace tensor {
+namespace kernels {
+
+/// \brief Dispatched inner loops behind the tensor/autograd compute kernels.
+///
+/// Every function pointer in this table has (at least) two implementations:
+/// a portable scalar one (kernels.cc) and an AVX2 one (kernels_avx2.cc,
+/// compiled with -mavx2 -mfma -ffp-contract=off and selected at startup via
+/// util::ActiveSimdLevel()). The two are **bit-identical** on every input,
+/// which is what keeps the repo's determinism contract (results independent
+/// of thread count — and now of ISA) intact. Two rules make that possible:
+///
+/// 1. *Elementwise maps preserve per-element arithmetic.* add/sub/mul/axpy/
+///    relu/... perform exactly the scalar expression per element; the vector
+///    versions just do eight elements at once. Multiply-accumulate is always
+///    emitted as a rounded multiply followed by a rounded add — never a fused
+///    multiply-add — because the scalar path (built without -mfma) cannot
+///    fuse, and contraction is globally disabled (-ffp-contract=off) so the
+///    compiler cannot re-fuse behind our back. exp/sigmoid share one
+///    polynomial (kernels_inl.h) evaluated with the same float ops on both
+///    paths, replacing libm's exp whose vectorization would diverge.
+///
+/// 2. *Reductions follow one lane-blocked order.* A length-n reduction is
+///    defined as eight partial accumulators — element i feeds lane i % 8
+///    in ascending i, the tail (n % 8 elements) continuing lane-by-lane from
+///    lane 0 — combined by the fixed tree
+///        t0=l0+l4  t1=l1+l5  t2=l2+l6  t3=l3+l7
+///        u0=t0+t2  u1=t1+t3  result=u0+u1
+///    which is exactly the AVX2 128-bit-halves/movehl/shuffle horizontal
+///    reduce. The scalar implementations follow the same order, and
+///    tensor::GemmReference is generalized to it for transposed-B dot
+///    products, so the oracle, the scalar kernels, and the AVX2 kernels all
+///    agree to the last bit at any size, including 0/1 and non-multiple-of-8
+///    tails. Max-reductions use the same lanes/tree with a `>`-then-keep
+///    rule, so NaNs are ignored exactly like the historical scalar loops.
+///
+/// The GEMM microkernels keep the historical per-element accumulation order
+/// for non-transposed B (ascending-k single accumulator per output element;
+/// the AVX2 version vectorizes across output *columns*, which touches no
+/// reduction order) and use the lane-blocked dot order for transposed B.
+struct KernelTable {
+  // --- reductions (lane-blocked order) ---------------------------------
+  /// sum_i a[i] * b[i]
+  float (*dot)(const float* a, const float* b, size_t n);
+  /// sum_i x[i]
+  float (*reduce_sum)(const float* x, size_t n);
+  /// sum_i (x[i] - mean)^2
+  float (*reduce_sum_sq_diff)(const float* x, float mean, size_t n);
+  /// max_i (x[i] + (add ? add[i] : 0)); -inf when n == 0; NaNs never win.
+  float (*reduce_max_add)(const float* x, const float* add, size_t n);
+
+  // --- elementwise maps (per-element order preserving) -----------------
+  void (*add)(const float* a, const float* b, float* y, size_t n);
+  void (*sub)(const float* a, const float* b, float* y, size_t n);
+  void (*mul)(const float* a, const float* b, float* y, size_t n);
+  /// y[i] += a[i] * b[i]
+  void (*madd)(const float* a, const float* b, float* y, size_t n);
+  /// y[i] += alpha * x[i]
+  void (*axpy)(float alpha, const float* x, float* y, size_t n);
+  /// y[i] = alpha * x[i]
+  void (*scale)(float alpha, const float* x, float* y, size_t n);
+  void (*scale_inplace)(float alpha, float* y, size_t n);
+  void (*relu)(const float* x, float* y, size_t n);
+  /// y[i] = ExpApprox(x[i]): the shared polynomial exp. Exactly 0 below
+  /// roughly -87.3 (so -inf and NaN map to 0), saturating near FLT_MAX at
+  /// the top of the range; ~2 ulp inside it.
+  void (*exp_map)(const float* x, float* y, size_t n);
+  /// Numerically stable sigmoid built on ExpApprox (NaN maps to 0).
+  void (*sigmoid)(const float* x, float* y, size_t n);
+
+  // --- fused rows ------------------------------------------------------
+  /// y[i] = ExpApprox((x[i] + (add ? add[i] : 0)) - max_val); returns the
+  /// lane-blocked sum of y. The softmax numerator + denominator in one pass.
+  float (*softmax_exp_sum)(const float* x, const float* add, float max_val,
+                           float* y, size_t n);
+  /// y[j] = gamma[j] * ((x[j] - mean) * inv_std) + beta[j]; when xhat is
+  /// non-null also stores the normalized activations (tape state).
+  void (*layer_norm_row)(const float* x, const float* gamma,
+                         const float* beta, float mean, float inv_std,
+                         size_t d, float* y, float* xhat);
+
+  // --- GEMM microkernels (see tensor/ops.cc for the blocking) ----------
+  /// C rows [0, rows) (+)= A[rows,k] · B[k,n], A rows contiguous.
+  void (*gemm_rows_b_normal)(const float* arows, const float* b, float* crows,
+                             size_t rows, size_t k, size_t n, bool accumulate);
+  /// C rows [0, rows) (+)= A[rows,k] · B^T with B stored [n,k]: per-element
+  /// lane-blocked dot products.
+  void (*gemm_rows_b_trans)(const float* arows, const float* b, float* crows,
+                            size_t rows, size_t k, size_t n, bool accumulate);
+
+  /// "scalar" / "avx2" — for logs and bench labels.
+  const char* name;
+};
+
+/// The table for util::ActiveSimdLevel(). One relaxed atomic read; safe to
+/// call from pool workers and to interleave with util::SetSimdLevel.
+const KernelTable& Active();
+
+/// The table for an explicit level. Falls back to scalar (with a one-time
+/// warning) when AVX2 kernels are unavailable — not compiled in, or the CPU
+/// lacks avx2+fma.
+const KernelTable& Table(util::SimdLevel level);
+
+/// True when Table(kAvx2) really is the AVX2 table.
+bool Avx2KernelsAvailable();
+
+}  // namespace kernels
+}  // namespace tensor
+}  // namespace seqfm
+
+#endif  // SEQFM_TENSOR_KERNELS_H_

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "tensor/kernels.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -16,17 +17,19 @@ namespace {
 // ---------------------------------------------------------------------------
 // GEMM
 //
-// C[m,n] (+)= A op B, row-major. The kernel is cache-blocked over N,
-// register-tiled over kMr rows of C, and its outer M loop is dispatched in
-// row chunks across the global thread pool. Each output element is owned by
-// exactly one chunk and accumulates its k products in ascending-p order into
-// a private accumulator that is added to C once at the end, so the result is
-// bit-for-bit identical to GemmReference for every blocking, grain, and
-// thread count.
+// C[m,n] (+)= A op B, row-major. The inner microkernels live in the
+// dispatched kernel layer (tensor/kernels.h: scalar or AVX2, selected at
+// startup); this file keeps the blocking and the thread-pool fan-out. The
+// outer M loop is dispatched in row chunks across the global pool. Each
+// output element is owned by exactly one chunk and accumulates its k
+// products in a fixed order — ascending k for non-transposed B, the
+// lane-blocked dot order for transposed B — into a private accumulator
+// added to C once at the end, so the result is bit-for-bit identical to
+// GemmReference for every blocking, grain, thread count, and SIMD level.
 // ---------------------------------------------------------------------------
 
-constexpr size_t kMr = 4;    // register-tile height (rows of C per pass)
-constexpr size_t kNc = 512;  // cache-block width (columns of C per pass)
+// Keep the microkernel's register tile height as the minimum row grain.
+constexpr size_t kMr = 4;
 // Grain cutoffs are shared with the autograd layer; see util/thread_pool.h.
 using util::GrainForRows;
 using util::kEwGrain;
@@ -34,116 +37,12 @@ using util::kMathGrain;
 // GEMMs below this many multiply-adds run serially on the caller.
 constexpr size_t kGemmParallelMinWork = util::kMinParallelWork;
 
-inline void StoreRow(const float* acc, float* crow, size_t jn,
-                     bool accumulate) {
-  if (accumulate) {
-    for (size_t j = 0; j < jn; ++j) crow[j] += acc[j];
-  } else {
-    for (size_t j = 0; j < jn; ++j) crow[j] = acc[j];
-  }
-}
-
-// Rows [0, rows) of `arows` ([rows, k] contiguous) times non-transposed B
-// ([k, n]), written to the matching rows of C starting at crows. Streams a
-// kNc-wide block of B per pass; four C rows share each B row load.
-void GemmRowsBNormal(const float* arows, const float* b, float* crows,
-                     size_t rows, size_t k, size_t n, bool accumulate) {
-  float acc[kMr * kNc];
-  for (size_t j0 = 0; j0 < n; j0 += kNc) {
-    const size_t jn = std::min(n - j0, kNc);
-    size_t i = 0;
-    for (; i + kMr <= rows; i += kMr) {
-      std::fill(acc, acc + kMr * jn, 0.0f);
-      const float* a0 = arows + i * k;
-      const float* a1 = a0 + k;
-      const float* a2 = a1 + k;
-      const float* a3 = a2 + k;
-      for (size_t p = 0; p < k; ++p) {
-        const float* brow = b + p * n + j0;
-        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-        float* r0 = acc;
-        float* r1 = acc + jn;
-        float* r2 = acc + 2 * jn;
-        float* r3 = acc + 3 * jn;
-        for (size_t j = 0; j < jn; ++j) {
-          r0[j] += v0 * brow[j];
-          r1[j] += v1 * brow[j];
-          r2[j] += v2 * brow[j];
-          r3[j] += v3 * brow[j];
-        }
-      }
-      for (size_t r = 0; r < kMr; ++r) {
-        StoreRow(acc + r * jn, crows + (i + r) * n + j0, jn, accumulate);
-      }
-    }
-    for (; i < rows; ++i) {
-      std::fill(acc, acc + jn, 0.0f);
-      const float* ar = arows + i * k;
-      for (size_t p = 0; p < k; ++p) {
-        const float av = ar[p];
-        const float* brow = b + p * n + j0;
-        for (size_t j = 0; j < jn; ++j) acc[j] += av * brow[j];
-      }
-      StoreRow(acc, crows + i * n + j0, jn, accumulate);
-    }
-  }
-}
-
-// Rows [0, rows) of `arows` times transposed B (stored [n, k]): pure dot
-// products, register-tiled so four rows of A share each B row.
-void GemmRowsBTrans(const float* arows, const float* b, float* crows,
-                    size_t rows, size_t k, size_t n, bool accumulate) {
-  size_t i = 0;
-  for (; i + kMr <= rows; i += kMr) {
-    const float* a0 = arows + i * k;
-    const float* a1 = a0 + k;
-    const float* a2 = a1 + k;
-    const float* a3 = a2 + k;
-    float* crow = crows + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-      for (size_t p = 0; p < k; ++p) {
-        const float bv = brow[p];
-        s0 += a0[p] * bv;
-        s1 += a1[p] * bv;
-        s2 += a2[p] * bv;
-        s3 += a3[p] * bv;
-      }
-      if (accumulate) {
-        crow[j] += s0;
-        crow[n + j] += s1;
-        crow[2 * n + j] += s2;
-        crow[3 * n + j] += s3;
-      } else {
-        crow[j] = s0;
-        crow[n + j] = s1;
-        crow[2 * n + j] = s2;
-        crow[3 * n + j] = s3;
-      }
-    }
-  }
-  for (; i < rows; ++i) {
-    const float* ar = arows + i * k;
-    float* crow = crows + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float s = 0.0f;
-      for (size_t p = 0; p < k; ++p) s += ar[p] * brow[p];
-      if (accumulate) {
-        crow[j] += s;
-      } else {
-        crow[j] = s;
-      }
-    }
-  }
-}
-
 // Computes C rows [i0, i1). When A is transposed (stored [k, m]) its rows are
 // first packed contiguously so both inner kernels see a [rows, k] panel.
-void GemmRowRange(const float* a, const float* b, float* c, size_t m, size_t k,
-                  size_t n, bool trans_a, bool trans_b, bool accumulate,
-                  size_t i0, size_t i1) {
+void GemmRowRange(const kernels::KernelTable& kt, const float* a,
+                  const float* b, float* c, size_t m, size_t k, size_t n,
+                  bool trans_a, bool trans_b, bool accumulate, size_t i0,
+                  size_t i1) {
   const size_t rows = i1 - i0;
   const float* arows;
   std::vector<float> packed;
@@ -159,15 +58,33 @@ void GemmRowRange(const float* a, const float* b, float* c, size_t m, size_t k,
   }
   float* crows = c + i0 * n;
   if (trans_b) {
-    GemmRowsBTrans(arows, b, crows, rows, k, n, accumulate);
+    kt.gemm_rows_b_trans(arows, b, crows, rows, k, n, accumulate);
   } else {
-    GemmRowsBNormal(arows, b, crows, rows, k, n, accumulate);
+    kt.gemm_rows_b_normal(arows, b, crows, rows, k, n, accumulate);
   }
 }
 
 void CheckSameShape(const Tensor& a, const Tensor& b) {
   SEQFM_CHECK(a.SameShape(b))
       << "shape mismatch: " << a.ToString(0) << " vs " << b.ToString(0);
+}
+
+/// The lane-blocked reduction order's independent restatement for the
+/// oracle: eight partial sums, element p into lane p % 8, combined by the
+/// fixed tree. Mirrors kernels.h so GemmReference stays a genuinely separate
+/// implementation of the same contract.
+float ReferenceLaneBlockedDot(const float* a, const float* b, size_t m,
+                              size_t k, size_t i, size_t j, bool trans_a) {
+  float lanes[8] = {0.0f};
+  for (size_t p = 0; p < k; ++p) {
+    const float av = trans_a ? a[p * m + i] : a[i * k + p];
+    lanes[p % 8] += av * b[j * k + p];
+  }
+  const float t0 = lanes[0] + lanes[4];
+  const float t1 = lanes[1] + lanes[5];
+  const float t2 = lanes[2] + lanes[6];
+  const float t3 = lanes[3] + lanes[7];
+  return (t0 + t2) + (t1 + t3);
 }
 
 }  // namespace
@@ -182,11 +99,17 @@ void GemmReference(const float* a, const float* b, float* c, size_t m,
   }
   for (size_t i = 0; i < m; ++i) {
     for (size_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; ++p) {
-        const float av = trans_a ? a[p * m + i] : a[i * k + p];
-        const float bv = trans_b ? b[j * k + p] : b[p * n + j];
-        acc += av * bv;
+      float acc;
+      if (trans_b) {
+        // Transposed-B products are dot products; the kernel layer computes
+        // them in the lane-blocked order, so the oracle defines that order.
+        acc = ReferenceLaneBlockedDot(a, b, m, k, i, j, trans_a);
+      } else {
+        acc = 0.0f;
+        for (size_t p = 0; p < k; ++p) {
+          const float av = trans_a ? a[p * m + i] : a[i * k + p];
+          acc += av * b[p * n + j];
+        }
       }
       float* dst = c + i * n + j;
       if (accumulate) {
@@ -211,14 +134,15 @@ void Gemm(const float* a, const float* b, float* c, size_t m, size_t k,
   }
   SEQFM_CHECK(a != nullptr) << "Gemm: null A with k=" << k;
   SEQFM_CHECK(b != nullptr) << "Gemm: null B with k=" << k;
+  const kernels::KernelTable& kt = kernels::Active();
   const size_t work = m * n * k;
   if (work < kGemmParallelMinWork) {
-    GemmRowRange(a, b, c, m, k, n, trans_a, trans_b, accumulate, 0, m);
+    GemmRowRange(kt, a, b, c, m, k, n, trans_a, trans_b, accumulate, 0, m);
     return;
   }
   const size_t grain = std::max(kMr, GrainForRows(n * k, kGemmParallelMinWork));
-  util::ParallelFor(m, grain, [=](size_t i0, size_t i1) {
-    GemmRowRange(a, b, c, m, k, n, trans_a, trans_b, accumulate, i0, i1);
+  util::ParallelFor(m, grain, [=, &kt](size_t i0, size_t i1) {
+    GemmRowRange(kt, a, b, c, m, k, n, trans_a, trans_b, accumulate, i0, i1);
   });
 }
 
@@ -300,31 +224,24 @@ void SoftmaxLastDim(const Tensor& in, const Tensor* mask, Tensor* out) {
   }
   const float* src = in.data();
   float* dst = out->data();
-  util::ParallelFor(rows, GrainForRows(cols, kMathGrain), [=](size_t r0,
-                                                              size_t r1) {
+  const kernels::KernelTable& kt = kernels::Active();
+  util::ParallelFor(rows, GrainForRows(cols, kMathGrain), [=, &kt](size_t r0,
+                                                                   size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
       const float* x = src + r * cols;
       float* y = dst + r * cols;
       const float* mrow =
           mask_data ? mask_data + (r % mask_rows) * cols : nullptr;
-      float max_val = -std::numeric_limits<float>::infinity();
-      for (size_t j = 0; j < cols; ++j) {
-        const float v = x[j] + (mrow ? mrow[j] : 0.0f);
-        if (v > max_val) max_val = v;
-      }
+      const float max_val = kt.reduce_max_add(x, mrow, cols);
       // A fully masked row would yield max == -inf; fall back to zeros.
       if (!std::isfinite(max_val)) {
         std::fill(y, y + cols, 0.0f);
         continue;
       }
-      float total = 0.0f;
-      for (size_t j = 0; j < cols; ++j) {
-        const float v = x[j] + (mrow ? mrow[j] : 0.0f);
-        y[j] = std::isfinite(v) ? std::exp(v - max_val) : 0.0f;
-        total += y[j];
-      }
-      const float inv = 1.0f / total;
-      for (size_t j = 0; j < cols; ++j) y[j] *= inv;
+      // Masked (-inf) and NaN entries come out of the shared exp as exact
+      // zeros, reproducing the historical per-element isfinite fallback.
+      const float total = kt.softmax_exp_sum(x, mrow, max_val, y, cols);
+      kt.scale_inplace(1.0f / total, y, cols);
     }
   });
 }
@@ -335,8 +252,9 @@ void Add(const Tensor& a, const Tensor& b, Tensor* out) {
   const float* av = a.data();
   const float* bv = b.data();
   float* y = out->data();
-  util::ParallelFor(a.size(), kEwGrain, [=](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) y[i] = av[i] + bv[i];
+  const kernels::KernelTable& kt = kernels::Active();
+  util::ParallelFor(a.size(), kEwGrain, [=, &kt](size_t i0, size_t i1) {
+    kt.add(av + i0, bv + i0, y + i0, i1 - i0);
   });
 }
 
@@ -346,8 +264,9 @@ void Sub(const Tensor& a, const Tensor& b, Tensor* out) {
   const float* av = a.data();
   const float* bv = b.data();
   float* y = out->data();
-  util::ParallelFor(a.size(), kEwGrain, [=](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) y[i] = av[i] - bv[i];
+  const kernels::KernelTable& kt = kernels::Active();
+  util::ParallelFor(a.size(), kEwGrain, [=, &kt](size_t i0, size_t i1) {
+    kt.sub(av + i0, bv + i0, y + i0, i1 - i0);
   });
 }
 
@@ -357,8 +276,9 @@ void Mul(const Tensor& a, const Tensor& b, Tensor* out) {
   const float* av = a.data();
   const float* bv = b.data();
   float* y = out->data();
-  util::ParallelFor(a.size(), kEwGrain, [=](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) y[i] = av[i] * bv[i];
+  const kernels::KernelTable& kt = kernels::Active();
+  util::ParallelFor(a.size(), kEwGrain, [=, &kt](size_t i0, size_t i1) {
+    kt.mul(av + i0, bv + i0, y + i0, i1 - i0);
   });
 }
 
@@ -366,8 +286,9 @@ void Relu(const Tensor& in, Tensor* out) {
   CheckSameShape(in, *out);
   const float* x = in.data();
   float* y = out->data();
-  util::ParallelFor(in.size(), kEwGrain, [=](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  const kernels::KernelTable& kt = kernels::Active();
+  util::ParallelFor(in.size(), kEwGrain, [=, &kt](size_t i0, size_t i1) {
+    kt.relu(x + i0, y + i0, i1 - i0);
   });
 }
 
@@ -375,8 +296,9 @@ void Sigmoid(const Tensor& in, Tensor* out) {
   CheckSameShape(in, *out);
   const float* x = in.data();
   float* y = out->data();
-  util::ParallelFor(in.size(), kMathGrain, [=](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) y[i] = StableSigmoid(x[i]);
+  const kernels::KernelTable& kt = kernels::Active();
+  util::ParallelFor(in.size(), kMathGrain, [=, &kt](size_t i0, size_t i1) {
+    kt.sigmoid(x + i0, y + i0, i1 - i0);
   });
 }
 
@@ -384,6 +306,8 @@ void Tanh(const Tensor& in, Tensor* out) {
   CheckSameShape(in, *out);
   const float* x = in.data();
   float* y = out->data();
+  // Stays on libm: both SIMD levels call the identical scalar function, so
+  // level-parity is trivial, and tanh is off the serving hot paths.
   util::ParallelFor(in.size(), kMathGrain, [=](size_t i0, size_t i1) {
     for (size_t i = i0; i < i1; ++i) y[i] = std::tanh(x[i]);
   });
@@ -398,12 +322,11 @@ void AddBiasLastDim(const Tensor& in, const Tensor& bias, Tensor* out) {
   const float* x = in.data();
   const float* bv = bias.data();
   float* y = out->data();
-  util::ParallelFor(rows, GrainForRows(d, kEwGrain), [=](size_t r0,
-                                                         size_t r1) {
+  const kernels::KernelTable& kt = kernels::Active();
+  util::ParallelFor(rows, GrainForRows(d, kEwGrain), [=, &kt](size_t r0,
+                                                              size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
-      const float* xr = x + r * d;
-      float* yr = y + r * d;
-      for (size_t j = 0; j < d; ++j) yr[j] = xr[j] + bv[j];
+      kt.add(x + r * d, bv, y + r * d, d);
     }
   });
 }
@@ -418,14 +341,15 @@ void SumAxis1(const Tensor& in, float scale, Tensor* out, bool accumulate) {
   // Each batch item owns a disjoint output row, so the batch loop is safe to
   // split across the pool.
   float* out_data = out->data();
+  const kernels::KernelTable& kt = kernels::Active();
   util::ParallelFor(batch, GrainForRows(rows * d, kEwGrain),
-                    [&in, out_data, scale, rows, d](size_t b0, size_t b1) {
+                    [&in, &kt, out_data, scale, rows, d](size_t b0,
+                                                         size_t b1) {
     for (size_t b = b0; b < b1; ++b) {
       const float* src = in.BatchData(b);
       float* dst = out_data + b * d;
       for (size_t i = 0; i < rows; ++i) {
-        const float* row = src + i * d;
-        for (size_t j = 0; j < d; ++j) dst[j] += scale * row[j];
+        kt.axpy(scale, src + i * d, dst, d);
       }
     }
   });
@@ -437,20 +361,20 @@ void SumLastDim(const Tensor& in, Tensor* out) {
   SEQFM_CHECK_EQ(out->size(), rows);
   const float* x = in.data();
   float* y = out->data();
-  util::ParallelFor(rows, GrainForRows(d, kEwGrain), [=](size_t r0,
-                                                         size_t r1) {
+  const kernels::KernelTable& kt = kernels::Active();
+  util::ParallelFor(rows, GrainForRows(d, kEwGrain), [=, &kt](size_t r0,
+                                                              size_t r1) {
     for (size_t r = r0; r < r1; ++r) {
-      const float* xr = x + r * d;
-      float acc = 0.0f;
-      for (size_t j = 0; j < d; ++j) acc += xr[j];
-      y[r] = acc;
+      y[r] = kt.reduce_sum(x + r * d, d);
     }
   });
 }
 
 float SumAll(const Tensor& in) {
-  // Deliberately serial: a parallel reduction would make the result depend
-  // on the chunking, breaking bit-for-bit thread-count invariance.
+  // Deliberately serial and deliberately NOT lane-blocked: losses and
+  // whole-tensor diagnostics keep their historical ascending order, which is
+  // identical at every thread count and SIMD level by virtue of never being
+  // vectorized.
   float acc = 0.0f;
   for (size_t i = 0; i < in.size(); ++i) acc += in.data()[i];
   return acc;

@@ -1,6 +1,11 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
+#include <atomic>
+#include <new>
 #include <sstream>
+
+#include "tensor/kernels.h"
 
 namespace seqfm {
 namespace tensor {
@@ -13,11 +18,71 @@ size_t NumElements(const std::vector<size_t>& shape) {
 }
 }  // namespace
 
+namespace internal {
+
+namespace {
+
+std::atomic<uint64_t> g_heap_allocs{0};
+
+float* AllocateAligned(size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<float*>(::operator new(
+      n * sizeof(float), std::align_val_t{kTensorAlignment}));
+}
+
+void DeallocateAligned(float* p) {
+  ::operator delete(p, std::align_val_t{kTensorAlignment});
+}
+
+}  // namespace
+
+uint64_t HeapAllocCount() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+void FloatStorage::Release() {
+  if (owned_) DeallocateAligned(ptr_);
+}
+
+void FloatStorage::Reserve(size_t n) {
+  if (owned_ && size_ == n) return;
+  Release();
+  if (n == 0) {
+    Forget();
+    return;
+  }
+  ptr_ = AllocateAligned(n);
+  size_ = n;
+  owned_ = true;
+}
+
+void FloatStorage::Assign(size_t n, float value) {
+  Reserve(n);
+  for (size_t i = 0; i < n; ++i) ptr_[i] = value;
+}
+
+void FloatStorage::AssignRange(const float* first, const float* last) {
+  const size_t n = static_cast<size_t>(last - first);
+  Reserve(n);
+  for (size_t i = 0; i < n; ++i) ptr_[i] = first[i];
+}
+
+void FloatStorage::ResizeUninitialized(size_t n) { Reserve(n); }
+
+void FloatStorage::WrapExternal(float* data, size_t n) {
+  Release();
+  ptr_ = data;
+  size_ = n;
+  owned_ = false;
+}
+
+}  // namespace internal
+
 Tensor::Tensor(std::vector<size_t> shape) : shape_(std::move(shape)) {
   SEQFM_CHECK(!shape_.empty() && shape_.size() <= 3)
       << "rank must be 1..3, got " << shape_.size();
   for (size_t d : shape_) SEQFM_CHECK_GT(d, 0u);
-  data_.assign(NumElements(shape_), 0.0f);
+  data_.Assign(NumElements(shape_), 0.0f);
 }
 
 Tensor Tensor::Uninitialized(std::vector<size_t> shape) {
@@ -26,9 +91,20 @@ Tensor Tensor::Uninitialized(std::vector<size_t> shape) {
   SEQFM_CHECK(!t.shape_.empty() && t.shape_.size() <= 3)
       << "rank must be 1..3, got " << t.shape_.size();
   for (size_t d : t.shape_) SEQFM_CHECK_GT(d, 0u);
-  // resize() default-initializes through DefaultInitAllocator, i.e. leaves
-  // the floats unwritten.
-  t.data_.resize(NumElements(t.shape_));
+  t.data_.ResizeUninitialized(NumElements(t.shape_));
+  return t;
+}
+
+Tensor Tensor::WrapExternal(std::vector<size_t> shape, float* data,
+                            size_t count) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  SEQFM_CHECK(!t.shape_.empty() && t.shape_.size() <= 3)
+      << "rank must be 1..3, got " << t.shape_.size();
+  for (size_t d : t.shape_) SEQFM_CHECK_GT(d, 0u);
+  SEQFM_CHECK_EQ(NumElements(t.shape_), count);
+  SEQFM_CHECK(data != nullptr);
+  t.data_.WrapExternal(data, count);
   return t;
 }
 
@@ -52,9 +128,7 @@ Result<Tensor> Tensor::FromVector(std::vector<size_t> shape,
   }
   Tensor t;
   t.shape_ = std::move(shape);
-  // Allocator types differ (plain vs. default-init), so this is a copy; the
-  // factory only runs on cold paths (tests, constant construction).
-  t.data_.assign(data.begin(), data.end());
+  t.data_.AssignRange(data.data(), data.data() + data.size());
   return t;
 }
 
@@ -70,19 +144,18 @@ Status Tensor::ReshapeInPlace(std::vector<size_t> shape) {
 }
 
 void Tensor::Fill(float value) {
-  for (auto& x : data_) x = value;
+  float* p = data_.data();
+  const size_t n = data_.size();
+  for (size_t i = 0; i < n; ++i) p[i] = value;
 }
 
 void Tensor::AddScaled(const Tensor& other, float alpha) {
   SEQFM_CHECK(SameShape(other));
-  const float* src = other.data();
-  float* dst = data();
-  const size_t n = size();
-  for (size_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+  kernels::Active().axpy(alpha, other.data(), data(), size());
 }
 
 void Tensor::Scale(float alpha) {
-  for (auto& x : data_) x *= alpha;
+  kernels::Active().scale_inplace(alpha, data(), size());
 }
 
 std::string Tensor::ToString(size_t max_elems) const {

@@ -2,6 +2,7 @@
 #define SEQFM_TENSOR_TENSOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
@@ -15,28 +16,90 @@ namespace tensor {
 
 namespace internal {
 
-/// Allocator whose value-less construct is a no-op, so a resize() performs
-/// default (i.e. no) initialization of the new floats. This is what lets
-/// Tensor::Uninitialized hand kernels an output buffer without paying the
-/// zero-fill; explicit fills (assign, Fill) are unaffected.
-template <typename T>
-class DefaultInitAllocator : public std::allocator<T> {
+/// Every owned tensor data buffer starts on a 64-byte boundary: one full
+/// cache line, and enough for aligned loads of any current or foreseeable
+/// vector width (AVX2 needs 32, AVX-512 would need 64). core::ScratchArena
+/// hands out the same alignment for wrapped buffers.
+constexpr size_t kTensorAlignment = 64;
+static_assert((kTensorAlignment & (kTensorAlignment - 1)) == 0 &&
+                  kTensorAlignment >= 2 * sizeof(float) * 8,
+              "tensor alignment must be a power of two covering one AVX2 "
+              "register pair");
+
+/// Process-wide count of heap allocations made for tensor data buffers.
+/// The allocation-free-serving tests snapshot it around steady-state
+/// requests: with the scratch arena active the delta must be zero.
+uint64_t HeapAllocCount();
+
+/// \brief The float buffer behind a Tensor.
+///
+/// Replaces std::vector<float>: owned buffers are 64-byte aligned and
+/// default-initialized on request (no zero-fill for Tensor::Uninitialized),
+/// and a buffer may instead *wrap* externally owned memory — the hook
+/// core::ScratchArena uses to hand op outputs bump-allocated scratch space.
+/// Wrapped storage is never freed here; copying any storage (wrapped or not)
+/// always produces an owned aligned heap copy, so a tensor that escapes its
+/// arena scope by copy is safe.
+class FloatStorage {
  public:
-  template <typename U>
-  struct rebind {
-    using other = DefaultInitAllocator<U>;
-  };
+  FloatStorage() = default;
+  ~FloatStorage() { Release(); }
 
-  using std::allocator<T>::allocator;
+  FloatStorage(const FloatStorage& other) {
+    AssignRange(other.ptr_, other.ptr_ + other.size_);
+  }
+  FloatStorage& operator=(const FloatStorage& other) {
+    if (this != &other) AssignRange(other.ptr_, other.ptr_ + other.size_);
+    return *this;
+  }
+  FloatStorage(FloatStorage&& other) noexcept
+      : ptr_(other.ptr_), size_(other.size_), owned_(other.owned_) {
+    other.Forget();
+  }
+  FloatStorage& operator=(FloatStorage&& other) noexcept {
+    if (this != &other) {
+      Release();
+      ptr_ = other.ptr_;
+      size_ = other.size_;
+      owned_ = other.owned_;
+      other.Forget();
+    }
+    return *this;
+  }
 
-  template <typename U, typename... Args>
-  void construct(U* ptr, Args&&... args) {
-    ::new (static_cast<void*>(ptr)) U(std::forward<Args>(args)...);
+  /// Owned buffer of n elements, every element set to value.
+  void Assign(size_t n, float value);
+  /// Owned buffer holding a copy of [first, last).
+  void AssignRange(const float* first, const float* last);
+  /// Owned buffer of n elements, contents indeterminate (no zero-fill).
+  void ResizeUninitialized(size_t n);
+  /// Points at caller-owned memory (not freed here); contents untouched.
+  void WrapExternal(float* data, size_t n);
+
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  size_t size() const { return size_; }
+  /// False for wrapped (arena) storage and for the empty buffer.
+  bool owned() const { return owned_; }
+
+  float& operator[](size_t i) { return ptr_[i]; }
+  const float& operator[](size_t i) const { return ptr_[i]; }
+
+ private:
+  /// Frees an owned buffer; leaves the fields stale (callers reset them).
+  void Release();
+  void Forget() {
+    ptr_ = nullptr;
+    size_ = 0;
+    owned_ = false;
   }
-  template <typename U>
-  void construct(U* ptr) {
-    ::new (static_cast<void*>(ptr)) U;
-  }
+  /// Owned uninitialized buffer of n elements, reusing the current owned
+  /// allocation when it already has exactly n.
+  void Reserve(size_t n);
+
+  float* ptr_ = nullptr;
+  size_t size_ = 0;
+  bool owned_ = false;
 };
 
 }  // namespace internal
@@ -46,7 +109,10 @@ class DefaultInitAllocator : public std::allocator<T> {
 /// This is the numeric workhorse of the library. It is deliberately simple:
 /// contiguous storage, no views, no broadcasting at the storage level —
 /// broadcasting semantics live in the op kernels (see ops.h). Rank 3 tensors
-/// are laid out as [batch][row][col].
+/// are laid out as [batch][row][col]. Owned data buffers are 64-byte aligned
+/// (internal::kTensorAlignment) so SIMD kernels may assume vector-friendly
+/// bases; WrapExternal tensors borrow scratch-arena memory with the same
+/// alignment.
 class Tensor {
  public:
   /// An empty rank-1 tensor of size 0.
@@ -66,6 +132,14 @@ class Tensor {
   /// element before writing it is undefined. The serving fast path uses this
   /// to skip the zero-fill on intermediates that live for one kernel.
   static Tensor Uninitialized(std::vector<size_t> shape);
+
+  /// Tensor borrowing externally owned storage of exactly the shape's
+  /// element count (contents indeterminate, never freed by the tensor).
+  /// This is how autograd::internal::OutputBuffer hands ops memory from the
+  /// thread's core::ScratchArena: the buffer must outlive the tensor and
+  /// every move of it — copies are safe (they own aligned heap memory).
+  static Tensor WrapExternal(std::vector<size_t> shape, float* data,
+                             size_t count);
 
   /// All-one tensor.
   static Tensor Ones(std::vector<size_t> shape);
@@ -89,6 +163,10 @@ class Tensor {
   size_t size() const { return data_.size(); }
 
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// True when the tensor owns (and will free) its data buffer; false for
+  /// WrapExternal (scratch-arena) tensors and empty tensors.
+  bool owns_storage() const { return data_.owned(); }
 
   /// Reinterprets the tensor with a new shape of identical element count.
   Status ReshapeInPlace(std::vector<size_t> shape);
@@ -156,7 +234,7 @@ class Tensor {
 
  private:
   std::vector<size_t> shape_;
-  std::vector<float, internal::DefaultInitAllocator<float>> data_;
+  internal::FloatStorage data_;
 };
 
 }  // namespace tensor

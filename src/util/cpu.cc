@@ -1,0 +1,95 @@
+#include "util/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace seqfm {
+namespace util {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  // FMA is probed alongside AVX2 because the kernel TU is built with both
+  // flags; a (hypothetical) AVX2-without-FMA part must stay on scalar.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+SimdLevel ResolveSimdChoice(const char* env_value, bool cpu_has_avx2,
+                            bool* warning) {
+  *warning = false;
+  const SimdLevel best = cpu_has_avx2 ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  if (env_value == nullptr || std::strcmp(env_value, "auto") == 0 ||
+      env_value[0] == '\0') {
+    return best;
+  }
+  if (std::strcmp(env_value, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(env_value, "avx2") == 0) {
+    if (cpu_has_avx2) return SimdLevel::kAvx2;
+    *warning = true;  // asked for AVX2 on hardware without it
+    return SimdLevel::kScalar;
+  }
+  *warning = true;  // unrecognized value: behave like auto
+  return best;
+}
+
+namespace {
+
+// -1 = unresolved; otherwise a SimdLevel. Resolved once from the environment,
+// overridable afterwards by SetSimdLevel (tests/benches).
+std::atomic<int> g_level{-1};
+
+SimdLevel ResolveFromEnvironment() {
+  const char* env = std::getenv("SEQFM_SIMD");
+  bool warning = false;
+  const SimdLevel level = ResolveSimdChoice(env, CpuHasAvx2(), &warning);
+  if (warning) {
+    SEQFM_LOG(Warning) << "SEQFM_SIMD=" << env << " cannot be honored "
+                       << "(want auto|scalar|avx2 supported by this CPU); "
+                       << "using " << SimdLevelName(level);
+  }
+  return level;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  int v = g_level.load(std::memory_order_acquire);
+  if (v < 0) {
+    const SimdLevel resolved = ResolveFromEnvironment();
+    int expected = -1;
+    // On a lost race keep the first resolution (both racers computed the
+    // same value anyway; the environment does not change mid-process).
+    if (g_level.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                        std::memory_order_acq_rel)) {
+      return resolved;
+    }
+    v = g_level.load(std::memory_order_acquire);
+  }
+  return static_cast<SimdLevel>(v);
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  SEQFM_CHECK(level != SimdLevel::kAvx2 || CpuHasAvx2())
+      << "SetSimdLevel(avx2) on a CPU without AVX2+FMA";
+  const SimdLevel prev = ActiveSimdLevel();
+  g_level.store(static_cast<int>(level), std::memory_order_release);
+  return prev;
+}
+
+}  // namespace util
+}  // namespace seqfm

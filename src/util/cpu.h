@@ -1,0 +1,58 @@
+#ifndef SEQFM_UTIL_CPU_H_
+#define SEQFM_UTIL_CPU_H_
+
+namespace seqfm {
+namespace util {
+
+/// \brief Runtime ISA selection for the dispatched kernel layer.
+///
+/// The library ships two implementations of every hot inner loop (see
+/// tensor/kernels.h): a portable scalar one and an AVX2 one compiled into a
+/// separate translation unit with -mavx2. Which one runs is decided once at
+/// startup from the CPU and the SEQFM_SIMD environment variable, then read
+/// through a function-pointer table on every op — never via per-call cpuid.
+///
+/// Both implementations follow the same lane-blocked reduction order (eight
+/// partial accumulators combined in a fixed tree; tensor/kernels.h documents
+/// the contract), so switching levels never changes a single output bit.
+/// That is what makes the override safe to flip in CI and in tests.
+enum class SimdLevel {
+  kScalar = 0,  ///< Portable C++; the only level on non-x86 hardware.
+  kAvx2 = 1,    ///< 8-wide AVX2 (requires avx2+fma at runtime).
+};
+
+/// Human-readable name: "scalar" / "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// True when this CPU executes AVX2 + FMA instructions. Pure cpuid probe;
+/// whether AVX2 kernels were compiled into the binary is a separate question
+/// answered by tensor::kernels::Avx2KernelsAvailable().
+bool CpuHasAvx2();
+
+/// The level dispatch uses. First call resolves the SEQFM_SIMD environment
+/// variable:
+///   auto (default) — kAvx2 when the CPU supports it, else kScalar;
+///   avx2           — force kAvx2; falls back to kScalar with a warning when
+///                    the CPU lacks it;
+///   scalar         — force kScalar.
+/// Unrecognized values warn and behave like auto. Subsequent calls return
+/// the cached (or SetSimdLevel-overridden) value.
+SimdLevel ActiveSimdLevel();
+
+/// Overrides the active level and returns the previous one. Requesting
+/// kAvx2 on a CPU without AVX2 check-fails (tests guard on CpuHasAvx2()).
+/// Exists for tests and benches that compare levels inside one process;
+/// production selection belongs to SEQFM_SIMD.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+/// Pure resolution logic behind ActiveSimdLevel, exposed for tests:
+/// maps a SEQFM_SIMD value (nullptr = unset) and a CPU capability to the
+/// level that should run. *warning is set to true when the value was
+/// unrecognized or asked for an unsupported level (the caller logs).
+SimdLevel ResolveSimdChoice(const char* env_value, bool cpu_has_avx2,
+                            bool* warning);
+
+}  // namespace util
+}  // namespace seqfm
+
+#endif  // SEQFM_UTIL_CPU_H_

@@ -1,0 +1,603 @@
+// The SIMD kernel layer's contract suite: scalar and AVX2 kernels must be
+// bit-identical on every input (including empty, size-1, and
+// non-multiple-of-8 tails), tensors must hand kernels 64-byte-aligned
+// storage, and the scratch arena must make steady-state serving free of
+// tensor heap allocations. AVX2 halves of the parity tests skip themselves
+// on hardware without avx2+fma (the contract is then vacuously true).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/ops_common.h"
+#include "autograd/variable.h"
+#include "core/scratch_arena.h"
+#include "core/seqfm.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "serve/predictor.h"
+#include "serve/server.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/cpu.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace seqfm {
+namespace {
+
+using tensor::Tensor;
+using tensor::kernels::KernelTable;
+using util::SimdLevel;
+
+// Sizes chosen to hit every tail case of the 8-lane blocking.
+const std::vector<size_t> kOddSizes = {0,  1,  2,  3,  7,   8,   9,
+                                       15, 16, 17, 31, 33,  64,  100,
+                                       257};
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(-3.0, 3.0));
+  return v;
+}
+
+bool BitEqual(float a, float b) {
+  return std::memcmp(&a, &b, sizeof(float)) == 0;
+}
+
+/// Restores the SIMD level a test flipped, even on assertion failure.
+class SimdLevelRestorer {
+ public:
+  SimdLevelRestorer() : prev_(util::ActiveSimdLevel()) {}
+  ~SimdLevelRestorer() { util::SetSimdLevel(prev_); }
+
+ private:
+  SimdLevel prev_;
+};
+
+bool Avx2Usable() { return tensor::kernels::Avx2KernelsAvailable(); }
+
+// ---------------------------------------------------------------------------
+// util::cpu — detection and SEQFM_SIMD resolution
+// ---------------------------------------------------------------------------
+
+TEST(CpuTest, ResolveSimdChoiceCoversTheMatrix) {
+  bool warn = false;
+  EXPECT_EQ(util::ResolveSimdChoice(nullptr, true, &warn), SimdLevel::kAvx2);
+  EXPECT_FALSE(warn);
+  EXPECT_EQ(util::ResolveSimdChoice(nullptr, false, &warn),
+            SimdLevel::kScalar);
+  EXPECT_FALSE(warn);
+  EXPECT_EQ(util::ResolveSimdChoice("auto", true, &warn), SimdLevel::kAvx2);
+  EXPECT_FALSE(warn);
+  EXPECT_EQ(util::ResolveSimdChoice("scalar", true, &warn),
+            SimdLevel::kScalar);
+  EXPECT_FALSE(warn);
+  EXPECT_EQ(util::ResolveSimdChoice("avx2", true, &warn), SimdLevel::kAvx2);
+  EXPECT_FALSE(warn);
+  // avx2 requested on hardware without it: honored downward, with warning.
+  EXPECT_EQ(util::ResolveSimdChoice("avx2", false, &warn),
+            SimdLevel::kScalar);
+  EXPECT_TRUE(warn);
+  // Typos behave like auto, with warning.
+  EXPECT_EQ(util::ResolveSimdChoice("axv2", true, &warn), SimdLevel::kAvx2);
+  EXPECT_TRUE(warn);
+}
+
+TEST(CpuTest, SimdLevelNames) {
+  EXPECT_STREQ(util::SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(util::SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(CpuTest, SetSimdLevelRoundTrips) {
+  SimdLevelRestorer restore;
+  const SimdLevel prev = util::SetSimdLevel(SimdLevel::kScalar);
+  EXPECT_EQ(util::ActiveSimdLevel(), SimdLevel::kScalar);
+  EXPECT_STREQ(tensor::kernels::Active().name, "scalar");
+  util::SetSimdLevel(prev);
+  EXPECT_EQ(util::ActiveSimdLevel(), prev);
+}
+
+TEST(CpuTest, TableFallsBackToScalarWhenAvx2Unavailable) {
+  if (Avx2Usable()) {
+    EXPECT_STREQ(tensor::kernels::Table(SimdLevel::kAvx2).name, "avx2");
+  } else {
+    EXPECT_STREQ(tensor::kernels::Table(SimdLevel::kAvx2).name, "scalar");
+  }
+  EXPECT_STREQ(tensor::kernels::Table(SimdLevel::kScalar).name, "scalar");
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-by-kernel scalar/AVX2 bit-parity at odd sizes
+// ---------------------------------------------------------------------------
+
+class KernelParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Avx2Usable()) {
+      GTEST_SKIP() << "no AVX2 kernels on this machine";
+    }
+    scalar_ = &tensor::kernels::Table(SimdLevel::kScalar);
+    avx2_ = &tensor::kernels::Table(SimdLevel::kAvx2);
+  }
+
+  const KernelTable* scalar_ = nullptr;
+  const KernelTable* avx2_ = nullptr;
+};
+
+TEST_F(KernelParityTest, Reductions) {
+  for (size_t n : kOddSizes) {
+    const auto a = RandomVec(n, 1000 + n);
+    const auto b = RandomVec(n, 2000 + n);
+    EXPECT_TRUE(BitEqual(scalar_->dot(a.data(), b.data(), n),
+                         avx2_->dot(a.data(), b.data(), n)))
+        << "dot n=" << n;
+    EXPECT_TRUE(BitEqual(scalar_->reduce_sum(a.data(), n),
+                         avx2_->reduce_sum(a.data(), n)))
+        << "reduce_sum n=" << n;
+    EXPECT_TRUE(BitEqual(scalar_->reduce_sum_sq_diff(a.data(), 0.25f, n),
+                         avx2_->reduce_sum_sq_diff(a.data(), 0.25f, n)))
+        << "reduce_sum_sq_diff n=" << n;
+    EXPECT_TRUE(BitEqual(scalar_->reduce_max_add(a.data(), nullptr, n),
+                         avx2_->reduce_max_add(a.data(), nullptr, n)))
+        << "reduce_max n=" << n;
+    EXPECT_TRUE(BitEqual(scalar_->reduce_max_add(a.data(), b.data(), n),
+                         avx2_->reduce_max_add(a.data(), b.data(), n)))
+        << "reduce_max_add n=" << n;
+  }
+}
+
+TEST_F(KernelParityTest, ElementwiseMaps) {
+  for (size_t n : kOddSizes) {
+    const auto a = RandomVec(n, 3000 + n);
+    const auto b = RandomVec(n, 4000 + n);
+    auto ys = RandomVec(n, 5000 + n);
+    auto yv = ys;  // identical starting contents for the accumulating ops
+    auto check = [&](const char* what) {
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(BitEqual(ys[i], yv[i]))
+            << what << " n=" << n << " i=" << i;
+      }
+    };
+    scalar_->add(a.data(), b.data(), ys.data(), n);
+    avx2_->add(a.data(), b.data(), yv.data(), n);
+    check("add");
+    scalar_->sub(a.data(), b.data(), ys.data(), n);
+    avx2_->sub(a.data(), b.data(), yv.data(), n);
+    check("sub");
+    scalar_->mul(a.data(), b.data(), ys.data(), n);
+    avx2_->mul(a.data(), b.data(), yv.data(), n);
+    check("mul");
+    scalar_->madd(a.data(), b.data(), ys.data(), n);
+    avx2_->madd(a.data(), b.data(), yv.data(), n);
+    check("madd");
+    scalar_->axpy(0.37f, a.data(), ys.data(), n);
+    avx2_->axpy(0.37f, a.data(), yv.data(), n);
+    check("axpy");
+    scalar_->scale(-1.7f, a.data(), ys.data(), n);
+    avx2_->scale(-1.7f, a.data(), yv.data(), n);
+    check("scale");
+    scalar_->scale_inplace(0.81f, ys.data(), n);
+    avx2_->scale_inplace(0.81f, yv.data(), n);
+    check("scale_inplace");
+    scalar_->relu(a.data(), ys.data(), n);
+    avx2_->relu(a.data(), yv.data(), n);
+    check("relu");
+    scalar_->exp_map(a.data(), ys.data(), n);
+    avx2_->exp_map(a.data(), yv.data(), n);
+    check("exp_map");
+    scalar_->sigmoid(a.data(), ys.data(), n);
+    avx2_->sigmoid(a.data(), yv.data(), n);
+    check("sigmoid");
+  }
+}
+
+TEST_F(KernelParityTest, FusedRowsAndSpecialValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (size_t n : kOddSizes) {
+    auto x = RandomVec(n, 6000 + n);
+    auto m = RandomVec(n, 7000 + n);
+    if (n >= 3) {
+      m[0] = -inf;  // masked entry
+      x[n / 2] = nan;
+      x[n - 1] = -200.0f;  // deep underflow
+    }
+    const float max_s = scalar_->reduce_max_add(x.data(), m.data(), n);
+    const float max_v = avx2_->reduce_max_add(x.data(), m.data(), n);
+    ASSERT_TRUE(BitEqual(max_s, max_v)) << "max n=" << n;
+    std::vector<float> ys(n), yv(n);
+    const float ts =
+        scalar_->softmax_exp_sum(x.data(), m.data(), max_s, ys.data(), n);
+    const float tv =
+        avx2_->softmax_exp_sum(x.data(), m.data(), max_v, yv.data(), n);
+    EXPECT_TRUE(BitEqual(ts, tv)) << "softmax total n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(BitEqual(ys[i], yv[i])) << "softmax n=" << n << " i=" << i;
+    }
+    if (n >= 3) {
+      EXPECT_EQ(ys[0], 0.0f);      // -inf mask -> exact zero
+      EXPECT_EQ(ys[n / 2], 0.0f);  // NaN input -> exact zero
+    }
+
+    const auto gamma = RandomVec(n, 8000 + n);
+    const auto beta = RandomVec(n, 9000 + n);
+    std::vector<float> hs(n), hv(n), xs(n), xv2(n);
+    const auto clean = RandomVec(n, 10000 + n);
+    scalar_->layer_norm_row(clean.data(), gamma.data(), beta.data(), 0.1f,
+                            1.3f, n, hs.data(), xs.data());
+    avx2_->layer_norm_row(clean.data(), gamma.data(), beta.data(), 0.1f, 1.3f,
+                          n, hv.data(), xv2.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(BitEqual(hs[i], hv[i])) << "layer_norm y i=" << i;
+      ASSERT_TRUE(BitEqual(xs[i], xv2[i])) << "layer_norm xhat i=" << i;
+    }
+  }
+}
+
+TEST_F(KernelParityTest, ExpAccuracyAgainstLibm) {
+  // The shared polynomial replaces libm exp on the dispatched paths; it must
+  // stay within a few ulp across the useful range (gradcheck depends on it).
+  const auto& kt = *scalar_;
+  for (float x = -80.0f; x <= 80.0f; x += 0.37f) {
+    float y;
+    kt.exp_map(&x, &y, 1);
+    const double want = std::exp(static_cast<double>(x));
+    EXPECT_NEAR(y / want, 1.0, 3e-7) << "x=" << x;
+  }
+  float zero = 0.0f, one;
+  kt.exp_map(&zero, &one, 1);
+  EXPECT_EQ(one, 1.0f);
+  float s;
+  kt.sigmoid(&zero, &s, 1);
+  EXPECT_EQ(s, 0.5f);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM parity: whole-op, both levels, against the generalized oracle
+// ---------------------------------------------------------------------------
+
+TEST(GemmSimdTest, BitIdenticalAcrossLevelsAndAgainstReference) {
+  if (!Avx2Usable()) GTEST_SKIP() << "no AVX2 kernels on this machine";
+  SimdLevelRestorer restore;
+  const std::vector<size_t> dims = {1, 3, 8, 17, 33};
+  for (size_t m : dims) {
+    for (size_t k : dims) {
+      for (size_t n : dims) {
+        for (bool trans_a : {false, true}) {
+          for (bool trans_b : {false, true}) {
+            for (bool accumulate : {false, true}) {
+              const auto a = RandomVec(m * k, m * 131 + k);
+              const auto b = RandomVec(k * n, k * 137 + n);
+              const auto c0 = RandomVec(m * n, m * 139 + n);
+              auto cs = c0;
+              auto cv = c0;
+              auto cr = c0;
+              util::SetSimdLevel(SimdLevel::kScalar);
+              tensor::Gemm(a.data(), b.data(), cs.data(), m, k, n, trans_a,
+                           trans_b, accumulate);
+              util::SetSimdLevel(SimdLevel::kAvx2);
+              tensor::Gemm(a.data(), b.data(), cv.data(), m, k, n, trans_a,
+                           trans_b, accumulate);
+              tensor::GemmReference(a.data(), b.data(), cr.data(), m, k, n,
+                                    trans_a, trans_b, accumulate);
+              for (size_t i = 0; i < m * n; ++i) {
+                ASSERT_TRUE(BitEqual(cs[i], cv[i]) && BitEqual(cs[i], cr[i]))
+                    << "m=" << m << " k=" << k << " n=" << n
+                    << " ta=" << trans_a << " tb=" << trans_b
+                    << " acc=" << accumulate << " i=" << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmSimdTest, Avx2ThreadCountInvariance) {
+  if (!Avx2Usable()) GTEST_SKIP() << "no AVX2 kernels on this machine";
+  SimdLevelRestorer restore;
+  util::SetSimdLevel(SimdLevel::kAvx2);
+  const size_t m = 97, k = 61, n = 45;  // big enough to cross the pool cutoff
+  const auto a = RandomVec(m * k, 11);
+  const auto b = RandomVec(k * n, 13);
+  std::vector<float> c1(m * n), c4(m * n);
+  util::SetGlobalThreads(1);
+  tensor::Gemm(a.data(), b.data(), c1.data(), m, k, n, false, true, false);
+  util::SetGlobalThreads(4);
+  tensor::Gemm(a.data(), b.data(), c4.data(), m, k, n, false, true, false);
+  util::SetGlobalThreads(1);
+  for (size_t i = 0; i < m * n; ++i) {
+    ASSERT_TRUE(BitEqual(c1[i], c4[i])) << "i=" << i;
+  }
+}
+
+TEST(GemmSimdTest, SoftmaxOpParityIncludingMasks) {
+  if (!Avx2Usable()) GTEST_SKIP() << "no AVX2 kernels on this machine";
+  SimdLevelRestorer restore;
+  Rng rng(99);
+  Tensor x({4, 5, 7});
+  for (size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Uniform(-4.0, 4.0));
+  }
+  Tensor mask({5, 7});
+  const float inf = std::numeric_limits<float>::infinity();
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 7; ++j) {
+      mask.at(i, j) = (j > i + 2) ? -inf : 0.0f;
+    }
+  }
+  mask.at(4, 0) = -inf;  // plus one fully-masked-ish row pattern
+  Tensor ys({4, 5, 7}), yv({4, 5, 7});
+  util::SetSimdLevel(SimdLevel::kScalar);
+  tensor::SoftmaxLastDim(x, &mask, &ys);
+  util::SetSimdLevel(SimdLevel::kAvx2);
+  tensor::SoftmaxLastDim(x, &mask, &yv);
+  for (size_t i = 0; i < ys.size(); ++i) {
+    ASSERT_TRUE(BitEqual(ys.data()[i], yv.data()[i])) << "i=" << i;
+  }
+  // Masked entries are exact zeros and open rows still normalize.
+  EXPECT_EQ(yv.at(0, 0, 5), 0.0f);
+  float total = 0.0f;
+  for (size_t j = 0; j < 7; ++j) total += yv.at(0, 0, j);
+  EXPECT_NEAR(total, 1.0f, 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// Aligned tensor storage
+// ---------------------------------------------------------------------------
+
+TEST(TensorStorageTest, OwnedBuffersAre64ByteAligned) {
+  auto aligned = [](const float* p) {
+    return reinterpret_cast<uintptr_t>(p) %
+               tensor::internal::kTensorAlignment ==
+           0;
+  };
+  EXPECT_TRUE(aligned(Tensor({5}).data()));
+  EXPECT_TRUE(aligned(Tensor({3, 7}).data()));
+  EXPECT_TRUE(aligned(Tensor::Uninitialized({2, 3, 5}).data()));
+  EXPECT_TRUE(aligned(Tensor::Full({17}, 2.0f).data()));
+  EXPECT_TRUE(aligned(
+      Tensor::FromVector({4}, {1.0f, 2.0f, 3.0f, 4.0f}).ValueOrDie().data()));
+  // Copies of wrapped storage own aligned heap memory again.
+  alignas(64) float external[8] = {0};
+  Tensor wrapped = Tensor::WrapExternal({8}, external, 8);
+  EXPECT_FALSE(wrapped.owns_storage());
+  EXPECT_EQ(wrapped.data(), external);
+  Tensor copy = wrapped;
+  EXPECT_TRUE(copy.owns_storage());
+  EXPECT_TRUE(aligned(copy.data()));
+  EXPECT_NE(copy.data(), external);
+}
+
+TEST(TensorStorageTest, HeapAllocCountTracksDataAllocations) {
+  const uint64_t before = tensor::internal::HeapAllocCount();
+  Tensor t({64});
+  EXPECT_EQ(tensor::internal::HeapAllocCount(), before + 1);
+  Tensor copy = t;  // copies allocate
+  EXPECT_EQ(tensor::internal::HeapAllocCount(), before + 2);
+  Tensor moved = std::move(copy);  // moves do not
+  EXPECT_EQ(tensor::internal::HeapAllocCount(), before + 2);
+  alignas(64) float external[4];
+  Tensor wrapped = Tensor::WrapExternal({4}, external, 4);  // wraps do not
+  EXPECT_EQ(tensor::internal::HeapAllocCount(), before + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Scratch arena
+// ---------------------------------------------------------------------------
+
+TEST(ScratchArenaTest, BumpsAlignedAndReusesCapacityAfterRewind) {
+  core::ScratchArena arena;
+  const auto mark = arena.mark();
+  const uint64_t refills_before = core::GlobalScratchStats().heap_refills;
+  float* a = arena.AllocateFloats(100);
+  float* b = arena.AllocateFloats(3);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % core::ScratchArena::kAlignment,
+            0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % core::ScratchArena::kAlignment,
+            0u);
+  EXPECT_GE(arena.bytes_in_use(), 103 * sizeof(float));
+  EXPECT_EQ(core::GlobalScratchStats().heap_refills, refills_before + 1);
+
+  arena.RewindTo(mark);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  // Same shapes again: served from the retained block, no refill.
+  float* a2 = arena.AllocateFloats(100);
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(core::GlobalScratchStats().heap_refills, refills_before + 1);
+}
+
+TEST(ScratchArenaTest, OversizeRequestGetsOwnBlockAndMarksNest) {
+  core::ScratchArena arena;
+  const auto outer = arena.mark();
+  (void)arena.AllocateFloats(10);
+  const auto inner = arena.mark();
+  const size_t in_use_at_inner = arena.bytes_in_use();
+  // Far beyond the initial block: must refill, not crash.
+  (void)arena.AllocateFloats((1 << 20) + 123);
+  (void)arena.AllocateFloats(50);
+  arena.RewindTo(inner);
+  EXPECT_EQ(arena.bytes_in_use(), in_use_at_inner);
+  (void)arena.AllocateFloats(7);
+  arena.RewindTo(outer);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+}
+
+TEST(ScratchArenaTest, OutputBufferDrawsFromArenaOnlyInScopedNoGradMode) {
+  // Taped mode: heap, zero-filled.
+  {
+    Tensor t = autograd::internal::OutputBuffer({2, 3});
+    EXPECT_TRUE(t.owns_storage());
+    for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+  }
+  // No-grad without a scope: heap (uninitialized).
+  {
+    autograd::NoGradGuard no_grad;
+    Tensor t = autograd::internal::OutputBuffer({2, 3});
+    EXPECT_TRUE(t.owns_storage());
+  }
+  // No-grad inside a scope: arena.
+  {
+    autograd::NoGradGuard no_grad;
+    core::ScratchScope scratch;
+    const uint64_t allocs_before = core::GlobalScratchStats().allocations;
+    Tensor t = autograd::internal::OutputBuffer({2, 3});
+    EXPECT_FALSE(t.owns_storage());
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) %
+                  core::ScratchArena::kAlignment,
+              0u);
+    EXPECT_GT(core::GlobalScratchStats().allocations, allocs_before);
+  }
+  // A grad-mode op inside a scope still tapes onto the heap.
+  {
+    core::ScratchScope scratch;
+    Tensor t = autograd::internal::OutputBuffer({4});
+    EXPECT_TRUE(t.owns_storage());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: serving parity across levels, allocation-free steady state,
+// and loss-curve invariance across SEQFM_SIMD values
+// ---------------------------------------------------------------------------
+
+struct ServeFixture {
+  ServeFixture()
+      : log(data::SyntheticDatasetGenerator(
+                data::SyntheticDatasetGenerator::Preset("gowalla", 0.15)
+                    .ValueOrDie())
+                .Generate()
+                .ValueOrDie()),
+        dataset(data::TemporalDataset::FromLog(log).ValueOrDie()),
+        space(log.num_users(), log.num_objects()),
+        builder(space, /*max_seq_len=*/8) {}
+
+  core::SeqFmConfig ModelConfig() const {
+    core::SeqFmConfig cfg;
+    cfg.embedding_dim = 8;
+    cfg.max_seq_len = 8;
+    cfg.keep_prob = 1.0f;
+    return cfg;
+  }
+
+  data::InteractionLog log;
+  data::TemporalDataset dataset;
+  data::FeatureSpace space;
+  data::BatchBuilder builder;
+};
+
+TEST(SimdServingTest, ScoresBitIdenticalAcrossLevels) {
+  if (!Avx2Usable()) GTEST_SKIP() << "no AVX2 kernels on this machine";
+  SimdLevelRestorer restore;
+  ServeFixture fx;
+  core::SeqFm model(fx.space, fx.ModelConfig());
+  serve::Predictor predictor(&model, &fx.builder);
+  ASSERT_TRUE(predictor.fast_path_active());
+  const auto& ex = fx.dataset.train().front();
+  std::vector<int32_t> candidates;
+  for (int32_t i = 0; i < 40; ++i) candidates.push_back(i % 20);
+
+  util::SetSimdLevel(SimdLevel::kScalar);
+  const auto scalar_scores = predictor.ScoreCandidates(ex, candidates);
+  util::SetSimdLevel(SimdLevel::kAvx2);
+  const auto avx2_scores = predictor.ScoreCandidates(ex, candidates);
+  ASSERT_EQ(scalar_scores.size(), avx2_scores.size());
+  for (size_t i = 0; i < scalar_scores.size(); ++i) {
+    ASSERT_TRUE(BitEqual(scalar_scores[i], avx2_scores[i])) << "i=" << i;
+  }
+}
+
+TEST(SimdServingTest, SteadyStateServingPerformsZeroTensorHeapAllocations) {
+  // The allocation-free-serving acceptance gate: once the context cache and
+  // the thread's scratch arena are warm, a Predictor request must not touch
+  // the heap for tensor data at all — every op output bumps the arena.
+  ServeFixture fx;
+  core::SeqFm model(fx.space, fx.ModelConfig());
+  serve::PredictorOptions opts;
+  opts.micro_batch = 16;
+  opts.context_cache_bytes = 1 << 20;
+  serve::Predictor predictor(&model, &fx.builder, opts);
+  ASSERT_TRUE(predictor.fast_path_active());
+  ASSERT_NE(predictor.context_cache(), nullptr);
+  // Single-threaded so every chunk runs on this (warmed) thread's arena.
+  util::SetGlobalThreads(1);
+  const auto& ex = fx.dataset.train().front();
+  std::vector<int32_t> candidates;
+  for (int32_t i = 0; i < 40; ++i) candidates.push_back(i % 20);
+
+  for (int warm = 0; warm < 3; ++warm) {
+    (void)predictor.TopK(ex, candidates, 5);
+  }
+  const uint64_t tensor_allocs = tensor::internal::HeapAllocCount();
+  const auto scratch_before = predictor.scratch_stats();
+  std::vector<serve::ScoredItem> last;
+  for (int r = 0; r < 10; ++r) {
+    last = predictor.TopK(ex, candidates, 5);
+  }
+  const auto scratch_after = predictor.scratch_stats();
+  EXPECT_EQ(tensor::internal::HeapAllocCount(), tensor_allocs)
+      << "steady-state requests allocated tensor heap memory";
+  EXPECT_EQ(scratch_after.heap_refills, scratch_before.heap_refills)
+      << "steady-state requests grew the scratch arena";
+  EXPECT_GT(scratch_after.allocations, scratch_before.allocations)
+      << "requests should bump the arena";
+  EXPECT_GT(scratch_after.high_water, 0u);
+  ASSERT_EQ(last.size(), 5u);
+}
+
+TEST(SimdServingTest, BatchServerReportsScratchStats) {
+  ServeFixture fx;
+  core::SeqFm model(fx.space, fx.ModelConfig());
+  serve::Predictor predictor(&model, &fx.builder);
+  serve::BatchServer server(&predictor);
+  std::vector<int32_t> candidates = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto fut = server.Submit(fx.dataset.train().front(), candidates, 3);
+  ASSERT_EQ(fut.get().size(), 3u);
+  const auto stats = server.stats();
+  EXPECT_GT(stats.scratch.allocations, 0u);
+  EXPECT_GT(stats.scratch.bytes_reserved, 0u);
+  EXPECT_GT(stats.scratch.high_water, 0u);
+}
+
+TEST(SimdTrainingTest, LossCurveIdenticalAcrossSimdLevels) {
+  // The end-to-end statement of the kernel contract: an entire training run
+  // — forward, backward, optimizer — produces the same loss curve bit for
+  // bit whether SEQFM_SIMD picked scalar or avx2.
+  if (!Avx2Usable()) GTEST_SKIP() << "no AVX2 kernels on this machine";
+  SimdLevelRestorer restore;
+  ServeFixture fx;
+  auto run = [&fx](SimdLevel level) {
+    util::SetSimdLevel(level);
+    core::SeqFm model(fx.space, fx.ModelConfig());
+    core::TrainConfig cfg;
+    cfg.task = core::Task::kRanking;
+    cfg.epochs = 2;
+    cfg.batch_size = 64;
+    cfg.learning_rate = 5e-3f;
+    cfg.num_negatives = 1;
+    core::Trainer trainer(&model, &fx.builder, &fx.dataset, cfg);
+    auto result = trainer.Train();
+    std::vector<double> curve;
+    for (const auto& epoch : result.epochs) curve.push_back(epoch.mean_loss);
+    return curve;
+  };
+  const auto scalar_curve = run(SimdLevel::kScalar);
+  const auto avx2_curve = run(SimdLevel::kAvx2);
+  ASSERT_EQ(scalar_curve.size(), avx2_curve.size());
+  for (size_t i = 0; i < scalar_curve.size(); ++i) {
+    EXPECT_EQ(scalar_curve[i], avx2_curve[i]) << "epoch " << i;
+  }
+}
+
+}  // namespace
+}  // namespace seqfm
