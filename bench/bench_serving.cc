@@ -3,7 +3,8 @@
 //   (a) the taped training-path forward (status quo before src/serve/),
 //   (b) the tape-free generic forward (NoGradGuard micro-batches),
 //   (c) the serve::Predictor factored catalog program (SeqFM fast path),
-//   (d) the factored program behind a serve::ContextCache (PR 3),
+//   (d) the compiled op program (trace -> IR passes -> arena-planned VM),
+//       alone and behind a serve::ContextCache (the production config),
 //   (e) serve::BatchServer fusing many requests into multi-user waves, and
 //   (f) serve::ShardedPredictor partitioning the catalog across shards with
 //       a deterministic cross-shard top-K merge (--shards sweep),
@@ -23,6 +24,7 @@
 
 #include "autograd/variable.h"
 #include "bench/bench_common.h"
+#include "ir/exec.h"
 #include "serve/predictor.h"
 #include "serve/server.h"
 #include "serve/shard.h"
@@ -209,14 +211,24 @@ int Run(int argc, char** argv) {
                                                      : prep.dataset.test();
   SEQFM_CHECK(!examples.empty());
 
+  // The eager baselines pin use_compiled_program off: with the serving
+  // compiler on by default, every Predictor would otherwise score through
+  // the op program and the rows below would all measure the same path.
   serve::PredictorOptions generic_opts;
   generic_opts.micro_batch = batch;
   generic_opts.enable_seqfm_fast_path = false;
+  generic_opts.use_compiled_program = false;
   serve::Predictor generic(model.get(), prep.builder.get(), generic_opts);
   serve::PredictorOptions fast_opts;
   fast_opts.micro_batch = batch;
+  fast_opts.use_compiled_program = false;  // hand-factored eager program
   serve::Predictor fast(model.get(), prep.builder.get(), fast_opts);
-  serve::PredictorOptions cached_opts = fast_opts;
+  // The compiled op program (trace -> IR passes -> arena-planned VM).
+  serve::PredictorOptions compiled_opts;
+  compiled_opts.micro_batch = batch;
+  serve::Predictor compiled(model.get(), prep.builder.get(), compiled_opts);
+  // Compiled + context cache: the production serving configuration.
+  serve::PredictorOptions cached_opts = compiled_opts;
   cached_opts.context_cache_bytes = cache_mb << 20;
   serve::Predictor cached(model.get(), prep.builder.get(), cached_opts);
   // Arena-off baseline: identical factored program, but every op output is
@@ -227,9 +239,38 @@ int Run(int argc, char** argv) {
                                 noarena_opts);
 
   std::printf("model=SeqFM dim=%zu seq-len=%zu | catalog=%zu candidates, "
-              "%zu requests, batch=%zu | fast path %s, cache %zu MiB\n",
+              "%zu requests, batch=%zu | fast path %s, compiler %s, "
+              "cache %zu MiB\n",
               opts.dim, opts.max_seq_len, num_candidates, requests, batch,
-              fast.fast_path_active() ? "ACTIVE" : "inactive", cache_mb);
+              fast.fast_path_active() ? "ACTIVE" : "inactive",
+              compiled.compiled_active() ? "ACTIVE" : "inactive", cache_mb);
+  if (!compiled.compiled_active()) {
+    std::fprintf(stderr, "SeqFM failed to compile into an op program\n");
+    return 1;
+  }
+  // Compile-time facts, for --json and the log: instruction counts after
+  // the pass pipeline and the statically planned execution-frame bytes.
+  {
+    const ir::EngineStats es = compiled.engine()->stats();
+    std::printf("compiled program: %zu prologue + %zu body instrs, %zu "
+                "slots, %zu planned frame bytes, %zu folded / %zu dce / "
+                "%zu fused\n",
+                es.prologue_instrs, es.body_instrs, es.slots,
+                (es.prologue_frame_floats + es.body_frame_floats) *
+                    sizeof(float),
+                es.folded, es.dce_removed, es.fused);
+    json.Add("compiled_prologue_instrs",
+             static_cast<double>(es.prologue_instrs));
+    json.Add("compiled_body_instrs", static_cast<double>(es.body_instrs));
+    json.Add("compiled_slots", static_cast<double>(es.slots));
+    json.Add("compiled_frame_bytes",
+             static_cast<double>(
+                 (es.prologue_frame_floats + es.body_frame_floats) *
+                 sizeof(float)));
+    json.Add("compiled_folded", static_cast<double>(es.folded));
+    json.Add("compiled_dce_removed", static_cast<double>(es.dce_removed));
+    json.Add("compiled_fused", static_cast<double>(es.fused));
+  }
 
   const RequestWorkload workload =
       MakeRequestWorkload(examples, prep.space.num_objects(), rb_requests,
@@ -252,6 +293,9 @@ int Run(int argc, char** argv) {
         ScoreTaped(model.get(), *prep.builder, ex, catalog, batch, &scratch);
     mismatches += CountMismatches(ref, generic.ScoreCandidates(ex, catalog));
     mismatches += CountMismatches(ref, fast.ScoreCandidates(ex, catalog));
+    // The compiled op program against the taped forward — the compiled
+    // on/off smoke CI leans on this gate.
+    mismatches += CountMismatches(ref, compiled.ScoreCandidates(ex, catalog));
     // Arena on/off must be invisible in the bits.
     mismatches +=
         CountMismatches(ref, fast_noarena.ScoreCandidates(ex, catalog));
@@ -309,6 +353,10 @@ int Run(int argc, char** argv) {
       mismatches +=
           count_ranking_mismatches(sharded.TopK(ex, catalog, gate_k),
                                    want_top);
+      // Sharded serving over the compiled program: same ranking bits.
+      serve::ShardedPredictor sharded_compiled(&compiled, {shards, 0});
+      mismatches += count_ranking_mismatches(
+          sharded_compiled.TopK(ex, catalog, gate_k), want_top);
       serve::BatchServerOptions sharded_server_opts;
       sharded_server_opts.num_shards = shards;
       serve::BatchServer sharded_server(&fast, sharded_server_opts);
@@ -367,6 +415,11 @@ int Run(int argc, char** argv) {
           (void)fast_noarena.ScoreCandidates(examples[r % examples.size()],
                                              catalog);
         });
+    const PathStats compiled_path =
+        MeasurePathPerRequest(requests, sweep_scores, [&](size_t r) {
+          (void)compiled.ScoreCandidates(examples[r % examples.size()],
+                                         catalog);
+        });
 
     std::printf("\n[threads=%zu] %-28s %12s %10s %10s %9s\n", threads, "path",
                 "scores/sec", "p50 ms", "p99 ms", "speedup");
@@ -380,6 +433,7 @@ int Run(int argc, char** argv) {
     print_row("tape-free forward (batch)", "rq", tape_free);
     print_row("factored, arena OFF", "rq", factored_noarena);
     print_row("factored catalog (request)", "rq", factored);
+    print_row("compiled op program (request)", "rq", compiled_path);
     std::printf("            arena speedup on the factored path: %.2fx\n",
                 factored.scores_per_sec / factored_noarena.scores_per_sec);
     if (threads == thread_counts.front()) {
@@ -396,6 +450,13 @@ int Run(int argc, char** argv) {
                factored.scores_per_sec / factored_noarena.scores_per_sec);
       json.Add("factored_p50_ms", factored.p50_ms);
       json.Add("factored_p99_ms", factored.p99_ms);
+      json.Add("compiled_scores_per_sec", compiled_path.scores_per_sec);
+      json.Add("compiled_speedup_vs_taped",
+               compiled_path.scores_per_sec / taped.scores_per_sec);
+      json.Add("compiled_p50_ms", compiled_path.p50_ms);
+      json.Add("compiled_p99_ms", compiled_path.p99_ms);
+      json.Add("compiled_counts",
+               static_cast<double>(compiled.engine()->stats().compiled_counts));
     }
     std::fflush(stdout);
   }
@@ -471,7 +532,15 @@ int Run(int argc, char** argv) {
     // arena warm (the run above warmed both), additional requests must not
     // heap-allocate tensor data or grow the arena. This is the acceptance
     // assertion for allocation-free serving; a regression exits 1 like a
-    // parity failure.
+    // parity failure. `cached` serves through the compiled VM, so the audit
+    // also pins the compiled path's zero-allocation claim — the explicit
+    // warm-up pass makes sure every lazy per-count body compile and
+    // execution-frame growth happened before the counters are read.
+    const size_t warm_requests = std::min<size_t>(8, rb_requests);
+    for (size_t r = 0; r < warm_requests; ++r) {
+      (void)cached.ScoreCandidates(*workload.examples[r],
+                                   workload.slates[r]);
+    }
     const uint64_t heap_allocs_before = tensor::internal::HeapAllocCount();
     const auto scratch_before = cached.scratch_stats();
     const size_t audit_requests = std::min<size_t>(8, rb_requests);
@@ -532,7 +601,7 @@ int Run(int argc, char** argv) {
                   s.scores_per_sec / uncached.scores_per_sec);
     };
     print_row("factored, no cache (PR 2)", uncached);
-    print_row("factored + context cache", with_cache);
+    print_row("compiled + context cache", with_cache);
     print_row("batch server (fused+cache)", batched);
     std::printf("            cache: %llu hits / %llu misses (%.1f%% hit "
                 "rate), %zu entries, %.1f KiB\n",

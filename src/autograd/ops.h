@@ -133,13 +133,19 @@ Variable PairwiseProductCross(const Variable& a, const Variable& b);
 
 /// Gathers rows of \p table [V,d] by \p indices (length B*n, row-major
 /// [B,n]); negative indices produce a zero row and receive no gradient
-/// (padding). Result is [B,n,d].
+/// (padding). Result is [B,n,d]. The pointer overload does not require the
+/// buffer to outlive the call (the backward closure copies when a tape is
+/// recording), so serving can pass scratch-arena blocks.
+Variable EmbeddingGather(const Variable& table, const int32_t* indices,
+                         size_t batch, size_t n);
 Variable EmbeddingGather(const Variable& table,
                          const std::vector<int32_t>& indices, size_t batch,
                          size_t n);
 
 /// Gathers rows of a [V,1] weight column and sums per sample -> [B,1].
 /// This is the first-order linear term of FMs; negative indices are skipped.
+Variable EmbeddingSumGather(const Variable& weights, const int32_t* indices,
+                            size_t batch, size_t n);
 Variable EmbeddingSumGather(const Variable& weights,
                             const std::vector<int32_t>& indices, size_t batch,
                             size_t n);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "autograd/trace.h"
 #include "autograd/variable.h"
 #include "core/scratch_arena.h"
 #include "util/thread_pool.h"
@@ -28,10 +29,14 @@ using util::kMathGrain;
 /// skips closure construction and tape buffers. Callers must gate backward
 /// attachment on node->requires_grad, never on the parents directly.
 inline NodePtr MakeNode(std::string op, std::vector<NodePtr> parents,
-                        tensor::Tensor value) {
+                        tensor::Tensor value,
+                        const TraceAttrs* attrs = nullptr) {
   auto node = std::make_shared<Node>();
   node->op = std::move(op);
   node->value = std::move(value);
+  // The IR tracer sees every op here, before the no-grad early return drops
+  // the parents (tracing always runs tape-free).
+  if (TracingActive()) TraceRecord(node, parents, attrs);
   if (!GradMode()) return node;
   node->parents = std::move(parents);
   for (const auto& p : node->parents) {
@@ -53,7 +58,10 @@ inline NodePtr MakeNode(std::string op, std::vector<NodePtr> parents,
 /// outlive their scope (ScratchScope documents the escape rules).
 inline tensor::Tensor OutputBuffer(std::vector<size_t> shape) {
   if (GradMode()) return tensor::Tensor(std::move(shape));
-  if (core::ScratchScopeActive()) {
+  // While a trace is being recorded the instructions keep every node (and so
+  // its value) alive past the enclosing scratch scope, so outputs must own
+  // their storage; the arena would recycle it out from under the compiler.
+  if (core::ScratchScopeActive() && !TracingActive()) {
     size_t count = 1;
     for (size_t d : shape) count *= d;
     float* buf = core::ThreadScratchArena().AllocateFloats(count);

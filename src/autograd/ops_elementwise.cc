@@ -85,7 +85,9 @@ Variable Scale(const Variable& a, float alpha) {
       kt.scale(alpha, x + i0, y + i0, i1 - i0);
     });
   }
-  auto node = MakeNode("scale", {a.node()}, std::move(out));
+  TraceAttrs attrs;
+  attrs.alpha = alpha;
+  auto node = MakeNode("scale", {a.node()}, std::move(out), &attrs);
   Node* self = node.get();
   if (node->requires_grad) node->backward_fn = [self, alpha]() {
     Node* p = self->parents[0].get();
@@ -104,7 +106,9 @@ Variable AddScalar(const Variable& a, float alpha) {
     float* y = out.data();
     for (size_t i = 0; i < out.size(); ++i) y[i] = x[i] + alpha;
   }
-  auto node = MakeNode("add_scalar", {a.node()}, std::move(out));
+  TraceAttrs attrs;
+  attrs.alpha = alpha;
+  auto node = MakeNode("add_scalar", {a.node()}, std::move(out), &attrs);
   Node* self = node.get();
   if (node->requires_grad) node->backward_fn = [self]() {
     Node* p = self->parents[0].get();

@@ -75,7 +75,10 @@ Variable Bmm(const Variable& a, const Variable& b, bool trans_a,
   const size_t n = trans_b ? b.dim(1) : b.dim(2);
   Tensor out = internal::OutputBuffer({batch, m, n});
   tensor::BatchedMatMul(a.value(), b.value(), &out, trans_a, trans_b);
-  auto node = MakeNode("bmm", {a.node(), b.node()}, std::move(out));
+  TraceAttrs attrs;
+  attrs.trans_a = trans_a;
+  attrs.trans_b = trans_b;
+  auto node = MakeNode("bmm", {a.node(), b.node()}, std::move(out), &attrs);
   Node* self = node.get();
   if (node->requires_grad)
     node->backward_fn = [self, trans_a, trans_b, batch, m, k, n]() {

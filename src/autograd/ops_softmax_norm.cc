@@ -86,8 +86,10 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
     }
   });
 
+  TraceAttrs attrs;
+  attrs.eps = eps;
   auto node = MakeNode("layer_norm", {x.node(), gamma.node(), beta.node()},
-                       std::move(out));
+                       std::move(out), &attrs);
   Node* self = node.get();
   if (node->requires_grad)
     node->backward_fn = [self, d, rows, xhat = std::move(xhat),

@@ -94,7 +94,9 @@ Variable ReduceAxis1(const Variable& x, float scale, const char* name) {
   const size_t batch = x.dim(0), rows = x.dim(1), d = x.dim(2);
   Tensor out = internal::OutputBuffer({batch, d});
   tensor::SumAxis1(x.value(), scale, &out);
-  auto node = MakeNode(name, {x.node()}, std::move(out));
+  TraceAttrs attrs;
+  attrs.alpha = scale;
+  auto node = MakeNode(name, {x.node()}, std::move(out), &attrs);
   Node* self = node.get();
   if (node->requires_grad) node->backward_fn = [self, batch, rows, d, scale]() {
     Node* p = self->parents[0].get();
@@ -130,7 +132,9 @@ Variable SliceRow(const Variable& x, size_t row) {
     float* dst = out.data() + b * d;
     for (size_t j = 0; j < d; ++j) dst[j] = src[j];
   }
-  auto node = MakeNode("slice_row", {x.node()}, std::move(out));
+  TraceAttrs attrs;
+  attrs.row = row;
+  auto node = MakeNode("slice_row", {x.node()}, std::move(out), &attrs);
   Node* self = node.get();
   if (node->requires_grad) node->backward_fn = [self, batch, row, d]() {
     Node* p = self->parents[0].get();

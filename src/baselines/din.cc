@@ -1,6 +1,6 @@
 #include "baselines/din.h"
 
-#include <limits>
+#include "nn/masks.h"
 
 namespace seqfm {
 namespace baselines {
@@ -50,19 +50,9 @@ Variable Din::Score(const data::Batch& batch, bool training) {
   logits = autograd::Reshape(logits, {batch_size, 1, n});
 
   // Per-sample mask excluding padding history slots from the softmax.
-  Tensor mask({batch_size, n});
-  const float neg_inf = -std::numeric_limits<float>::infinity();
-  for (size_t b = 0; b < batch_size; ++b) {
-    bool any = false;
-    for (size_t i = 0; i < n; ++i) {
-      const bool pad = batch.dynamic_ids[b * n + i] < 0;
-      mask.at(b, i) = pad ? neg_inf : 0.0f;
-      any = any || !pad;
-    }
-    if (!any) mask.at(b, n - 1) = 0.0f;  // degenerate empty history
-  }
   Variable alpha = autograd::MaskedSoftmax(
-      logits, Variable::Constant(std::move(mask)));            // [B, 1, n]
+      logits,
+      nn::MakeHistoryPaddingMask(batch.dynamic_ids, batch_size, n));  // [B,1,n]
 
   // Attention-pooled interest: [B,1,n] x [B,n,d] -> [B,d].
   Variable interest = autograd::Reshape(autograd::Bmm(alpha, history),

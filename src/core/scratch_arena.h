@@ -60,6 +60,10 @@ class ScratchArena {
   float* AllocateFloats(size_t n) {
     return static_cast<float*>(Allocate(n * sizeof(float)));
   }
+  /// Allocate() for n int32 ids (per-chunk candidate/static id vectors).
+  int32_t* AllocateInts(size_t n) {
+    return static_cast<int32_t*>(Allocate(n * sizeof(int32_t)));
+  }
 
   /// A rewind point: which block was active and how much of it was used.
   struct Mark {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "autograd/ops.h"
+#include "autograd/trace.h"
 #include "tensor/init.h"
 
 namespace seqfm {
@@ -87,6 +88,7 @@ size_t SharedContext::ApproxBytes() const {
        {&h_dyn, &q_dyn, &k_dyn, &v_dyn, &k_user, &v_user, &out_user}) {
     if (v->defined()) total += v->value().size() * sizeof(float);
   }
+  for (const tensor::Tensor& t : slots) total += t.size() * sizeof(float);
   return total;
 }
 
@@ -175,7 +177,9 @@ Variable MakePaddingAwareCrossMask(const std::vector<int32_t>& dynamic_ids,
       if (!any_open) row[i] = 0.0f;
     }
   }
-  return Variable::Constant(std::move(mask));
+  Variable v = Variable::Constant(std::move(mask));
+  autograd::TraceAnnotateConstant(v, autograd::ConstantKind::kCrossPaddingMask);
+  return v;
 }
 
 }  // namespace

@@ -70,6 +70,13 @@ struct SharedContext {
   autograd::Variable v_user;  //   [1, 1, d]
   autograd::Variable out_user;  // cross-view output of the user row, [1, 1, d]
 
+  /// Compiled-program contexts (ir::Engine::MakeContext): the prologue's
+  /// candidate-invariant output tensors, in slot order, plus the uid of the
+  /// engine whose body programs may consume them. Works for ANY compilable
+  /// model, not just SeqFM; the hand-factored fields above stay empty then.
+  std::vector<tensor::Tensor> slots;
+  uint64_t engine_uid = 0;
+
   /// Resident bytes of the context's tensors + id buffer — the unit of
   /// serve::ContextCache's byte budget.
   size_t ApproxBytes() const;

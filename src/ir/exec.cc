@@ -1,0 +1,809 @@
+#include "ir/exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "core/scratch_arena.h"
+#include "ir/passes.h"
+#include "ir/trace.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace seqfm {
+namespace ir {
+
+// ---------------------------------------------------------------------------
+// EvalPure: one instruction, replicated from the eager forward it was traced
+// from. Every loop mirrors its src/autograd/ops_*.cc counterpart exactly —
+// same kernel-table calls, same ParallelFor grains, same serial reductions —
+// which is what makes compiled scores bit-identical to the taped forward at
+// every thread count and SIMD level.
+// ---------------------------------------------------------------------------
+
+bool EvalPure(const Instr& instr, const std::vector<const tensor::Tensor*>& in,
+              tensor::Tensor* out) {
+  switch (instr.kind) {
+    case OpKind::kAdd:
+      tensor::Add(*in[0], *in[1], out);
+      return true;
+    case OpKind::kSub:
+      tensor::Sub(*in[0], *in[1], out);
+      return true;
+    case OpKind::kMul:
+      tensor::Mul(*in[0], *in[1], out);
+      return true;
+    case OpKind::kScale: {
+      const float* x = in[0]->data();
+      float* y = out->data();
+      const size_t n = out->size();
+      const float alpha = instr.alpha;
+      const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
+      util::ParallelFor(n, util::kEwGrain, [=, &kt](size_t i0, size_t i1) {
+        kt.scale(alpha, x + i0, y + i0, i1 - i0);
+      });
+      return true;
+    }
+    case OpKind::kAddScalar: {
+      const float* x = in[0]->data();
+      float* y = out->data();
+      const float alpha = instr.alpha;
+      for (size_t i = 0; i < out->size(); ++i) y[i] = x[i] + alpha;
+      return true;
+    }
+    case OpKind::kAddBias:
+      tensor::AddBiasLastDim(*in[0], *in[1], out);
+      return true;
+    case OpKind::kAddBroadcastBatch: {
+      const tensor::Tensor& x = *in[0];
+      const size_t batch = x.dim(0), rows = x.dim(1), d = x.dim(2);
+      const float* src = in[1]->data();
+      util::ParallelFor(batch, util::GrainForRows(rows * d, util::kEwGrain),
+                        [out, &x, src, rows, d](size_t b0, size_t b1) {
+        for (size_t b = b0; b < b1; ++b) {
+          const float* xb = x.BatchData(b);
+          float* dst = out->BatchData(b);
+          for (size_t i = 0; i < rows * d; ++i) dst[i] = xb[i] + src[i];
+        }
+      });
+      return true;
+    }
+    case OpKind::kRelu:
+      tensor::Relu(*in[0], out);
+      return true;
+    case OpKind::kSigmoid:
+      tensor::Sigmoid(*in[0], out);
+      return true;
+    case OpKind::kTanh:
+      tensor::Tanh(*in[0], out);
+      return true;
+    case OpKind::kMatMul:
+      tensor::MatMul(*in[0], *in[1], out);
+      return true;
+    case OpKind::kBmmShared:
+      tensor::BatchedMatMulShared(*in[0], *in[1], out);
+      return true;
+    case OpKind::kBmm:
+      tensor::BatchedMatMul(*in[0], *in[1], out, instr.trans_a, instr.trans_b);
+      return true;
+    case OpKind::kBmmLeftShared: {
+      const tensor::Tensor& w = *in[0];
+      const tensor::Tensor& p = *in[1];
+      const size_t batch = p.dim(0);
+      const size_t h2 = w.dim(0), h = w.dim(1), d = p.dim(2);
+      util::ParallelFor(batch,
+                        util::GrainForRows(h2 * h * d, util::kMinParallelWork),
+                        [&, h2, h, d](size_t b0, size_t b1) {
+        for (size_t b = b0; b < b1; ++b) {
+          tensor::Gemm(w.data(), p.BatchData(b), out->BatchData(b), h2, h, d,
+                       false, false, false);
+        }
+      });
+      return true;
+    }
+    case OpKind::kRowDot: {
+      const size_t batch = in[0]->dim(0), d = in[0]->dim(1);
+      const float* av = in[0]->data();
+      const float* bv = in[1]->data();
+      float* out_data = out->data();
+      const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
+      util::ParallelFor(batch, util::GrainForRows(d, util::kEwGrain),
+                        [=, &kt](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+          out_data[i] = kt.dot(av + i * d, bv + i * d, d);
+        }
+      });
+      return true;
+    }
+    case OpKind::kMaskedSoftmax:
+      tensor::SoftmaxLastDim(*in[0], in.size() > 1 ? in[1] : nullptr, out);
+      return true;
+    case OpKind::kLayerNorm: {
+      const size_t d = in[0]->shape().back();
+      const size_t rows = in[0]->size() / d;
+      const float* xv = in[0]->data();
+      const float* gv = in[1]->data();
+      const float* bv = in[2]->data();
+      float* out_data = out->data();
+      const float eps = instr.eps;
+      const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
+      util::ParallelFor(rows, util::GrainForRows(d, util::kMathGrain),
+                        [=, &kt](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          const float* xr = xv + r * d;
+          const float mean = kt.reduce_sum(xr, d) / static_cast<float>(d);
+          const float var =
+              kt.reduce_sum_sq_diff(xr, mean, d) / static_cast<float>(d);
+          const float is = 1.0f / std::sqrt(var + eps);
+          kt.layer_norm_row(xr, gv, bv, mean, is, d, out_data + r * d,
+                            nullptr);
+        }
+      });
+      return true;
+    }
+    case OpKind::kConcatLast: {
+      const size_t batch = out->dim(0), total = out->dim(1);
+      size_t offset = 0;
+      for (const tensor::Tensor* p : in) {
+        const size_t d = p->dim(1);
+        for (size_t b = 0; b < batch; ++b) {
+          const float* src = p->data() + b * d;
+          float* dst = out->data() + b * total + offset;
+          for (size_t j = 0; j < d; ++j) dst[j] = src[j];
+        }
+        offset += d;
+      }
+      return true;
+    }
+    case OpKind::kConcatAxis1: {
+      const size_t batch = in[0]->dim(0), na = in[0]->dim(1),
+                   nb = in[1]->dim(1), d = in[0]->dim(2);
+      for (size_t i = 0; i < batch; ++i) {
+        float* dst = out->BatchData(i);
+        const float* sa = in[0]->BatchData(i);
+        const float* sb = in[1]->BatchData(i);
+        for (size_t j = 0; j < na * d; ++j) dst[j] = sa[j];
+        for (size_t j = 0; j < nb * d; ++j) dst[na * d + j] = sb[j];
+      }
+      return true;
+    }
+    case OpKind::kReduceAxis1:
+      tensor::SumAxis1(*in[0], instr.alpha, out);
+      return true;
+    case OpKind::kSliceRow: {
+      const size_t batch = in[0]->dim(0), d = in[0]->dim(2);
+      const size_t row = instr.row;
+      for (size_t b = 0; b < batch; ++b) {
+        const float* src = in[0]->BatchData(b) + row * d;
+        float* dst = out->data() + b * d;
+        for (size_t j = 0; j < d; ++j) dst[j] = src[j];
+      }
+      return true;
+    }
+    case OpKind::kSumLast:
+      tensor::SumLastDim(*in[0], out);
+      return true;
+    case OpKind::kReshape: {
+      if (out->data() == in[0]->data()) return true;  // fused: copy elided
+      const float* src = in[0]->data();
+      float* dst = out->data();
+      const size_t n = out->size();
+      for (size_t i = 0; i < n; ++i) dst[i] = src[i];
+      return true;
+    }
+    case OpKind::kExpandRows: {
+      const size_t batch = out->dim(0), n = out->dim(1), d = out->dim(2);
+      for (size_t b = 0; b < batch; ++b) {
+        const float* src = in[0]->data() + b * d;
+        float* dst = out->BatchData(b);
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t j = 0; j < d; ++j) dst[i * d + j] = src[j];
+        }
+      }
+      return true;
+    }
+    case OpKind::kPairwiseUpper: {
+      const size_t batch = in[0]->dim(0), n = in[0]->dim(1), d = in[0]->dim(2);
+      for (size_t b = 0; b < batch; ++b) {
+        const float* src = in[0]->BatchData(b);
+        float* dst = out->BatchData(b);
+        size_t p = 0;
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t j = i + 1; j < n; ++j, ++p) {
+            const float* xi = src + i * d;
+            const float* xj = src + j * d;
+            float* row = dst + p * d;
+            for (size_t c = 0; c < d; ++c) row[c] = xi[c] * xj[c];
+          }
+        }
+      }
+      return true;
+    }
+    case OpKind::kPairwiseCross: {
+      const size_t batch = in[0]->dim(0), h = in[0]->dim(1),
+                   m = in[1]->dim(1), d = in[0]->dim(2);
+      for (size_t bt = 0; bt < batch; ++bt) {
+        const float* sa = in[0]->BatchData(bt);
+        const float* sb = in[1]->BatchData(bt);
+        float* dst = out->BatchData(bt);
+        for (size_t i = 0; i < h; ++i) {
+          for (size_t j = 0; j < m; ++j) {
+            const float* xi = sa + i * d;
+            const float* xj = sb + j * d;
+            float* row = dst + (i * m + j) * d;
+            for (size_t c = 0; c < d; ++c) row[c] = xi[c] * xj[c];
+          }
+        }
+      }
+      return true;
+    }
+    case OpKind::kEmbeddingGather:
+    case OpKind::kEmbeddingSumGather:
+    case OpKind::kPaddingMask:
+    case OpKind::kHistoryMask:
+    case OpKind::kCrossPaddingMask:
+    case OpKind::kZeros:
+    case OpKind::kTileRows:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Execution frames: one per (thread, program). The block tensor backs every
+// planned local at its PlanArena offset; the index arrays are the synthesized
+// replacements for BatchBuilder's per-request vectors. Sized once, reused for
+// every request — the steady-state scoring loop allocates nothing.
+// ---------------------------------------------------------------------------
+
+struct Frame {
+  tensor::Tensor block;
+  std::vector<tensor::Tensor> locals;  // WrapExternal views into block
+  std::vector<int32_t> sids, dids, uids;
+  bool needs_static = false;
+  bool needs_dynamic = false;
+  bool needs_unified = false;
+};
+
+Frame* FrameFor(const Program& prog) {
+  thread_local std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames;
+  auto it = frames.find(prog.uid);
+  if (it != frames.end()) return it->second.get();
+
+  auto frame = std::make_unique<Frame>();
+  frame->block =
+      tensor::Tensor::Uninitialized({std::max<size_t>(prog.frame_floats, 1)});
+  frame->locals.resize(prog.values.size());
+  for (size_t i = 0; i < prog.values.size(); ++i) {
+    const Value& v = prog.values[i];
+    if (v.kind != ValueKind::kLocal || v.offset == kNoOffset) continue;
+    frame->locals[i] = tensor::Tensor::WrapExternal(
+        v.shape, frame->block.data() + v.offset, v.size());
+  }
+  for (const Instr& ins : prog.instrs) {
+    switch (ins.binding.source) {
+      case IndexSource::kStatic: frame->needs_static = true; break;
+      case IndexSource::kDynamic: frame->needs_dynamic = true; break;
+      case IndexSource::kUnified: frame->needs_unified = true; break;
+      case IndexSource::kNone: break;
+    }
+  }
+  if (frame->needs_static) frame->sids.resize(prog.count * prog.n_static);
+  if (frame->needs_dynamic) frame->dids.resize(prog.count * prog.n_seq);
+  if (frame->needs_unified) frame->uids.resize(prog.count * prog.n_unified);
+
+  Frame* raw = frame.get();
+  frames.emplace(prog.uid, std::move(frame));
+  return raw;
+}
+
+/// Synthesizes the BatchBuilder index layout for a serving chunk straight
+/// into the frame arrays: every row shares (user, history) and differs only
+/// in the candidate column. \p cands is one object id per row (null for
+/// prologues, whose gathers provably never read the candidate column).
+void FillIndexArrays(const Program& prog, Frame* f, int32_t user_index,
+                     const int32_t* history, const int32_t* cands,
+                     int32_t cand_base, int32_t unified_dyn_base) {
+  const size_t count = prog.count;
+  if (f->needs_static) {
+    for (size_t b = 0; b < count; ++b) {
+      int32_t* row = f->sids.data() + b * prog.n_static;
+      row[0] = user_index;
+      row[1] = cand_base + (cands != nullptr ? cands[b] : 0);
+    }
+  }
+  if (f->needs_dynamic) {
+    for (size_t b = 0; b < count; ++b) {
+      std::memcpy(f->dids.data() + b * prog.n_seq, history,
+                  prog.n_seq * sizeof(int32_t));
+    }
+  }
+  if (f->needs_unified) {
+    for (size_t b = 0; b < count; ++b) {
+      int32_t* row = f->uids.data() + b * prog.n_unified;
+      row[0] = user_index;
+      row[1] = cand_base + (cands != nullptr ? cands[b] : 0);
+      for (size_t j = 0; j < prog.n_seq; ++j) {
+        const int32_t id = history[j];
+        row[2 + j] = id < 0 ? -1 : unified_dyn_base + id;
+      }
+    }
+  }
+}
+
+/// Runs one program against a frame. \p slots backs kSlot reads (bodies);
+/// \p cands is the per-row candidate array (null for prologues). The whole
+/// run sits inside a ScratchScope so any kernel-internal scratch (the GEMM
+/// trans-A pack buffer) comes from the thread arena, not the heap.
+void RunProgram(const Program& prog, Frame* f,
+                const std::vector<tensor::Tensor>* slots, int32_t user_index,
+                const int32_t* history, const int32_t* cands,
+                int32_t cand_base, int32_t unified_dyn_base) {
+  core::ScratchScope scratch_scope;
+  FillIndexArrays(prog, f, user_index, history, cands, cand_base,
+                  unified_dyn_base);
+
+  auto resolve = [&](uint32_t id) -> const tensor::Tensor* {
+    const Value& v = prog.values[id];
+    switch (v.kind) {
+      case ValueKind::kLocal: return &f->locals[id];
+      case ValueKind::kParam: return &v.param->value;
+      case ValueKind::kConstant: return &prog.constants[v.index];
+      case ValueKind::kSlot: return &(*slots)[v.index];
+    }
+    return nullptr;
+  };
+  auto index_source = [&](const IndexBinding& b,
+                          size_t* width) -> const int32_t* {
+    switch (b.source) {
+      case IndexSource::kStatic: *width = prog.n_static; return f->sids.data();
+      case IndexSource::kDynamic: *width = prog.n_seq; return f->dids.data();
+      case IndexSource::kUnified:
+        *width = prog.n_unified;
+        return f->uids.data();
+      case IndexSource::kNone: break;
+    }
+    *width = 0;
+    return static_cast<const int32_t*>(nullptr);
+  };
+
+  std::vector<const tensor::Tensor*> in;
+  for (const Instr& ins : prog.instrs) {
+    tensor::Tensor& out = f->locals[ins.out];
+    switch (ins.kind) {
+      case OpKind::kEmbeddingGather: {
+        // Mirrors autograd::EmbeddingGather, with the index matrix computed
+        // on the fly from the binding instead of a per-request vector.
+        const tensor::Tensor& table = *resolve(ins.in[0]);
+        const size_t vocab = table.dim(0), d = table.dim(1);
+        const size_t batch = out.dim(0), n = out.dim(1);
+        const float* tv = table.data();
+        float* out_data = out.data();
+        const uint32_t* cols = ins.binding.cols.data();
+        const int32_t* deltas = ins.binding.deltas.data();
+        size_t w = 0;
+        const int32_t* src = index_source(ins.binding, &w);
+        util::ParallelFor(batch * n, util::GrainForRows(d, util::kEwGrain),
+                          [=](size_t i0, size_t i1) {
+          for (size_t i = i0; i < i1; ++i) {
+            const size_t b = i / n, j = i % n;
+            const int32_t sv = src[b * w + cols[j]];
+            const int32_t idx = sv < 0 ? sv : sv + deltas[j];
+            float* dst = out_data + i * d;
+            if (idx < 0) {  // padding -> zero row
+              for (size_t c = 0; c < d; ++c) dst[c] = 0.0f;
+              continue;
+            }
+            SEQFM_CHECK_LT(static_cast<size_t>(idx), vocab);
+            const float* srow = tv + static_cast<size_t>(idx) * d;
+            for (size_t c = 0; c < d; ++c) dst[c] = srow[c];
+          }
+        });
+        break;
+      }
+      case OpKind::kEmbeddingSumGather: {
+        const tensor::Tensor& weights = *resolve(ins.in[0]);
+        const size_t vocab = weights.dim(0);
+        const size_t batch = out.dim(0);
+        const size_t n = ins.binding.cols.size();
+        const float* wv = weights.data();
+        float* out_data = out.data();
+        const uint32_t* cols = ins.binding.cols.data();
+        const int32_t* deltas = ins.binding.deltas.data();
+        size_t w = 0;
+        const int32_t* src = index_source(ins.binding, &w);
+        util::ParallelFor(batch, util::GrainForRows(n, util::kEwGrain),
+                          [=](size_t b0, size_t b1) {
+          for (size_t b = b0; b < b1; ++b) {
+            float acc = 0.0f;
+            for (size_t i = 0; i < n; ++i) {
+              const int32_t sv = src[b * w + cols[i]];
+              const int32_t idx = sv < 0 ? sv : sv + deltas[i];
+              if (idx < 0) continue;
+              SEQFM_CHECK_LT(static_cast<size_t>(idx), vocab);
+              acc += wv[idx];
+            }
+            out_data[b] = acc;
+          }
+        });
+        break;
+      }
+      case OpKind::kPaddingMask: {
+        const size_t n = prog.n_seq;
+        MaterializeMask(ins.kind, ins.causal, 0, history,
+                        out.size() / (n * n), n, out.size(), out.data());
+        break;
+      }
+      case OpKind::kHistoryMask: {
+        const size_t n = prog.n_seq;
+        MaterializeMask(ins.kind, false, 0, history, out.size() / n, n,
+                        out.size(), out.data());
+        break;
+      }
+      case OpKind::kCrossPaddingMask: {
+        const size_t n = prog.n_seq;
+        const size_t ns = ins.row;
+        const size_t block = (ns + n) * (ns + n);
+        MaterializeMask(ins.kind, false, ns, history, out.size() / block, n,
+                        out.size(), out.data());
+        break;
+      }
+      case OpKind::kZeros:
+        MaterializeMask(OpKind::kZeros, false, 0, history, 1, prog.n_seq,
+                        out.size(), out.data());
+        break;
+      case OpKind::kTileRows: {
+        const tensor::Tensor& src = *resolve(ins.in[0]);
+        const size_t s = src.size();
+        const size_t rep = out.size() / s;
+        for (size_t r = 0; r < rep; ++r) {
+          std::memcpy(out.data() + r * s, src.data(), s * sizeof(float));
+        }
+        break;
+      }
+      default: {
+        in.clear();
+        for (uint32_t u : ins.in) in.push_back(resolve(u));
+        SEQFM_CHECK(EvalPure(ins, in, &out))
+            << "unexecutable op " << OpKindName(ins.kind);
+        break;
+      }
+    }
+  }
+}
+
+bool BindingReadsCandidate(const IndexBinding& b) {
+  if (b.source != IndexSource::kStatic && b.source != IndexSource::kUnified) {
+    return false;
+  }
+  for (uint32_t c : b.cols) {
+    if (c == 1) return true;
+  }
+  return false;
+}
+
+bool BitEqual(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+std::string CheckArrays(const Frame& f, const data::Batch& batch) {
+  if (f.needs_static && f.sids != batch.static_ids) {
+    return "synthesized static ids diverge from BatchBuilder layout";
+  }
+  if (f.needs_dynamic && f.dids != batch.dynamic_ids) {
+    return "synthesized dynamic ids diverge from BatchBuilder layout";
+  }
+  if (f.needs_unified && f.uids != batch.unified_ids) {
+    return "synthesized unified ids diverge from BatchBuilder layout";
+  }
+  return std::string();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Engine> Engine::Compile(core::Model* model,
+                                        const data::BatchBuilder* builder,
+                                        size_t num_objects,
+                                        std::string* error) {
+  SEQFM_CHECK(model != nullptr && builder != nullptr && error != nullptr);
+  if (num_objects < 2) {
+    *error = "compile: need >= 2 catalog objects to disambiguate the "
+             "candidate column";
+    return nullptr;
+  }
+  std::unique_ptr<Engine> e(new Engine());
+  e->model_ = model;
+  e->builder_ = builder;
+  e->num_objects_ = num_objects;
+  // The probe history gather bindings are fitted against: full length (a
+  // padded -1 column would fit ANY padding source column), nonzero ids (the
+  // probe user is 0, and a history value equal to the user value makes the
+  // user column ambiguous), and mutually distinct whenever the catalog has
+  // enough objects, so every position is identifiable by value.
+  {
+    const size_t n = builder->max_seq_len();
+    const size_t span = num_objects - 1;  // ids drawn from [1, num_objects)
+    e->probe_history_.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+      e->probe_history_[j] = static_cast<int32_t>(1 + (j % span));
+    }
+  }
+  const data::FeatureSpace& space = builder->space();
+  e->cand_base_ = space.CandidateIndex(0);
+  e->unified_dyn_base_ = static_cast<int32_t>(space.static_dim());
+  e->n_seq_ = builder->max_seq_len();
+  e->uid_ = NextProgramUid();
+  std::lock_guard<std::mutex> lock(e->mu_);
+  if (!e->CompileCount(2, /*adopt_prologue=*/true, error)) return nullptr;
+  return e;
+}
+
+bool Engine::CompileCount(size_t count, bool adopt_prologue,
+                          std::string* error) const {
+  SEQFM_CHECK_GE(count, 2u);
+  data::SequenceExample probe;
+  probe.user = 0;
+  probe.target = 0;
+  probe.history = probe_history_;
+  std::vector<const data::SequenceExample*> ex1(1, &probe);
+  std::vector<const data::SequenceExample*> exC(count, &probe);
+  std::vector<int32_t> ovr1 = {0};
+  std::vector<int32_t> ovrC(count);
+  for (size_t i = 0; i < count; ++i) {
+    ovrC[i] = static_cast<int32_t>(i % num_objects_);
+  }
+  const data::Batch batch1 = builder_->Build(ex1, &ovr1);
+  const data::Batch batchC = builder_->Build(exC, &ovrC);
+
+  // Both counts are traced fresh on every compile (never against stored
+  // tensors): parameters live in the model's nodes, so traces made before a
+  // checkpoint reload would verify against stale values.
+  TraceResult t1 = Trace(model_, batch1);
+  if (!t1.ok()) {
+    *error = t1.error;
+    return false;
+  }
+  TraceResult tC = Trace(model_, batchC);
+  if (!tC.ok()) {
+    *error = tC.error;
+    return false;
+  }
+  if (t1.program.n_static != 2 ||
+      t1.program.n_unified != 2 + t1.program.n_seq) {
+    *error = "compile: unexpected batch index geometry";
+    return false;
+  }
+
+  FactorResult f = Factor(t1, tC, batch1, batchC);
+  if (!f.ok()) {
+    *error = f.error;
+    return false;
+  }
+  // Belt and braces: an invariant (prologue) gather must never read the
+  // candidate column — the prologue runs once per request with no candidate.
+  for (const Instr& ins : f.prologue.instrs) {
+    if (BindingReadsCandidate(ins.binding)) {
+      *error = "compile: prologue gather reads the candidate column";
+      return false;
+    }
+  }
+
+  EngineStats delta;
+  for (Program* p : {&f.prologue, &f.body}) {
+    delta.folded += FoldConstants(p);
+    delta.dce_removed += DeadCodeElim(p);
+    delta.fused += FuseElementwise(p);
+    PlanArena(p);
+  }
+
+  if (!adopt_prologue) {
+    // A later per-count compile must reproduce the factoring the engine was
+    // built with: same slots, same prologue skeleton. Anything else means
+    // cached contexts would feed the wrong tensors into this body.
+    if (f.prologue.slot_outputs != prologue_.slot_outputs ||
+        f.prologue.instrs.size() != prologue_.instrs.size()) {
+      *error = "compile: factoring diverged across candidate counts";
+      return false;
+    }
+    for (size_t i = 0; i < f.prologue.instrs.size(); ++i) {
+      if (f.prologue.instrs[i].kind != prologue_.instrs[i].kind ||
+          f.prologue.instrs[i].out != prologue_.instrs[i].out) {
+        *error = "compile: factoring diverged across candidate counts";
+        return false;
+      }
+    }
+  }
+
+  // Self-check, prologue half: replay it for the probe request and demand
+  // bit-identical slot tensors and BatchBuilder-identical index arrays.
+  const int32_t probe_user = batch1.static_ids[0];
+  const int32_t* probe_hist = batch1.dynamic_ids.data();
+  Frame* pf = FrameFor(f.prologue);
+  RunProgram(f.prologue, pf, nullptr, probe_user, probe_hist, nullptr,
+             cand_base_, unified_dyn_base_);
+  std::string arrays = CheckArrays(*pf, batch1);
+  if (!arrays.empty()) {
+    *error = "compile (prologue): " + arrays;
+    return false;
+  }
+  std::vector<tensor::Tensor> slots;
+  slots.reserve(f.prologue.slot_outputs.size());
+  for (uint32_t id : f.prologue.slot_outputs) {
+    if (!BitEqual(pf->locals[id], t1.value_nodes[id]->value)) {
+      *error = "compile: prologue slot diverges from traced forward";
+      return false;
+    }
+    slots.push_back(pf->locals[id]);  // deep copy
+  }
+
+  // Self-check, body half: replay it over the probe candidates against the
+  // freshly computed slots and demand the traced scores, bit-for-bit.
+  Frame* bf = FrameFor(f.body);
+  RunProgram(f.body, bf, &slots, probe_user, probe_hist, ovrC.data(),
+             cand_base_, unified_dyn_base_);
+  arrays = CheckArrays(*bf, batchC);
+  if (!arrays.empty()) {
+    *error = "compile (body): " + arrays;
+    return false;
+  }
+  if (!BitEqual(bf->locals[f.body.output],
+                tC.value_nodes[f.body.output]->value)) {
+    *error = "compile: body output diverges from traced forward";
+    return false;
+  }
+
+  // Cross-probe verification: the gather bindings, captured constants, and
+  // the invariant/variant split were all inferred from probe A. Replay the
+  // compiled halves end-to-end for a SECOND request — different user,
+  // different history, different candidates — and demand the traced scores
+  // bit-for-bit. Any inference that held only coincidentally at probe A dies
+  // here, so the Predictor falls back to the eager path instead of silently
+  // serving wrong bits.
+  {
+    data::SequenceExample probe_b;
+    probe_b.user = builder_->space().num_users() > 1 ? 1 : 0;
+    probe_b.target = 0;
+    const size_t span = num_objects_ - 1;
+    probe_b.history.resize(n_seq_);
+    for (size_t j = 0; j < n_seq_; ++j) {
+      probe_b.history[j] = static_cast<int32_t>(1 + ((5 * j + 3) % span));
+    }
+    std::vector<const data::SequenceExample*> exB(count, &probe_b);
+    std::vector<int32_t> ovrB(count);
+    for (size_t i = 0; i < count; ++i) {
+      ovrB[i] = static_cast<int32_t>((i + 1) % num_objects_);
+    }
+    const data::Batch batchB = builder_->Build(exB, &ovrB);
+    TraceResult tB = Trace(model_, batchB);
+    if (!tB.ok()) {
+      *error = "compile (cross-probe): " + tB.error;
+      return false;
+    }
+    if (tB.program.instrs.size() != tC.program.instrs.size() ||
+        tB.program.values.size() != tC.program.values.size()) {
+      *error = "compile: program structure varies across requests";
+      return false;
+    }
+    for (size_t i = 0; i < tB.program.instrs.size(); ++i) {
+      if (tB.program.instrs[i].kind != tC.program.instrs[i].kind ||
+          tB.program.instrs[i].out != tC.program.instrs[i].out) {
+        *error = "compile: program structure varies across requests";
+        return false;
+      }
+    }
+    const int32_t user_b = batchB.static_ids[0];
+    const int32_t* hist_b = batchB.dynamic_ids.data();
+    RunProgram(f.prologue, pf, nullptr, user_b, hist_b, nullptr, cand_base_,
+               unified_dyn_base_);
+    std::vector<tensor::Tensor> slots_b;
+    slots_b.reserve(f.prologue.slot_outputs.size());
+    for (uint32_t id : f.prologue.slot_outputs) {
+      slots_b.push_back(pf->locals[id]);
+    }
+    RunProgram(f.body, bf, &slots_b, user_b, hist_b, ovrB.data(), cand_base_,
+               unified_dyn_base_);
+    arrays = CheckArrays(*bf, batchB);
+    if (!arrays.empty()) {
+      *error = "compile (cross-probe body): " + arrays;
+      return false;
+    }
+    if (!BitEqual(bf->locals[f.body.output],
+                  tB.value_nodes[f.body.output]->value)) {
+      *error = "compile: compiled program does not generalize across "
+               "requests (cross-probe output mismatch)";
+      return false;
+    }
+  }
+
+  if (adopt_prologue) {
+    prologue_ = std::move(f.prologue);
+    stats_.prologue_instrs = prologue_.instrs.size();
+    stats_.body_instrs = f.body.instrs.size();
+    stats_.slots = prologue_.slot_outputs.size();
+    stats_.prologue_frame_floats = prologue_.frame_floats;
+    stats_.body_frame_floats = f.body.frame_floats;
+  }
+  stats_.folded += delta.folded;
+  stats_.dce_removed += delta.dce_removed;
+  stats_.fused += delta.fused;
+  stats_.compiled_counts += 1;
+  bodies_[count] = std::make_unique<Program>(std::move(f.body));
+  return true;
+}
+
+void Engine::MakeContext(int32_t user_index,
+                         const std::vector<int32_t>& dynamic_ids,
+                         core::SharedContext* ctx) const {
+  SEQFM_CHECK_EQ(dynamic_ids.size(), n_seq_);
+  Frame* pf = FrameFor(prologue_);
+  RunProgram(prologue_, pf, nullptr, user_index, dynamic_ids.data(), nullptr,
+             cand_base_, unified_dyn_base_);
+  ctx->slots.clear();
+  ctx->slots.reserve(prologue_.slot_outputs.size());
+  for (uint32_t id : prologue_.slot_outputs) {
+    ctx->slots.push_back(pf->locals[id]);  // deep copy: outlives the frame
+  }
+  ctx->engine_uid = uid_;
+  ctx->n = n_seq_;
+  ctx->user_index = user_index;
+  ctx->dynamic_ids = dynamic_ids;
+}
+
+bool Engine::ScoreRange(const core::SharedContext& ctx,
+                        const std::vector<int32_t>& candidates, size_t begin,
+                        size_t end, float* out, std::string* error) const {
+  const size_t count = end - begin;
+  if (count == 0) return true;
+  if (ctx.engine_uid != uid_) {
+    *error = "score: context was built by a different engine";
+    return false;
+  }
+  // Bodies are specialized to >= 2 candidates (compile needs two distinct
+  // probes); a single-candidate chunk rides the count-2 body with the
+  // candidate doubled. Rows are independent in every op, so row 0's bits
+  // match the single-row program exactly.
+  const size_t body_count = std::max<size_t>(count, 2);
+  int32_t padded[2];
+  const int32_t* cands = candidates.data() + begin;
+  if (count == 1) {
+    padded[0] = padded[1] = candidates[begin];
+    cands = padded;
+  }
+
+  const Program* body = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = bodies_.find(body_count);
+    if (it == bodies_.end()) {
+      if (!CompileCount(body_count, /*adopt_prologue=*/false, error)) {
+        return false;
+      }
+      it = bodies_.find(body_count);
+    }
+    body = it->second.get();
+  }
+
+  Frame* bf = FrameFor(*body);
+  RunProgram(*body, bf, &ctx.slots, ctx.user_index, ctx.dynamic_ids.data(),
+             cands, cand_base_, unified_dyn_base_);
+  std::memcpy(out, bf->locals[body->output].data(), count * sizeof(float));
+  return true;
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ir
+}  // namespace seqfm

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "autograd/trace.h"
 #include "tensor/init.h"
 
 namespace seqfm {
@@ -47,6 +48,11 @@ Embedding::Embedding(size_t vocab, size_t dim, Rng* rng, float stddev)
 }
 
 Variable Embedding::Forward(const std::vector<int32_t>& indices, size_t batch,
+                            size_t n) const {
+  return autograd::EmbeddingGather(table_, indices, batch, n);
+}
+
+Variable Embedding::Forward(const int32_t* indices, size_t batch,
                             size_t n) const {
   return autograd::EmbeddingGather(table_, indices, batch, n);
 }
@@ -201,6 +207,7 @@ Variable Gru::Forward(const Variable& seq) const {
   SEQFM_CHECK_EQ(seq.dim(2), input_dim_);
   const size_t batch = seq.dim(0), steps = seq.dim(1);
   Variable h = Variable::Constant(Tensor::Zeros({batch, hidden_dim_}));
+  autograd::TraceAnnotateConstant(h, autograd::ConstantKind::kZeroState);
   for (size_t t = 0; t < steps; ++t) {
     Variable x = autograd::SliceRow(seq, t);
     h = Step(x, h);

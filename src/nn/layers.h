@@ -43,6 +43,8 @@ class Embedding : public Module {
   /// Gathers rows: indices laid out row-major [batch, n] -> [batch, n, dim].
   Variable Forward(const std::vector<int32_t>& indices, size_t batch,
                    size_t n) const;
+  /// Pointer form: \p indices need not outlive the call (scratch arenas).
+  Variable Forward(const int32_t* indices, size_t batch, size_t n) const;
 
   const Variable& table() const { return table_; }
   size_t vocab() const { return vocab_; }

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "autograd/trace.h"
 #include "tensor/tensor.h"
 
 namespace seqfm {
@@ -18,7 +19,9 @@ autograd::Variable MakeCausalMask(size_t n) {
       mask.at(i, j) = (i >= j) ? 0.0f : kNegInf;
     }
   }
-  return autograd::Variable::Constant(std::move(mask));
+  autograd::Variable v = autograd::Variable::Constant(std::move(mask));
+  autograd::TraceAnnotateConstant(v, autograd::ConstantKind::kCaptureValue);
+  return v;
 }
 
 autograd::Variable MakeCrossMask(size_t n_static, size_t n_dynamic) {
@@ -32,11 +35,16 @@ autograd::Variable MakeCrossMask(size_t n_static, size_t n_dynamic) {
       mask.at(i, j) = (i_static != j_static) ? 0.0f : kNegInf;
     }
   }
-  return autograd::Variable::Constant(std::move(mask));
+  autograd::Variable v = autograd::Variable::Constant(std::move(mask));
+  autograd::TraceAnnotateConstant(v, autograd::ConstantKind::kCaptureValue);
+  return v;
 }
 
 autograd::Variable MakeZeroMask(size_t n) {
-  return autograd::Variable::Constant(tensor::Tensor::Zeros({n, n}));
+  autograd::Variable v =
+      autograd::Variable::Constant(tensor::Tensor::Zeros({n, n}));
+  autograd::TraceAnnotateConstant(v, autograd::ConstantKind::kCaptureValue);
+  return v;
 }
 
 autograd::Variable MakeBatchPaddingMask(const std::vector<int32_t>& indices,
@@ -56,7 +64,28 @@ autograd::Variable MakeBatchPaddingMask(const std::vector<int32_t>& indices,
       if (!any_open) row[i] = 0.0f;  // keep the diagonal open
     }
   }
-  return autograd::Variable::Constant(std::move(mask));
+  autograd::Variable v = autograd::Variable::Constant(std::move(mask));
+  autograd::TraceAnnotateConstant(v, autograd::ConstantKind::kPaddingMask,
+                                  causal);
+  return v;
+}
+
+autograd::Variable MakeHistoryPaddingMask(const std::vector<int32_t>& indices,
+                                          size_t batch, size_t n) {
+  SEQFM_CHECK_EQ(indices.size(), batch * n);
+  tensor::Tensor mask({batch, n});
+  for (size_t b = 0; b < batch; ++b) {
+    bool any = false;
+    for (size_t i = 0; i < n; ++i) {
+      const bool pad = indices[b * n + i] < 0;
+      mask.at(b, i) = pad ? kNegInf : 0.0f;
+      any = any || !pad;
+    }
+    if (!any) mask.at(b, n - 1) = 0.0f;  // degenerate empty history
+  }
+  autograd::Variable v = autograd::Variable::Constant(std::move(mask));
+  autograd::TraceAnnotateConstant(v, autograd::ConstantKind::kHistoryMask);
+  return v;
 }
 
 }  // namespace nn

@@ -34,6 +34,13 @@ autograd::Variable MakeZeroMask(size_t n);
 autograd::Variable MakeBatchPaddingMask(const std::vector<int32_t>& indices,
                                         size_t batch, size_t n, bool causal);
 
+/// Per-sample history mask of shape [batch, n]: entry (b, i) is -inf when the
+/// history slot is padding (indices[b*n + i] < 0). A sample with an entirely
+/// empty history keeps its last slot open so softmax stays well defined
+/// (DIN's attention pooling).
+autograd::Variable MakeHistoryPaddingMask(const std::vector<int32_t>& indices,
+                                          size_t batch, size_t n);
+
 }  // namespace nn
 }  // namespace seqfm
 

@@ -38,6 +38,33 @@ bool ReadPod(std::ifstream& in, T* value) {
   return static_cast<bool>(in);
 }
 
+// Cheapest possible entry: 1-char name, rank 1, a single dim of 1 — 4 (name
+// len) + 1 (name) + 4 (dtype) + 4 (rank) + 8 (dim) + 4 (payload) bytes.
+constexpr uint64_t kMinEntryBytes = 25;
+
+// Rejects a declared tensor count that cannot possibly fit in the bytes left
+// in the file (count * minimum entry size + the 8-byte checksum footer),
+// BEFORE any reserve() or payload staging acts on it. Callers must already
+// have bounded `count` (kMaxTensors / parameter count) so the product cannot
+// overflow.
+Status CheckDeclaredCount(std::ifstream& in, const std::string& path,
+                          uint64_t count) {
+  const std::streampos here = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streampos end = in.tellg();
+  in.seekg(here);
+  if (!in || here < std::streampos(0) || end < here) {
+    return Status::IoError("cannot size checkpoint: " + path);
+  }
+  const uint64_t remaining = static_cast<uint64_t>(end - here);
+  if (remaining < count * kMinEntryBytes + sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        "checkpoint declares " + std::to_string(count) + " tensors but only " +
+        std::to_string(remaining) + " bytes remain in " + path);
+  }
+  return Status::OK();
+}
+
 // Reads the header and every manifest entry, seeking over payloads.
 Status ReadManifest(std::ifstream& in, const std::string& path,
                     CheckpointManifest* manifest) {
@@ -58,6 +85,7 @@ Status ReadManifest(std::ifstream& in, const std::string& path,
   if (count > kMaxTensors) {
     return Status::InvalidArgument("corrupted tensor count in " + path);
   }
+  if (Status st = CheckDeclaredCount(in, path, count); !st.ok()) return st;
   manifest->version = version;
   manifest->entries.reserve(count);
   for (uint64_t t = 0; t < count; ++t) {
@@ -186,6 +214,7 @@ Status Checkpoint::Load(nn::Module* module, const std::string& path) {
         std::to_string(count) + ", module has " +
         std::to_string(named.size()));
   }
+  if (Status st = CheckDeclaredCount(in, path, count); !st.ok()) return st;
 
   // Loads are transactional: everything is validated and read into staging
   // buffers first, so a bad file never leaves the module half-restored.

@@ -10,6 +10,7 @@
 #include "nn/module.h"
 #include "serve/checkpoint.h"
 #include "serve/shard.h"  // RankBefore, the serving-wide ranking order
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -37,11 +38,33 @@ Predictor::Predictor(core::Model* model, const data::BatchBuilder* builder,
       seqfm_ = seqfm;
     }
   }
-  if (seqfm_ != nullptr && options_.context_cache_bytes > 0) {
+  CompileEngine();
+  if ((seqfm_ != nullptr || engine_ != nullptr) &&
+      options_.context_cache_bytes > 0) {
     cache_ = std::make_unique<ContextCache>(options_.context_cache_bytes);
   }
   full_catalog_.resize(builder_->space().num_objects());
   std::iota(full_catalog_.begin(), full_catalog_.end(), 0);
+}
+
+void Predictor::CompileEngine() {
+  engine_.reset();
+  engine_failed_.store(false, std::memory_order_relaxed);
+  if (!options_.use_compiled_program ||
+      builder_->space().num_objects() < 2 ||
+      builder_->space().num_users() < 1) {
+    return;
+  }
+  // Trace the model into a static op program (src/ir/). Compile failure is
+  // expected for untraceable models and simply keeps the eager paths; the
+  // compiler has already self-checked any engine it returns.
+  std::string error;
+  engine_ = ir::Engine::Compile(model_, builder_,
+                                builder_->space().num_objects(), &error);
+  if (engine_ == nullptr) {
+    SEQFM_LOG(Info) << "serving compiler: '" << model_->name()
+                    << "' stays on the eager path (" << error << ")";
+  }
 }
 
 Result<std::unique_ptr<Predictor>> Predictor::FromCheckpoint(
@@ -64,22 +87,28 @@ Status Predictor::ReloadCheckpoint(const std::string& path) {
         "model '" + model_->name() + "' is not an nn::Module; cannot restore");
   }
   SEQFM_RETURN_NOT_OK(Checkpoint::Load(module, path));
-  // The load swapped parameter tensors in place; every cached context now
-  // describes the old weights.
+  // The load swapped parameter tensors in place: every cached context now
+  // describes the old weights, and the compiled program's candidate-
+  // invariant split was verified against the old values (an untrained
+  // all-zero weight column is candidate-invariant; its trained replacement
+  // is not), so both are rebuilt. The caller has quiesced scoring.
   InvalidateContextCache();
   return Status::OK();
 }
 
 void Predictor::InvalidateContextCache() {
   if (cache_) cache_->Invalidate();
+  // Mutated parameters invalidate the compiled factorization for the same
+  // reason they invalidate cached contexts; recompile from the new values.
+  CompileEngine();
 }
 
 std::vector<float> Predictor::ScoreCandidates(
     const data::SequenceExample& ex,
     const std::vector<int32_t>& candidates) const {
   if (candidates.empty()) return {};
-  return seqfm_ != nullptr ? ScoreFactored(ex, candidates)
-                           : ScoreGeneric(ex, candidates);
+  return context_path_active() ? ScoreContext(ex, candidates)
+                               : ScoreGeneric(ex, candidates);
 }
 
 void Predictor::ScoreGenericRange(const data::SequenceExample& ex,
@@ -126,23 +155,53 @@ std::vector<float> Predictor::ScoreGeneric(
 
 Predictor::ContextPtr Predictor::AcquireContext(
     const data::SequenceExample& ex) const {
-  SEQFM_CHECK(seqfm_ != nullptr)
-      << "AcquireContext requires the factored SeqFM fast path";
+  SEQFM_CHECK(context_path_active())
+      << "AcquireContext requires the compiled or hand-factored context path";
   // Reuse the BatchBuilder for the index layout so padding and index mapping
   // are byte-identical to the taped path.
   const std::vector<const data::SequenceExample*> one = {&ex};
   const data::Batch base = builder_->Build(one);
   const int32_t user_index = base.static_ids[0];
-  const size_t n = seqfm_->config().max_seq_len;
+  const size_t n = builder_->max_seq_len();
   std::vector<int32_t> dynamic_ids(
       base.dynamic_ids.begin(),
       base.dynamic_ids.begin() + static_cast<ptrdiff_t>(n));
-  auto compute = [&]() {
+  auto compute = [&]() -> ContextPtr {
+    if (compiled_active()) {
+      auto ctx = std::make_shared<core::SharedContext>();
+      engine_->MakeContext(user_index, dynamic_ids, ctx.get());
+      return ctx;
+    }
     return std::make_shared<const core::SharedContext>(
         seqfm_->ComputeSharedContext(user_index, dynamic_ids));
   };
   if (cache_) return cache_->GetOrCompute(user_index, dynamic_ids, compute);
   return compute();
+}
+
+void Predictor::ScoreContextRange(const core::SharedContext& ctx,
+                                  const data::SequenceExample& ex,
+                                  const std::vector<int32_t>& candidates,
+                                  size_t begin, size_t end, float* out) const {
+  if (compiled_active() && ctx.engine_uid == engine_->uid()) {
+    std::string error;
+    if (engine_->ScoreRange(ctx, candidates, begin, end, out, &error)) {
+      return;
+    }
+    // A lazy per-count body failed to compile or verify. Latch the failure
+    // (warn once), drop contexts that carry now-unusable slot tensors, and
+    // serve this and every later chunk through the reference paths.
+    if (!engine_failed_.exchange(true)) {
+      SEQFM_LOG(Warning) << "serving compiler: disabling compiled path for '"
+                         << model_->name() << "': " << error;
+      if (cache_) cache_->Invalidate();
+    }
+  }
+  if (fast_path_active() && ctx.h_dyn.defined()) {
+    ScoreFactoredRange(ctx, candidates, begin, end, out);
+    return;
+  }
+  ScoreGenericRange(ex, candidates, begin, end, out);
 }
 
 void Predictor::ScoreFactoredRange(const core::SharedContext& ctx,
@@ -164,8 +223,18 @@ void Predictor::ScoreFactoredRange(const core::SharedContext& ctx,
   const size_t n = ctx.n, d = ctx.d;
 
   // Index layout mirrors BatchBuilder::Build: [user, candidate] per row.
-  std::vector<int32_t> static_ids(count * 2);
-  std::vector<int32_t> cand_ids(count);
+  // The id vectors ride the worker's scratch arena too (released with the
+  // scope), so a warm chunk performs zero heap allocations end to end; the
+  // embedding ops take raw pointers and copy only if a tape is recording.
+  std::vector<int32_t> heap_ids;
+  int32_t* static_ids;
+  if (scratch.has_value()) {
+    static_ids = core::ThreadScratchArena().AllocateInts(count * 3);
+  } else {
+    heap_ids.resize(count * 3);
+    static_ids = heap_ids.data();
+  }
+  int32_t* cand_ids = static_ids + count * 2;
   for (size_t i = 0; i < count; ++i) {
     static_ids[2 * i] = ctx.user_index;
     static_ids[2 * i + 1] = space.CandidateIndex(candidates[begin + i]);
@@ -243,7 +312,7 @@ void Predictor::ScoreFactoredRange(const core::SharedContext& ctx,
   for (size_t i = 0; i < count; ++i) out_scores[i] = src[i];
 }
 
-std::vector<float> Predictor::ScoreFactored(
+std::vector<float> Predictor::ScoreContext(
     const data::SequenceExample& ex,
     const std::vector<int32_t>& candidates) const {
   const ContextPtr ctx = AcquireContext(ex);
@@ -255,9 +324,9 @@ std::vector<float> Predictor::ScoreFactored(
   util::ParallelFor(num_chunks, 1, [&](size_t c0, size_t c1) {
     for (size_t c = c0; c < c1; ++c) {
       const size_t begin = c * chunk_size;
-      ScoreFactoredRange(*ctx, candidates, begin,
-                         std::min(total, begin + chunk_size),
-                         scores.data() + begin);
+      ScoreContextRange(*ctx, ex, candidates, begin,
+                        std::min(total, begin + chunk_size),
+                        scores.data() + begin);
     }
   });
   return scores;

@@ -1,6 +1,7 @@
 #ifndef SEQFM_SERVE_PREDICTOR_H_
 #define SEQFM_SERVE_PREDICTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 #include "core/scratch_arena.h"
 #include "core/seqfm.h"
 #include "data/dataset.h"
+#include "ir/exec.h"
 #include "serve/context_cache.h"
 #include "util/result.h"
 
@@ -28,11 +30,24 @@ struct PredictorOptions {
   /// cache across decode steps. Scores are bit-for-bit identical to the
   /// batched Model::Score path; set to false to force the generic path.
   bool enable_seqfm_fast_path = true;
+  /// Compile the model into a static op program at construction (trace → IR
+  /// passes → arena-planned VM; see src/ir/) and serve every request through
+  /// it: the candidate-invariant prologue runs once per (user, history) and
+  /// feeds the context cache, the per-candidate body replays per chunk with
+  /// zero steady-state allocations. Applies to ANY traceable model, not just
+  /// SeqFM. Scores stay bit-for-bit identical to Model::Score — the compiler
+  /// self-checks both program halves against the traced forward and the
+  /// Predictor permanently falls back to the eager path (one warning) if a
+  /// lazy per-count compile ever fails. Set to false to force eager serving
+  /// (the parity oracle; also bench_serving's compiled-off baseline).
+  bool use_compiled_program = true;
   /// Byte budget for the (user, history) SharedContext LRU cache in front of
   /// the factored path; 0 disables caching. Each entry holds the per-request
   /// candidate-invariant tensors, roughly 4*(3*n*d + 4*d) bytes for seq-len
   /// n and dim d (~39 KiB at n=50, d=64), so 64 MiB caches ~1.7k such
-  /// contexts. Ignored when the fast path is inactive.
+  /// contexts. Compiled-program contexts are cached through the same LRU
+  /// (their unit is the prologue's slot tensors). Ignored when neither the
+  /// compiled nor the hand-factored context path is active.
   size_t context_cache_bytes = 0;
   /// Draw tape-free op outputs from the worker thread's core::ScratchArena
   /// (zero tensor heap allocations in steady state). Off = every op output
@@ -117,33 +132,64 @@ class Predictor {
 
   // --- Fused-scoring building blocks (used by serve::BatchServer) ---------
 
-  /// The (cached) SharedContext for this example. Fast path only
-  /// (fast_path_active() must hold).
+  /// The (cached) SharedContext for this example. Context path only
+  /// (context_path_active() must hold). Compiled contexts carry the
+  /// prologue's slot tensors; hand-factored SeqFM contexts the h_dyn/q_dyn/…
+  /// tensors.
   ContextPtr AcquireContext(const data::SequenceExample& ex) const;
 
-  /// Scores candidates[begin, end) through the factored program against
-  /// \p ctx, writing the end - begin results to out[0, end - begin). Taking
-  /// a chunk-local output buffer (rather than a catalog-sized one indexed by
-  /// begin) is what lets sharded serving bound its memory to one chunk per
-  /// pool thread. Sets up its own NoGradGuard, so it can run directly on
-  /// pool worker threads.
+  /// Scores candidates[begin, end) against \p ctx — through the compiled
+  /// body program when compiled_active(), else the hand-factored SeqFM
+  /// program — writing the end - begin results to out[0, end - begin).
+  /// Taking a chunk-local output buffer (rather than a catalog-sized one
+  /// indexed by begin) is what lets sharded serving bound its memory to one
+  /// chunk per pool thread. Sets up its own NoGradGuard, so it can run
+  /// directly on pool worker threads. A compiled-path failure (a lazy
+  /// per-count body compile that does not verify) permanently disables the
+  /// engine and re-scores the chunk through the fallback paths, so results
+  /// are always produced.
+  void ScoreContextRange(const core::SharedContext& ctx,
+                         const data::SequenceExample& ex,
+                         const std::vector<int32_t>& candidates,
+                         size_t begin, size_t end, float* out) const;
+
+  /// The hand-factored SeqFM catalog program (fast path). Kept callable on
+  /// its own as the reference implementation ScoreContextRange falls back
+  /// to; requires a hand-factored context (ctx.h_dyn defined).
   void ScoreFactoredRange(const core::SharedContext& ctx,
                           const std::vector<int32_t>& candidates,
                           size_t begin, size_t end, float* out) const;
 
-  /// Generic-path equivalent of ScoreFactoredRange (any model).
+  /// Generic-path equivalent of ScoreContextRange (any model).
   void ScoreGenericRange(const data::SequenceExample& ex,
                          const std::vector<int32_t>& candidates,
                          size_t begin, size_t end, float* out) const;
 
-  /// True when requests will take the factored SeqFM catalog program.
+  /// True when requests will take the hand-factored SeqFM catalog program
+  /// (the pre-compiler fast path; also the compiled path's first fallback).
   bool fast_path_active() const { return seqfm_ != nullptr; }
+
+  /// True when requests will execute the compiled op program.
+  bool compiled_active() const {
+    return engine_ != nullptr &&
+           !engine_failed_.load(std::memory_order_relaxed);
+  }
+
+  /// True when requests go through an AcquireContext + Score*Range pair
+  /// (compiled or hand-factored) instead of the generic per-chunk rebuild.
+  bool context_path_active() const {
+    return compiled_active() || fast_path_active();
+  }
+
+  /// The compiled engine, or null when the model did not compile (or
+  /// use_compiled_program is off). Stats feed bench_serving --json.
+  const ir::Engine* engine() const { return engine_.get(); }
 
   /// The identity catalog [0, num_objects) behind TopKAll, built once at
   /// construction (ShardedPredictor partitions it instead of re-deriving).
   const std::vector<int32_t>& full_catalog() const { return full_catalog_; }
 
-  /// Non-null iff the fast path is active and context_cache_bytes > 0.
+  /// Non-null iff the context path is active and context_cache_bytes > 0.
   const ContextCache* context_cache() const { return cache_.get(); }
 
   /// Scratch-arena counters for the tape-free scoring scopes (process-wide;
@@ -159,14 +205,26 @@ class Predictor {
  private:
   std::vector<float> ScoreGeneric(const data::SequenceExample& ex,
                                   const std::vector<int32_t>& candidates) const;
-  std::vector<float> ScoreFactored(const data::SequenceExample& ex,
-                                   const std::vector<int32_t>& candidates) const;
+  std::vector<float> ScoreContext(const data::SequenceExample& ex,
+                                  const std::vector<int32_t>& candidates) const;
+  /// (Re)compiles the serving program from the model's CURRENT parameters.
+  /// Called at construction and again whenever parameters change: the
+  /// candidate-invariant split is verified against live parameter values, so
+  /// a checkpoint load can shift which values are invariant. Resets
+  /// engine_failed_. Requires quiesced scoring (same contract as
+  /// ReloadCheckpoint).
+  void CompileEngine();
 
   core::Model* model_;
   const data::BatchBuilder* builder_;
   PredictorOptions options_;
-  /// Non-null iff the fast path applies to this model + config.
+  /// Non-null iff the hand-factored fast path applies to this model+config.
   core::SeqFm* seqfm_ = nullptr;
+  /// Non-null iff the model compiled into a (prologue, body) op program.
+  std::unique_ptr<ir::Engine> engine_;
+  /// Latched on the first compiled-path failure (a per-count body that does
+  /// not verify); from then on every request takes the fallback paths.
+  mutable std::atomic<bool> engine_failed_{false};
   std::unique_ptr<ContextCache> cache_;
   /// [0, num_objects) — built once so TopKAll does not re-materialize it.
   std::vector<int32_t> full_catalog_;

@@ -109,12 +109,12 @@ void BatchServer::ServeWave(std::vector<Request>* wave) {
                                 ? options_.micro_batch
                                 : predictor_->options().micro_batch;
 
-  // Phase 1 (fast path only): resolve each unique (user, history) context
+  // Phase 1 (context path only): resolve each unique (user, history) context
   // once per wave. The map dedupes duplicate users inside the wave before
   // they even reach the ContextCache, so a cold cache never computes the
   // same context twice in one wave; groups resolve concurrently on the pool.
   std::vector<Predictor::ContextPtr> contexts(num_requests);
-  if (predictor_->fast_path_active()) {
+  if (predictor_->context_path_active()) {
     std::map<std::pair<int32_t, std::vector<int32_t>>, std::vector<size_t>>
         groups;
     for (size_t r = 0; r < num_requests; ++r) {

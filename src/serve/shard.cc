@@ -116,8 +116,8 @@ void ScoreChunkIntoHeap(const Predictor& predictor,
                         TopKHeap* heap) {
   chunk_scores->resize(chunk.end - chunk.begin);
   if (ctx != nullptr) {
-    predictor.ScoreFactoredRange(*ctx, candidates, chunk.begin, chunk.end,
-                                 chunk_scores->data());
+    predictor.ScoreContextRange(*ctx, ex, candidates, chunk.begin, chunk.end,
+                                chunk_scores->data());
   } else {
     predictor.ScoreGenericRange(ex, candidates, chunk.begin, chunk.end,
                                 chunk_scores->data());
@@ -181,7 +181,7 @@ std::vector<ScoredItem> ShardedPredictor::TopKImpl(
   // Resolve the (user, history) context once per request, exactly like the
   // unsharded fast path (and through the same ContextCache when enabled).
   Predictor::ContextPtr ctx;
-  if (predictor_->fast_path_active()) ctx = predictor_->AcquireContext(ex);
+  if (predictor_->context_path_active()) ctx = predictor_->AcquireContext(ex);
 
   const size_t chunk_size = options_.micro_batch > 0
                                 ? options_.micro_batch

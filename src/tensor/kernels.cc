@@ -154,6 +154,7 @@ const KernelTable kScalarTable = {
     /*relu=*/ScalarRelu,
     /*exp_map=*/ScalarExpMap,
     /*sigmoid=*/ScalarSigmoidMap,
+    /*tanh=*/ScalarTanhMap,
     /*softmax_exp_sum=*/ScalarSoftmaxExpSum,
     /*layer_norm_row=*/ScalarLayerNormRow,
     /*gemm_rows_b_normal=*/GemmRowsBNormalScalar,

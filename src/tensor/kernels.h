@@ -75,6 +75,9 @@ struct KernelTable {
   void (*exp_map)(const float* x, float* y, size_t n);
   /// Numerically stable sigmoid built on ExpApprox (NaN maps to 0).
   void (*sigmoid)(const float* x, float* y, size_t n);
+  /// tanh built on ExpApprox via (1 - e^{-2|x|}) / (1 + e^{-2|x|}) with the
+  /// sign restored by a bit flip (NaN maps to -1).
+  void (*tanh)(const float* x, float* y, size_t n);
 
   // --- fused rows ------------------------------------------------------
   /// y[i] = ExpApprox((x[i] + (add ? add[i] : 0)) - max_val); returns the

@@ -241,6 +241,27 @@ void SigmoidAvx2(const float* x, float* y, size_t n) {
   for (; i < n; ++i) y[i] = SigmoidScalar(x[i]);
 }
 
+void TanhAvx2(const float* x, float* y, size_t n) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.0f);
+  const __m256 ones = _mm256_set1_ps(1.0f);
+  const __m256 neg_two = _mm256_set1_ps(-2.0f);
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 abs = _mm256_andnot_ps(sign_mask, v);
+    const __m256 e = ExpVec(_mm256_mul_ps(neg_two, abs));
+    const __m256 t = _mm256_div_ps(_mm256_sub_ps(ones, e),
+                                   _mm256_add_ps(ones, e));
+    // Restore the sign with a bit flip; on NaN the comparison is false and
+    // the negated branch wins, matching TanhScalar's ternary.
+    const __m256 ge0 = _mm256_cmp_ps(v, zero, _CMP_GE_OQ);
+    _mm256_storeu_ps(y + i, _mm256_blendv_ps(_mm256_xor_ps(t, sign_mask), t,
+                                             ge0));
+  }
+  for (; i < n; ++i) y[i] = TanhScalar(x[i]);
+}
+
 float SoftmaxExpSumAvx2(const float* x, const float* add, float max_val,
                         float* y, size_t n) {
   const __m256 vmax = _mm256_set1_ps(max_val);
@@ -445,6 +466,7 @@ const KernelTable kAvx2Table = {
     /*relu=*/ReluAvx2,
     /*exp_map=*/ExpMapAvx2,
     /*sigmoid=*/SigmoidAvx2,
+    /*tanh=*/TanhAvx2,
     /*softmax_exp_sum=*/SoftmaxExpSumAvx2,
     /*layer_norm_row=*/LayerNormRowAvx2,
     /*gemm_rows_b_normal=*/GemmRowsBNormalAvx2,

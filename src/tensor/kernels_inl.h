@@ -161,6 +161,19 @@ static inline float SigmoidScalar(float x) {
   return z / (1.0f + z);
 }
 
+/// tanh on ExpApprox: tanh(x) = sign(x) * (1 - e) / (1 + e) with
+/// e = ExpApprox(-2|x|). |x| and the *-2 are exact, the division is a single
+/// IEEE divide on both paths, and the sign restore is a bit flip, so the AVX2
+/// twin matches operation-for-operation. Large |x| saturates to +-1 exactly
+/// (ExpApprox underflows to 0); NaN maps to -1 (exp(NaN)=0 and NaN >= 0 is
+/// false), mirroring SigmoidScalar's NaN-to-0 convention.
+static inline float TanhScalar(float x) {
+  const float a = x >= 0.0f ? x : -x;
+  const float e = ExpScalar(-2.0f * a);
+  const float t = (1.0f - e) / (1.0f + e);
+  return x >= 0.0f ? t : -t;
+}
+
 // ---------------------------------------------------------------------------
 // Elementwise maps
 // ---------------------------------------------------------------------------
@@ -200,6 +213,9 @@ static inline void ScalarExpMap(const float* x, float* y, size_t n) {
 }
 static inline void ScalarSigmoidMap(const float* x, float* y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] = SigmoidScalar(x[i]);
+}
+static inline void ScalarTanhMap(const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = TanhScalar(x[i]);
 }
 
 static inline float ScalarSoftmaxExpSum(const float* x, const float* add,

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/scratch_arena.h"
 #include "tensor/kernels.h"
 #include "util/thread_pool.h"
 
@@ -45,14 +46,27 @@ void GemmRowRange(const kernels::KernelTable& kt, const float* a,
                   size_t i1) {
   const size_t rows = i1 - i0;
   const float* arows;
-  std::vector<float> packed;
+  // The trans-A pack buffer comes from the thread's scratch arena whenever a
+  // scratch scope is active (serving paths), so steady-state serving stays
+  // heap-allocation-free; training and bare calls keep the heap vector.
+  core::ScratchArena* arena = nullptr;
+  core::ScratchArena::Mark arena_mark;
+  std::vector<float> packed_heap;
   if (trans_a) {
-    packed.resize(rows * k);
+    float* packed;
+    if (core::ScratchScopeActive()) {
+      arena = &core::ThreadScratchArena();
+      arena_mark = arena->mark();
+      packed = arena->AllocateFloats(rows * k);
+    } else {
+      packed_heap.resize(rows * k);
+      packed = packed_heap.data();
+    }
     for (size_t p = 0; p < k; ++p) {
       const float* src = a + p * m + i0;
       for (size_t i = 0; i < rows; ++i) packed[i * k + p] = src[i];
     }
-    arows = packed.data();
+    arows = packed;
   } else {
     arows = a + i0 * k;
   }
@@ -62,6 +76,7 @@ void GemmRowRange(const kernels::KernelTable& kt, const float* a,
   } else {
     kt.gemm_rows_b_normal(arows, b, crows, rows, k, n, accumulate);
   }
+  if (arena != nullptr) arena->RewindTo(arena_mark);
 }
 
 void CheckSameShape(const Tensor& a, const Tensor& b) {
@@ -306,10 +321,9 @@ void Tanh(const Tensor& in, Tensor* out) {
   CheckSameShape(in, *out);
   const float* x = in.data();
   float* y = out->data();
-  // Stays on libm: both SIMD levels call the identical scalar function, so
-  // level-parity is trivial, and tanh is off the serving hot paths.
-  util::ParallelFor(in.size(), kMathGrain, [=](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) y[i] = std::tanh(x[i]);
+  const kernels::KernelTable& kt = kernels::Active();
+  util::ParallelFor(in.size(), kMathGrain, [=, &kt](size_t i0, size_t i1) {
+    kt.tanh(x + i0, y + i0, i1 - i0);
   });
 }
 

@@ -1,0 +1,556 @@
+// Lockdown suite for the serving compiler (src/ir/):
+//   - trace round-trip: the recorded program's output tensor is bit-equal to
+//     a fresh tape-free forward, for SeqFM and every registry baseline;
+//   - pass units on hand-built programs: constant folding, dead-code
+//     elimination, elementwise fusion, and arena planning (buffer reuse);
+//   - compiled-vs-eager serving parity: bit-for-bit equal scores for every
+//     model at 1/2 threads, 1/3 shards, and both SIMD levels;
+//   - compiler lifecycle: recompile on checkpoint reload, graceful eager
+//     fallback when the catalog is too small to disambiguate probes, and
+//     loss-curve invariance (tracing/compiling never perturbs training).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "baselines/registry.h"
+#include "core/seqfm.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "ir/exec.h"
+#include "ir/passes.h"
+#include "ir/program.h"
+#include "ir/trace.h"
+#include "nn/module.h"
+#include "serve/checkpoint.h"
+#include "serve/predictor.h"
+#include "serve/shard.h"
+#include "tensor/kernels.h"
+#include "util/cpu.h"
+#include "util/thread_pool.h"
+
+namespace seqfm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixtures (mirrors tests/serve_test.cc so parity claims line up)
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& AllBaselines() {
+  static const std::vector<std::string> kNames = {
+      "FM",  "HOFM",    "NFM", "AFM", "Wide&Deep", "DeepCross",
+      "xDeepFM", "DIN", "SASRec",  "TFM", "RRN"};
+  return kNames;
+}
+
+constexpr size_t kSeqLen = 6;
+
+data::FeatureSpace SmallSpace() { return data::FeatureSpace(5, 9); }
+
+baselines::BaselineConfig SmallBaselineConfig() {
+  baselines::BaselineConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.max_seq_len = kSeqLen;
+  cfg.mlp_hidden = 8;
+  cfg.keep_prob = 1.0f;
+  cfg.num_blocks = 2;
+  cfg.seed = 123;
+  return cfg;
+}
+
+core::SeqFmConfig SmallSeqFmConfig() {
+  core::SeqFmConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.max_seq_len = kSeqLen;
+  cfg.ffn_layers = 2;
+  cfg.keep_prob = 1.0f;
+  cfg.seed = 321;
+  return cfg;
+}
+
+std::unique_ptr<core::Model> MakeModelByName(const std::string& name,
+                                             const data::FeatureSpace& space,
+                                             uint64_t seed = 0) {
+  if (name == "SeqFM") {
+    core::SeqFmConfig cfg = SmallSeqFmConfig();
+    if (seed != 0) cfg.seed = seed;
+    return std::make_unique<core::SeqFm>(space, cfg);
+  }
+  baselines::BaselineConfig cfg = SmallBaselineConfig();
+  if (seed != 0) cfg.seed = seed;
+  return baselines::CreateBaseline(name, space, cfg).ValueOrDie();
+}
+
+std::vector<std::string> AllModels() {
+  std::vector<std::string> names = AllBaselines();
+  names.insert(names.begin(), "SeqFM");
+  return names;
+}
+
+/// Deterministic requests covering empty, short, and overflowing histories.
+std::vector<data::SequenceExample> TestExamples() {
+  std::vector<data::SequenceExample> examples(4);
+  examples[0] = {/*user=*/0, /*target=*/4, /*rating=*/1.0f,
+                 {1, 2, 3, 0, 5, 6, 7, 8}};  // longer than kSeqLen
+  examples[1] = {2, 6, 0.5f, {5}};
+  examples[2] = {3, 0, 2.0f, {}};  // cold start
+  examples[3] = {4, 8, 4.0f, {8, 7, 6}};
+  return examples;
+}
+
+/// A serving-style batch: every sample shares \p ex's (user, history) and
+/// sample i scores candidate \p candidates[i] — the batch shape ir::Trace
+/// requires.
+data::Batch ServingBatch(const data::BatchBuilder& builder,
+                         const data::SequenceExample& ex,
+                         const std::vector<int32_t>& candidates) {
+  std::vector<const data::SequenceExample*> ptrs(candidates.size(), &ex);
+  return builder.Build(ptrs, &candidates);
+}
+
+void ExpectBitEqual(const float* a, const float* b, size_t n,
+                    const std::string& context) {
+  EXPECT_EQ(std::memcmp(a, b, n * sizeof(float)), 0) << context;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Trace round-trip: recorded program output == tape-free forward, bit-for-bit
+// ---------------------------------------------------------------------------
+
+class TraceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TraceTest, TracedProgramRoundTripsTheForward) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  auto model = MakeModelByName(GetParam(), space);
+  const std::vector<int32_t> candidates = {0, 3, 7, 8};
+  const data::Batch batch =
+      ServingBatch(builder, TestExamples()[0], candidates);
+
+  const ir::TraceResult traced = ir::Trace(model.get(), batch);
+  ASSERT_TRUE(traced.ok()) << GetParam() << ": " << traced.error;
+  const ir::Program& prog = traced.program;
+  ASSERT_FALSE(prog.instrs.empty());
+  ASSERT_NE(prog.output, ir::kNoValue);
+  ASSERT_EQ(prog.values.size(), traced.value_nodes.size());
+  ASSERT_EQ(prog.count, candidates.size());
+
+  // Well-formed SSA: every id in range, every instruction's output recorded.
+  for (const ir::Instr& ins : prog.instrs) {
+    EXPECT_LT(ins.out, prog.values.size());
+    for (uint32_t u : ins.in) EXPECT_LT(u, prog.values.size());
+  }
+
+  // The traced output tensor is the forward's output, bit-for-bit.
+  autograd::NoGradGuard guard;
+  const autograd::Variable eager = model->Score(batch, /*training=*/false);
+  const tensor::Tensor& recorded = traced.value_nodes[prog.output]->value;
+  ASSERT_EQ(recorded.size(), eager.value().size());
+  ExpectBitEqual(recorded.data(), eager.value().data(), recorded.size(),
+                 GetParam() + " trace round-trip");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TraceTest,
+                         ::testing::ValuesIn(AllModels()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Pass units on hand-built programs
+// ---------------------------------------------------------------------------
+
+/// Appends a kLocal value of \p shape and returns its id.
+uint32_t AddLocal(ir::Program* p, std::vector<size_t> shape) {
+  ir::Value v;
+  v.kind = ir::ValueKind::kLocal;
+  v.shape = std::move(shape);
+  p->values.push_back(std::move(v));
+  return static_cast<uint32_t>(p->values.size() - 1);
+}
+
+/// Appends a kConstant value holding \p t and returns its id.
+uint32_t AddConstant(ir::Program* p, tensor::Tensor t) {
+  ir::Value v;
+  v.kind = ir::ValueKind::kConstant;
+  v.shape.assign(t.shape().begin(), t.shape().end());
+  v.index = static_cast<uint32_t>(p->constants.size());
+  p->constants.push_back(std::move(t));
+  p->values.push_back(std::move(v));
+  return static_cast<uint32_t>(p->values.size() - 1);
+}
+
+void AddInstr(ir::Program* p, ir::OpKind kind, std::vector<uint32_t> in,
+              uint32_t out, float alpha = 0.0f) {
+  ir::Instr ins;
+  ins.kind = kind;
+  ins.in = std::move(in);
+  ins.out = out;
+  ins.alpha = alpha;
+  p->instrs.push_back(std::move(ins));
+}
+
+TEST(PassTest, FoldConstantsEvaluatesConstantSubgraphs) {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
+  const uint32_t c1 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
+  const uint32_t sum = AddLocal(&p, {2, 2});
+  const uint32_t half = AddLocal(&p, {2, 2});
+  AddInstr(&p, ir::OpKind::kAdd, {c0, c1}, sum);
+  AddInstr(&p, ir::OpKind::kScale, {sum}, half, /*alpha=*/0.5f);
+  p.output = half;
+
+  // Single in-order sweep folds the whole chain: once `sum` is re-kinded to
+  // a constant, the scale's input is constant too.
+  EXPECT_EQ(ir::FoldConstants(&p), 2u);
+  EXPECT_TRUE(p.instrs.empty());
+  ASSERT_EQ(p.values[half].kind, ir::ValueKind::kConstant);
+  const tensor::Tensor& folded = p.constants[p.values[half].index];
+  ASSERT_EQ(folded.size(), 4u);
+  for (size_t i = 0; i < folded.size(); ++i) {
+    EXPECT_EQ(folded.data()[i], 1.0f) << i;  // (1 + 1) * 0.5
+  }
+}
+
+TEST(PassTest, FoldConstantsLeavesRequestDependentOpsAlone) {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
+  const uint32_t mask = AddLocal(&p, {2, 2});
+  const uint32_t out = AddLocal(&p, {2, 2});
+  // Synthesized masks depend on the request history even with no tensor
+  // inputs; they must never fold.
+  AddInstr(&p, ir::OpKind::kHistoryMask, {}, mask);
+  AddInstr(&p, ir::OpKind::kMul, {c0, mask}, out);
+  p.output = out;
+  EXPECT_EQ(ir::FoldConstants(&p), 0u);
+  EXPECT_EQ(p.instrs.size(), 2u);
+}
+
+TEST(PassTest, DeadCodeElimDropsValuesUnreachableFromOutputs) {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
+  const uint32_t dead = AddLocal(&p, {2, 2});
+  const uint32_t dead2 = AddLocal(&p, {2, 2});
+  const uint32_t live = AddLocal(&p, {2, 2});
+  AddInstr(&p, ir::OpKind::kRelu, {c0}, dead);
+  AddInstr(&p, ir::OpKind::kSigmoid, {dead}, dead2);  // dead chain
+  AddInstr(&p, ir::OpKind::kTanh, {c0}, live);
+  p.output = live;
+
+  EXPECT_EQ(ir::DeadCodeElim(&p), 2u);
+  ASSERT_EQ(p.instrs.size(), 1u);
+  EXPECT_EQ(p.instrs[0].kind, ir::OpKind::kTanh);
+  EXPECT_EQ(p.instrs[0].out, live);
+}
+
+TEST(PassTest, DeadCodeElimKeepsSlotOutputsAlive) {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
+  const uint32_t slot = AddLocal(&p, {2, 2});
+  AddInstr(&p, ir::OpKind::kRelu, {c0}, slot);
+  p.output = ir::kNoValue;  // prologue shape: only slot outputs matter
+  p.slot_outputs = {slot};
+  EXPECT_EQ(ir::DeadCodeElim(&p), 0u);
+  EXPECT_EQ(p.instrs.size(), 1u);
+}
+
+TEST(PassTest, FuseElementwiseAliasesSingleConsumerChains) {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
+  const uint32_t base = AddLocal(&p, {2, 2});
+  const uint32_t relued = AddLocal(&p, {2, 2});
+  const uint32_t scaled = AddLocal(&p, {2, 2});
+  AddInstr(&p, ir::OpKind::kAdd, {c0, c0}, base);
+  AddInstr(&p, ir::OpKind::kRelu, {base}, relued);
+  AddInstr(&p, ir::OpKind::kScale, {relued}, scaled, 2.0f);
+  p.output = scaled;
+
+  EXPECT_EQ(ir::FuseElementwise(&p), 2u);
+  EXPECT_EQ(p.values[relued].alias_of, base);
+  EXPECT_EQ(p.values[scaled].alias_of, relued);
+  EXPECT_EQ(p.values[base].alias_of, ir::kNoValue);
+
+  // The whole aliased chain shares one planned buffer.
+  ir::PlanArena(&p);
+  EXPECT_EQ(p.values[relued].offset, p.values[base].offset);
+  EXPECT_EQ(p.values[scaled].offset, p.values[base].offset);
+  EXPECT_EQ(p.frame_floats, 16u);  // one 64-byte-aligned 2x2 block
+}
+
+TEST(PassTest, FuseElementwiseSkipsMultiConsumerInputs) {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
+  const uint32_t base = AddLocal(&p, {2, 2});
+  const uint32_t relued = AddLocal(&p, {2, 2});
+  const uint32_t both = AddLocal(&p, {2, 2});
+  AddInstr(&p, ir::OpKind::kAdd, {c0, c0}, base);
+  AddInstr(&p, ir::OpKind::kRelu, {base}, relued);
+  AddInstr(&p, ir::OpKind::kMul, {base, relued}, both);  // base read again
+  p.output = both;
+  // Running relu in place would corrupt base before the mul reads it.
+  EXPECT_EQ(ir::FuseElementwise(&p), 0u);
+  EXPECT_EQ(p.values[relued].alias_of, ir::kNoValue);
+}
+
+TEST(PassTest, PlanArenaReusesBuffersAcrossDisjointLifetimes) {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
+  const uint32_t temp = AddLocal(&p, {2, 2});
+  const uint32_t kept = AddLocal(&p, {2, 2});
+  const uint32_t late = AddLocal(&p, {2, 2});
+  AddInstr(&p, ir::OpKind::kRelu, {c0}, temp);     // temp: instrs [0, 1]
+  AddInstr(&p, ir::OpKind::kAdd, {temp, c0}, kept);  // kept: live to the end
+  AddInstr(&p, ir::OpKind::kSigmoid, {c0}, late);  // late: defined after temp
+  AddInstr(&p, ir::OpKind::kMul, {kept, late}, kept);
+  p.output = kept;
+
+  ir::PlanArena(&p);
+  // temp is dead before late is defined, so late reuses its block; kept
+  // overlaps both and needs its own.
+  EXPECT_EQ(p.values[late].offset, p.values[temp].offset);
+  EXPECT_NE(p.values[kept].offset, p.values[temp].offset);
+  EXPECT_EQ(p.frame_floats, 32u);  // two aligned 2x2 blocks, not three
+}
+
+// ---------------------------------------------------------------------------
+// Compiled-vs-eager serving parity: every model, threads x shards x SIMD
+// ---------------------------------------------------------------------------
+
+class CompiledParityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CompiledParityTest, CompiledServingMatchesEagerBitForBit) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  auto model = MakeModelByName(GetParam(), space);
+
+  serve::PredictorOptions compiled_opts;
+  compiled_opts.micro_batch = 4;  // several chunks (and body counts) per scan
+  compiled_opts.context_cache_bytes = 1 << 20;
+  serve::Predictor compiled(model.get(), &builder, compiled_opts);
+  ASSERT_TRUE(compiled.compiled_active())
+      << GetParam() << " must compile into an op program";
+  ASSERT_NE(compiled.engine(), nullptr);
+  // Sequence models gather the history separately from the candidate, so
+  // factoring must hoist a non-trivial candidate-invariant prologue. The
+  // FM family embeds one unified (user, candidate, history) row through a
+  // single candidate-dependent gather — zero slots is correct there.
+  const bool sequence_model =
+      GetParam() == "SeqFM" || GetParam() == "DIN" || GetParam() == "SASRec" ||
+      GetParam() == "TFM" || GetParam() == "RRN";
+  if (sequence_model) {
+    EXPECT_GT(compiled.engine()->num_slots(), 0u) << GetParam();
+  }
+
+  serve::PredictorOptions eager_opts;
+  eager_opts.micro_batch = 4;
+  eager_opts.use_compiled_program = false;
+  serve::Predictor eager(model.get(), &builder, eager_opts);
+  EXPECT_FALSE(eager.compiled_active());
+
+  std::vector<int32_t> catalog(space.num_objects());
+  std::iota(catalog.begin(), catalog.end(), 0);
+
+  std::vector<util::SimdLevel> levels = {util::SimdLevel::kScalar};
+  if (tensor::kernels::Avx2KernelsAvailable()) {
+    levels.push_back(util::SimdLevel::kAvx2);
+  }
+  const util::SimdLevel prev_level = util::ActiveSimdLevel();
+
+  for (util::SimdLevel level : levels) {
+    util::SetSimdLevel(level);
+    for (size_t threads : {1u, 2u}) {
+      util::SetGlobalThreads(threads);
+      for (const auto& ex : TestExamples()) {
+        const std::string where =
+            GetParam() + " simd=" + util::SimdLevelName(level) +
+            " threads=" + std::to_string(threads) +
+            " user=" + std::to_string(ex.user);
+        const std::vector<float> want = eager.ScoreCandidates(ex, catalog);
+        const std::vector<float> got = compiled.ScoreCandidates(ex, catalog);
+        ASSERT_EQ(want.size(), got.size());
+        ExpectBitEqual(want.data(), got.data(), want.size(), where);
+
+        // Sharded serving over the compiled predictor reproduces the eager
+        // unsharded ranking exactly (scores compared as bits).
+        const std::vector<serve::ScoredItem> ref = eager.TopKAll(ex, 5);
+        for (size_t shards : {1u, 3u}) {
+          serve::ShardedPredictorOptions sopts;
+          sopts.num_shards = shards;
+          sopts.micro_batch = 4;
+          serve::ShardedPredictor sharded(&compiled, sopts);
+          const std::vector<serve::ScoredItem> top = sharded.TopKAll(ex, 5);
+          ASSERT_EQ(top.size(), ref.size()) << where;
+          for (size_t i = 0; i < top.size(); ++i) {
+            EXPECT_EQ(top[i].item, ref[i].item)
+                << where << " shards=" << shards << " rank=" << i;
+            EXPECT_EQ(std::memcmp(&top[i].score, &ref[i].score,
+                                  sizeof(float)),
+                      0)
+                << where << " shards=" << shards << " rank=" << i;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(compiled.compiled_active())
+      << GetParam() << " fell back to eager mid-test";
+  util::SetGlobalThreads(1);
+  util::SetSimdLevel(prev_level);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CompiledParityTest,
+                         ::testing::ValuesIn(AllModels()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Compiler lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(CompiledLifecycleTest, OptionOffDisablesTheEngine) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  auto model = MakeModelByName("SeqFM", space);
+  serve::PredictorOptions opts;
+  opts.use_compiled_program = false;
+  serve::Predictor predictor(model.get(), &builder, opts);
+  EXPECT_EQ(predictor.engine(), nullptr);
+  EXPECT_FALSE(predictor.compiled_active());
+  EXPECT_TRUE(predictor.fast_path_active());  // hand-factored path remains
+}
+
+TEST(CompiledLifecycleTest, SingleObjectCatalogFallsBackToEagerServing) {
+  // One catalog object leaves no second probe candidate to disambiguate the
+  // candidate column, so the compiler must decline — and serving must still
+  // produce taped-parity scores through the generic path.
+  const data::FeatureSpace space(2, 1);
+  data::BatchBuilder builder(space, kSeqLen);
+  auto model = MakeModelByName("FM", space);
+  serve::Predictor predictor(model.get(), &builder);
+  EXPECT_EQ(predictor.engine(), nullptr);
+  EXPECT_FALSE(predictor.compiled_active());
+
+  const data::SequenceExample ex{/*user=*/1, /*target=*/0, /*rating=*/1.0f,
+                                 {0, 0}};
+  const std::vector<int32_t> catalog = {0};
+  const std::vector<float> scores = predictor.ScoreCandidates(ex, catalog);
+  ASSERT_EQ(scores.size(), 1u);
+
+  const data::Batch batch = ServingBatch(builder, ex, catalog);
+  const autograd::Variable taped = model->Score(batch, /*training=*/false);
+  ExpectBitEqual(scores.data(), taped.value().data(), 1, "tiny catalog");
+}
+
+TEST(CompiledLifecycleTest, CheckpointReloadRecompilesTheProgram) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  auto serving = MakeModelByName("SeqFM", space);
+  auto trained = MakeModelByName("SeqFM", space, /*seed=*/777);
+
+  const std::string path = TempPath("ir_reload_test.bin");
+  ASSERT_TRUE(serve::Checkpoint::Save(
+                  *dynamic_cast<nn::Module*>(trained.get()), path)
+                  .ok());
+
+  serve::PredictorOptions opts;
+  opts.micro_batch = 4;
+  serve::Predictor predictor(serving.get(), &builder, opts);
+  ASSERT_TRUE(predictor.compiled_active());
+  const uint64_t uid_before = predictor.engine()->uid();
+
+  ASSERT_TRUE(predictor.ReloadCheckpoint(path).ok());
+  ASSERT_TRUE(predictor.compiled_active());
+  // A fresh engine: the candidate-invariant split is verified against live
+  // parameter values, so stale programs must never survive a reload.
+  EXPECT_NE(predictor.engine()->uid(), uid_before);
+
+  // And the recompiled program scores the *new* parameters bit-exactly.
+  std::vector<int32_t> catalog(space.num_objects());
+  std::iota(catalog.begin(), catalog.end(), 0);
+  const data::SequenceExample ex = TestExamples()[0];
+  const std::vector<float> got = predictor.ScoreCandidates(ex, catalog);
+  const data::Batch batch = ServingBatch(builder, ex, catalog);
+  autograd::NoGradGuard guard;
+  const autograd::Variable want = trained->Score(batch, /*training=*/false);
+  ASSERT_EQ(got.size(), want.value().size());
+  ExpectBitEqual(got.data(), want.value().data(), got.size(),
+                 "post-reload parity");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Loss-curve invariance: tracing/compiling a model never perturbs training
+// ---------------------------------------------------------------------------
+
+TEST(TraceInvarianceTest, TracingBetweenEpochsLeavesLossCurveUntouched) {
+  const auto log = data::SyntheticDatasetGenerator(
+                       data::SyntheticDatasetGenerator::Preset("gowalla", 0.1)
+                           .ValueOrDie())
+                       .Generate()
+                       .ValueOrDie();
+  const auto dataset = data::TemporalDataset::FromLog(log).ValueOrDie();
+  const data::FeatureSpace space(log.num_users(), log.num_objects());
+  data::BatchBuilder builder(space, kSeqLen);
+
+  core::TrainConfig tcfg;
+  tcfg.task = core::Task::kRanking;
+  tcfg.epochs = 2;
+  tcfg.batch_size = 64;
+  tcfg.num_negatives = 1;
+
+  core::SeqFmConfig mcfg = SmallSeqFmConfig();
+
+  // Reference: two plain epochs.
+  core::SeqFm plain(space, mcfg);
+  core::Trainer plain_trainer(&plain, &builder, &dataset, tcfg);
+  const core::EpochStats plain_e1 = plain_trainer.TrainEpoch();
+  const core::EpochStats plain_e2 = plain_trainer.TrainEpoch();
+
+  // Same seed, but the model is traced AND fully compiled before training
+  // and again between the epochs — eval forwards that must not disturb
+  // parameters, optimizer state, or the trainer's sampling stream.
+  core::SeqFm probed(space, mcfg);
+  const data::SequenceExample probe{0, 1, 1.0f, {1, 2}};
+  const data::Batch probe_batch = ServingBatch(builder, probe, {0, 1});
+  ASSERT_TRUE(ir::Trace(&probed, probe_batch).ok());
+  core::Trainer probed_trainer(&probed, &builder, &dataset, tcfg);
+  const core::EpochStats probed_e1 = probed_trainer.TrainEpoch();
+  {
+    serve::Predictor predictor(&probed, &builder);  // compiles + self-checks
+    ASSERT_TRUE(predictor.compiled_active());
+    std::vector<int32_t> catalog(space.num_objects());
+    std::iota(catalog.begin(), catalog.end(), 0);
+    predictor.ScoreCandidates(probe, catalog);
+  }
+  const core::EpochStats probed_e2 = probed_trainer.TrainEpoch();
+
+  EXPECT_EQ(plain_e1.mean_loss, probed_e1.mean_loss);
+  EXPECT_EQ(plain_e2.mean_loss, probed_e2.mean_loss);
+  EXPECT_EQ(plain_e1.steps, probed_e1.steps);
+  EXPECT_EQ(plain_e2.steps, probed_e2.steps);
+}
+
+}  // namespace
+}  // namespace seqfm

@@ -195,6 +195,9 @@ TEST_F(KernelParityTest, ElementwiseMaps) {
     scalar_->sigmoid(a.data(), ys.data(), n);
     avx2_->sigmoid(a.data(), yv.data(), n);
     check("sigmoid");
+    scalar_->tanh(a.data(), ys.data(), n);
+    avx2_->tanh(a.data(), yv.data(), n);
+    check("tanh");
   }
 }
 
@@ -257,6 +260,34 @@ TEST_F(KernelParityTest, ExpAccuracyAgainstLibm) {
   float s;
   kt.sigmoid(&zero, &s, 1);
   EXPECT_EQ(s, 0.5f);
+}
+
+TEST_F(KernelParityTest, TanhAccuracyAndSpecialValues) {
+  // The dispatched tanh replaces libm on the serving paths (compiled and
+  // eager run the same kernel). Accuracy first: |tanh| <= 1, so a few-ulp
+  // absolute bound over the useful range is the right contract.
+  const auto& kt = *scalar_;
+  for (float x = -12.0f; x <= 12.0f; x += 0.173f) {
+    float y;
+    kt.tanh(&x, &y, 1);
+    EXPECT_NEAR(y, std::tanh(static_cast<double>(x)), 2e-6) << "x=" << x;
+  }
+
+  // Exactness at the pinned points, on BOTH levels: tanh(0) == +0, large
+  // |x| saturates to exactly +-1 (ExpApprox underflows to 0), the sign
+  // restore is a bit flip (odd symmetry is bit-exact), and NaN maps to -1
+  // (the twin of sigmoid's NaN-to-0 convention).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (const KernelTable* kt_level : {scalar_, avx2_}) {
+    const float xs[] = {0.0f, 50.0f, -50.0f, 0.7f, -0.7f, nan};
+    float ys[6];
+    kt_level->tanh(xs, ys, 6);
+    EXPECT_TRUE(BitEqual(ys[0], 0.0f));
+    EXPECT_EQ(ys[1], 1.0f);
+    EXPECT_EQ(ys[2], -1.0f);
+    EXPECT_TRUE(BitEqual(ys[4], -ys[3])) << "odd symmetry";
+    EXPECT_EQ(ys[5], -1.0f) << "NaN convention";
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -518,41 +549,53 @@ TEST(SimdServingTest, ScoresBitIdenticalAcrossLevels) {
 }
 
 TEST(SimdServingTest, SteadyStateServingPerformsZeroTensorHeapAllocations) {
-  // The allocation-free-serving acceptance gate: once the context cache and
-  // the thread's scratch arena are warm, a Predictor request must not touch
-  // the heap for tensor data at all — every op output bumps the arena.
+  // The allocation-free-serving acceptance gate, for BOTH serving engines:
+  // once the context cache is warm, a Predictor request must not touch the
+  // heap for tensor data at all. The compiled op program executes inside
+  // preallocated thread-local frames (it does not even need the scratch
+  // arena); the hand-factored eager path draws every op output from the
+  // thread's warm arena instead.
   ServeFixture fx;
   core::SeqFm model(fx.space, fx.ModelConfig());
-  serve::PredictorOptions opts;
-  opts.micro_batch = 16;
-  opts.context_cache_bytes = 1 << 20;
-  serve::Predictor predictor(&model, &fx.builder, opts);
-  ASSERT_TRUE(predictor.fast_path_active());
-  ASSERT_NE(predictor.context_cache(), nullptr);
   // Single-threaded so every chunk runs on this (warmed) thread's arena.
   util::SetGlobalThreads(1);
   const auto& ex = fx.dataset.train().front();
   std::vector<int32_t> candidates;
   for (int32_t i = 0; i < 40; ++i) candidates.push_back(i % 20);
 
-  for (int warm = 0; warm < 3; ++warm) {
-    (void)predictor.TopK(ex, candidates, 5);
+  for (const bool compiled : {true, false}) {
+    serve::PredictorOptions opts;
+    opts.micro_batch = 16;
+    opts.context_cache_bytes = 1 << 20;
+    opts.use_compiled_program = compiled;
+    serve::Predictor predictor(&model, &fx.builder, opts);
+    ASSERT_TRUE(predictor.fast_path_active());
+    ASSERT_EQ(predictor.compiled_active(), compiled);
+    ASSERT_NE(predictor.context_cache(), nullptr);
+
+    for (int warm = 0; warm < 3; ++warm) {
+      (void)predictor.TopK(ex, candidates, 5);
+    }
+    const uint64_t tensor_allocs = tensor::internal::HeapAllocCount();
+    const auto scratch_before = predictor.scratch_stats();
+    std::vector<serve::ScoredItem> last;
+    for (int r = 0; r < 10; ++r) {
+      last = predictor.TopK(ex, candidates, 5);
+    }
+    const auto scratch_after = predictor.scratch_stats();
+    EXPECT_EQ(tensor::internal::HeapAllocCount(), tensor_allocs)
+        << "steady-state requests allocated tensor heap memory (compiled="
+        << compiled << ")";
+    EXPECT_EQ(scratch_after.heap_refills, scratch_before.heap_refills)
+        << "steady-state requests grew the scratch arena (compiled="
+        << compiled << ")";
+    if (!compiled) {
+      EXPECT_GT(scratch_after.allocations, scratch_before.allocations)
+          << "eager requests should bump the arena";
+      EXPECT_GT(scratch_after.high_water, 0u);
+    }
+    ASSERT_EQ(last.size(), 5u);
   }
-  const uint64_t tensor_allocs = tensor::internal::HeapAllocCount();
-  const auto scratch_before = predictor.scratch_stats();
-  std::vector<serve::ScoredItem> last;
-  for (int r = 0; r < 10; ++r) {
-    last = predictor.TopK(ex, candidates, 5);
-  }
-  const auto scratch_after = predictor.scratch_stats();
-  EXPECT_EQ(tensor::internal::HeapAllocCount(), tensor_allocs)
-      << "steady-state requests allocated tensor heap memory";
-  EXPECT_EQ(scratch_after.heap_refills, scratch_before.heap_refills)
-      << "steady-state requests grew the scratch arena";
-  EXPECT_GT(scratch_after.allocations, scratch_before.allocations)
-      << "requests should bump the arena";
-  EXPECT_GT(scratch_after.high_water, 0u);
-  ASSERT_EQ(last.size(), 5u);
 }
 
 TEST(SimdServingTest, BatchServerReportsScratchStats) {

@@ -411,6 +411,33 @@ TEST_F(CheckpointErrorTest, TruncatedHeaderIsIoError) {
   EXPECT_EQ(st.code(), StatusCode::kIoError);
 }
 
+TEST_F(CheckpointErrorTest, OverdeclaredTensorCountFailsFastOnInspect) {
+  // A count that passes the kMaxTensors sanity cap but cannot possibly fit
+  // in the file must be rejected up front — before entries.reserve(count)
+  // or any per-entry loop acts on the lie.
+  auto bytes = ReadAll();
+  const uint64_t huge = 500000;  // < the 2^20 cap, >> what the file holds
+  std::memcpy(bytes.data() + 8, &huge, sizeof(huge));  // count follows header
+  WriteAll(bytes);
+  const auto manifest = serve::Checkpoint::Inspect(path_);
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(manifest.status().message().find("bytes remain"),
+            std::string::npos);
+}
+
+TEST_F(CheckpointErrorTest, DeclaredCountExceedingFileSizeFailsFastOnLoad) {
+  // Keep the header and the (correct) tensor count but drop the manifest:
+  // Load must reject on the declared-count-vs-file-size check, not by
+  // looping through truncated entry reads.
+  auto bytes = ReadAll();
+  bytes.resize(20);  // magic + version + count + 4 stray bytes
+  WriteAll(bytes);
+  const Status st = serve::Checkpoint::Load(module_, path_);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("bytes remain"), std::string::npos);
+}
+
 TEST_F(CheckpointErrorTest, FlippedPayloadByteFailsChecksum) {
   auto bytes = ReadAll();
   // Flip one byte near the end of the payload region (before the 8-byte
