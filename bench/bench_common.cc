@@ -205,6 +205,23 @@ std::string FormatCell(double value, int width, int precision) {
   return buf;
 }
 
+double Percentile(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const size_t n = samples->size();
+  // Nearest-rank: 1-based rank ceil(q * n), clamped into [1, n]. The naive
+  // index q * n is off by one rank in the tail: for n = 100, p99 indexes
+  // element 99 (the max, i.e. p100) instead of rank 99 (index 98).
+  const double rank = std::ceil(q * static_cast<double>(n));
+  const size_t idx =
+      std::min(n - 1, static_cast<size_t>(std::max(rank, 1.0)) - 1);
+  return (*samples)[idx];
+}
+
+double PercentileMs(std::vector<double>* latencies, double q) {
+  return Percentile(latencies, q) * 1e3;
+}
+
 std::vector<std::string> SplitCsv(const std::string& csv) {
   std::vector<std::string> out;
   std::string cur;

@@ -91,6 +91,18 @@ core::TrainResult TrainModel(core::Model* model, const PreparedDataset& prep,
 void PrintBanner(const std::string& title, const std::string& paper_ref);
 std::string FormatCell(double value, int width = 7, int precision = 3);
 
+/// Nearest-rank percentile: sorts \p samples in place and returns the value
+/// at rank ceil(q * n) (1-based), i.e. the smallest sample >= q of the
+/// distribution. The previous per-bench copies indexed q * n, which returns
+/// the MAXIMUM for p99 whenever n <= 100 — the common bench regime — and
+/// overstates every tail quantile by up to one rank. Returns 0 on empty
+/// input. \p q must be in (0, 1]; q=0.999 (p999) is meaningful only once
+/// n >= 1000, below that it reports the max by construction.
+double Percentile(std::vector<double>* samples, double q);
+
+/// Percentile() scaled to milliseconds for second-denominated samples.
+double PercentileMs(std::vector<double>* latencies, double q);
+
 /// Splits "a,b,c" into {"a","b","c"} (used by --models / --datasets flags).
 std::vector<std::string> SplitCsv(const std::string& csv);
 

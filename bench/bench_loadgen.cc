@@ -1,0 +1,320 @@
+// Open-loop load generator for the TCP serving tier (serve::RpcServer).
+//
+// Spins up the full serving stack in-process (Predictor -> BatchServer ->
+// RpcServer on a loopback ephemeral port), then drives it over a real socket
+// with Poisson arrivals at each target QPS of --qps-sweep. Open loop means
+// the send schedule is fixed up front and never waits for responses — the
+// generator keeps offering load when the server falls behind, so queueing
+// delay shows up in the tail latencies instead of being silently absorbed
+// (no coordinated omission). Latency is measured from each request's
+// SCHEDULED send time to its response.
+//
+// Reported per target QPS: achieved throughput, p50/p99/p999 latency, and
+// shed rate (OVERLOADED responses / submitted) — all into --json via the
+// shared JsonResultWriter. Arrivals are deterministic: a seeded util::Rng
+// drives the Poisson schedule, so two runs at one seed offer identical load.
+//
+// --smoke is the CI leg: a low-QPS phase against an unbounded queue must
+// shed nothing, then a back-to-back burst against max_queue_requests=1 must
+// shed some — and in both phases every submitted request must be answered
+// exactly once (served + shed == submitted). Violations exit 1.
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/predictor.h"
+#include "serve/protocol.h"
+#include "serve/rpc_server.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace seqfm {
+namespace bench {
+namespace {
+
+/// One planned request: everything needed to encode it, fixed up front so
+/// the send loop does no data-dependent work.
+struct PlannedRequest {
+  const data::SequenceExample* ex = nullptr;
+  std::vector<int32_t> slate;
+};
+
+std::vector<PlannedRequest> PlanRequests(
+    const std::vector<data::SequenceExample>& pool, size_t num_objects,
+    size_t requests, size_t users, size_t slate) {
+  std::vector<const data::SequenceExample*> distinct;
+  for (const auto& ex : pool) {
+    bool seen = false;
+    for (const auto* d : distinct) seen = seen || d->user == ex.user;
+    if (!seen) distinct.push_back(&ex);
+    if (distinct.size() >= users) break;
+  }
+  std::vector<PlannedRequest> plan(requests);
+  for (size_t r = 0; r < requests; ++r) {
+    plan[r].ex = distinct[r % distinct.size()];
+    plan[r].slate.resize(slate);
+    for (size_t j = 0; j < slate; ++j) {
+      plan[r].slate[j] = static_cast<int32_t>((r * 7 + j) % num_objects);
+    }
+  }
+  return plan;
+}
+
+struct LoadgenResult {
+  uint64_t submitted = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;     // OVERLOADED responses
+  uint64_t errors = 0;   // transport failures / missing responses
+  double wall_s = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+
+  double shed_rate() const {
+    return submitted == 0 ? 0.0
+                          : static_cast<double>(shed) /
+                                static_cast<double>(submitted);
+  }
+};
+
+/// Drives one open-loop phase: Poisson arrivals at \p qps (0 = back-to-back
+/// burst), one response expected per request. The sender thread follows the
+/// precomputed schedule while this thread collects responses, so a slow
+/// server never throttles the offered load.
+LoadgenResult RunOpenLoop(uint16_t port, const std::vector<PlannedRequest>&
+                              plan, size_t k, double qps, uint64_t seed,
+                          int64_t timeout_ms) {
+  LoadgenResult result;
+  result.submitted = plan.size();
+
+  serve::RpcClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) {
+    result.errors = result.submitted;
+    return result;
+  }
+  // A stalled server must fail the run, not hang it: cap each blocking read.
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(client.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  // Deterministic Poisson schedule: inter-arrival = -ln(1-U)/qps.
+  std::vector<double> sched(plan.size(), 0.0);
+  Rng rng(seed);  // seqfm::Rng: the library-wide deterministic generator
+  double t = 0.0;
+  for (size_t r = 0; r < plan.size(); ++r) {
+    if (qps > 0.0) t += -std::log(1.0 - rng.Uniform()) / qps;
+    sched[r] = t;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread sender([&]() {
+    for (size_t r = 0; r < plan.size(); ++r) {
+      const auto due =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::
+                                                 duration>(
+                      std::chrono::duration<double>(sched[r]));
+      std::this_thread::sleep_until(due);  // no-op once we're behind schedule
+      serve::RpcRequest req;
+      req.id = r;
+      req.user = plan[r].ex->user;
+      req.k = static_cast<uint32_t>(k);
+      req.history = plan[r].ex->history;
+      req.slate = plan[r].slate;
+      if (!client.Send(req).ok()) return;  // reader reports the shortfall
+    }
+  });
+
+  std::vector<double> latencies;
+  latencies.reserve(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    serve::RpcResponse resp;
+    if (!client.ReadResponse(&resp).ok() || resp.id >= plan.size()) {
+      result.errors = plan.size() - i;
+      break;
+    }
+    const double now = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    latencies.push_back(now - sched[resp.id]);
+    if (resp.status == serve::RpcStatus::kOk) {
+      ++result.ok;
+    } else {
+      ++result.shed;
+    }
+  }
+  sender.join();
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  result.achieved_qps =
+      result.wall_s > 0.0
+          ? static_cast<double>(result.ok + result.shed) / result.wall_s
+          : 0.0;
+  result.p50_ms = PercentileMs(&latencies, 0.50);
+  result.p99_ms = PercentileMs(&latencies, 0.99);
+  result.p999_ms = PercentileMs(&latencies, 0.999);
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags = ParseBenchFlagsOrDie(
+      argc, argv,
+      {"qps-sweep", "requests", "slate", "k", "users", "wave", "max-queue",
+       "timeout-ms", "smoke", "json"});
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string json_path = flags.GetString("json", "");
+  JsonResultWriter json;
+  json.Add("bench", "loadgen");
+  BenchOptions opts = BenchOptions::FromFlags(flags);
+  if (smoke) {
+    if (!flags.Has("scale")) opts.scale = 0.2;
+    if (!flags.Has("dim")) opts.dim = 8;
+  }
+  const size_t requests = static_cast<size_t>(std::max<int64_t>(
+      1, flags.GetInt("requests", smoke ? 48 : (opts.quick ? 64 : 400))));
+  const size_t slate = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("slate", smoke ? 8 : 64)));
+  const size_t k = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("k", 10)));
+  const size_t users = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("users", 8)));
+  const size_t wave = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("wave", 64)));
+  const size_t max_queue = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt("max-queue", 0)));
+  const int64_t timeout_ms =
+      std::max<int64_t>(100, flags.GetInt("timeout-ms", 30000));
+
+  PrintBanner("Open-loop RPC serving: Poisson arrivals vs target QPS",
+              "src/serve/rpc_server.* (no paper counterpart); tail latency "
+              "and load shedding of the network tier");
+
+  PreparedDataset prep = PrepareDataset("gowalla", opts);
+  auto model = MakeModel("SeqFM", prep.space, opts);
+  const auto& examples = prep.dataset.test().empty() ? prep.dataset.train()
+                                                     : prep.dataset.test();
+  SEQFM_CHECK(!examples.empty());
+  const std::vector<PlannedRequest> plan =
+      PlanRequests(examples, prep.space.num_objects(), requests, users,
+                   std::min(slate, prep.space.num_objects()));
+
+  serve::PredictorOptions pred_opts;
+  pred_opts.context_cache_bytes = 64u << 20;
+  serve::Predictor predictor(model.get(), prep.builder.get(), pred_opts);
+
+  auto run_phase = [&](size_t queue_bound, size_t wave_bound, double qps,
+                       uint64_t seed) {
+    serve::BatchServerOptions batch_opts;
+    batch_opts.max_wave_requests = wave_bound;
+    batch_opts.max_queue_requests = queue_bound;
+    serve::BatchServer batch(&predictor, batch_opts);
+    serve::RpcServer rpc(&batch);
+    SEQFM_CHECK(rpc.Start().ok()) << "rpc server failed to start";
+    LoadgenResult r = RunOpenLoop(rpc.port(), plan, k, qps, seed,
+                                  timeout_ms);
+    rpc.Shutdown();
+    return r;
+  };
+
+  if (smoke) {
+    // Leg 1: modest offered load, unbounded queue — nothing may shed.
+    const LoadgenResult low = run_phase(/*queue_bound=*/0, wave, /*qps=*/200.0,
+                                        opts.seed);
+    std::printf("smoke low-qps: %llu submitted, %llu ok, %llu shed, %llu "
+                "errors, p99=%.3f ms\n",
+                static_cast<unsigned long long>(low.submitted),
+                static_cast<unsigned long long>(low.ok),
+                static_cast<unsigned long long>(low.shed),
+                static_cast<unsigned long long>(low.errors), low.p99_ms);
+    // Leg 2: back-to-back burst against a depth-1 queue and single-request
+    // waves — the bounded queue must provably shed.
+    const LoadgenResult burst =
+        run_phase(/*queue_bound=*/1, /*wave_bound=*/1, /*qps=*/0.0,
+                  opts.seed + 1);
+    std::printf("smoke burst:   %llu submitted, %llu ok, %llu shed, %llu "
+                "errors\n",
+                static_cast<unsigned long long>(burst.submitted),
+                static_cast<unsigned long long>(burst.ok),
+                static_cast<unsigned long long>(burst.shed),
+                static_cast<unsigned long long>(burst.errors));
+    json.Add("mode", "smoke");
+    json.Add("low_qps_sheds", static_cast<double>(low.shed));
+    json.Add("low_qps_errors", static_cast<double>(low.errors));
+    json.Add("burst_sheds", static_cast<double>(burst.shed));
+    json.Add("burst_ok", static_cast<double>(burst.ok));
+    if (!json_path.empty()) json.WriteTo(json_path);
+    if (low.shed != 0 || low.errors != 0 || low.ok != low.submitted) {
+      std::fprintf(stderr, "FAIL: low-QPS phase shed or dropped requests\n");
+      return 1;
+    }
+    if (burst.shed == 0 || burst.errors != 0 ||
+        burst.ok + burst.shed != burst.submitted) {
+      std::fprintf(stderr, "FAIL: burst phase must shed with a depth-1 "
+                   "queue and answer every request\n");
+      return 1;
+    }
+    std::printf("smoke mode: shedding contract holds (0 sheds at low QPS, "
+                "%llu sheds under burst, every request answered).\n",
+                static_cast<unsigned long long>(burst.shed));
+    return 0;
+  }
+
+  const std::vector<size_t> qps_sweep = ParseSizeListOrDie(
+      flags, "qps-sweep", opts.quick ? "100,400" : "100,400,1600,6400",
+      10'000'000);
+  std::printf("model=SeqFM dim=%zu | %zu requests/phase over %zu users, "
+              "slate=%zu, k=%zu | wave<=%zu, max_queue=%zu (0=unbounded)\n\n",
+              opts.dim, requests, users,
+              std::min(slate, prep.space.num_objects()), k, wave, max_queue);
+  std::printf("%10s %12s %10s %10s %10s %10s %9s\n", "target", "achieved",
+              "p50 ms", "p99 ms", "p999 ms", "sheds", "shed rate");
+  bool first = true;
+  for (size_t qps : qps_sweep) {
+    const LoadgenResult r =
+        run_phase(max_queue, wave, static_cast<double>(qps), opts.seed);
+    std::printf("%10zu %12.0f %10.3f %10.3f %10.3f %10llu %8.1f%%\n", qps,
+                r.achieved_qps, r.p50_ms, r.p99_ms, r.p999_ms,
+                static_cast<unsigned long long>(r.shed),
+                100.0 * r.shed_rate());
+    if (r.errors != 0) {
+      std::fprintf(stderr, "FAIL: %llu requests went unanswered at target "
+                   "qps=%zu\n",
+                   static_cast<unsigned long long>(r.errors), qps);
+      return 1;
+    }
+    const std::string suffix = "_qps" + std::to_string(qps);
+    json.Add("achieved_qps" + suffix, r.achieved_qps);
+    json.Add("p50_ms" + suffix, r.p50_ms);
+    json.Add("p99_ms" + suffix, r.p99_ms);
+    json.Add("p999_ms" + suffix, r.p999_ms);
+    json.Add("shed_rate" + suffix, r.shed_rate());
+    if (first) {
+      json.Add("requests_per_phase", static_cast<double>(requests));
+      json.Add("slate", static_cast<double>(std::min(
+                            slate, prep.space.num_objects())));
+      first = false;
+    }
+  }
+  if (!json_path.empty()) json.WriteTo(json_path);
+  std::printf("\nLatency is measured from each request's SCHEDULED send time "
+              "(open loop), so overload shows up as tail growth. p999 equals "
+              "the max until a phase has >= 1000 samples.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace seqfm
+
+int main(int argc, char** argv) { return seqfm::bench::Run(argc, argv); }

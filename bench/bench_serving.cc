@@ -43,14 +43,9 @@ struct PathStats {
   double p99_ms = 0.0;
 };
 
-double PercentileMs(std::vector<double>* latencies, double q) {
-  if (latencies->empty()) return 0.0;
-  std::sort(latencies->begin(), latencies->end());
-  const size_t idx = std::min(
-      latencies->size() - 1,
-      static_cast<size_t>(q * static_cast<double>(latencies->size())));
-  return (*latencies)[idx] * 1e3;
-}
+// Latency percentiles come from bench_common's nearest-rank Percentile
+// (the local copy here used to index q*n, reporting the max as p99 for
+// n <= 100 samples).
 
 /// The one timing harness behind every measured path: runs fn(r, &latencies)
 /// for each request, derives scores/sec from \p total_scores over the whole

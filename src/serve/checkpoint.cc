@@ -1,5 +1,8 @@
 #include "serve/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
@@ -41,6 +44,32 @@ bool ReadPod(std::ifstream& in, T* value) {
 // Cheapest possible entry: 1-char name, rank 1, a single dim of 1 — 4 (name
 // len) + 1 (name) + 4 (dtype) + 4 (rank) + 8 (dim) + 4 (payload) bytes.
 constexpr uint64_t kMinEntryBytes = 25;
+
+// fsyncs \p path (a file or a directory). ofstream has no portable handle to
+// sync through, so the data is synced by reopening the path read-only after
+// close — the fd refers to the same inode the stream wrote.
+Status SyncPath(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IoError("cannot open for fsync: " + path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync failed: " + path);
+  }
+  return Status::OK();
+}
+
+// The directory whose entry list holds \p path ("." for bare filenames) —
+// the one that must be fsynced for a rename into it to be durable.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
 
 // Rejects a declared tensor count that cannot possibly fit in the bytes left
 // in the file (count * minimum entry size + the 8-byte checksum footer),
@@ -180,11 +209,20 @@ Status Checkpoint::Save(const nn::Module& module, const std::string& path) {
     std::remove(tmp_path.c_str());
     return Status::IoError("checkpoint write failed: " + tmp_path);
   }
+  // Durability, not just atomicity: without an fsync before the rename, a
+  // power loss can leave the FINAL name pointing at zero-length or partial
+  // data — rename is atomic against crashes of this process, not of the
+  // machine. Sync the payload first, then the rename, then the parent
+  // directory so the new directory entry itself is on disk.
+  if (Status st = SyncPath(tmp_path, /*directory=*/false); !st.ok()) {
+    std::remove(tmp_path.c_str());
+    return st;
+  }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
     return Status::IoError("cannot move checkpoint into place: " + path);
   }
-  return Status::OK();
+  return SyncPath(ParentDir(path), /*directory=*/true);
 }
 
 Status Checkpoint::Load(nn::Module* module, const std::string& path) {

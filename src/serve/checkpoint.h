@@ -64,7 +64,12 @@ struct CheckpointManifest {
 /// Null module pointers are programmer errors and SEQFM_CHECK-fail.
 class Checkpoint {
  public:
-  /// Writes every named parameter of \p module to \p path.
+  /// Writes every named parameter of \p module to \p path, atomically and
+  /// durably: the bytes go to a sibling ".tmp" file which is fsynced, then
+  /// renamed over \p path, then the parent directory is fsynced — so after
+  /// Save returns OK the checkpoint survives both a crash of this process
+  /// and a power loss, and a failure at any step (reported as IoError)
+  /// leaves the previous checkpoint at \p path untouched.
   static Status Save(const nn::Module& module, const std::string& path);
 
   /// Restores parameters in place. The module must have been constructed

@@ -1,0 +1,133 @@
+#ifndef SEQFM_SERVE_PROTOCOL_H_
+#define SEQFM_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/predictor.h"
+#include "util/status.h"
+
+namespace seqfm {
+namespace serve {
+
+/// \brief Wire format of the TCP serving tier (see serve::RpcServer).
+///
+/// Every message is one length-prefixed frame, little-endian:
+///
+///   uint32 magic 'SQRP' | uint32 payload_len | payload[payload_len]
+///
+/// and every payload starts with a one-byte frame type. Request payloads
+/// (client -> server):
+///
+///   uint8 type (=kRequestFrame) | uint64 request_id | int32 user |
+///   uint32 k | uint32 history_len | uint32 slate_len |
+///   int32 history[history_len] | int32 slate[slate_len]
+///
+/// Response payloads (server -> client):
+///
+///   uint8 type (=kResponseFrame) | uint64 request_id | uint8 status |
+///   uint32 count | { int32 item, float score } * count
+///
+/// The request_id is an opaque client token echoed back verbatim; responses
+/// on one connection are NOT ordered (a shed request is answered immediately
+/// while earlier admitted ones are still in their wave), so clients must
+/// match responses to requests by id. Framing is validated defensively: a
+/// bad magic, a declared payload_len above the reader's limit, or a payload
+/// that does not exactly match its declared element counts fails the
+/// CONNECTION with a Status — never the process.
+
+/// First four bytes of every frame ("SQRP" little-endian).
+constexpr uint32_t kRpcMagic = 0x50525153;
+
+/// Frame header: magic + payload length.
+constexpr size_t kRpcFrameHeaderBytes = 8;
+
+/// Payload type byte.
+constexpr uint8_t kRequestFrame = 1;
+constexpr uint8_t kResponseFrame = 2;
+
+/// Default per-frame payload cap (1 MiB ~ a 260k-candidate slate). Frames
+/// declaring more than the reader's configured cap poison the stream.
+constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Response status byte.
+enum class RpcStatus : uint8_t {
+  kOk = 0,
+  /// Admission queue at BatchServerOptions::max_queue_requests — the request
+  /// was shed, not queued. Clients may retry after backing off.
+  kOverloaded = 1,
+  /// The server is draining for shutdown; no new work is admitted.
+  kShuttingDown = 2,
+  /// The request decoded but was semantically unusable.
+  kBadRequest = 3,
+};
+
+/// Human-readable status name for logs ("OK", "OVERLOADED", ...).
+const char* RpcStatusToString(RpcStatus status);
+
+/// One scoring request: rank `slate` for (user, history) and return the
+/// top k. Mirrors BatchServer::Submit(ex, candidates, k).
+struct RpcRequest {
+  uint64_t id = 0;
+  int32_t user = 0;
+  uint32_t k = 0;
+  std::vector<int32_t> history;
+  std::vector<int32_t> slate;
+};
+
+/// One response: the ranked top-K (RankBefore order) on kOk, empty items
+/// otherwise.
+struct RpcResponse {
+  uint64_t id = 0;
+  RpcStatus status = RpcStatus::kOk;
+  std::vector<ScoredItem> items;
+};
+
+/// Serializes \p req / \p resp as one complete frame appended to \p wire.
+void AppendRequestFrame(const RpcRequest& req, std::string* wire);
+void AppendResponseFrame(const RpcResponse& resp, std::string* wire);
+
+/// Parses a frame payload (the bytes after the 8-byte header). Returns
+/// InvalidArgument when the type byte, element counts, or total size are
+/// inconsistent — the payload length must match its contents exactly, so a
+/// truncated or padded frame can never half-parse.
+Status DecodeRequest(const std::string& payload, RpcRequest* out);
+Status DecodeResponse(const std::string& payload, RpcResponse* out);
+
+/// \brief Incremental frame extractor for one TCP byte stream.
+///
+/// Feed() appends whatever bytes the socket produced — frames may arrive
+/// split at any offset or coalesced many-per-read — and Next() yields each
+/// complete payload once its length prefix is satisfied. A framing
+/// violation (bad magic, declared payload above max_frame_bytes) returns
+/// InvalidArgument and poisons the reader: the stream has lost sync and the
+/// connection must be closed.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends \p n raw bytes from the wire.
+  void Feed(const char* data, size_t n);
+
+  /// Extracts the next complete frame payload into *payload, setting *got.
+  /// OK + *got=false means "need more bytes". InvalidArgument means the
+  /// stream is corrupt (and every later call fails the same way).
+  Status Next(std::string* payload, bool* got);
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace serve
+}  // namespace seqfm
+
+#endif  // SEQFM_SERVE_PROTOCOL_H_

@@ -1,0 +1,571 @@
+#include "serve/rpc_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace seqfm {
+namespace serve {
+
+namespace {
+
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kEventFdId = 1;
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+/// Per-connection state, owned and touched by the loop thread only.
+struct RpcServer::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  FrameReader reader;
+  std::string out;      // encoded responses not yet fully written
+  size_t out_pos = 0;   // flushed prefix of out
+  bool want_write = false;   // EPOLLOUT armed
+  bool paused_read = false;  // EPOLLIN disarmed by write backpressure
+
+  size_t pending_out() const { return out.size() - out_pos; }
+};
+
+RpcServer::RpcServer(BatchServer* batch, RpcServerOptions options)
+    : batch_(batch), options_(std::move(options)) {
+  SEQFM_CHECK(batch_ != nullptr) << "RpcServer: null BatchServer";
+  SEQFM_CHECK_GT(options_.max_frame_bytes, 0u);
+  SEQFM_CHECK_GT(options_.max_write_buffer_bytes, 0u);
+}
+
+RpcServer::~RpcServer() { Shutdown(); }
+
+Status RpcServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    if (started_) return Status::FailedPrecondition("RpcServer::Start twice");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IoError(Errno("rpc: socket"));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("rpc: bad bind address " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Status::IoError(Errno("rpc: bind"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status st = Status::IoError(Errno("rpc: listen"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    const Status st = Status::IoError(Errno("rpc: getsockname"));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    const Status st = Status::IoError(Errno("rpc: epoll_create1/eventfd"));
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (event_fd_ >= 0) ::close(event_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = event_fd_ = -1;
+    return st;
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kEventFdId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    started_ = true;
+  }
+  loop_ = std::thread([this]() { Loop(); });
+  return Status::OK();
+}
+
+void RpcServer::Shutdown() {
+  // Serializing the whole sequence makes Shutdown idempotent and gives every
+  // caller the post-condition "all admitted requests answered, loop joined"
+  // — the same guarantee BatchServer::Shutdown documents.
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (!started_ || joined_) return;
+  stopping_.store(true, std::memory_order_release);
+  SignalWakeup();  // loop closes the listener: no new connections
+  // Drain the wave dispatcher. Every admitted request's callback fires
+  // before this returns, so every response is in completions_ by the time
+  // the drain phase below starts flushing.
+  batch_->Shutdown();
+  draining_.store(true, std::memory_order_release);
+  SignalWakeup();  // loop flushes write buffers, closes conns, exits
+  loop_.join();
+  joined_ = true;
+}
+
+RpcServerStats RpcServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t RpcServer::open_connections() const {
+  return open_connections_.load(std::memory_order_relaxed);
+}
+
+void RpcServer::SignalWakeup() {
+  const uint64_t one = 1;
+  // The eventfd is a counter: writes accumulate, the loop's read clears.
+  // EAGAIN (counter saturated) still leaves it readable, so the wakeup is
+  // never lost.
+  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+}
+
+void RpcServer::Loop() {
+  bool listener_open = true;
+  bool drain_deadline_set = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+  epoll_event events[64];
+  for (;;) {
+    const bool draining = draining_.load(std::memory_order_acquire);
+    // While draining, poll so the drain deadline fires even if no fd does.
+    const int timeout_ms = draining ? 20 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SEQFM_LOG(Warning) << "rpc: epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenerId) {
+        if (listener_open) AcceptAll();
+      } else if (id == kEventFdId) {
+        uint64_t val = 0;
+        [[maybe_unused]] ssize_t r = ::read(event_fd_, &val, sizeof(val));
+        DrainCompletions();
+      } else {
+        HandleConnEvent(id, events[i].events);
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire) && listener_open) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      listener_open = false;
+    }
+    if (draining) {
+      // Late completions may still be queued (the eventfd event and the
+      // draining flag race benignly); sweep them before judging emptiness.
+      DrainCompletions();
+      if (!drain_deadline_set) {
+        drain_deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(options_.drain_timeout_ms);
+        drain_deadline_set = true;
+      }
+      const bool expired = std::chrono::steady_clock::now() >= drain_deadline;
+      // Close everything flushed (or everything, once the deadline passes —
+      // a stalled client must not wedge Shutdown). Collect ids first:
+      // CloseConn mutates conns_.
+      std::vector<uint64_t> to_close;
+      for (const auto& [id, conn] : conns_) {
+        if (conn->pending_out() == 0 || expired) to_close.push_back(id);
+      }
+      for (uint64_t id : to_close) CloseConn(id);
+      if (conns_.empty()) break;
+    }
+  }
+  // Loop exit: release the epoll set and any stragglers.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) CloseConn(id);
+  if (listener_open) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::close(epoll_fd_);
+  ::close(event_fd_);
+  epoll_fd_ = event_fd_ = -1;
+}
+
+void RpcServer::AcceptAll() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      SEQFM_LOG(Warning) << "rpc: accept failed: " << std::strerror(errno);
+      return;
+    }
+    if (conns_.size() >= options_.max_connections ||
+        stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->reader = FrameReader(options_.max_frame_bytes);
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(conn->id, std::move(conn));
+    open_connections_.store(conns_.size(), std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void RpcServer::HandleConnEvent(uint64_t conn_id, uint32_t events) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // closed earlier this iteration
+  Connection* conn = it->second.get();
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseConn(conn_id);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (!FlushWrites(conn)) return;
+  }
+  if (events & EPOLLIN) {
+    if (!HandleRead(conn)) return;
+  }
+}
+
+bool RpcServer::HandleRead(Connection* conn) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t r = ::read(conn->fd, buf, sizeof(buf));
+    if (r > 0) {
+      conn->reader.Feed(buf, static_cast<size_t>(r));
+      if (!ProcessFrames(conn)) return false;
+      if (static_cast<size_t>(r) < sizeof(buf)) return true;  // drained
+      // Backpressure may have disarmed EPOLLIN mid-burst; stop pulling more
+      // bytes for this connection and let the kernel buffer throttle it.
+      if (conn->paused_read) return true;
+      continue;
+    }
+    if (r == 0) {  // peer closed (possibly mid-request; callbacks will drop)
+      CloseConn(conn->id);
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    CloseConn(conn->id);
+    return false;
+  }
+}
+
+bool RpcServer::ProcessFrames(Connection* conn) {
+  std::string payload;
+  bool got = false;
+  for (;;) {
+    if (Status st = conn->reader.Next(&payload, &got); !st.ok()) {
+      SEQFM_LOG(Warning) << "rpc: closing connection: " << st.ToString();
+      std::unique_lock<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+      lock.unlock();
+      CloseConn(conn->id);
+      return false;
+    }
+    if (!got) return true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.frames_received;
+    }
+    RpcRequest req;
+    if (Status st = DecodeRequest(payload, &req); !st.ok()) {
+      SEQFM_LOG(Warning) << "rpc: closing connection: " << st.ToString();
+      std::unique_lock<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+      lock.unlock();
+      CloseConn(conn->id);
+      return false;
+    }
+    HandleRequest(conn, std::move(req));
+    // HandleRequest can only close the connection via a failed response
+    // flush; detect that by re-looking the id up.
+    if (conns_.find(conn->id) == conns_.end()) return false;
+  }
+}
+
+void RpcServer::HandleRequest(Connection* conn, RpcRequest req) {
+  data::SequenceExample ex;
+  ex.user = req.user;
+  ex.history = std::move(req.history);
+  const uint64_t conn_id = conn->id;
+  const uint64_t request_id = req.id;
+  const BatchServer::AdmitResult admit = batch_->TrySubmit(
+      ex, std::move(req.slate), req.k,
+      [this, conn_id, request_id](std::vector<ScoredItem> items) {
+        OnWaveComplete(conn_id, request_id, std::move(items));
+      });
+  switch (admit) {
+    case BatchServer::AdmitResult::kAdmitted:
+      return;
+    case BatchServer::AdmitResult::kOverloaded: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.requests_shed;
+      }
+      RpcResponse resp;
+      resp.id = request_id;
+      resp.status = RpcStatus::kOverloaded;
+      std::string wire;
+      AppendResponseFrame(resp, &wire);
+      EnqueueResponse(conn, wire);
+      return;
+    }
+    case BatchServer::AdmitResult::kShutdown: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.requests_rejected_shutdown;
+      }
+      RpcResponse resp;
+      resp.id = request_id;
+      resp.status = RpcStatus::kShuttingDown;
+      std::string wire;
+      AppendResponseFrame(resp, &wire);
+      EnqueueResponse(conn, wire);
+      return;
+    }
+  }
+}
+
+void RpcServer::OnWaveComplete(uint64_t conn_id, uint64_t request_id,
+                               std::vector<ScoredItem> items) {
+  // Dispatcher thread: encode, queue, wake the loop. No connection state is
+  // touched here — the id survives a concurrent close (the completion is
+  // simply dropped at drain time).
+  RpcResponse resp;
+  resp.id = request_id;
+  resp.status = RpcStatus::kOk;
+  resp.items = std::move(items);
+  Completion completion;
+  completion.conn_id = conn_id;
+  AppendResponseFrame(resp, &completion.wire);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    completions_.push_back(std::move(completion));
+    ++stats_.requests_ok;
+  }
+  SignalWakeup();
+}
+
+void RpcServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // client disconnected mid-request
+    EnqueueResponse(it->second.get(), completion.wire);
+  }
+}
+
+bool RpcServer::EnqueueResponse(Connection* conn, const std::string& wire) {
+  // Compact the flushed prefix before growing the buffer further.
+  if (conn->out_pos > 0 && conn->out_pos == conn->out.size()) {
+    conn->out.clear();
+    conn->out_pos = 0;
+  } else if (conn->out_pos > 65536 && conn->out_pos > conn->out.size() / 2) {
+    conn->out.erase(0, conn->out_pos);
+    conn->out_pos = 0;
+  }
+  conn->out.append(wire);
+  return FlushWrites(conn);
+}
+
+bool RpcServer::FlushWrites(Connection* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    // MSG_NOSIGNAL: a client that closed mid-write must produce EPIPE, not
+    // a process-killing SIGPIPE.
+    const ssize_t w = ::send(conn->fd, conn->out.data() + conn->out_pos,
+                             conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn->out_pos += static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn->id);  // EPIPE/ECONNRESET: client went away
+    return false;
+  }
+  const bool fully_flushed = conn->out_pos == conn->out.size();
+  if (fully_flushed) {
+    conn->out.clear();
+    conn->out_pos = 0;
+  }
+  bool interest_changed = false;
+  if (conn->want_write == fully_flushed) {
+    conn->want_write = !fully_flushed;
+    interest_changed = true;
+  }
+  // Write backpressure: a connection whose client reads too slowly stops
+  // being READ once its pending responses pass the high watermark, and
+  // resumes below half of it. Its subsequent requests queue in kernel
+  // socket buffers (then block the client's send), so server memory per
+  // connection stays bounded by max_write_buffer_bytes + one socket buffer.
+  if (!conn->paused_read &&
+      conn->pending_out() > options_.max_write_buffer_bytes) {
+    conn->paused_read = true;
+    interest_changed = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.backpressure_pauses;
+  } else if (conn->paused_read &&
+             conn->pending_out() <= options_.max_write_buffer_bytes / 2) {
+    conn->paused_read = false;
+    interest_changed = true;
+  }
+  if (interest_changed) UpdateInterest(conn);
+  return true;
+}
+
+void RpcServer::UpdateInterest(Connection* conn) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = (conn->paused_read ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (conn->want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void RpcServer::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  open_connections_.store(conns_.size(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.connections_closed;
+}
+
+// ---------------------------------------------------------------------------
+// RpcClient
+// ---------------------------------------------------------------------------
+
+Status RpcClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IoError(Errno("rpc client: socket"));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("rpc client: bad address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Status::IoError(Errno("rpc client: connect"));
+    Close();
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = FrameReader();
+  return Status::OK();
+}
+
+Status RpcClient::Send(const RpcRequest& req) {
+  if (fd_ < 0) return Status::FailedPrecondition("rpc client: not connected");
+  std::string wire;
+  AppendRequestFrame(req, &wire);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t w =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("rpc client: write"));
+  }
+  return Status::OK();
+}
+
+Status RpcClient::ReadResponse(RpcResponse* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("rpc client: not connected");
+  char buf[65536];
+  for (;;) {
+    std::string payload;
+    bool got = false;
+    SEQFM_RETURN_NOT_OK(reader_.Next(&payload, &got));
+    if (got) return DecodeResponse(payload, out);
+    const ssize_t r = ::read(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      reader_.Feed(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      return Status::IoError("rpc client: connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno("rpc client: read"));
+  }
+}
+
+Status RpcClient::Call(const RpcRequest& req, RpcResponse* out) {
+  SEQFM_RETURN_NOT_OK(Send(req));
+  do {
+    SEQFM_RETURN_NOT_OK(ReadResponse(out));
+  } while (out->id != req.id);
+  return Status::OK();
+}
+
+void RpcClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace serve
+}  // namespace seqfm

@@ -1,0 +1,214 @@
+#ifndef SEQFM_SERVE_RPC_SERVER_H_
+#define SEQFM_SERVE_RPC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace seqfm {
+namespace serve {
+
+struct RpcServerOptions {
+  /// TCP port to listen on; 0 asks the kernel for an ephemeral port (read it
+  /// back from port() after Start).
+  uint16_t port = 0;
+  /// Listen address. The loopback default serves same-host clients only;
+  /// "0.0.0.0" exposes the server to the network.
+  std::string bind_address = "127.0.0.1";
+  /// Frames declaring a payload above this fail their connection (framing
+  /// validation happens before any allocation sized by the peer's bytes).
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Write backpressure: once a connection's unflushed response bytes exceed
+  /// this, the server stops READING that connection (its requests wait in
+  /// kernel buffers) until the client drains below half of it — a slow
+  /// reader throttles itself instead of growing server memory.
+  size_t max_write_buffer_bytes = 4u << 20;
+  /// Connections held concurrently; accepts beyond this are closed at once.
+  size_t max_connections = 1024;
+  /// Graceful-drain deadline: at Shutdown, connections get this long to
+  /// drain their pending response bytes before being force-closed, so a
+  /// stalled client can never wedge Shutdown.
+  int64_t drain_timeout_ms = 5000;
+};
+
+/// Counters exposed by RpcServer::stats(). "Shed" mirrors the BatchServer's
+/// requests_rejected for requests that arrived over this server.
+struct RpcServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t requests_ok = 0;        // admitted, served, response enqueued
+  uint64_t requests_shed = 0;      // answered OVERLOADED at admission
+  uint64_t requests_rejected_shutdown = 0;  // answered SHUTTING_DOWN
+  uint64_t protocol_errors = 0;    // framing/decoding failures (conn closed)
+  uint64_t backpressure_pauses = 0;
+};
+
+/// \brief Single-threaded epoll TCP front end over a serve::BatchServer.
+///
+/// The network tier of the serving stack: one event-loop thread owns a
+/// level-triggered epoll set (listener + eventfd + every connection),
+/// decodes length-prefixed request frames (serve/protocol.h), and feeds
+/// them to the BatchServer's wave dispatcher through the non-blocking
+/// TrySubmit path. Scoring happens on the BatchServer's dispatcher + the
+/// shared thread pool as before — the loop thread only moves bytes — and a
+/// completed wave hands its responses back to the loop through an eventfd
+/// wakeup, so the loop never blocks on scoring and scoring never touches a
+/// socket.
+///
+/// Admission is the BatchServer's bounded queue: a request hitting
+/// max_queue_requests is answered OVERLOADED immediately (load shedding),
+/// one arriving after shutdown began is answered SHUTTING_DOWN. Served
+/// rankings are bit-identical to calling BatchServer::Submit in process —
+/// the wire adds framing, never arithmetic.
+///
+/// Robustness contract: a malformed frame (bad magic, oversized declared
+/// length, inconsistent element counts) fails that CONNECTION, never the
+/// process; a client disconnecting mid-request only drops its own
+/// responses; a slow reader is throttled by write backpressure. Shutdown()
+/// (idempotent, called by the destructor) stops accepting, drains every
+/// admitted request through BatchServer::Shutdown, flushes pending
+/// responses (bounded by drain_timeout_ms), and joins the loop.
+///
+/// The BatchServer is borrowed and must outlive this object; Shutdown()
+/// shuts the BatchServer down as part of the drain.
+class RpcServer {
+ public:
+  explicit RpcServer(BatchServer* batch, RpcServerOptions options = {});
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds, listens, and starts the event-loop thread. Returns IoError when
+  /// the socket/bind/listen/epoll setup fails (port in use, bad address).
+  Status Start();
+
+  /// Graceful drain: stop accepting, serve everything admitted (via
+  /// BatchServer::Shutdown), flush responses, close connections, join the
+  /// loop. Idempotent and safe to call concurrently with itself.
+  void Shutdown();
+
+  /// The bound port (the kernel's pick when options.port was 0). Valid
+  /// after a successful Start().
+  uint16_t port() const { return port_; }
+
+  RpcServerStats stats() const;
+
+  /// Connections currently held by the loop (diagnostic).
+  size_t open_connections() const;
+
+ private:
+  struct Connection;
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string wire;  // one encoded response frame
+  };
+
+  void Loop();
+  void AcceptAll();
+  void HandleConnEvent(uint64_t conn_id, uint32_t events);
+  /// Reads until EAGAIN, feeding the connection's FrameReader. Returns
+  /// false when the connection was closed.
+  bool HandleRead(Connection* conn);
+  /// Decodes and dispatches every complete buffered frame. Returns false
+  /// when a framing/decoding error closed the connection.
+  bool ProcessFrames(Connection* conn);
+  void HandleRequest(Connection* conn, RpcRequest req);
+  /// Called on the BatchServer dispatcher thread when a wave completes.
+  void OnWaveComplete(uint64_t conn_id, uint64_t request_id,
+                      std::vector<ScoredItem> items);
+  /// Appends one encoded frame to the connection's write buffer, attempts a
+  /// synchronous flush, and applies backpressure. Returns false when the
+  /// flush failed and closed the connection.
+  bool EnqueueResponse(Connection* conn, const std::string& wire);
+  /// Writes buffered bytes until EAGAIN/empty; rearms EPOLLOUT/EPOLLIN as
+  /// needed. Returns false when a write error closed the connection.
+  bool FlushWrites(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void CloseConn(uint64_t conn_id);
+  void DrainCompletions();
+  void SignalWakeup();
+
+  BatchServer* batch_;
+  RpcServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_;
+
+  /// Epoll-thread-only state: id -> connection. Other threads refer to
+  /// connections by id (via completions_), never by pointer, so a close is
+  /// a plain erase here.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = eventfd
+
+  mutable std::mutex mu_;  // guards completions_ and stats_
+  std::vector<Completion> completions_;
+  RpcServerStats stats_;
+  std::atomic<size_t> open_connections_{0};
+
+  std::atomic<bool> stopping_{false};  // stop accepting new connections
+  std::atomic<bool> draining_{false};  // flush + close + exit the loop
+
+  /// Serializes Shutdown callers (idempotence + single join).
+  std::mutex shutdown_mu_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+/// \brief Minimal blocking client for the RPC protocol (tests, examples,
+/// and the parity legs of bench_loadgen; the open-loop load generator runs
+/// its own non-blocking loop instead).
+///
+/// Responses on a connection are matched by request id — a shed request is
+/// answered ahead of earlier admitted ones — so Call() discards responses
+/// to other ids (none exist when requests are strictly serial).
+class RpcClient {
+ public:
+  RpcClient() = default;
+  ~RpcClient() { Close(); }
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Connects a blocking TCP socket. \p host must be a numeric IPv4 address
+  /// ("127.0.0.1").
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Writes one request frame (blocking until fully written).
+  Status Send(const RpcRequest& req);
+
+  /// Blocks until the next complete response frame arrives. IoError when
+  /// the server closes the connection first.
+  Status ReadResponse(RpcResponse* out);
+
+  /// Send + read until the response matching req.id arrives.
+  Status Call(const RpcRequest& req, RpcResponse* out);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// The raw socket, for tests that need to write bytes below the client
+  /// abstraction (split frames, garbage).
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace serve
+}  // namespace seqfm
+
+#endif  // SEQFM_SERVE_RPC_SERVER_H_

@@ -40,26 +40,57 @@ void BatchServer::Shutdown() {
 std::future<std::vector<ScoredItem>> BatchServer::Submit(
     const data::SequenceExample& ex, std::vector<int32_t> candidates,
     size_t k) {
+  // std::promise is move-only but DoneCallback must be copyable; shared_ptr
+  // bridges the two.
+  auto promise = std::make_shared<std::promise<std::vector<ScoredItem>>>();
+  std::future<std::vector<ScoredItem>> result = promise->get_future();
+  const AdmitResult admit =
+      TrySubmit(ex, std::move(candidates), k,
+                [promise](std::vector<ScoredItem> items) {
+                  promise->set_value(std::move(items));
+                });
+  switch (admit) {
+    case AdmitResult::kAdmitted:
+      break;
+    case AdmitResult::kOverloaded:
+      promise->set_exception(std::make_exception_ptr(std::runtime_error(
+          "BatchServer::Submit overloaded: queue at max_queue_requests")));
+      break;
+    case AdmitResult::kShutdown:
+      // Lost the race with Shutdown: the dispatcher may already have drained
+      // past us (or exited), so enqueueing could strand the promise and
+      // deadlock the caller's get(). Fail the future cleanly instead.
+      promise->set_exception(std::make_exception_ptr(
+          std::runtime_error("BatchServer::Submit after shutdown")));
+      break;
+  }
+  return result;
+}
+
+BatchServer::AdmitResult BatchServer::TrySubmit(
+    const data::SequenceExample& ex, std::vector<int32_t> candidates, size_t k,
+    DoneCallback done) {
   Request req;
   req.ex = ex;
   req.candidates = std::move(candidates);
   req.k = k;
-  std::future<std::vector<ScoredItem>> result = req.promise.get_future();
+  req.done = std::move(done);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      // Lost the race with Shutdown: the dispatcher may already have drained
-      // past us (or exited), so enqueueing could strand the promise and
-      // deadlock the caller's get(). Fail the future cleanly instead.
-      req.promise.set_exception(std::make_exception_ptr(
-          std::runtime_error("BatchServer::Submit after shutdown")));
-      return result;
+    if (shutdown_) return AdmitResult::kShutdown;
+    if (options_.max_queue_requests > 0 &&
+        queue_.size() >= options_.max_queue_requests) {
+      // Shed instead of queueing unboundedly: the caller gets the rejection
+      // synchronously and the callback is never retained, so an overloaded
+      // server holds at most max_queue_requests requests' memory.
+      ++stats_.requests_rejected;
+      return AdmitResult::kOverloaded;
     }
     queue_.push_back(std::move(req));
     ++stats_.requests_admitted;
   }
   cv_.notify_one();
-  return result;
+  return AdmitResult::kAdmitted;
 }
 
 Status BatchServer::ReloadCheckpoint(const std::string& path) {
@@ -174,20 +205,17 @@ void BatchServer::ServeWave(std::vector<Request>* wave) {
     }
   });
 
-  // Phase 3: per-request cross-shard merge and promise fulfillment. The
-  // served counter is published first so a client that observed its future
-  // resolve always sees its request counted.
+  // Phase 3: per-request cross-shard merge and callback delivery. The
+  // served counter is published first so a client that observed its result
+  // arrive always sees its request counted.
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.requests_served += num_requests;
   }
   for (size_t r = 0; r < num_requests; ++r) {
     Request& req = (*wave)[r];
-    if (heaps[r].empty()) {
-      req.promise.set_value({});
-      continue;
-    }
-    req.promise.set_value(MergeTopK(heaps[r], req.k));
+    req.done(heaps[r].empty() ? std::vector<ScoredItem>{}
+                              : MergeTopK(heaps[r], req.k));
   }
 }
 

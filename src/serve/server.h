@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
@@ -33,12 +34,25 @@ struct BatchServerOptions {
   /// instead of O(sum of catalog sizes). Results are bit-identical to
   /// Predictor::TopK for any value (see serve::RankBefore).
   size_t num_shards = 1;
+  /// Upper bound on admitted-but-not-yet-dispatched requests; 0 = unbounded
+  /// (the pre-RPC behavior). With a bound set, admission becomes load
+  /// shedding instead of unbounded queueing: once queue depth reaches the
+  /// bound, TrySubmit returns kOverloaded (and Submit fails its future)
+  /// WITHOUT enqueueing, so an overloaded server's memory and queueing delay
+  /// stay bounded while rejected clients get an explicit answer. Serve-side
+  /// front ends (serve::RpcServer) translate the rejection into an
+  /// OVERLOADED response.
+  size_t max_queue_requests = 0;
 };
 
 /// Counters exposed by BatchServer::stats().
 struct BatchServerStats {
   uint64_t requests_admitted = 0;
   uint64_t requests_served = 0;
+  /// Requests shed at admission because the queue sat at
+  /// BatchServerOptions::max_queue_requests (overload rejections only;
+  /// submit-after-shutdown failures are not counted here).
+  uint64_t requests_rejected = 0;
   uint64_t waves = 0;
   uint64_t largest_wave = 0;
   /// Scratch-arena counters for the tape-free scoring scopes the waves run
@@ -63,13 +77,33 @@ struct BatchServerStats {
 /// over the one-catalog-at-a-time Predictor loop. Results are bit-for-bit
 /// identical to Predictor::TopK (and so to Model::Score).
 ///
+/// Admission is bounded when max_queue_requests is set: a request arriving
+/// at a full queue is shed synchronously (TrySubmit returns kOverloaded,
+/// Submit fails its future) instead of queueing unboundedly, and the shed is
+/// counted in stats().requests_rejected — the load-shedding contract the
+/// RPC tier (serve::RpcServer) exposes as OVERLOADED responses.
+///
 /// Shutdown (and the destructor, which calls it) drains the queue: every
 /// admitted request is served before the dispatcher exits, so futures never
-/// dangle. A Submit that loses the race with shutdown fails its future
-/// cleanly with a std::runtime_error instead of deadlocking, dropping the
-/// promise, or crashing the process.
+/// dangle and callbacks fire exactly once. A Submit that loses the race
+/// with shutdown fails its future cleanly with a std::runtime_error instead
+/// of deadlocking, dropping the promise, or crashing the process.
 class BatchServer {
  public:
+  /// How TrySubmit disposed of a request.
+  enum class AdmitResult {
+    kAdmitted,    // queued; the done callback will fire exactly once
+    kOverloaded,  // shed: queue at max_queue_requests; callback never fires
+    kShutdown,    // lost the race with Shutdown; callback never fires
+  };
+
+  /// Invoked with the ranked top-K when an admitted request's wave
+  /// completes. Runs on the dispatcher thread with no server lock held, so
+  /// it may call Submit/TrySubmit/stats — but never Shutdown (the
+  /// dispatcher cannot join itself) — and must stay cheap: wave N+1 does
+  /// not start until every wave-N callback returned.
+  using DoneCallback = std::function<void(std::vector<ScoredItem>)>;
+
   /// \p predictor is borrowed and must outlive the server.
   explicit BatchServer(Predictor* predictor, BatchServerOptions options = {});
   ~BatchServer();
@@ -80,11 +114,23 @@ class BatchServer {
   /// Enqueues one request; the future resolves with the top-k of
   /// \p candidates for \p ex (semantics identical to Predictor::TopK: k
   /// clamped, descending score, candidate-id tie-break). Thread-safe, and
-  /// safe to race with Shutdown: once shutdown has begun the returned
+  /// safe to race with Shutdown: once shutdown has begun — or when the
+  /// bounded queue sheds the request (max_queue_requests) — the returned
   /// future fails with std::runtime_error rather than ever blocking.
   std::future<std::vector<ScoredItem>> Submit(const data::SequenceExample& ex,
                                               std::vector<int32_t> candidates,
                                               size_t k);
+
+  /// Callback-style admission with explicit shedding: on kAdmitted, \p done
+  /// fires exactly once with the ranked top-K; on kOverloaded or kShutdown
+  /// the request was NOT enqueued and \p done never fires — the caller
+  /// answers the client immediately (serve::RpcServer encodes these as
+  /// OVERLOADED / SHUTTING_DOWN responses). This is the non-blocking
+  /// admission path an event-loop front end needs: no future to park a
+  /// thread on, and rejection is synchronous. Thread-safe.
+  AdmitResult TrySubmit(const data::SequenceExample& ex,
+                        std::vector<int32_t> candidates, size_t k,
+                        DoneCallback done);
 
   /// Stops admitting requests, serves everything already admitted, and joins
   /// the dispatcher. Idempotent and safe to call from several threads
@@ -109,11 +155,11 @@ class BatchServer {
     data::SequenceExample ex;
     std::vector<int32_t> candidates;
     size_t k = 0;
-    std::promise<std::vector<ScoredItem>> promise;
+    DoneCallback done;
   };
 
   void DispatchLoop();
-  /// Scores one wave and fulfills its promises. Caller holds serve_mu_.
+  /// Scores one wave and fires its callbacks. Caller holds serve_mu_.
   void ServeWave(std::vector<Request>* wave);
 
   Predictor* predictor_;

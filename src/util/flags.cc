@@ -1,6 +1,9 @@
 #include "util/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "util/logging.h"
 
 namespace seqfm {
 
@@ -52,13 +55,34 @@ std::string FlagParser::GetString(const std::string& name,
 int64_t FlagParser::GetInt(const std::string& name, int64_t def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& text = it->second;
+  // strtoll with a null endptr silently accepts trailing garbage ("4abc")
+  // and clamps overflow; validate the full token and fall back to the
+  // default on any malformed value, matching the SEQFM_THREADS policy.
+  errno = 0;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    SEQFM_LOG(Warning) << "flag --" << name << "=" << text
+                       << " is not a valid integer; using default " << def;
+    return def;
+  }
+  return value;
 }
 
 double FlagParser::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    SEQFM_LOG(Warning) << "flag --" << name << "=" << text
+                       << " is not a valid number; using default " << def;
+    return def;
+  }
+  return value;
 }
 
 bool FlagParser::GetBool(const std::string& name, bool def) const {

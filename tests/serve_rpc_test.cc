@@ -1,0 +1,750 @@
+// Lockdown suite for the TCP serving tier (PR 7: src/serve/protocol.* +
+// src/serve/rpc_server.*) and the bounded-admission path under it:
+//   - wire protocol round-trips and defensive decoding (truncated, padded,
+//     wrong-type payloads reject with Status, never half-parse);
+//   - FrameReader incremental framing: frames split at every byte offset,
+//     coalesced many-per-feed, bad magic / oversized declared lengths poison
+//     the stream;
+//   - BatchServer bounded admission: deterministic shedding at
+//     max_queue_requests (a blocking done-callback pins the dispatcher so
+//     queue depth is exact), Submit's future failing on overload;
+//   - RpcServer over real sockets: bit-identical rankings vs direct
+//     BatchServer::Submit, pipelining, byte-by-byte writes, framing
+//     violations failing only the offending connection, client disconnect
+//     mid-request, Shutdown draining admitted work while racing clients, and
+//     the answered-exactly-once accounting invariant.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/seqfm.h"
+#include "data/dataset.h"
+#include "serve/predictor.h"
+#include "serve/protocol.h"
+#include "serve/rpc_server.h"
+#include "serve/server.h"
+#include "util/thread_pool.h"
+
+namespace seqfm {
+namespace {
+
+constexpr size_t kSeqLen = 6;
+
+data::FeatureSpace SmallSpace() { return data::FeatureSpace(5, 9); }
+
+core::SeqFmConfig SmallSeqFmConfig(uint64_t seed = 321) {
+  core::SeqFmConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.max_seq_len = kSeqLen;
+  cfg.ffn_layers = 2;
+  cfg.keep_prob = 1.0f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<data::SequenceExample> TestExamples() {
+  std::vector<data::SequenceExample> examples(4);
+  examples[0] = {/*user=*/0, /*target=*/4, /*rating=*/1.0f,
+                 {1, 2, 3, 0, 5, 6, 7, 8}};  // longer than kSeqLen
+  examples[1] = {2, 6, 0.5f, {5}};           // single-item history
+  examples[2] = {3, 0, 2.0f, {}};            // cold start
+  examples[3] = {4, 8, 4.0f, {8, 7, 6}};
+  return examples;
+}
+
+std::vector<int32_t> FullCatalog(const data::FeatureSpace& space) {
+  std::vector<int32_t> catalog;
+  for (size_t i = 0; i < space.num_objects(); ++i) {
+    catalog.push_back(static_cast<int32_t>(i));
+  }
+  return catalog;
+}
+
+void ExpectRankingEq(const std::vector<serve::ScoredItem>& got,
+                     const std::vector<serve::ScoredItem>& want,
+                     const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t j = 0; j < got.size(); ++j) {
+    EXPECT_EQ(got[j].item, want[j].item) << context << " rank " << j;
+    EXPECT_EQ(std::memcmp(&got[j].score, &want[j].score, sizeof(float)), 0)
+        << context << " rank " << j;
+  }
+}
+
+/// The full serving stack one RPC test needs, constructed bottom-up and
+/// destroyed top-down (RpcServer::~ shuts the BatchServer down first).
+struct ServingStack {
+  explicit ServingStack(serve::BatchServerOptions batch_opts = {},
+                        serve::RpcServerOptions rpc_opts = {})
+      : builder(space, kSeqLen),
+        model(space, SmallSeqFmConfig()),
+        predictor(&model, &builder, PredictorOpts()),
+        batch(&predictor, batch_opts),
+        rpc(&batch, rpc_opts) {}
+
+  static serve::PredictorOptions PredictorOpts() {
+    serve::PredictorOptions opts;
+    opts.micro_batch = 4;
+    opts.context_cache_bytes = 1 << 20;
+    return opts;
+  }
+
+  data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder;
+  core::SeqFm model;
+  serve::Predictor predictor;
+  serve::BatchServer batch;
+  serve::RpcServer rpc;
+};
+
+// ---------------------------------------------------------------------------
+// Protocol: encoding round-trips
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  serve::RpcRequest req;
+  req.id = 0x1122334455667788ull;
+  req.user = -7;
+  req.k = 10;
+  req.history = {1, -1, 3};
+  req.slate = {4, 5, 6, 7};
+  std::string wire;
+  serve::AppendRequestFrame(req, &wire);
+  ASSERT_EQ(wire.size(),
+            serve::kRpcFrameHeaderBytes + 1 + 8 + 4 + 4 + 4 + 4 + 12 + 16);
+
+  serve::FrameReader reader;
+  reader.Feed(wire.data(), wire.size());
+  std::string payload;
+  bool got = false;
+  ASSERT_TRUE(reader.Next(&payload, &got).ok());
+  ASSERT_TRUE(got);
+  serve::RpcRequest out;
+  ASSERT_TRUE(serve::DecodeRequest(payload, &out).ok());
+  EXPECT_EQ(out.id, req.id);
+  EXPECT_EQ(out.user, req.user);
+  EXPECT_EQ(out.k, req.k);
+  EXPECT_EQ(out.history, req.history);
+  EXPECT_EQ(out.slate, req.slate);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(ProtocolTest, ResponseRoundTripAllStatuses) {
+  for (const serve::RpcStatus status :
+       {serve::RpcStatus::kOk, serve::RpcStatus::kOverloaded,
+        serve::RpcStatus::kShuttingDown, serve::RpcStatus::kBadRequest}) {
+    serve::RpcResponse resp;
+    resp.id = 42;
+    resp.status = status;
+    if (status == serve::RpcStatus::kOk) {
+      resp.items = {{3, 1.5f}, {1, -0.25f}};
+    }
+    std::string wire;
+    serve::AppendResponseFrame(resp, &wire);
+    serve::FrameReader reader;
+    reader.Feed(wire.data(), wire.size());
+    std::string payload;
+    bool got = false;
+    ASSERT_TRUE(reader.Next(&payload, &got).ok());
+    ASSERT_TRUE(got);
+    serve::RpcResponse out;
+    ASSERT_TRUE(serve::DecodeResponse(payload, &out).ok());
+    EXPECT_EQ(out.id, 42u);
+    EXPECT_EQ(out.status, status);
+    ASSERT_EQ(out.items.size(), resp.items.size());
+    for (size_t i = 0; i < out.items.size(); ++i) {
+      EXPECT_EQ(out.items[i].item, resp.items[i].item);
+      EXPECT_EQ(std::memcmp(&out.items[i].score, &resp.items[i].score,
+                            sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(ProtocolTest, StatusNamesAreStable) {
+  EXPECT_STREQ(serve::RpcStatusToString(serve::RpcStatus::kOk), "OK");
+  EXPECT_STREQ(serve::RpcStatusToString(serve::RpcStatus::kOverloaded),
+               "OVERLOADED");
+  EXPECT_STREQ(serve::RpcStatusToString(serve::RpcStatus::kShuttingDown),
+               "SHUTTING_DOWN");
+  EXPECT_STREQ(serve::RpcStatusToString(serve::RpcStatus::kBadRequest),
+               "BAD_REQUEST");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: defensive decoding
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, DecodeRejectsWrongTypeAndEmptyPayloads) {
+  serve::RpcRequest req;
+  serve::RpcResponse resp;
+  EXPECT_FALSE(serve::DecodeRequest("", &req).ok());
+  EXPECT_FALSE(serve::DecodeResponse("", &resp).ok());
+  // A response payload handed to the request decoder (and vice versa).
+  std::string wire;
+  serve::AppendResponseFrame(serve::RpcResponse{}, &wire);
+  const std::string resp_payload = wire.substr(serve::kRpcFrameHeaderBytes);
+  EXPECT_FALSE(serve::DecodeRequest(resp_payload, &req).ok());
+  wire.clear();
+  serve::AppendRequestFrame(serve::RpcRequest{}, &wire);
+  const std::string req_payload = wire.substr(serve::kRpcFrameHeaderBytes);
+  EXPECT_FALSE(serve::DecodeResponse(req_payload, &resp).ok());
+}
+
+TEST(ProtocolTest, DecodeRejectsTruncatedAndPaddedElementArrays) {
+  serve::RpcRequest req;
+  req.id = 1;
+  req.history = {1, 2, 3};
+  req.slate = {4, 5};
+  std::string wire;
+  serve::AppendRequestFrame(req, &wire);
+  std::string payload = wire.substr(serve::kRpcFrameHeaderBytes);
+
+  serve::RpcRequest out;
+  // Truncated: the declared counts exceed the bytes actually present.
+  EXPECT_FALSE(
+      serve::DecodeRequest(payload.substr(0, payload.size() - 4), &out).ok());
+  // Padded: trailing bytes beyond the declared counts mean stream desync.
+  EXPECT_FALSE(serve::DecodeRequest(payload + "....", &out).ok());
+  // Header alone, counts promising data that never came.
+  EXPECT_FALSE(serve::DecodeRequest(payload.substr(0, 25), &out).ok());
+  // An absurd declared count must be rejected BEFORE any resize happens.
+  std::string huge = payload;
+  const uint32_t bogus = 0x7fffffffu;
+  std::memcpy(&huge[17], &bogus, sizeof(bogus));  // history_len field
+  EXPECT_FALSE(serve::DecodeRequest(huge, &out).ok());
+
+  serve::RpcResponse resp_out;
+  serve::RpcResponse resp;
+  resp.items = {{1, 1.0f}};
+  wire.clear();
+  serve::AppendResponseFrame(resp, &wire);
+  payload = wire.substr(serve::kRpcFrameHeaderBytes);
+  EXPECT_FALSE(
+      serve::DecodeResponse(payload.substr(0, payload.size() - 1), &resp_out)
+          .ok());
+  EXPECT_FALSE(serve::DecodeResponse(payload + "x", &resp_out).ok());
+  // Unknown status byte.
+  std::string bad_status = payload;
+  bad_status[9] = 0x7f;
+  EXPECT_FALSE(serve::DecodeResponse(bad_status, &resp_out).ok());
+}
+
+TEST(FrameReaderTest, ReassemblesFramesSplitAtEveryByte) {
+  serve::RpcRequest req;
+  req.id = 9;
+  req.history = {1, 2};
+  req.slate = {3};
+  std::string wire;
+  serve::AppendRequestFrame(req, &wire);
+  serve::AppendRequestFrame(req, &wire);  // two frames back to back
+
+  serve::FrameReader reader;
+  std::string payload;
+  bool got = false;
+  size_t frames = 0;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    reader.Feed(wire.data() + i, 1);  // one byte at a time
+    ASSERT_TRUE(reader.Next(&payload, &got).ok());
+    if (got) {
+      ++frames;
+      serve::RpcRequest out;
+      ASSERT_TRUE(serve::DecodeRequest(payload, &out).ok());
+      EXPECT_EQ(out.id, 9u);
+    }
+  }
+  EXPECT_EQ(frames, 2u);
+}
+
+TEST(FrameReaderTest, YieldsCoalescedFramesOneByOne) {
+  std::string wire;
+  for (uint64_t id = 0; id < 5; ++id) {
+    serve::RpcRequest req;
+    req.id = id;
+    serve::AppendRequestFrame(req, &wire);
+  }
+  serve::FrameReader reader;
+  reader.Feed(wire.data(), wire.size());  // one read, five frames
+  std::string payload;
+  bool got = false;
+  for (uint64_t id = 0; id < 5; ++id) {
+    ASSERT_TRUE(reader.Next(&payload, &got).ok());
+    ASSERT_TRUE(got);
+    serve::RpcRequest out;
+    ASSERT_TRUE(serve::DecodeRequest(payload, &out).ok());
+    EXPECT_EQ(out.id, id);
+  }
+  ASSERT_TRUE(reader.Next(&payload, &got).ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameReaderTest, BadMagicPoisonsTheStream) {
+  serve::FrameReader reader;
+  const char garbage[] = "NOPE\x04\x00\x00\x00abcd";
+  reader.Feed(garbage, sizeof(garbage) - 1);
+  std::string payload;
+  bool got = false;
+  EXPECT_FALSE(reader.Next(&payload, &got).ok());
+  // Poisoned: even a valid frame fed afterwards cannot resync the stream.
+  std::string wire;
+  serve::AppendRequestFrame(serve::RpcRequest{}, &wire);
+  reader.Feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.Next(&payload, &got).ok());
+}
+
+TEST(FrameReaderTest, OversizedDeclaredLengthPoisonsWithoutAllocating) {
+  serve::FrameReader reader(/*max_frame_bytes=*/64);
+  std::string header;
+  const uint32_t magic = serve::kRpcMagic;
+  const uint32_t huge = 0xffffffffu;  // ~4 GiB declared; never allocated
+  header.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  header.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  reader.Feed(header.data(), header.size());
+  std::string payload;
+  bool got = false;
+  EXPECT_FALSE(reader.Next(&payload, &got).ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameReaderTest, LongLivedStreamReclaimsConsumedPrefix) {
+  serve::RpcRequest req;
+  req.slate.assign(512, 1);  // ~2 KiB frames
+  std::string wire;
+  serve::AppendRequestFrame(req, &wire);
+  serve::FrameReader reader;
+  std::string payload;
+  bool got = false;
+  for (int i = 0; i < 64; ++i) {
+    reader.Feed(wire.data(), wire.size());
+    ASSERT_TRUE(reader.Next(&payload, &got).ok());
+    ASSERT_TRUE(got);
+    // Everything consumed: the stream buffer must not accumulate history.
+    EXPECT_EQ(reader.buffered_bytes(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchServer bounded admission (deterministic, no sockets)
+// ---------------------------------------------------------------------------
+
+TEST(BoundedAdmissionTest, TrySubmitShedsDeterministicallyAtTheBound) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  core::SeqFm model(space, SmallSeqFmConfig());
+  const auto catalog = FullCatalog(space);
+  const auto ex = TestExamples()[0];
+  serve::Predictor predictor(&model, &builder, ServingStack::PredictorOpts());
+
+  serve::BatchServerOptions opts;
+  opts.max_wave_requests = 1;
+  opts.max_queue_requests = 1;
+
+  // These outlive the server: its destructor re-runs Shutdown after the
+  // blocking callback below has already fired.
+  std::promise<void> entered, release;
+  std::promise<std::vector<serve::ScoredItem>> queued_result;
+  {
+    serve::BatchServer server(&predictor, opts);
+    // Request A blocks the dispatcher inside its done-callback, pinning the
+    // server in wave delivery — from here on, queue depth is under exact
+    // test control instead of racing the dispatcher.
+    ASSERT_EQ(server.TrySubmit(ex, catalog, 2,
+                               [&](std::vector<serve::ScoredItem>) {
+                                 entered.set_value();
+                                 release.get_future().wait();
+                               }),
+              serve::BatchServer::AdmitResult::kAdmitted);
+    entered.get_future().wait();  // dispatcher is now parked; queue is empty
+
+    // B fills the queue to its bound of 1.
+    ASSERT_EQ(server.TrySubmit(ex, catalog, 2,
+                               [&](std::vector<serve::ScoredItem> items) {
+                                 queued_result.set_value(std::move(items));
+                               }),
+              serve::BatchServer::AdmitResult::kAdmitted);
+    // C and D must shed: the queue is provably full right now.
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(server.TrySubmit(ex, catalog, 2,
+                                 [](std::vector<serve::ScoredItem>) {
+                                   FAIL() << "shed callback must never fire";
+                                 }),
+                serve::BatchServer::AdmitResult::kOverloaded);
+    }
+    // Submit() maps the same rejection onto a failed future.
+    auto overloaded = server.Submit(ex, catalog, 2);
+    EXPECT_THROW(overloaded.get(), std::runtime_error);
+
+    release.set_value();  // unblock A; B drains normally
+    EXPECT_EQ(queued_result.get_future().get().size(), 2u);
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.requests_admitted, 2u);   // A and B
+    EXPECT_EQ(stats.requests_rejected, 3u);   // C, D, and the Submit
+    server.Shutdown();
+    EXPECT_EQ(server.stats().requests_served, 2u);
+    // Post-shutdown admission is kShutdown, not kOverloaded, and not counted
+    // as a shed.
+    EXPECT_EQ(server.TrySubmit(ex, catalog, 2,
+                               [](std::vector<serve::ScoredItem>) {}),
+              serve::BatchServer::AdmitResult::kShutdown);
+    EXPECT_EQ(server.stats().requests_rejected, 3u);
+  }
+}
+
+TEST(BoundedAdmissionTest, UnboundedQueueNeverSheds) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  core::SeqFm model(space, SmallSeqFmConfig());
+  const auto catalog = FullCatalog(space);
+  serve::Predictor predictor(&model, &builder, ServingStack::PredictorOpts());
+  serve::BatchServer server(&predictor, {});  // max_queue_requests = 0
+  std::vector<std::future<std::vector<serve::ScoredItem>>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(server.Submit(TestExamples()[i % 4], catalog, 2));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().size(), 2u);
+  EXPECT_EQ(server.stats().requests_rejected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RpcServer over real sockets
+// ---------------------------------------------------------------------------
+
+TEST(RpcServerTest, StartReportsBadAddressAndDoubleStart) {
+  {
+    serve::RpcServerOptions opts;
+    opts.bind_address = "not-an-address";
+    ServingStack stack({}, opts);
+    EXPECT_FALSE(stack.rpc.Start().ok());
+  }
+  {
+    ServingStack stack;
+    ASSERT_TRUE(stack.rpc.Start().ok());
+    EXPECT_FALSE(stack.rpc.Start().ok());
+    EXPECT_GT(stack.rpc.port(), 0);
+  }
+}
+
+TEST(RpcServerTest, ServedTopKBitIdenticalToDirectSubmit) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  const auto catalog = FullCatalog(stack.space);
+
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  uint64_t next_id = 1;
+  for (const auto& ex : TestExamples()) {
+    for (const size_t k : {1u, 3u, 100u}) {
+      serve::RpcRequest req;
+      req.id = next_id++;
+      req.user = ex.user;
+      req.k = static_cast<uint32_t>(k);
+      req.history = ex.history;
+      req.slate = catalog;
+      serve::RpcResponse resp;
+      ASSERT_TRUE(client.Call(req, &resp).ok());
+      EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+      // The acceptance criterion: the wire adds framing, never arithmetic.
+      const auto want = stack.batch.Submit(ex, catalog, k).get();
+      ExpectRankingEq(resp.items, want,
+                      "user " + std::to_string(ex.user) + " k " +
+                          std::to_string(k));
+    }
+  }
+}
+
+TEST(RpcServerTest, EdgeRequestsServeCleanly) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+
+  serve::RpcRequest req;
+  req.id = 7;
+  req.user = 1;
+  req.k = 5;  // empty slate
+  serve::RpcResponse resp;
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+  EXPECT_TRUE(resp.items.empty());
+
+  req.id = 8;
+  req.k = 0;  // k == 0
+  req.slate = {0, 1, 2};
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+  EXPECT_TRUE(resp.items.empty());
+}
+
+TEST(RpcServerTest, PipelinedRequestsAllAnsweredById) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  const auto catalog = FullCatalog(stack.space);
+  const auto examples = TestExamples();
+
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  // Fire a burst without reading anything back, then collect.
+  constexpr uint64_t kBurst = 32;
+  for (uint64_t id = 0; id < kBurst; ++id) {
+    serve::RpcRequest req;
+    req.id = id;
+    req.user = examples[id % examples.size()].user;
+    req.k = 2;
+    req.history = examples[id % examples.size()].history;
+    req.slate = catalog;
+    ASSERT_TRUE(client.Send(req).ok());
+  }
+  std::vector<bool> seen(kBurst, false);
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    serve::RpcResponse resp;
+    ASSERT_TRUE(client.ReadResponse(&resp).ok());
+    ASSERT_LT(resp.id, kBurst);
+    EXPECT_FALSE(seen[resp.id]) << "response " << resp.id << " repeated";
+    seen[resp.id] = true;
+    EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+    EXPECT_EQ(resp.items.size(), 2u);
+  }
+}
+
+TEST(RpcServerTest, RequestsSplitAcrossManyWritesAreReassembled) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+
+  serve::RpcRequest req;
+  req.id = 77;
+  req.user = 2;
+  req.k = 2;
+  req.history = {5};
+  req.slate = FullCatalog(stack.space);
+  std::string wire;
+  serve::AppendRequestFrame(req, &wire);
+  // Dribble the frame across dozens of tiny writes, straddling the header /
+  // payload boundary and every element boundary.
+  for (size_t i = 0; i < wire.size(); i += 3) {
+    const size_t n = std::min<size_t>(3, wire.size() - i);
+    ASSERT_EQ(::write(client.fd(), wire.data() + i, n),
+              static_cast<ssize_t>(n));
+  }
+  serve::RpcResponse resp;
+  ASSERT_TRUE(client.ReadResponse(&resp).ok());
+  EXPECT_EQ(resp.id, 77u);
+  EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+  EXPECT_EQ(resp.items.size(), 2u);
+}
+
+TEST(RpcServerTest, GarbageMagicFailsOnlyThatConnection) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+
+  serve::RpcClient bad;
+  ASSERT_TRUE(bad.Connect("127.0.0.1", stack.rpc.port()).ok());
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::write(bad.fd(), garbage, sizeof(garbage) - 1), 0);
+  serve::RpcResponse resp;
+  EXPECT_FALSE(bad.ReadResponse(&resp).ok());  // server closed us
+
+  // The process and other connections are unaffected.
+  serve::RpcClient good;
+  ASSERT_TRUE(good.Connect("127.0.0.1", stack.rpc.port()).ok());
+  serve::RpcRequest req;
+  req.id = 1;
+  req.user = 0;
+  req.k = 1;
+  req.slate = {0, 1};
+  ASSERT_TRUE(good.Call(req, &resp).ok());
+  EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+  EXPECT_GE(stack.rpc.stats().protocol_errors, 1u);
+}
+
+TEST(RpcServerTest, OversizedDeclaredFrameFailsTheConnection) {
+  serve::RpcServerOptions opts;
+  opts.max_frame_bytes = 256;
+  ServingStack stack({}, opts);
+  ASSERT_TRUE(stack.rpc.Start().ok());
+
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  std::string header;
+  const uint32_t magic = serve::kRpcMagic;
+  const uint32_t huge = 1u << 30;
+  header.append(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  header.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  ASSERT_EQ(::write(client.fd(), header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  serve::RpcResponse resp;
+  EXPECT_FALSE(client.ReadResponse(&resp).ok());
+  EXPECT_GE(stack.rpc.stats().protocol_errors, 1u);
+
+  // A frame under the limit still serves on a fresh connection.
+  serve::RpcClient good;
+  ASSERT_TRUE(good.Connect("127.0.0.1", stack.rpc.port()).ok());
+  serve::RpcRequest req;
+  req.id = 1;
+  req.k = 1;
+  req.slate = {0};
+  ASSERT_TRUE(good.Call(req, &resp).ok());
+  EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+}
+
+TEST(RpcServerTest, ClientDisconnectMidRequestDropsOnlyItsResponses) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  const auto catalog = FullCatalog(stack.space);
+
+  {
+    serve::RpcClient ghost;
+    ASSERT_TRUE(ghost.Connect("127.0.0.1", stack.rpc.port()).ok());
+    serve::RpcRequest req;
+    req.id = 13;
+    req.user = 0;
+    req.k = 3;
+    req.history = {1, 2};
+    req.slate = catalog;
+    ASSERT_TRUE(ghost.Send(req).ok());
+    ghost.Close();  // gone before the wave completes
+  }
+
+  // The orphaned completion must be discarded without tripping anything;
+  // the stack keeps serving other clients before and after it drains.
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  for (uint64_t id = 0; id < 8; ++id) {
+    serve::RpcRequest req;
+    req.id = id;
+    req.user = 4;
+    req.k = 2;
+    req.history = {8, 7, 6};
+    req.slate = catalog;
+    serve::RpcResponse resp;
+    ASSERT_TRUE(client.Call(req, &resp).ok());
+    EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+    EXPECT_EQ(resp.items.size(), 2u);
+  }
+}
+
+TEST(RpcServerTest, BoundedQueueShedsAnswerOverloadedAndAccountingBalances) {
+  serve::BatchServerOptions batch_opts;
+  batch_opts.max_wave_requests = 1;  // one request per wave: maximum pressure
+  batch_opts.max_queue_requests = 1;
+  ServingStack stack(batch_opts);
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  const auto catalog = FullCatalog(stack.space);
+
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  // A pipelined burst: the loop thread admits these back-to-back while each
+  // wave scores a full catalog, so the depth-1 queue must shed some (the
+  // exact count depends on scheduling; the invariant below does not).
+  constexpr uint64_t kBurst = 64;
+  for (uint64_t id = 0; id < kBurst; ++id) {
+    serve::RpcRequest req;
+    req.id = id;
+    req.user = 0;
+    req.k = 2;
+    req.history = {1, 2, 3};
+    req.slate = catalog;
+    ASSERT_TRUE(client.Send(req).ok());
+  }
+  uint64_t ok = 0, shed = 0;
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    serve::RpcResponse resp;
+    ASSERT_TRUE(client.ReadResponse(&resp).ok());
+    if (resp.status == serve::RpcStatus::kOk) {
+      ++ok;
+      EXPECT_EQ(resp.items.size(), 2u);
+    } else {
+      ASSERT_EQ(resp.status, serve::RpcStatus::kOverloaded);
+      EXPECT_TRUE(resp.items.empty());
+      ++shed;
+    }
+  }
+  // Every request answered exactly once — no broken promises, no duplicates.
+  EXPECT_EQ(ok + shed, kBurst);
+  const auto stats = stack.rpc.stats();
+  EXPECT_EQ(stats.requests_ok, ok);
+  EXPECT_EQ(stats.requests_shed, shed);
+  EXPECT_EQ(stats.frames_received, kBurst);
+  EXPECT_EQ(stack.batch.stats().requests_rejected, shed);
+}
+
+TEST(RpcServerTest, ShutdownDrainsAdmittedWorkWhileClientsRace) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  const auto catalog = FullCatalog(stack.space);
+  const uint16_t port = stack.rpc.port();
+
+  std::atomic<uint64_t> ok{0}, rejected{0}, disconnected{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c]() {
+      serve::RpcClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        ++disconnected;
+        return;
+      }
+      while (!go.load()) std::this_thread::yield();
+      for (uint64_t id = 0; id < 32; ++id) {
+        serve::RpcRequest req;
+        req.id = id;
+        req.user = static_cast<int32_t>(c);
+        req.k = 2;
+        req.history = {1, 2};
+        req.slate = catalog;
+        serve::RpcResponse resp;
+        if (!client.Call(req, &resp).ok()) {
+          // Shutdown closed the connection: every outcome before this one
+          // was still answered exactly once.
+          ++disconnected;
+          return;
+        }
+        if (resp.status == serve::RpcStatus::kOk) {
+          if (resp.items.size() == 2) ++ok;
+        } else {
+          ++rejected;  // OVERLOADED or SHUTTING_DOWN, both legitimate
+        }
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::yield();
+  stack.rpc.Shutdown();  // races the in-flight calls; must not hang or crash
+  for (auto& t : clients) t.join();
+
+  // No client hung (the join above returned) and nobody got a torn result.
+  const auto stats = stack.rpc.stats();
+  EXPECT_EQ(stats.requests_ok + stats.requests_shed +
+                stats.requests_rejected_shutdown,
+            stats.frames_received)
+      << "every decoded request must be answered exactly once";
+  EXPECT_EQ(stack.rpc.open_connections(), 0u);
+  // Idempotent: a second Shutdown (and the destructor's) is a no-op.
+  stack.rpc.Shutdown();
+}
+
+TEST(RpcServerTest, ShutdownWithIdleConnectionsCompletesImmediately) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  serve::RpcClient idle1, idle2;
+  ASSERT_TRUE(idle1.Connect("127.0.0.1", stack.rpc.port()).ok());
+  ASSERT_TRUE(idle2.Connect("127.0.0.1", stack.rpc.port()).ok());
+  // Idle connections have nothing to drain; Shutdown must not wait for the
+  // drain deadline on them.
+  stack.rpc.Shutdown();
+  EXPECT_EQ(stack.rpc.open_connections(), 0u);
+  serve::RpcResponse resp;
+  EXPECT_FALSE(idle1.ReadResponse(&resp).ok());
+}
+
+}  // namespace
+}  // namespace seqfm

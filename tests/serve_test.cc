@@ -377,6 +377,28 @@ TEST_F(CheckpointErrorTest, MissingFileIsNotFound) {
   EXPECT_EQ(st.code(), StatusCode::kNotFound);
 }
 
+TEST_F(CheckpointErrorTest, SaveIsAtomicAndDurable) {
+  // The durability contract: Save writes path.tmp, fsyncs it, renames it
+  // over path, then fsyncs the parent directory. A successful Save must
+  // leave a loadable file and no stray temp; a failed Save (unwritable
+  // destination) must return IoError and leave the previous checkpoint
+  // bit-for-bit untouched.
+  const std::vector<char> before = ReadAll();
+  ASSERT_TRUE(serve::Checkpoint::Save(*module_, path_).ok());
+  EXPECT_TRUE(ReadAll() == before);  // deterministic serialization
+  {
+    std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+    EXPECT_FALSE(tmp.good()) << "temp file must not survive a Save";
+  }
+  ASSERT_TRUE(serve::Checkpoint::Load(module_, path_).ok());
+
+  const std::string bad =
+      TempPath("no_such_dir_for_ckpt") + "/nested/checkpoint.bin";
+  const Status st = serve::Checkpoint::Save(*module_, bad);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_TRUE(ReadAll() == before) << "failed Save must not disturb path_";
+}
+
 TEST_F(CheckpointErrorTest, CorruptedMagicIsInvalidArgument) {
   auto bytes = ReadAll();
   bytes[0] = 'X';

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "util/flags.h"
 #include "util/hash.h"
 #include "util/result.h"
@@ -486,6 +487,85 @@ TEST(FlagParserTest, RejectsMalformed) {
   const char* argv2[] = {"prog", "--=3"};
   FlagParser f2;
   EXPECT_FALSE(f2.Parse(2, argv2).ok());
+}
+
+TEST(FlagParserTest, MalformedNumericValuesFallBackToDefault) {
+  // strtoll/strtod with a null endptr used to accept "4garbage" as 4 and
+  // silently clamp overflow; every malformed token must now warn and use
+  // the caller's default instead (the SEQFM_THREADS policy).
+  const char* argv[] = {"prog",
+                        "--trailing=4garbage",
+                        "--empty=",
+                        "--words=abc",
+                        "--overflow=99999999999999999999999999",
+                        "--underflow=-99999999999999999999999999",
+                        "--dbl-trailing=0.5x",
+                        "--dbl-overflow=1e999999",
+                        "--bare"};  // bare flag: value is the string "true"
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(9, argv).ok());
+  EXPECT_EQ(flags.GetInt("trailing", 7), 7);
+  EXPECT_EQ(flags.GetInt("empty", 7), 7);
+  EXPECT_EQ(flags.GetInt("words", 7), 7);
+  EXPECT_EQ(flags.GetInt("overflow", 7), 7);
+  EXPECT_EQ(flags.GetInt("underflow", 7), 7);
+  EXPECT_EQ(flags.GetInt("bare", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("trailing", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("dbl-trailing", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("dbl-overflow", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("empty", 0.25), 0.25);
+}
+
+TEST(FlagParserTest, WellFormedNumericValuesStillParse) {
+  const char* argv[] = {"prog", "--neg=-12", "--zero=0", "--big=123456789012",
+                        "--sci=2.5e-3", "--negf=-0.75", "--inf=1e308"};
+  FlagParser flags;
+  ASSERT_TRUE(flags.Parse(7, argv).ok());
+  EXPECT_EQ(flags.GetInt("neg", 0), -12);
+  EXPECT_EQ(flags.GetInt("zero", 9), 0);
+  EXPECT_EQ(flags.GetInt("big", 0), 123456789012LL);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("sci", 0.0), 2.5e-3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("negf", 0.0), -0.75);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("inf", 0.0), 1e308);
+}
+
+// ---------------------------------------------------------------------------
+// bench::Percentile (nearest-rank; shared by bench_serving / bench_loadgen)
+// ---------------------------------------------------------------------------
+
+TEST(PercentileTest, NearestRankOnKnownVectors) {
+  // 1..100: nearest-rank pN is exactly N. The pre-fix q*n indexing returned
+  // 100 (the max) for p99 here — the regression this test locks down.
+  std::vector<double> v(100);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i + 1);
+  EXPECT_DOUBLE_EQ(bench::Percentile(&v, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(bench::Percentile(&v, 0.90), 90.0);
+  EXPECT_DOUBLE_EQ(bench::Percentile(&v, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(bench::Percentile(&v, 1.0), 100.0);
+  // p999 with only 100 samples is the max by construction.
+  EXPECT_DOUBLE_EQ(bench::Percentile(&v, 0.999), 100.0);
+}
+
+TEST(PercentileTest, SmallAndDegenerateInputs) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(bench::Percentile(&empty, 0.99), 0.0);
+  std::vector<double> one = {3.5};
+  EXPECT_DOUBLE_EQ(bench::Percentile(&one, 0.01), 3.5);
+  EXPECT_DOUBLE_EQ(bench::Percentile(&one, 0.99), 3.5);
+  // Two samples: p50 is the first (rank ceil(0.5*2)=1), p99 the second.
+  std::vector<double> two = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(bench::Percentile(&two, 0.50), 10.0);
+  EXPECT_DOUBLE_EQ(bench::Percentile(&two, 0.99), 20.0);
+}
+
+TEST(PercentileTest, SortsInPlaceAndScalesToMs) {
+  std::vector<double> v = {0.003, 0.001, 0.002};  // seconds, unsorted
+  EXPECT_DOUBLE_EQ(bench::PercentileMs(&v, 0.50), 2.0);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  // p999 across 1000 samples picks rank 999 of 1000, not the max.
+  std::vector<double> big(1000);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<double>(i + 1);
+  EXPECT_DOUBLE_EQ(bench::Percentile(&big, 0.999), 999.0);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {
