@@ -35,6 +35,10 @@ namespace {
 /// negligible per thread.
 constexpr size_t kInitialBlockBytes = size_t{1} << 20;
 
+/// Memory order audit: every access below is relaxed, which is sound —
+/// these are monotonic statistics counters that publish no data and gate no
+/// control flow; readers (stats snapshots) tolerate torn cross-counter
+/// views by design (ScratchStats documents "process-wide snapshot").
 std::atomic<uint64_t> g_allocations{0};
 std::atomic<uint64_t> g_heap_refills{0};
 std::atomic<size_t> g_bytes_reserved{0};

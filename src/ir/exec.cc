@@ -8,9 +8,11 @@
 #include "core/scratch_arena.h"
 #include "ir/passes.h"
 #include "ir/trace.h"
+#include "ir/verify.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/ordered_mutex.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -492,6 +494,19 @@ bool BitEqual(const tensor::Tensor& a, const tensor::Tensor& b) {
          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
 }
 
+/// Structural verification gate between passes: a rejected program aborts
+/// the compile (the Predictor falls back to eager scoring) with a diagnostic
+/// naming the pass that broke it.
+bool VerifyStage(const Program& p, const char* stage, const char* half,
+                 const VerifyOptions& options, std::string* error) {
+  const Status st = Verify(p, options);
+  if (st.ok()) return true;
+  *error = std::string("verify after ") + stage + " (" + half +
+           "): " + st.message();
+  SEQFM_LOG(Warning) << "ir: " << *error;
+  return false;
+}
+
 std::string CheckArrays(const Frame& f, const data::Batch& batch) {
   if (f.needs_static && f.sids != batch.static_ids) {
     return "synthesized static ids diverge from BatchBuilder layout";
@@ -543,7 +558,6 @@ std::unique_ptr<Engine> Engine::Compile(core::Model* model,
   e->unified_dyn_base_ = static_cast<int32_t>(space.static_dim());
   e->n_seq_ = builder->max_seq_len();
   e->uid_ = NextProgramUid();
-  std::lock_guard<std::mutex> lock(e->mu_);
   if (!e->CompileCount(2, /*adopt_prologue=*/true, error)) return nullptr;
   return e;
 }
@@ -583,10 +597,23 @@ bool Engine::CompileCount(size_t count, bool adopt_prologue,
     *error = "compile: unexpected batch index geometry";
     return false;
   }
+  const VerifyOptions trace_opts;  // no slots, no arena plan yet
+  if (!VerifyStage(t1.program, "trace", "count 1", trace_opts, error) ||
+      !VerifyStage(tC.program, "trace", "count C", trace_opts, error)) {
+    return false;
+  }
 
   FactorResult f = Factor(t1, tC, batch1, batchC);
   if (!f.ok()) {
     *error = f.error;
+    return false;
+  }
+  const VerifyOptions prologue_opts;
+  VerifyOptions body_opts;
+  body_opts.allow_slots = true;
+  body_opts.num_slots = f.prologue.slot_outputs.size();
+  if (!VerifyStage(f.prologue, "factor", "prologue", prologue_opts, error) ||
+      !VerifyStage(f.body, "factor", "body", body_opts, error)) {
     return false;
   }
   // Belt and braces: an invariant (prologue) gather must never read the
@@ -600,10 +627,18 @@ bool Engine::CompileCount(size_t count, bool adopt_prologue,
 
   EngineStats delta;
   for (Program* p : {&f.prologue, &f.body}) {
+    const bool is_body = p == &f.body;
+    const char* half = is_body ? "body" : "prologue";
+    VerifyOptions opts = is_body ? body_opts : prologue_opts;
     delta.folded += FoldConstants(p);
+    if (!VerifyStage(*p, "fold_constants", half, opts, error)) return false;
     delta.dce_removed += DeadCodeElim(p);
+    if (!VerifyStage(*p, "dead_code_elim", half, opts, error)) return false;
     delta.fused += FuseElementwise(p);
+    if (!VerifyStage(*p, "fuse_elementwise", half, opts, error)) return false;
     PlanArena(p);
+    opts.check_arena = true;
+    if (!VerifyStage(*p, "plan_arena", half, opts, error)) return false;
   }
 
   if (!adopt_prologue) {
@@ -725,19 +760,32 @@ bool Engine::CompileCount(size_t count, bool adopt_prologue,
     }
   }
 
-  if (adopt_prologue) {
-    prologue_ = std::move(f.prologue);
-    stats_.prologue_instrs = prologue_.instrs.size();
-    stats_.body_instrs = f.body.instrs.size();
-    stats_.slots = prologue_.slot_outputs.size();
-    stats_.prologue_frame_floats = prologue_.frame_floats;
-    stats_.body_frame_floats = f.body.frame_floats;
+  // Publication is the only part of a compile that needs the engine lock.
+  // Everything above (tracing, passes, self-checks) runs lock-free: tracing
+  // takes the thread pool's region lock via ParallelFor, and ScoreRange is
+  // itself called from inside pool regions, so holding mu_ across the heavy
+  // work would invert the pool/engine lock order (see ordered_mutex.h).
+  {
+    util::OrderedMutexLock lock(mu_);
+    if (adopt_prologue) {
+      stats_.prologue_instrs = f.prologue.instrs.size();
+      stats_.body_instrs = f.body.instrs.size();
+      stats_.slots = f.prologue.slot_outputs.size();
+      stats_.prologue_frame_floats = f.prologue.frame_floats;
+      stats_.body_frame_floats = f.body.frame_floats;
+      prologue_ = std::move(f.prologue);
+    }
+    if (bodies_.find(count) == bodies_.end()) {
+      stats_.folded += delta.folded;
+      stats_.dce_removed += delta.dce_removed;
+      stats_.fused += delta.fused;
+      stats_.compiled_counts += 1;
+      bodies_[count] = std::make_unique<Program>(std::move(f.body));
+    }
+    // else: a concurrent ScoreRange compiled this count first. Both compiles
+    // trace the same deterministic model, so the programs are equivalent;
+    // keeping the first insertion keeps frame uids stable.
   }
-  stats_.folded += delta.folded;
-  stats_.dce_removed += delta.dce_removed;
-  stats_.fused += delta.fused;
-  stats_.compiled_counts += 1;
-  bodies_[count] = std::make_unique<Program>(std::move(f.body));
   return true;
 }
 
@@ -780,17 +828,25 @@ bool Engine::ScoreRange(const core::SharedContext& ctx,
     cands = padded;
   }
 
+  // Look up the body under the lock, but never compile under it: a wave
+  // chunk task calling in here already holds the pool's region lock, and a
+  // fresh compile takes that same lock through tracing's ParallelFor — the
+  // old hold-mu_-across-compile shape deadlocked against exactly that.
+  // Losing a duplicate-compile race costs one discarded program, not bits.
   const Program* body = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::OrderedMutexLock lock(mu_);
     auto it = bodies_.find(body_count);
-    if (it == bodies_.end()) {
-      if (!CompileCount(body_count, /*adopt_prologue=*/false, error)) {
-        return false;
-      }
-      it = bodies_.find(body_count);
+    if (it != bodies_.end()) body = it->second.get();
+  }
+  if (body == nullptr) {
+    if (!CompileCount(body_count, /*adopt_prologue=*/false, error)) {
+      return false;
     }
-    body = it->second.get();
+    util::OrderedMutexLock lock(mu_);
+    auto it = bodies_.find(body_count);
+    SEQFM_CHECK(it != bodies_.end());
+    body = it->second.get();  // unique_ptr target: stable after unlock
   }
 
   Frame* bf = FrameFor(*body);
@@ -801,7 +857,7 @@ bool Engine::ScoreRange(const core::SharedContext& ctx,
 }
 
 EngineStats Engine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::OrderedMutexLock lock(mu_);
   return stats_;
 }
 

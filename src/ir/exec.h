@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +12,8 @@
 #include "core/seqfm.h"
 #include "data/dataset.h"
 #include "ir/program.h"
+#include "util/ordered_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace seqfm {
 namespace ir {
@@ -93,12 +94,17 @@ class Engine {
  private:
   Engine() = default;
 
-  /// Traces fresh at counts 1 and \p count, factors, optimizes, self-checks.
-  /// Fresh traces (not stored ones) keep the verification honest after
-  /// checkpoint reloads swap parameter storage. On success the body is
-  /// parked in bodies_[count]; the caller holds mu_.
+  /// Traces fresh at counts 1 and \p count, factors, optimizes, verifies,
+  /// and self-checks. Fresh traces (not stored ones) keep the verification
+  /// honest after checkpoint reloads swap parameter storage. Runs WITHOUT
+  /// mu_ held — tracing dispatches ParallelFor work, and holding the engine
+  /// lock across a pool region inverts against wave chunk tasks that call
+  /// ScoreRange from inside pool work (see util::lock_rank). On success the
+  /// body is published into bodies_[count] under a short mu_ critical
+  /// section; concurrent compiles of the same count are tolerated
+  /// (first insert wins, both results are bit-identical).
   bool CompileCount(size_t count, bool adopt_prologue,
-                    std::string* error) const;
+                    std::string* error) const SEQFM_EXCLUDES(mu_);
 
   core::Model* model_ = nullptr;
   const data::BatchBuilder* builder_ = nullptr;
@@ -111,13 +117,20 @@ class Engine {
   size_t n_seq_ = 0;
   uint64_t uid_ = 0;
 
-  // mutable: written once inside Compile's locked CompileCount call, via the
-  // same const path ScoreRange uses for lazy per-count bodies.
+  // mutable: written once by Compile's initial CompileCount call, via the
+  // same const path ScoreRange uses for lazy per-count bodies. Immutable
+  // after Compile returns (the engine is not published until Compile
+  // completes, and checkpoint reloads build a new Engine), so readers need
+  // no lock; not GUARDED_BY for that reason.
   mutable Program prologue_;
 
-  mutable std::mutex mu_;
-  mutable std::unordered_map<size_t, std::unique_ptr<Program>> bodies_;
-  mutable EngineStats stats_;
+  /// Innermost rank: acquired for bodies_/stats_ publication and lookup
+  /// only, never held across a compile or a pool region.
+  mutable util::OrderedMutex mu_{"ir::Engine::mu_",
+                                 util::lock_rank::kIrEngine};
+  mutable std::unordered_map<size_t, std::unique_ptr<Program>> bodies_
+      SEQFM_GUARDED_BY(mu_);
+  mutable EngineStats stats_ SEQFM_GUARDED_BY(mu_);
 };
 
 }  // namespace ir

@@ -238,11 +238,19 @@ FactorResult Factor(const TraceResult& trace1, const TraceResult& traceC,
 }
 
 size_t FoldConstants(Program* program) {
+  // Never fold a program output or a slot output: the executor resolves both
+  // through the frame's locals, so re-kinding one to kConstant would hand its
+  // consumers an empty tensor. (A constant-valued slot is possible — a
+  // constant subgraph feeding a candidate-variant op is selected as a slot.)
+  std::vector<char> pinned(program->values.size(), 0);
+  if (program->output != kNoValue) pinned[program->output] = 1;
+  for (uint32_t s : program->slot_outputs) pinned[s] = 1;
+
   size_t folded = 0;
   std::vector<Instr> kept;
   kept.reserve(program->instrs.size());
   for (Instr& ins : program->instrs) {
-    bool foldable = !ins.in.empty() && !IsGather(ins.kind) &&
+    bool foldable = !pinned[ins.out] && !ins.in.empty() && !IsGather(ins.kind) &&
                     !IsSynthesized(ins.kind) && ins.kind != OpKind::kTileRows;
     for (uint32_t u : ins.in) {
       foldable = foldable &&

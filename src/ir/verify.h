@@ -1,0 +1,66 @@
+#ifndef SEQFM_IR_VERIFY_H_
+#define SEQFM_IR_VERIFY_H_
+
+#include <cstddef>
+
+#include "ir/program.h"
+#include "util/status.h"
+
+namespace seqfm {
+namespace ir {
+
+/// \brief Structural verifier for compiled op programs.
+///
+/// The serving compiler's end-to-end defense is the bit-parity self-check in
+/// Engine::CompileCount (replay vs. traced forward, cross-probe). Verify is
+/// the complementary *structural* defense: it proves, per program, that the
+/// instruction list is well-formed independent of any particular request, so
+/// a pass bug surfaces as a precise diagnostic at the pass that introduced it
+/// instead of as a downstream bit mismatch (or, worse, a clean-looking read
+/// of clobbered memory that happens to match). Engine::CompileCount runs it
+/// after every pass; any failure aborts the compile and the Predictor falls
+/// back to the eager path — never wrong bits.
+///
+/// Checked invariants:
+///   - instruction/value table integrity: every referenced value id is in
+///     range, instruction outputs are kLocal, each id is defined at most
+///     once (SSA), every read of a local happens after its definition;
+///   - per-op agreement with the executor's shape contracts (arity, ranks,
+///     inner-dimension matches, elementwise size equality — the same
+///     relations EvalPure / RunProgram index by);
+///   - value-kind soundness: params are live non-null nodes, constant
+///     indices address Program::constants with matching element counts,
+///     kSlot reads appear only where the caller allows them and stay inside
+///     the prologue's slot count;
+///   - IndexBinding soundness: gathers carry a binding with a real source,
+///     cols/deltas agree in length, and every column addresses inside the
+///     synthesized index row (n_static / n_seq / n_unified);
+///   - fusion-aliasing legality: alias chains are acyclic and land on a
+///     defined kLocal root of equal element count, an aliased value is
+///     defined by a pointwise op reading its alias target as in[0], and no
+///     value is read after its buffer was overwritten in place;
+///   - arena-plan soundness (check_arena): lifetimes are recomputed from
+///     uses, and every planned root gets a 64-byte-aligned in-bounds frame
+///     range that overlaps no simultaneously-live root; aliases share their
+///     root's offset and dead locals carry kNoOffset.
+struct VerifyOptions {
+  /// Verify PlanArena's output (offsets, frame_floats). Off for programs
+  /// that have not been planned yet — Value::offset defaults to 0, so an
+  /// unplanned program is indistinguishable from one planned at offset 0.
+  bool check_arena = false;
+  /// Body programs read prologue outputs as kSlot values; everywhere else a
+  /// kSlot value is a compiler bug.
+  bool allow_slots = false;
+  /// When allow_slots: number of slots the paired prologue writes. kSlot
+  /// indices must stay below this.
+  size_t num_slots = 0;
+};
+
+/// Returns OK iff \p program satisfies every invariant above. The error
+/// message pinpoints the instruction / value id and the violated rule.
+Status Verify(const Program& program, const VerifyOptions& options = {});
+
+}  // namespace ir
+}  // namespace seqfm
+
+#endif  // SEQFM_IR_VERIFY_H_

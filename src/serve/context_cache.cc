@@ -36,7 +36,7 @@ ContextCache::ContextPtr ContextCache::GetOrCompute(
     const std::function<ContextPtr()>& compute) {
   const uint64_t hash = KeyHash(user_index, dynamic_ids);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::OrderedMutexLock lock(mu_);
     auto it = Find(hash, user_index, dynamic_ids);
     if (it != lru_.end()) {
       ++hits_;
@@ -57,7 +57,7 @@ ContextCache::ContextPtr ContextCache::GetOrCompute(
   const size_t cost = context->ApproxBytes() +
                       dynamic_ids.size() * sizeof(int32_t) + sizeof(Entry);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  util::OrderedMutexLock lock(mu_);
   auto it = Find(hash, user_index, dynamic_ids);
   if (it != lru_.end()) {
     // A racing thread inserted while we computed (compute ran outside the
@@ -90,7 +90,7 @@ void ContextCache::EvictBack() {
 }
 
 void ContextCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::OrderedMutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;
@@ -98,7 +98,7 @@ void ContextCache::Invalidate() {
 }
 
 ContextCacheStats ContextCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::OrderedMutexLock lock(mu_);
   ContextCacheStats s;
   s.hits = hits_;
   s.misses = misses_;

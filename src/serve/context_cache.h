@@ -5,11 +5,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/seqfm.h"
+#include "util/ordered_mutex.h"
+#include "util/thread_annotations.h"
 
 namespace seqfm {
 namespace serve {
@@ -91,16 +92,22 @@ class ContextCache {
 
   /// Returns the entry for the full key or lru_.end(). Caller holds mu_.
   LruList::iterator Find(uint64_t hash, int32_t user_index,
-                         const std::vector<int32_t>& dynamic_ids);
+                         const std::vector<int32_t>& dynamic_ids)
+      SEQFM_REQUIRES(mu_);
   /// Drops the least-recently-used entry. Caller holds mu_.
-  void EvictBack();
+  void EvictBack() SEQFM_REQUIRES(mu_);
 
   const size_t byte_budget_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recently used
-  std::unordered_multimap<uint64_t, LruList::iterator> index_;
-  size_t bytes_ = 0;
-  uint64_t hits_ = 0, misses_ = 0, evictions_ = 0, invalidations_ = 0;
+  mutable util::OrderedMutex mu_{"ContextCache::mu_",
+                                 util::lock_rank::kContextCache};
+  LruList lru_ SEQFM_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_multimap<uint64_t, LruList::iterator> index_
+      SEQFM_GUARDED_BY(mu_);
+  size_t bytes_ SEQFM_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ SEQFM_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ SEQFM_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ SEQFM_GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ SEQFM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

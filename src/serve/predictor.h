@@ -224,6 +224,12 @@ class Predictor {
   std::unique_ptr<ir::Engine> engine_;
   /// Latched on the first compiled-path failure (a per-count body that does
   /// not verify); from then on every request takes the fallback paths.
+  /// Memory order audit: relaxed is sufficient — the flag is a pure latch
+  /// that publishes no data. A thread observing it stale merely retries the
+  /// compiled path and latches again (idempotent); the fallback paths read
+  /// only state that was immutable before serving started. The store in
+  /// CompileEngine runs with scoring quiesced (ReloadCheckpoint contract),
+  /// so it cannot race a latch.
   mutable std::atomic<bool> engine_failed_{false};
   std::unique_ptr<ContextCache> cache_;
   /// [0, num_objects) — built once so TopKAll does not re-materialize it.

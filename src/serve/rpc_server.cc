@@ -53,7 +53,7 @@ RpcServer::~RpcServer() { Shutdown(); }
 
 Status RpcServer::Start() {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    util::OrderedMutexLock lock(shutdown_mu_);
     if (started_) return Status::FailedPrecondition("RpcServer::Start twice");
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
@@ -113,7 +113,7 @@ Status RpcServer::Start() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
 
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    util::OrderedMutexLock lock(shutdown_mu_);
     started_ = true;
   }
   loop_ = std::thread([this]() { Loop(); });
@@ -124,7 +124,7 @@ void RpcServer::Shutdown() {
   // Serializing the whole sequence makes Shutdown idempotent and gives every
   // caller the post-condition "all admitted requests answered, loop joined"
   // — the same guarantee BatchServer::Shutdown documents.
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  util::OrderedMutexLock lock(shutdown_mu_);
   if (!started_ || joined_) return;
   stopping_.store(true, std::memory_order_release);
   SignalWakeup();  // loop closes the listener: no new connections
@@ -139,7 +139,7 @@ void RpcServer::Shutdown() {
 }
 
 RpcServerStats RpcServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::OrderedMutexLock lock(mu_);
   return stats_;
 }
 
@@ -254,7 +254,7 @@ void RpcServer::AcceptAll() {
     }
     conns_.emplace(conn->id, std::move(conn));
     open_connections_.store(conns_.size(), std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
+    util::OrderedMutexLock lock(mu_);
     ++stats_.connections_accepted;
   }
 }
@@ -305,23 +305,25 @@ bool RpcServer::ProcessFrames(Connection* conn) {
   for (;;) {
     if (Status st = conn->reader.Next(&payload, &got); !st.ok()) {
       SEQFM_LOG(Warning) << "rpc: closing connection: " << st.ToString();
-      std::unique_lock<std::mutex> lock(mu_);
-      ++stats_.protocol_errors;
-      lock.unlock();
+      {
+        util::OrderedMutexLock lock(mu_);
+        ++stats_.protocol_errors;
+      }
       CloseConn(conn->id);
       return false;
     }
     if (!got) return true;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::OrderedMutexLock lock(mu_);
       ++stats_.frames_received;
     }
     RpcRequest req;
     if (Status st = DecodeRequest(payload, &req); !st.ok()) {
       SEQFM_LOG(Warning) << "rpc: closing connection: " << st.ToString();
-      std::unique_lock<std::mutex> lock(mu_);
-      ++stats_.protocol_errors;
-      lock.unlock();
+      {
+        util::OrderedMutexLock lock(mu_);
+        ++stats_.protocol_errors;
+      }
       CloseConn(conn->id);
       return false;
     }
@@ -348,7 +350,7 @@ void RpcServer::HandleRequest(Connection* conn, RpcRequest req) {
       return;
     case BatchServer::AdmitResult::kOverloaded: {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::OrderedMutexLock lock(mu_);
         ++stats_.requests_shed;
       }
       RpcResponse resp;
@@ -361,7 +363,7 @@ void RpcServer::HandleRequest(Connection* conn, RpcRequest req) {
     }
     case BatchServer::AdmitResult::kShutdown: {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        util::OrderedMutexLock lock(mu_);
         ++stats_.requests_rejected_shutdown;
       }
       RpcResponse resp;
@@ -388,7 +390,7 @@ void RpcServer::OnWaveComplete(uint64_t conn_id, uint64_t request_id,
   completion.conn_id = conn_id;
   AppendResponseFrame(resp, &completion.wire);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::OrderedMutexLock lock(mu_);
     completions_.push_back(std::move(completion));
     ++stats_.requests_ok;
   }
@@ -398,7 +400,7 @@ void RpcServer::OnWaveComplete(uint64_t conn_id, uint64_t request_id,
 void RpcServer::DrainCompletions() {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::OrderedMutexLock lock(mu_);
     batch.swap(completions_);
   }
   for (Completion& completion : batch) {
@@ -455,7 +457,7 @@ bool RpcServer::FlushWrites(Connection* conn) {
       conn->pending_out() > options_.max_write_buffer_bytes) {
     conn->paused_read = true;
     interest_changed = true;
-    std::lock_guard<std::mutex> lock(mu_);
+    util::OrderedMutexLock lock(mu_);
     ++stats_.backpressure_pauses;
   } else if (conn->paused_read &&
              conn->pending_out() <= options_.max_write_buffer_bytes / 2) {
@@ -482,7 +484,7 @@ void RpcServer::CloseConn(uint64_t conn_id) {
   ::close(it->second->fd);
   conns_.erase(it);
   open_connections_.store(conns_.size(), std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::OrderedMutexLock lock(mu_);
   ++stats_.connections_closed;
 }
 

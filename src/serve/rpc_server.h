@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -12,7 +11,9 @@
 
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "util/ordered_mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace seqfm {
 namespace serve {
@@ -154,18 +155,24 @@ class RpcServer {
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
   uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = eventfd
 
-  mutable std::mutex mu_;  // guards completions_ and stats_
-  std::vector<Completion> completions_;
-  RpcServerStats stats_;
+  /// Ranked above BatchServer::serve_mu_: OnWaveComplete runs on the
+  /// dispatcher thread with serve_mu_ held and must enqueue completions.
+  mutable util::OrderedMutex mu_{"RpcServer::mu_",
+                                 util::lock_rank::kRpcCompletions};
+  std::vector<Completion> completions_ SEQFM_GUARDED_BY(mu_);
+  RpcServerStats stats_ SEQFM_GUARDED_BY(mu_);
   std::atomic<size_t> open_connections_{0};
 
   std::atomic<bool> stopping_{false};  // stop accepting new connections
   std::atomic<bool> draining_{false};  // flush + close + exit the loop
 
-  /// Serializes Shutdown callers (idempotence + single join).
-  std::mutex shutdown_mu_;
-  bool started_ = false;
-  bool joined_ = false;
+  /// Serializes Shutdown callers (idempotence + single join). Outermost
+  /// rank: Shutdown holds it across BatchServer::Shutdown (which takes the
+  /// batch queue lock to drain).
+  util::OrderedMutex shutdown_mu_{"RpcServer::shutdown_mu_",
+                                  util::lock_rank::kRpcShutdown};
+  bool started_ SEQFM_GUARDED_BY(shutdown_mu_) = false;
+  bool joined_ SEQFM_GUARDED_BY(shutdown_mu_) = false;
 };
 
 /// \brief Minimal blocking client for the RPC protocol (tests, examples,

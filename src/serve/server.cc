@@ -24,10 +24,10 @@ BatchServer::~BatchServer() { Shutdown(); }
 
 void BatchServer::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::OrderedMutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   // call_once: concurrent Shutdown callers (or Shutdown racing the
   // destructor) must not both join the dispatcher; late callers block here
   // until the first join completes, so "after Shutdown returns, all admitted
@@ -76,7 +76,7 @@ BatchServer::AdmitResult BatchServer::TrySubmit(
   req.k = k;
   req.done = std::move(done);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::OrderedMutexLock lock(mu_);
     if (shutdown_) return AdmitResult::kShutdown;
     if (options_.max_queue_requests > 0 &&
         queue_.size() >= options_.max_queue_requests) {
@@ -89,7 +89,7 @@ BatchServer::AdmitResult BatchServer::TrySubmit(
     queue_.push_back(std::move(req));
     ++stats_.requests_admitted;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return AdmitResult::kAdmitted;
 }
 
@@ -97,19 +97,19 @@ Status BatchServer::ReloadCheckpoint(const std::string& path) {
   // serve_mu_ quiesces serving: the in-flight wave (if any) completes
   // against the old parameters, then the reload + cache invalidation run
   // with no scoring in progress.
-  std::lock_guard<std::mutex> serve_lock(serve_mu_);
+  util::OrderedMutexLock serve_lock(serve_mu_);
   return predictor_->ReloadCheckpoint(path);
 }
 
 BatchServerStats BatchServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::OrderedMutexLock lock(mu_);
   BatchServerStats out = stats_;
   out.scratch = core::GlobalScratchStats();
   return out;
 }
 
 size_t BatchServer::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::OrderedMutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -117,8 +117,10 @@ void BatchServer::DispatchLoop() {
   for (;;) {
     std::vector<Request> wave;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      util::OrderedMutexLock lock(mu_);
+      cv_.Wait(mu_, [this]() SEQFM_REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // shutdown with nothing left to drain
       const size_t take = std::min(queue_.size(), options_.max_wave_requests);
       wave.reserve(take);
@@ -129,7 +131,7 @@ void BatchServer::DispatchLoop() {
       ++stats_.waves;
       stats_.largest_wave = std::max<uint64_t>(stats_.largest_wave, take);
     }
-    std::lock_guard<std::mutex> serve_lock(serve_mu_);
+    util::OrderedMutexLock serve_lock(serve_mu_);
     ServeWave(&wave);
   }
 }
@@ -209,7 +211,7 @@ void BatchServer::ServeWave(std::vector<Request>* wave) {
   // served counter is published first so a client that observed its result
   // arrive always sees its request counted.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::OrderedMutexLock lock(mu_);
     stats_.requests_served += num_requests;
   }
   for (size_t r = 0; r < num_requests; ++r) {

@@ -1,7 +1,6 @@
 #ifndef SEQFM_SERVE_SERVER_H_
 #define SEQFM_SERVE_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -13,7 +12,10 @@
 
 #include "data/dataset.h"
 #include "serve/predictor.h"
+#include "util/mutex.h"
+#include "util/ordered_mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace seqfm {
 namespace serve {
@@ -143,7 +145,7 @@ class BatchServer {
   /// cache, so no request is ever scored against a mix of old parameters
   /// and stale contexts. Requests queued behind the reload score against
   /// the new parameters.
-  Status ReloadCheckpoint(const std::string& path);
+  Status ReloadCheckpoint(const std::string& path) SEQFM_EXCLUDES(serve_mu_);
 
   BatchServerStats stats() const;
 
@@ -159,22 +161,29 @@ class BatchServer {
   };
 
   void DispatchLoop();
-  /// Scores one wave and fires its callbacks. Caller holds serve_mu_.
-  void ServeWave(std::vector<Request>* wave);
+  /// Scores one wave and fires its callbacks. Caller holds serve_mu_; the
+  /// annotation is on the declaration, not re-locked inside (callbacks run
+  /// with mu_ released but serve_mu_ held — they may re-enter TrySubmit).
+  void ServeWave(std::vector<Request>* wave) SEQFM_REQUIRES(serve_mu_);
 
   Predictor* predictor_;
   BatchServerOptions options_;
 
-  mutable std::mutex mu_;  // guards queue_, shutdown_, stats_
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool shutdown_ = false;
-  BatchServerStats stats_;
+  mutable util::OrderedMutex mu_{"BatchServer::mu_",
+                                 util::lock_rank::kBatchQueue};
+  util::CondVar cv_;
+  std::deque<Request> queue_ SEQFM_GUARDED_BY(mu_);
+  bool shutdown_ SEQFM_GUARDED_BY(mu_) = false;
+  BatchServerStats stats_ SEQFM_GUARDED_BY(mu_);
   /// Serializes the dispatcher join across concurrent Shutdown callers.
   std::once_flag join_once_;
 
-  /// Held while a wave executes; ReloadCheckpoint quiesces on it.
-  std::mutex serve_mu_;
+  /// Held while a wave executes; ReloadCheckpoint quiesces on it. Ranked
+  /// below mu_: the dispatcher acquires serve_mu_ first, then mu_ for the
+  /// stats update, and wave callbacks may re-enter TrySubmit (mu_) while
+  /// the wave still holds serve_mu_.
+  util::OrderedMutex serve_mu_{"BatchServer::serve_mu_",
+                               util::lock_rank::kBatchServe};
 
   /// Last member: starts after every field above is initialized.
   std::thread dispatcher_;

@@ -1,0 +1,74 @@
+#ifndef SEQFM_UTIL_MUTEX_H_
+#define SEQFM_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace seqfm {
+namespace util {
+
+/// \brief std::mutex with clang capability annotations.
+///
+/// libstdc++'s std::mutex carries no thread-safety attributes, so members
+/// guarded by one are invisible to -Wthread-safety. This wrapper is the
+/// annotated drop-in: same storage, same fast path (lock/unlock inline to
+/// the std calls), but acquiring/releasing is visible to the analysis.
+/// Waiting uses util::CondVar (condition_variable_any over this type).
+class SEQFM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SEQFM_ACQUIRE() { mu_.lock(); }
+  void unlock() SEQFM_RELEASE() { mu_.unlock(); }
+  bool try_lock() SEQFM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for util::Mutex, visible to the analysis as a scoped
+/// capability (std::lock_guard<util::Mutex> would lock correctly but the
+/// analysis does not look through template constructors).
+class SEQFM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SEQFM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SEQFM_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with util::Mutex and util::OrderedMutex (any
+/// BasicLockable). Wait() is annotated as requiring the mutex: the analysis
+/// treats the capability as held across the internal unlock/relock, which is
+/// sound for the guarded-predicate pattern — the predicate only runs with
+/// the lock held. Predicate lambdas touching guarded members must carry
+/// SEQFM_REQUIRES(mu) themselves (the analysis checks lambda bodies
+/// separately from the enclosing function).
+class CondVar {
+ public:
+  template <typename M>
+  void Wait(M& mu) SEQFM_REQUIRES(mu) {
+    cv_.wait(mu);
+  }
+  template <typename M, typename Pred>
+  void Wait(M& mu, Pred pred) SEQFM_REQUIRES(mu) {
+    while (!pred()) cv_.wait(mu);
+  }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace util
+}  // namespace seqfm
+
+#endif  // SEQFM_UTIL_MUTEX_H_

@@ -33,15 +33,15 @@ void ThreadPool::StartWorkers(size_t num_threads) {
 
 void ThreadPool::StopWorkers() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
   workers_.clear();
   {
     // Reset so Resize can start a fresh worker set on the same object.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = false;
   }
 }
@@ -55,7 +55,7 @@ void ThreadPool::Resize(size_t num_threads) {
   // Waits until no parallel region is active, and keeps new regions out
   // while workers are being swapped. Threads already holding a reference to
   // this pool stay valid: the object is never destroyed, only re-staffed.
-  std::lock_guard<std::mutex> region_lock(region_mu_);
+  MutexLock region_lock(region_mu_);
   if (num_threads == this->num_threads()) return;
   StopWorkers();
   StartWorkers(num_threads);
@@ -64,36 +64,44 @@ void ThreadPool::Resize(size_t num_threads) {
 void ThreadPool::RunChunks() {
   for (;;) {
     size_t b, e;
+    const std::function<void(size_t, size_t)>* fn = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (next_ >= end_) return;
       b = next_;
       e = std::min(end_, b + chunk_);
       next_ = e;
       ++active_;
+      // Read the region body under the lock that claims the chunk. The
+      // submitter clears fn_ only after observing active_ == 0 with
+      // next_ >= end_ under mu_, so the pointer stays valid for this chunk.
+      fn = fn_;
     }
     const bool was_in_pool_work = t_in_pool_work;
     t_in_pool_work = true;
-    (*fn_)(b, e);
+    (*fn)(b, e);
     t_in_pool_work = was_in_pool_work;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (next_ >= end_ && active_ == 0) done_cv_.notify_all();
+      if (next_ >= end_ && active_ == 0) done_cv_.NotifyAll();
     }
   }
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
   for (;;) {
-    work_cv_.wait(lock, [this]() {
+    work_cv_.Wait(mu_, [this]() SEQFM_REQUIRES(mu_) {
       return shutdown_ || (fn_ != nullptr && next_ < end_);
     });
-    if (shutdown_) return;
-    lock.unlock();
+    if (shutdown_) {
+      mu_.unlock();
+      return;
+    }
+    mu_.unlock();
     RunChunks();
-    lock.lock();
+    mu_.lock();
   }
 }
 
@@ -114,20 +122,22 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   }
   const size_t max_chunks = (n + grain - 1) / grain;
   const size_t chunks = std::min(num_threads(), max_chunks);
-  std::lock_guard<std::mutex> region_lock(region_mu_);
+  MutexLock region_lock(region_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     next_ = begin;
     end_ = end;
     chunk_ = (n + chunks - 1) / chunks;
     active_ = 0;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunChunks();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this]() { return next_ >= end_ && active_ == 0; });
+    MutexLock lock(mu_);
+    done_cv_.Wait(mu_, [this]() SEQFM_REQUIRES(mu_) {
+      return next_ >= end_ && active_ == 0;
+    });
     fn_ = nullptr;
   }
 }
@@ -148,11 +158,11 @@ size_t DefaultThreads() {
 }
 
 namespace {
-std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool;
+Mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool SEQFM_GUARDED_BY(g_pool_mu);
 
 ThreadPool& GetOrCreatePool() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultThreads());
   return *g_pool;
 }
@@ -170,7 +180,7 @@ void SetGlobalThreads(size_t num_threads) {
   // deadlock against a region whose body lazily calls GlobalThreads().
   ThreadPool* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(g_pool_mu);
+    MutexLock lock(g_pool_mu);
     if (!g_pool) {
       g_pool = std::make_unique<ThreadPool>(num_threads);
       return;

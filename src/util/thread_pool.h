@@ -2,12 +2,13 @@
 #define SEQFM_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace seqfm {
 namespace util {
@@ -65,23 +66,34 @@ class ThreadPool {
   /// Joins and clears all workers, leaving the pool restartable.
   void StopWorkers();
 
+  /// Touched only single-threaded (ctor/dtor) or under region_mu_ (Resize),
+  /// so it carries no GUARDED_BY: the analysis cannot express "guarded
+  /// except during construction", and annotating it would force spurious
+  /// locking in the constructor.
   std::vector<std::thread> workers_;
   /// Mirrors workers_.size() + 1 so num_threads() is race-free while Resize
   /// mutates the vector.
   std::atomic<size_t> num_threads_{1};
 
   /// Serializes parallel regions: only one ParallelFor is active at a time.
-  std::mutex region_mu_;
+  /// Deliberately unranked (plain Mutex, not OrderedMutex): it is taken
+  /// around user callbacks, which may acquire any ranked serve-layer lock —
+  /// see util::lock_rank in ordered_mutex.h.
+  Mutex region_mu_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: "a region has chunks left"
-  std::condition_variable done_cv_;  // submitter: "all chunks finished"
-  const std::function<void(size_t, size_t)>* fn_ = nullptr;  // active region
-  size_t next_ = 0;    // first index not yet claimed
-  size_t end_ = 0;     // one past the last index of the region
-  size_t chunk_ = 0;   // chunk size for the region
-  size_t active_ = 0;  // chunks currently executing
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers: "a region has chunks left"
+  CondVar done_cv_;  // submitter: "all chunks finished"
+  /// Active region descriptor. fn_ is read under mu_ when a chunk is
+  /// claimed; the submitter clears it only after observing active_ == 0 and
+  /// next_ >= end_ under the same lock.
+  const std::function<void(size_t, size_t)>* fn_ SEQFM_GUARDED_BY(mu_) =
+      nullptr;
+  size_t next_ SEQFM_GUARDED_BY(mu_) = 0;   // first index not yet claimed
+  size_t end_ SEQFM_GUARDED_BY(mu_) = 0;    // one past the region's last
+  size_t chunk_ SEQFM_GUARDED_BY(mu_) = 0;  // chunk size for the region
+  size_t active_ SEQFM_GUARDED_BY(mu_) = 0;  // chunks currently executing
+  bool shutdown_ SEQFM_GUARDED_BY(mu_) = false;
 };
 
 /// Number of threads the process-global pool should use: the SEQFM_THREADS

@@ -14,6 +14,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -26,6 +27,7 @@
 #include "ir/passes.h"
 #include "ir/program.h"
 #include "ir/trace.h"
+#include "ir/verify.h"
 #include "nn/module.h"
 #include "serve/checkpoint.h"
 #include "serve/predictor.h"
@@ -211,20 +213,51 @@ TEST(PassTest, FoldConstantsEvaluatesConstantSubgraphs) {
   const uint32_t c1 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
   const uint32_t sum = AddLocal(&p, {2, 2});
   const uint32_t half = AddLocal(&p, {2, 2});
+  const uint32_t mask = AddLocal(&p, {2, 2});
+  const uint32_t out = AddLocal(&p, {2, 2});
   AddInstr(&p, ir::OpKind::kAdd, {c0, c1}, sum);
   AddInstr(&p, ir::OpKind::kScale, {sum}, half, /*alpha=*/0.5f);
-  p.output = half;
+  AddInstr(&p, ir::OpKind::kHistoryMask, {}, mask);
+  AddInstr(&p, ir::OpKind::kMul, {half, mask}, out);
+  p.output = out;
 
-  // Single in-order sweep folds the whole chain: once `sum` is re-kinded to
-  // a constant, the scale's input is constant too.
+  // Single in-order sweep folds the whole constant chain: once `sum` is
+  // re-kinded to a constant, the scale's input is constant too. The mask and
+  // the request-dependent product stay.
   EXPECT_EQ(ir::FoldConstants(&p), 2u);
-  EXPECT_TRUE(p.instrs.empty());
+  ASSERT_EQ(p.instrs.size(), 2u);
   ASSERT_EQ(p.values[half].kind, ir::ValueKind::kConstant);
   const tensor::Tensor& folded = p.constants[p.values[half].index];
   ASSERT_EQ(folded.size(), 4u);
   for (size_t i = 0; i < folded.size(); ++i) {
     EXPECT_EQ(folded.data()[i], 1.0f) << i;  // (1 + 1) * 0.5
   }
+}
+
+TEST(PassTest, FoldConstantsNeverFoldsProgramOutputsOrSlots) {
+  // The executor resolves program outputs and slot outputs through the
+  // frame's locals, so folding one to a constant would hand its consumer an
+  // empty tensor. A constant-valued slot is reachable in practice: a
+  // constant subgraph consumed by a candidate-variant op gets selected as a
+  // slot by Factor. Regression for the verifier-surfaced pinning rule.
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 2}));
+  const uint32_t slot = AddLocal(&p, {2, 2});
+  AddInstr(&p, ir::OpKind::kRelu, {c0}, slot);
+  p.output = ir::kNoValue;
+  p.slot_outputs = {slot};
+  EXPECT_EQ(ir::FoldConstants(&p), 0u);
+  ASSERT_EQ(p.instrs.size(), 1u);
+  EXPECT_EQ(p.values[slot].kind, ir::ValueKind::kLocal);
+
+  ir::Program q;
+  const uint32_t d0 = AddConstant(&q, tensor::Tensor::Ones({2, 2}));
+  const uint32_t out = AddLocal(&q, {2, 2});
+  AddInstr(&q, ir::OpKind::kScale, {d0}, out, /*alpha=*/2.0f);
+  q.output = out;
+  EXPECT_EQ(ir::FoldConstants(&q), 0u);
+  ASSERT_EQ(q.instrs.size(), 1u);
+  EXPECT_EQ(q.values[out].kind, ir::ValueKind::kLocal);
 }
 
 TEST(PassTest, FoldConstantsLeavesRequestDependentOpsAlone) {
@@ -326,6 +359,216 @@ TEST(PassTest, PlanArenaReusesBuffersAcrossDisjointLifetimes) {
   EXPECT_NE(p.values[kept].offset, p.values[temp].offset);
   EXPECT_EQ(p.frame_floats, 32u);  // two aligned 2x2 blocks, not three
 }
+
+// ---------------------------------------------------------------------------
+// Verifier: hand-corrupted programs are rejected with precise diagnostics.
+// Each test takes a valid program, breaks exactly one invariant, and asserts
+// ir::Verify names the broken rule — the lockdown that keeps a future pass
+// bug from shipping a structurally-wrong program to the executor.
+// ---------------------------------------------------------------------------
+
+/// c0 -> relu -> a; (a, c0) -> add -> b; output b. Verifies clean.
+ir::Program SmallValidProgram() {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 4}));
+  const uint32_t a = AddLocal(&p, {2, 4});
+  const uint32_t b = AddLocal(&p, {2, 4});
+  AddInstr(&p, ir::OpKind::kRelu, {c0}, a);
+  AddInstr(&p, ir::OpKind::kAdd, {a, c0}, b);
+  p.output = b;
+  return p;
+}
+
+void ExpectVerifyRejects(const ir::Program& p, const std::string& substr,
+                         const ir::VerifyOptions& opts = {}) {
+  const Status st = ir::Verify(p, opts);
+  ASSERT_FALSE(st.ok()) << "verifier accepted a program that should fail: "
+                        << substr;
+  EXPECT_NE(st.message().find(substr), std::string::npos)
+      << "diagnostic \"" << st.message() << "\" lacks \"" << substr << "\"";
+}
+
+TEST(VerifierTest, AcceptsAWellFormedProgram) {
+  const ir::Program p = SmallValidProgram();
+  const Status st = ir::Verify(p);
+  EXPECT_TRUE(st.ok()) << st.message();
+}
+
+TEST(VerifierTest, RejectsUseBeforeDefinition) {
+  ir::Program p = SmallValidProgram();
+  // The add now runs first and reads %1 (relu's output) one instruction
+  // before it exists.
+  std::swap(p.instrs[0], p.instrs[1]);
+  ExpectVerifyRejects(p, "before its definition");
+}
+
+TEST(VerifierTest, RejectsDoubleDefinition) {
+  ir::Program p = SmallValidProgram();
+  // Second write to the relu output: SSA violation.
+  AddInstr(&p, ir::OpKind::kSigmoid, {0}, 1);
+  ExpectVerifyRejects(p, "defined twice");
+}
+
+TEST(VerifierTest, RejectsConstantShapeDisagreement) {
+  ir::Program p = SmallValidProgram();
+  p.values[0].shape = {3, 3};  // tensor holds 8 floats, shape now claims 9
+  ExpectVerifyRejects(p, "disagrees with declared shape");
+}
+
+TEST(VerifierTest, RejectsSlotValueWhereSlotsAreNotAllowed) {
+  ir::Program p = SmallValidProgram();
+  ir::Value slot;
+  slot.kind = ir::ValueKind::kSlot;
+  slot.shape = {2, 4};
+  slot.index = 0;
+  p.values.push_back(slot);
+  const uint32_t sid = static_cast<uint32_t>(p.values.size() - 1);
+  p.instrs[1].in[1] = sid;  // add now reads the slot instead of c0
+  // Prologue-style verification (no slots) must reject...
+  ExpectVerifyRejects(p, "takes no slots");
+  // ...an in-range slot under body options is fine...
+  ir::VerifyOptions body;
+  body.allow_slots = true;
+  body.num_slots = 1;
+  const Status ok = ir::Verify(p, body);
+  EXPECT_TRUE(ok.ok()) << ok.message();
+  // ...and an out-of-range slot index is named precisely.
+  p.values[sid].index = 7;
+  ExpectVerifyRejects(p, "slot index 7 out of range", body);
+}
+
+TEST(VerifierTest, RejectsOutOfRangeBindingColumn) {
+  ir::Program p;
+  p.count = 2;
+  p.n_static = 2;  // static index row has columns {0, 1}
+  const uint32_t table = AddConstant(&p, tensor::Tensor::Ones({5, 3}));
+  const uint32_t rows = AddLocal(&p, {2, 1, 3});
+  AddInstr(&p, ir::OpKind::kEmbeddingGather, {table}, rows);
+  p.instrs.back().binding.source = ir::IndexSource::kStatic;
+  p.instrs.back().binding.cols = {0};
+  p.instrs.back().binding.deltas = {0};
+  p.output = rows;
+  const Status ok = ir::Verify(p);
+  ASSERT_TRUE(ok.ok()) << ok.message();
+
+  p.instrs.back().binding.cols = {5};  // reads past the synthesized row
+  ExpectVerifyRejects(p, "binding column 5 (position 0) exceeds source width 2");
+}
+
+TEST(VerifierTest, RejectsIllegalFusionAlias) {
+  ir::Program p = SmallValidProgram();
+  // kAdd is not a pointwise in-place op: writing its output over in[0]
+  // while also reading in[1] would clobber mid-instruction.
+  p.values[p.output].alias_of = 1;
+  ExpectVerifyRejects(p, "illegal fusion alias");
+}
+
+TEST(VerifierTest, RejectsReadAfterInPlaceOverwrite) {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 4}));
+  const uint32_t a = AddLocal(&p, {2, 4});
+  const uint32_t scaled = AddLocal(&p, {2, 4});
+  const uint32_t sum = AddLocal(&p, {2, 4});
+  AddInstr(&p, ir::OpKind::kRelu, {c0}, a);
+  AddInstr(&p, ir::OpKind::kScale, {a}, scaled, /*alpha=*/2.0f);
+  p.values[scaled].alias_of = a;  // legal in-place scale...
+  AddInstr(&p, ir::OpKind::kAdd, {a, c0}, sum);  // ...but %a's bits are gone
+  p.output = sum;
+  ExpectVerifyRejects(p, "overwritten in place");
+}
+
+TEST(VerifierTest, RejectsDanglingSlotOutput) {
+  ir::Program p = SmallValidProgram();
+  p.slot_outputs.push_back(AddLocal(&p, {2, 4}));  // never defined
+  ExpectVerifyRejects(p, "dangling slot");
+}
+
+TEST(VerifierTest, RejectsOverlappingLiveArenaRanges) {
+  ir::Program p;
+  const uint32_t c0 = AddConstant(&p, tensor::Tensor::Ones({2, 4}));
+  const uint32_t a = AddLocal(&p, {2, 4});
+  const uint32_t b = AddLocal(&p, {2, 4});
+  const uint32_t sum = AddLocal(&p, {2, 4});
+  AddInstr(&p, ir::OpKind::kRelu, {c0}, a);
+  AddInstr(&p, ir::OpKind::kSigmoid, {c0}, b);
+  AddInstr(&p, ir::OpKind::kAdd, {a, b}, sum);  // a and b live together
+  p.output = sum;
+  ir::PlanArena(&p);
+  ir::VerifyOptions arena;
+  arena.check_arena = true;
+  const Status ok = ir::Verify(p, arena);
+  ASSERT_TRUE(ok.ok()) << ok.message();
+
+  p.values[b].offset = p.values[a].offset;  // sabotage the plan
+  ExpectVerifyRejects(p, "overlap", arena);
+}
+
+// ---------------------------------------------------------------------------
+// Verifier x pipeline: for every model, each pass of the default pipeline
+// leaves both factored halves verifier-clean (the same sequence — and the
+// same options — Engine::CompileCount checks after every stage).
+// ---------------------------------------------------------------------------
+
+class VerifierPipelineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VerifierPipelineTest, EveryPassLeavesTheProgramVerifierClean) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  auto model = MakeModelByName(GetParam(), space);
+  const data::SequenceExample ex = TestExamples()[0];
+  const data::Batch b1 = ServingBatch(builder, ex, {0});
+  const data::Batch bC = ServingBatch(builder, ex, {0, 3, 7, 8});
+
+  const ir::TraceResult t1 = ir::Trace(model.get(), b1);
+  const ir::TraceResult tC = ir::Trace(model.get(), bC);
+  ASSERT_TRUE(t1.ok()) << GetParam() << ": " << t1.error;
+  ASSERT_TRUE(tC.ok()) << GetParam() << ": " << tC.error;
+  Status st = ir::Verify(t1.program);
+  EXPECT_TRUE(st.ok()) << GetParam() << " trace(1): " << st.message();
+  st = ir::Verify(tC.program);
+  EXPECT_TRUE(st.ok()) << GetParam() << " trace(C): " << st.message();
+
+  ir::FactorResult f = ir::Factor(t1, tC, b1, bC);
+  ASSERT_TRUE(f.ok()) << GetParam() << ": " << f.error;
+
+  ir::VerifyOptions prologue_opts;
+  ir::VerifyOptions body_opts;
+  body_opts.allow_slots = true;
+  body_opts.num_slots = f.prologue.slot_outputs.size();
+  for (ir::Program* half : {&f.prologue, &f.body}) {
+    const bool is_body = half == &f.body;
+    ir::VerifyOptions opts = is_body ? body_opts : prologue_opts;
+    const std::string who =
+        GetParam() + (is_body ? " body " : " prologue ");
+    st = ir::Verify(*half, opts);
+    EXPECT_TRUE(st.ok()) << who << "after factor: " << st.message();
+    ir::FoldConstants(half);
+    st = ir::Verify(*half, opts);
+    EXPECT_TRUE(st.ok()) << who << "after fold_constants: " << st.message();
+    ir::DeadCodeElim(half);
+    st = ir::Verify(*half, opts);
+    EXPECT_TRUE(st.ok()) << who << "after dead_code_elim: " << st.message();
+    ir::FuseElementwise(half);
+    st = ir::Verify(*half, opts);
+    EXPECT_TRUE(st.ok()) << who << "after fuse_elementwise: " << st.message();
+    ir::PlanArena(half);
+    opts.check_arena = true;
+    st = ir::Verify(*half, opts);
+    EXPECT_TRUE(st.ok()) << who << "after plan_arena: " << st.message();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, VerifierPipelineTest,
+                         ::testing::ValuesIn(AllModels()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
 
 // ---------------------------------------------------------------------------
 // Compiled-vs-eager serving parity: every model, threads x shards x SIMD

@@ -16,6 +16,7 @@
 #include "util/hash.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/ordered_mutex.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -574,6 +575,82 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
   EXPECT_GT(w.ElapsedSeconds(), 0.0);
   EXPECT_GE(w.ElapsedMillis(), w.ElapsedSeconds() * 1000.0 * 0.99);
+}
+
+// ---------------------------------------------------------------------------
+// OrderedMutex: the lock-rank checker behind the serve layer's deadlock
+// freedom (see util::lock_rank in ordered_mutex.h)
+// ---------------------------------------------------------------------------
+
+TEST(OrderedMutexTest, InRankOrderAcquisitionSucceeds) {
+  util::OrderedMutex outer("test::outer", 100);
+  util::OrderedMutex inner("test::inner", 200);
+  {
+    util::OrderedMutexLock a(outer);
+    util::OrderedMutexLock b(inner);  // 100 -> 200: legal nesting
+  }
+  // Both released: re-acquiring either alone is fine.
+  util::OrderedMutexLock again(outer);
+}
+
+TEST(OrderedMutexTest, ReleaseOrderNeedNotMirrorAcquisitionOrder) {
+  util::OrderedMutex outer("test::outer", 100);
+  util::OrderedMutex inner("test::inner", 200);
+  outer.lock();
+  inner.lock();
+  outer.unlock();  // release outer first, inner stays held
+  // With only rank 200 held, a new rank-300 acquisition is still legal.
+  util::OrderedMutex next("test::next", 300);
+  next.lock();
+  next.unlock();
+  inner.unlock();
+}
+
+TEST(OrderedMutexTest, RanksAreCheckedPerThread) {
+  // A thread's held ranks do not leak into another thread: while this
+  // thread holds rank 200, a second thread may freely take rank 100.
+  util::OrderedMutex high("test::high", 200);
+  util::OrderedMutex low("test::low", 100);
+  util::OrderedMutexLock hold(high);
+  std::thread other([&]() { util::OrderedMutexLock ok(low); });
+  other.join();
+}
+
+TEST(OrderedMutexDeathTest, RankInversionDiesNamingBothLocks) {
+  util::OrderedMutex outer("test::outer", 100);
+  util::OrderedMutex inner("test::inner", 200);
+  EXPECT_DEATH(
+      {
+        util::OrderedMutexLock a(inner);
+        util::OrderedMutexLock b(outer);  // 200 -> 100: inversion
+      },
+      "lock-rank inversion: acquiring 'test::outer' \\(rank 100\\) while "
+      "holding 'test::inner' \\(rank 200\\)");
+}
+
+TEST(OrderedMutexDeathTest, SameRankReentryDies) {
+  util::OrderedMutex a("test::a", 100);
+  util::OrderedMutex b("test::b", 100);
+  // Equal ranks forbid nesting in either direction — including re-entrant
+  // acquisition of the same mutex, which would self-deadlock.
+  EXPECT_DEATH(
+      {
+        util::OrderedMutexLock first(a);
+        util::OrderedMutexLock second(b);
+      },
+      "lock-rank inversion");
+  EXPECT_DEATH(
+      {
+        util::OrderedMutexLock first(a);
+        a.lock();
+      },
+      "lock-rank inversion");
+}
+
+TEST(OrderedMutexDeathTest, ReleasingAnUnheldLockDies) {
+  util::OrderedMutex mu("test::mu", 100);
+  EXPECT_DEATH(mu.unlock(),
+               "releasing 'test::mu' which this thread does not hold");
 }
 
 }  // namespace
