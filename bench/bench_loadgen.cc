@@ -17,7 +17,10 @@
 // --smoke is the CI leg: a low-QPS phase against an unbounded queue must
 // shed nothing, then a back-to-back burst against max_queue_requests=1 must
 // shed some — and in both phases every submitted request must be answered
-// exactly once (served + shed == submitted). Violations exit 1.
+// exactly once (served + shed == submitted). A third leg stands up two
+// replica-mode servers (each owning half the catalog) behind a
+// serve::Coordinator and requires every request answered whole or
+// explicitly PARTIAL — never an error, never a hang. Violations exit 1.
 #include <sys/socket.h>
 #include <sys/time.h>
 
@@ -30,6 +33,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "serve/checkpoint.h"
+#include "serve/coordinator.h"
 #include "serve/predictor.h"
 #include "serve/protocol.h"
 #include "serve/rpc_server.h"
@@ -248,11 +253,65 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(burst.ok),
                 static_cast<unsigned long long>(burst.shed),
                 static_cast<unsigned long long>(burst.errors));
+    // Leg 3: distributed serving — two in-process replica-mode servers
+    // (each owning half the catalog) behind a serve::Coordinator. Every
+    // request must be ANSWERED: whole (OK, both shards merged) or
+    // explicitly degraded (PARTIAL), never an error or a hang.
+    auto* module = dynamic_cast<nn::Module*>(model.get());
+    SEQFM_CHECK(module != nullptr);
+    const uint64_t version = serve::ParameterVersion(*module);
+    constexpr uint32_t kShards = 2;
+    std::vector<std::unique_ptr<serve::BatchServer>> replica_batches;
+    std::vector<std::unique_ptr<serve::RpcServer>> replica_servers;
+    for (uint32_t s = 0; s < kShards; ++s) {
+      replica_batches.push_back(
+          std::make_unique<serve::BatchServer>(&predictor));
+      serve::RpcServerOptions ropts;
+      ropts.catalog_size = prep.space.num_objects();
+      ropts.shard_index = s;
+      ropts.num_shards = kShards;
+      ropts.model_version = version;
+      replica_servers.push_back(std::make_unique<serve::RpcServer>(
+          replica_batches.back().get(), ropts));
+      SEQFM_CHECK(replica_servers.back()->Start().ok())
+          << "replica server failed to start";
+    }
+    serve::CoordinatorOptions copts;
+    copts.replica_timeout_ms = timeout_ms;
+    copts.connect_timeout_ms = timeout_ms;
+    serve::Coordinator coordinator(copts);
+    for (auto& server : replica_servers) {
+      SEQFM_CHECK(coordinator.AddReplica("127.0.0.1", server->port()).ok());
+    }
+    SEQFM_CHECK(coordinator.Ready().ok());
+    uint64_t dist_ok = 0;
+    uint64_t dist_degraded = 0;
+    uint64_t dist_errors = 0;
+    for (const PlannedRequest& req : plan) {
+      serve::CoordinatorResult result;
+      if (!coordinator.TopKAll(*req.ex, k, &result).ok()) {
+        ++dist_errors;
+      } else if (result.status == serve::RpcStatus::kOk) {
+        ++dist_ok;
+      } else {
+        ++dist_degraded;
+      }
+    }
+    for (auto& server : replica_servers) server->Shutdown();
+    std::printf("smoke dist:    %zu submitted, %llu ok, %llu degraded, "
+                "%llu errors (2 replicas)\n",
+                plan.size(), static_cast<unsigned long long>(dist_ok),
+                static_cast<unsigned long long>(dist_degraded),
+                static_cast<unsigned long long>(dist_errors));
+
     json.Add("mode", "smoke");
     json.Add("low_qps_sheds", static_cast<double>(low.shed));
     json.Add("low_qps_errors", static_cast<double>(low.errors));
     json.Add("burst_sheds", static_cast<double>(burst.shed));
     json.Add("burst_ok", static_cast<double>(burst.ok));
+    json.Add("dist_ok", static_cast<double>(dist_ok));
+    json.Add("dist_degraded", static_cast<double>(dist_degraded));
+    json.Add("dist_errors", static_cast<double>(dist_errors));
     if (!json_path.empty()) json.WriteTo(json_path);
     if (low.shed != 0 || low.errors != 0 || low.ok != low.submitted) {
       std::fprintf(stderr, "FAIL: low-QPS phase shed or dropped requests\n");
@@ -264,9 +323,16 @@ int Run(int argc, char** argv) {
                    "queue and answer every request\n");
       return 1;
     }
+    if (dist_errors != 0 || dist_ok + dist_degraded != plan.size()) {
+      std::fprintf(stderr, "FAIL: coordinator leg must answer every "
+                   "request (ok + degraded == submitted, 0 errors)\n");
+      return 1;
+    }
     std::printf("smoke mode: shedding contract holds (0 sheds at low QPS, "
-                "%llu sheds under burst, every request answered).\n",
-                static_cast<unsigned long long>(burst.shed));
+                "%llu sheds under burst), coordinator answered %llu/%zu "
+                "whole; every request answered.\n",
+                static_cast<unsigned long long>(burst.shed),
+                static_cast<unsigned long long>(dist_ok), plan.size());
     return 0;
   }
 

@@ -861,5 +861,60 @@ EngineStats Engine::stats() const {
   return stats_;
 }
 
+Status Engine::ReverifySlotAbi() const {
+  util::OrderedMutexLock lock(mu_);
+  const size_t slots = prologue_.slot_outputs.size();
+  for (const auto& [count, body] : bodies_) {
+    for (size_t v = 0; v < body->values.size(); ++v) {
+      const Value& val = body->values[v];
+      if (val.kind != ValueKind::kSlot) continue;
+      if (val.index >= slots) {
+        return Status::Internal(
+            "slot ABI: body for count " + std::to_string(count) + " value " +
+            std::to_string(v) + " reads slot " + std::to_string(val.index) +
+            " but the prologue produces only " + std::to_string(slots) +
+            " slots");
+      }
+      const Value& produced =
+          prologue_.values[prologue_.slot_outputs[val.index]];
+      if (val.shape != produced.shape) {
+        auto shape_str = [](const std::vector<size_t>& s) {
+          std::string r = "[";
+          for (size_t i = 0; i < s.size(); ++i) {
+            if (i) r += ", ";
+            r += std::to_string(s[i]);
+          }
+          return r + "]";
+        };
+        return Status::Internal(
+            "slot ABI: body for count " + std::to_string(count) + " value " +
+            std::to_string(v) + " expects slot " + std::to_string(val.index) +
+            " with shape " + shape_str(val.shape) +
+            " but the prologue produces " + shape_str(produced.shape));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Engine::CorruptSlotWiringForTest(bool corrupt_shape) {
+  util::OrderedMutexLock lock(mu_);
+  for (auto& [count, body] : bodies_) {
+    (void)count;
+    for (Value& val : body->values) {
+      if (val.kind != ValueKind::kSlot) continue;
+      if (corrupt_shape) {
+        val.shape.push_back(3);
+      } else {
+        val.index =
+            static_cast<uint32_t>(prologue_.slot_outputs.size()) + 7;
+      }
+      return;
+    }
+  }
+  SEQFM_CHECK(false) << "CorruptSlotWiringForTest: no compiled body reads "
+                        "a slot";
+}
+
 }  // namespace ir
 }  // namespace seqfm

@@ -13,6 +13,7 @@
 #include "data/dataset.h"
 #include "ir/program.h"
 #include "util/ordered_mutex.h"
+#include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace seqfm {
@@ -86,6 +87,22 @@ class Engine {
 
   /// Number of slot tensors a context carries.
   size_t num_slots() const { return prologue_.slot_outputs.size(); }
+
+  /// Re-checks the slot ABI between the prologue and every compiled body:
+  /// each body value of kind kSlot must name a slot the prologue actually
+  /// produces, with the exact shape the prologue parks in the context. The
+  /// initial Compile establishes this by construction; serving re-verifies
+  /// it at every checkpoint reload (Predictor::ReloadCheckpoint) because a
+  /// body scoring through a stale or miswired slot reads the wrong floats
+  /// — garbage rankings, no crash. Returns Internal naming the first
+  /// mismatched (body count, value, slot).
+  Status ReverifySlotAbi() const SEQFM_EXCLUDES(mu_);
+
+  /// Test hook: miswires the first kSlot value of some compiled body —
+  /// \p corrupt_shape distorts its shape, otherwise its slot index is
+  /// pushed out of range. Exists so reload tests can prove ReverifySlotAbi
+  /// catches both failure classes; never called outside tests.
+  void CorruptSlotWiringForTest(bool corrupt_shape) SEQFM_EXCLUDES(mu_);
 
   uint64_t uid() const { return uid_; }
 

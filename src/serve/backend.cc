@@ -1,0 +1,235 @@
+#include "serve/backend.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace seqfm {
+namespace serve {
+
+LocalShardBackend::LocalShardBackend(const Predictor* predictor,
+                                     LocalShardBackendOptions options)
+    : predictor_(predictor), options_(options) {
+  SEQFM_CHECK(predictor_ != nullptr) << "LocalShardBackend: null predictor";
+}
+
+Status LocalShardBackend::ScoreTopK(
+    const std::vector<ScoreJob>& in_jobs,
+    std::vector<std::vector<RankEntry>>* results) {
+  const size_t num_jobs = in_jobs.size();
+  results->assign(num_jobs, {});
+
+  // A job with no candidates vector scores the identity catalog: positions
+  // [begin, end) ARE the item ids — the form a Coordinator hands its
+  // backends, since a replica's slate is never shipped. Materialize the
+  // slice locally and remap the job onto it; the relative positions the
+  // heap sees are restored to global ones in phase 3. The remap cannot
+  // change the retained set or its order: identity ids are distinct, so
+  // RankBefore never reaches its position tie-break within one job.
+  std::vector<ScoreJob> jobs(in_jobs);
+  std::vector<std::unique_ptr<std::vector<int32_t>>> identity;  // stable ptrs
+  std::vector<size_t> pos_offset(num_jobs, 0);
+  for (size_t j = 0; j < num_jobs; ++j) {
+    if (jobs[j].candidates != nullptr) continue;
+    SEQFM_CHECK_LE(jobs[j].begin, jobs[j].end);
+    auto ids = std::make_unique<std::vector<int32_t>>();
+    ids->reserve(jobs[j].end - jobs[j].begin);
+    for (size_t p = jobs[j].begin; p < jobs[j].end; ++p) {
+      ids->push_back(static_cast<int32_t>(p));
+    }
+    pos_offset[j] = jobs[j].begin;
+    jobs[j].candidates = ids.get();
+    jobs[j].begin = 0;
+    jobs[j].end = ids->size();
+    identity.push_back(std::move(ids));
+  }
+
+  for (const ScoreJob& job : jobs) {
+    SEQFM_CHECK(job.ex != nullptr) << "LocalShardBackend: job without example";
+    SEQFM_CHECK_LE(job.begin, job.end);
+    SEQFM_CHECK_LE(job.end, job.candidates->size());
+  }
+
+  // Phase 1 (context path only): resolve each unique (user, history)
+  // SharedContext once per batch. The map dedupes duplicate users across
+  // jobs before they even reach the ContextCache, so a cold cache never
+  // computes the same context twice in one batch; groups resolve
+  // concurrently on the pool.
+  std::vector<Predictor::ContextPtr> contexts(num_jobs);
+  if (predictor_->context_path_active()) {
+    std::map<std::pair<int32_t, std::vector<int32_t>>, std::vector<size_t>>
+        groups;
+    for (size_t j = 0; j < num_jobs; ++j) {
+      if (jobs[j].begin >= jobs[j].end || jobs[j].k == 0) continue;
+      groups[{jobs[j].ex->user, jobs[j].ex->history}].push_back(j);
+    }
+    std::vector<const std::vector<size_t>*> group_list;
+    group_list.reserve(groups.size());
+    for (const auto& [key, members] : groups) group_list.push_back(&members);
+    util::ParallelFor(group_list.size(), 1, [&](size_t g0, size_t g1) {
+      for (size_t g = g0; g < g1; ++g) {
+        const std::vector<size_t>& members = *group_list[g];
+        const Predictor::ContextPtr ctx =
+            predictor_->AcquireContext(*jobs[members.front()].ex);
+        for (size_t j : members) contexts[j] = ctx;
+      }
+    });
+  }
+
+  // Phase 2: one fused ParallelFor over every (job, chunk) task of the
+  // batch — the multi-user scoring wave that keeps all pool threads busy
+  // regardless of per-job range size. Chunks never cross a job boundary,
+  // and each job reduces into one bounded top-K heap, so the batch holds
+  // sum_j min(k_j, range_j) retained entries plus one chunk-local score
+  // buffer per pool thread — never a full score vector.
+  const size_t chunk_size = options_.micro_batch > 0
+                                ? options_.micro_batch
+                                : predictor_->options().micro_batch;
+  struct JobChunk {
+    size_t job;
+    size_t begin;
+    size_t end;
+  };
+  std::vector<JobChunk> tasks;
+  std::vector<TopKHeap> heaps;
+  heaps.reserve(num_jobs);
+  for (size_t j = 0; j < num_jobs; ++j) {
+    const size_t range = jobs[j].end - jobs[j].begin;
+    // Capacity min(k, range): a heap never retains more entries than were
+    // pushed, so this keeps the exact retained set of a capacity-k heap
+    // while bounding per-job memory by the job's own range.
+    heaps.emplace_back(std::min(jobs[j].k, range));
+    if (range == 0 || jobs[j].k == 0) continue;
+    for (size_t begin = jobs[j].begin; begin < jobs[j].end;
+         begin += chunk_size) {
+      tasks.push_back({j, begin, std::min(jobs[j].end, begin + chunk_size)});
+    }
+  }
+  // Chunk tasks of the same job may run concurrently; its heap is fed under
+  // a mutex, and the retained set is push-order independent (RankBefore is
+  // a strict total order), so results are deterministic for any schedule.
+  std::vector<std::mutex> heap_mu(num_jobs);
+  util::ParallelFor(tasks.size(), 1, [&](size_t t0, size_t t1) {
+    std::vector<float> chunk_scores;
+    for (size_t t = t0; t < t1; ++t) {
+      const JobChunk& task = tasks[t];
+      const ScoreJob& job = jobs[task.job];
+      ScoreChunkIntoHeap(*predictor_, contexts[task.job].get(), *job.ex,
+                         *job.candidates, ShardChunk{0, task.begin, task.end},
+                         &chunk_scores, &heap_mu[task.job], &heaps[task.job]);
+    }
+  });
+
+  // Phase 3: each job's run, best first, with identity-job positions
+  // restored to global catalog positions.
+  for (size_t j = 0; j < num_jobs; ++j) {
+    (*results)[j] = heaps[j].SortedEntries();
+    if (pos_offset[j] != 0) {
+      for (RankEntry& e : (*results)[j]) e.pos += pos_offset[j];
+    }
+  }
+  return Status::OK();
+}
+
+RemoteReplicaBackend::RemoteReplicaBackend(RemoteReplicaBackendOptions options)
+    : options_(options) {}
+
+Status RemoteReplicaBackend::Connect(const std::string& host, uint16_t port) {
+  util::OrderedMutexLock lock(mu_);
+  RpcClientOptions copts;
+  copts.connect_timeout_ms = options_.connect_timeout_ms;
+  copts.io_timeout_ms = options_.io_timeout_ms;
+  copts.capabilities = kRpcCapShardScoring;
+  Status st = client_.Connect(host, port, copts);
+  if (!st.ok()) return st;
+  const RpcHelloAck& ack = client_.server_info();
+  if (!(ack.capabilities & kRpcCapShardScoring)) {
+    client_.Close();
+    return Status::FailedPrecondition(
+        "remote backend: server at " + host + ":" + std::to_string(port) +
+        " is not a replica (no shard-scoring capability) — it serves whole "
+        "slates, not catalog slices");
+  }
+  info_.shard_index = ack.shard_index;
+  info_.num_shards = ack.num_shards;
+  info_.shard_begin = ack.shard_begin;
+  info_.shard_end = ack.shard_end;
+  info_.catalog_size = ack.catalog_size;
+  info_.model_version = ack.model_version;
+  return Status::OK();
+}
+
+Status RemoteReplicaBackend::ScoreTopK(
+    const std::vector<ScoreJob>& jobs,
+    std::vector<std::vector<RankEntry>>* results) {
+  const size_t num_jobs = jobs.size();
+  results->assign(num_jobs, {});
+  if (num_jobs == 0) return Status::OK();
+
+  util::OrderedMutexLock lock(mu_);
+
+  // Pipeline: send every request before reading any response. The replica's
+  // BatchServer answers asynchronously as waves complete, so responses may
+  // arrive in any order — match them to jobs by request id.
+  std::unordered_map<uint64_t, size_t> pending;
+  pending.reserve(num_jobs);
+  for (size_t j = 0; j < num_jobs; ++j) {
+    const ScoreJob& job = jobs[j];
+    SEQFM_CHECK(job.candidates == nullptr)
+        << "RemoteReplicaBackend: jobs must be identity-catalog form "
+           "(null candidates) — a replica owns its slice, slates are never "
+           "shipped";
+    SEQFM_CHECK(job.ex != nullptr) << "RemoteReplicaBackend: job without "
+                                      "example";
+    RpcShardRequest req;
+    req.id = next_id_++;
+    req.user = job.ex->user;
+    req.k = static_cast<uint32_t>(job.k);
+    req.begin = job.begin;
+    req.end = job.end;
+    req.history = job.ex->history;
+    Status st = client_.SendShard(req);
+    if (!st.ok()) return st;
+    pending.emplace(req.id, j);
+  }
+
+  while (!pending.empty()) {
+    RpcShardResponse resp;
+    Status st = client_.ReadShardResponse(&resp);
+    if (!st.ok()) return st;
+    auto it = pending.find(resp.id);
+    if (it == pending.end()) {
+      return Status::IoError("remote backend: replica answered unknown "
+                             "request id " + std::to_string(resp.id));
+    }
+    const size_t j = it->second;
+    pending.erase(it);
+    if (resp.status != RpcStatus::kOk) {
+      return Status::IoError(std::string("remote backend: replica answered ") +
+                             RpcStatusToString(resp.status));
+    }
+    if (resp.model_version != info_.model_version) {
+      return Status::FailedPrecondition(
+          "remote backend: model version drift — handshake announced " +
+          std::to_string(info_.model_version) + " but response carries " +
+          std::to_string(resp.model_version) +
+          "; rankings across versions must not be merged");
+    }
+    std::vector<RankEntry>& run = (*results)[j];
+    run.reserve(resp.entries.size());
+    for (const RpcShardEntry& e : resp.entries) {
+      run.push_back(RankEntry{e.score, e.item, static_cast<size_t>(e.pos)});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace seqfm

@@ -335,5 +335,17 @@ Result<CheckpointManifest> Checkpoint::Inspect(const std::string& path) {
   return manifest;
 }
 
+uint64_t ParameterVersion(const nn::Module& module) {
+  // Must stay bit-compatible with the footer hash Save writes: same FNV-1a
+  // stream over the same payload bytes in the same NamedParameters order.
+  uint64_t hash = kFnvOffset;
+  for (const auto& [name, var] : module.NamedParameters()) {
+    const auto& t = var.value();
+    hash = FnvUpdate(hash, reinterpret_cast<const char*>(t.data()),
+                     t.size() * sizeof(float));
+  }
+  return hash;
+}
+
 }  // namespace serve
 }  // namespace seqfm

@@ -85,6 +85,15 @@ class Checkpoint {
   static constexpr uint32_t kVersion = 2;
 };
 
+/// FNV-1a fingerprint over every parameter payload byte of \p module, in
+/// NamedParameters order — by construction the same number Checkpoint::Save
+/// writes as its footer hash. This is the model_version of the distributed
+/// serving tier: replicas announce it in the RPC handshake and stamp it on
+/// every shard response, and a coordinator refuses to merge rankings across
+/// differing versions, so two replicas that loaded the same checkpoint file
+/// agree on the fingerprint without ever talking to each other.
+uint64_t ParameterVersion(const nn::Module& module);
+
 }  // namespace serve
 }  // namespace seqfm
 

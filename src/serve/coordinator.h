@@ -1,0 +1,131 @@
+#ifndef SEQFM_SERVE_COORDINATOR_H_
+#define SEQFM_SERVE_COORDINATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "serve/backend.h"
+#include "serve/predictor.h"
+#include "serve/shard.h"
+#include "util/ordered_mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace seqfm {
+namespace serve {
+
+struct CoordinatorOptions {
+  /// Per-replica budget for one request's scoring round-trip. Applied as the
+  /// io timeout of replicas added via AddReplica; backends added via
+  /// AddBackend bound their own calls. A replica that blows the budget is
+  /// treated as failed for that request (PARTIAL merge), never waited on
+  /// past its socket timeout — the fan-out join cannot hang.
+  int64_t replica_timeout_ms = 2000;
+  /// Bound on AddReplica's TCP connect + protocol handshake.
+  int64_t connect_timeout_ms = 1000;
+};
+
+/// Outcome of one coordinated request.
+struct CoordinatorResult {
+  /// kOk when every shard contributed; kPartial when at least one replica
+  /// failed (timeout, transport error, version drift) and the merge degraded
+  /// to the shards that answered. A result with zero merged shards is still
+  /// kPartial — an empty degraded ranking, not an error; transport-level
+  /// failures that prevent even trying (not Ready) surface as Status from
+  /// TopKAll instead.
+  RpcStatus status = RpcStatus::kOk;
+  std::vector<ScoredItem> items;
+  /// Shards in the catalog partition / shards whose runs were merged.
+  uint32_t shards_total = 0;
+  uint32_t shards_merged = 0;
+};
+
+/// \brief Coordinator of a multi-replica serving fleet: fans a request out
+/// over one replica per catalog shard, k-way merges the per-shard top-K runs
+/// under serve::RankBefore, and degrades gracefully when replicas fail.
+///
+/// The fleet is a set of ScoringBackends, each owning one contiguous slice
+/// of the identity catalog (ReplicaInfo). Multiple replicas may own the
+/// same shard (replication for availability); Ready() groups them by shard
+/// index and validates the fleet:
+///   - every backend serves the same model_version, num_shards and
+///     catalog_size (a coordinator never merges across model versions);
+///   - every shard of the partition is covered by at least one replica;
+///   - every replica's owned slice equals ShardedCatalog::Bounds at its
+///     index, so the union of slices tiles the catalog exactly.
+///
+/// TopKAll scores all shards concurrently (one worker thread per shard) and
+/// merges with the same MergeSortedRuns reduction the in-process sharded
+/// path uses — so for an all-shards-healthy fleet the coordinator's ranking
+/// is bit-identical to single-process ShardedPredictor::TopKAll over the
+/// same catalog. Within a shard's replica group the first attempt is picked
+/// by user affinity (FNV hash of the user id), keeping a given user's
+/// context cached on one replica; on failure the worker fails over to the
+/// group's other replicas before giving the shard up.
+///
+/// Thread-safe: concurrent TopKAll calls snapshot the fleet under mu_
+/// (lock_rank::kCoordinator) and fan out lock-free; backends serialize
+/// internally per their own contract.
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options = {});
+  ~Coordinator() = default;
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Adds a backend with an externally supplied identity — the in-process
+  /// form (LocalShardBackend over a slice-owning Predictor) and the test
+  /// seam. The info must be internally consistent (slice within catalog).
+  Status AddBackend(std::unique_ptr<ScoringBackend> backend,
+                    const ReplicaInfo& info) SEQFM_EXCLUDES(mu_);
+
+  /// Connects a RemoteReplicaBackend to a replica process and adds it under
+  /// the identity the replica announced in its handshake.
+  Status AddReplica(const std::string& host, uint16_t port)
+      SEQFM_EXCLUDES(mu_);
+
+  /// Validates the fleet and freezes the shard grouping. Must be called
+  /// after the last Add* and before the first TopKAll; returns
+  /// FailedPrecondition naming the first inconsistency otherwise.
+  Status Ready() SEQFM_EXCLUDES(mu_);
+
+  /// Scores \p ex against the whole catalog and fills \p out with the
+  /// merged global top-k. Returns non-OK only for usage errors (not Ready);
+  /// replica failures degrade to out->status == kPartial instead.
+  Status TopKAll(const data::SequenceExample& ex, size_t k,
+                 CoordinatorResult* out) SEQFM_EXCLUDES(mu_);
+
+  /// Fleet-wide identity agreed on by Ready().
+  uint64_t model_version() const SEQFM_EXCLUDES(mu_);
+  uint64_t catalog_size() const SEQFM_EXCLUDES(mu_);
+  uint32_t num_shards() const SEQFM_EXCLUDES(mu_);
+
+  const CoordinatorOptions& options() const { return options_; }
+
+ private:
+  struct Member {
+    std::unique_ptr<ScoringBackend> backend;
+    ReplicaInfo info;
+  };
+
+  CoordinatorOptions options_;
+  mutable util::OrderedMutex mu_{"Coordinator::mu_",
+                                 util::lock_rank::kCoordinator};
+  std::vector<Member> members_ SEQFM_GUARDED_BY(mu_);
+  /// shard_groups_[s] = indices into members_ serving shard s, in Add
+  /// order. Frozen by Ready(); empty before.
+  std::vector<std::vector<size_t>> shard_groups_ SEQFM_GUARDED_BY(mu_);
+  bool ready_ SEQFM_GUARDED_BY(mu_) = false;
+  uint64_t model_version_ SEQFM_GUARDED_BY(mu_) = 0;
+  uint64_t catalog_size_ SEQFM_GUARDED_BY(mu_) = 0;
+  uint32_t num_shards_ SEQFM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace serve
+}  // namespace seqfm
+
+#endif  // SEQFM_SERVE_COORDINATOR_H_

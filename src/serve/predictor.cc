@@ -93,6 +93,24 @@ Status Predictor::ReloadCheckpoint(const std::string& path) {
   // all-zero weight column is candidate-invariant; its trained replacement
   // is not), so both are rebuilt. The caller has quiesced scoring.
   InvalidateContextCache();
+  // Re-verify the slot ABI of the fresh engine before any request scores
+  // through it: a body slot miswired against the prologue reads the wrong
+  // context floats and serves garbage rankings without crashing — the one
+  // compiled-path failure the per-count self-checks cannot catch, because
+  // each half verifies in isolation. A mismatch does not fail the reload
+  // (the parameters ARE the new checkpoint); it latches the compiled path
+  // off and serving falls back to the eager path.
+  if (engine_ != nullptr) {
+    if (reload_corruption_hook_) reload_corruption_hook_(engine_.get());
+    const Status abi = engine_->ReverifySlotAbi();
+    if (!abi.ok()) {
+      SEQFM_LOG(Warning) << "serving compiler: slot ABI re-verification "
+                            "failed after checkpoint reload; serving falls "
+                            "back to the eager path: "
+                         << abi.ToString();
+      engine_failed_.store(true, std::memory_order_relaxed);
+    }
+  }
   return Status::OK();
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -124,7 +125,23 @@ class Predictor {
   /// snapshot) and invalidates the context cache so no request is served
   /// from tensors of the old parameters. No scoring call may be in flight;
   /// serve through BatchServer::ReloadCheckpoint for a quiesced reload.
+  ///
+  /// After the recompile, the engine's slot ABI is re-verified against its
+  /// prologue (ir::Engine::ReverifySlotAbi): a body whose slot wiring no
+  /// longer matches what the prologue parks in contexts would read the
+  /// wrong floats and serve garbage rankings without crashing. On a
+  /// mismatch the reload still succeeds — the parameters are the new ones
+  /// — but the compiled path is latched off (one warning) and scoring
+  /// falls back to the eager path, which has no slot ABI to violate.
   Status ReloadCheckpoint(const std::string& path);
+
+  /// Test hook: runs on the freshly compiled engine inside every
+  /// ReloadCheckpoint, before the slot-ABI re-verification. Lets reload
+  /// tests corrupt the slot wiring at exactly the moment a real
+  /// miscompilation would introduce it; never set outside tests.
+  void SetReloadCorruptionHookForTest(std::function<void(ir::Engine*)> hook) {
+    reload_corruption_hook_ = std::move(hook);
+  }
 
   /// Drops all cached contexts. Call after mutating model parameters by any
   /// route other than ReloadCheckpoint. No-op when caching is off.
@@ -231,6 +248,8 @@ class Predictor {
   /// CompileEngine runs with scoring quiesced (ReloadCheckpoint contract),
   /// so it cannot race a latch.
   mutable std::atomic<bool> engine_failed_{false};
+  /// Test-only (SetReloadCorruptionHookForTest); empty in production.
+  std::function<void(ir::Engine*)> reload_corruption_hook_;
   std::unique_ptr<ContextCache> cache_;
   /// [0, num_objects) — built once so TopKAll does not re-materialize it.
   std::vector<int32_t> full_catalog_;

@@ -37,6 +37,7 @@ const char* RpcStatusToString(RpcStatus status) {
     case RpcStatus::kOverloaded: return "OVERLOADED";
     case RpcStatus::kShuttingDown: return "SHUTTING_DOWN";
     case RpcStatus::kBadRequest: return "BAD_REQUEST";
+    case RpcStatus::kPartial: return "PARTIAL";
   }
   return "UNKNOWN";
 }
@@ -67,6 +68,66 @@ void AppendResponseFrame(const RpcResponse& resp, std::string* wire) {
   for (const ScoredItem& item : resp.items) {
     AppendPod(wire, item.item);
     AppendPod(wire, item.score);
+  }
+}
+
+void AppendHelloFrame(const RpcHello& hello, std::string* wire) {
+  const size_t payload_len = 1 + 4 + 4;
+  wire->reserve(wire->size() + kRpcFrameHeaderBytes + payload_len);
+  AppendFrameHeader(wire, payload_len);
+  AppendPod(wire, kHelloFrame);
+  AppendPod(wire, hello.protocol_version);
+  AppendPod(wire, hello.capabilities);
+}
+
+void AppendHelloAckFrame(const RpcHelloAck& ack, std::string* wire) {
+  const size_t payload_len =
+      1 + 1 + 4 + 4 + 8 + 4 + 4 + 8 + 8 + 8 + 4 + ack.message.size();
+  wire->reserve(wire->size() + kRpcFrameHeaderBytes + payload_len);
+  AppendFrameHeader(wire, payload_len);
+  AppendPod(wire, kHelloAckFrame);
+  AppendPod(wire, static_cast<uint8_t>(ack.status));
+  AppendPod(wire, ack.protocol_version);
+  AppendPod(wire, ack.capabilities);
+  AppendPod(wire, ack.model_version);
+  AppendPod(wire, ack.shard_index);
+  AppendPod(wire, ack.num_shards);
+  AppendPod(wire, ack.shard_begin);
+  AppendPod(wire, ack.shard_end);
+  AppendPod(wire, ack.catalog_size);
+  AppendPod(wire, static_cast<uint32_t>(ack.message.size()));
+  wire->append(ack.message);
+}
+
+void AppendShardRequestFrame(const RpcShardRequest& req, std::string* wire) {
+  const size_t payload_len =
+      1 + 8 + 4 + 4 + 8 + 8 + 4 + 4 * req.history.size();
+  wire->reserve(wire->size() + kRpcFrameHeaderBytes + payload_len);
+  AppendFrameHeader(wire, payload_len);
+  AppendPod(wire, kShardRequestFrame);
+  AppendPod(wire, req.id);
+  AppendPod(wire, req.user);
+  AppendPod(wire, req.k);
+  AppendPod(wire, req.begin);
+  AppendPod(wire, req.end);
+  AppendPod(wire, static_cast<uint32_t>(req.history.size()));
+  for (int32_t h : req.history) AppendPod(wire, h);
+}
+
+void AppendShardResponseFrame(const RpcShardResponse& resp,
+                              std::string* wire) {
+  const size_t payload_len = 1 + 8 + 1 + 8 + 4 + 16 * resp.entries.size();
+  wire->reserve(wire->size() + kRpcFrameHeaderBytes + payload_len);
+  AppendFrameHeader(wire, payload_len);
+  AppendPod(wire, kShardResponseFrame);
+  AppendPod(wire, resp.id);
+  AppendPod(wire, static_cast<uint8_t>(resp.status));
+  AppendPod(wire, resp.model_version);
+  AppendPod(wire, static_cast<uint32_t>(resp.entries.size()));
+  for (const RpcShardEntry& entry : resp.entries) {
+    AppendPod(wire, entry.item);
+    AppendPod(wire, entry.score);
+    AppendPod(wire, entry.pos);
   }
 }
 
@@ -117,7 +178,7 @@ Status DecodeResponse(const std::string& payload, RpcResponse* out) {
       !ReadPod(payload, &pos, &count)) {
     return Status::InvalidArgument("rpc: truncated response header");
   }
-  if (status > static_cast<uint8_t>(RpcStatus::kBadRequest)) {
+  if (status > static_cast<uint8_t>(RpcStatus::kPartial)) {
     return Status::InvalidArgument("rpc: unknown response status " +
                                    std::to_string(status));
   }
@@ -132,6 +193,116 @@ Status DecodeResponse(const std::string& payload, RpcResponse* out) {
   for (uint32_t i = 0; i < count; ++i) {
     ReadPod(payload, &pos, &out->items[i].item);
     ReadPod(payload, &pos, &out->items[i].score);
+  }
+  return Status::OK();
+}
+
+Status DecodeHello(const std::string& payload, RpcHello* out) {
+  size_t pos = 0;
+  uint8_t type = 0;
+  if (!ReadPod(payload, &pos, &type) || type != kHelloFrame) {
+    return Status::InvalidArgument("rpc: not a hello frame");
+  }
+  if (!ReadPod(payload, &pos, &out->protocol_version) ||
+      !ReadPod(payload, &pos, &out->capabilities)) {
+    return Status::InvalidArgument("rpc: truncated hello");
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("rpc: hello carries trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status DecodeHelloAck(const std::string& payload, RpcHelloAck* out) {
+  size_t pos = 0;
+  uint8_t type = 0, status = 0;
+  uint32_t message_len = 0;
+  if (!ReadPod(payload, &pos, &type) || type != kHelloAckFrame) {
+    return Status::InvalidArgument("rpc: not a hello-ack frame");
+  }
+  if (!ReadPod(payload, &pos, &status) ||
+      !ReadPod(payload, &pos, &out->protocol_version) ||
+      !ReadPod(payload, &pos, &out->capabilities) ||
+      !ReadPod(payload, &pos, &out->model_version) ||
+      !ReadPod(payload, &pos, &out->shard_index) ||
+      !ReadPod(payload, &pos, &out->num_shards) ||
+      !ReadPod(payload, &pos, &out->shard_begin) ||
+      !ReadPod(payload, &pos, &out->shard_end) ||
+      !ReadPod(payload, &pos, &out->catalog_size) ||
+      !ReadPod(payload, &pos, &message_len)) {
+    return Status::InvalidArgument("rpc: truncated hello-ack");
+  }
+  if (status > static_cast<uint8_t>(RpcStatus::kPartial)) {
+    return Status::InvalidArgument("rpc: unknown hello-ack status " +
+                                   std::to_string(status));
+  }
+  out->status = static_cast<RpcStatus>(status);
+  if (payload.size() - pos != message_len) {
+    return Status::InvalidArgument(
+        "rpc: hello-ack declares a " + std::to_string(message_len) +
+        "-byte message but carries " + std::to_string(payload.size() - pos));
+  }
+  out->message.assign(payload, pos, message_len);
+  return Status::OK();
+}
+
+Status DecodeShardRequest(const std::string& payload, RpcShardRequest* out) {
+  size_t pos = 0;
+  uint8_t type = 0;
+  uint32_t history_len = 0;
+  if (!ReadPod(payload, &pos, &type) || type != kShardRequestFrame) {
+    return Status::InvalidArgument("rpc: not a shard-request frame");
+  }
+  if (!ReadPod(payload, &pos, &out->id) ||
+      !ReadPod(payload, &pos, &out->user) || !ReadPod(payload, &pos, &out->k) ||
+      !ReadPod(payload, &pos, &out->begin) ||
+      !ReadPod(payload, &pos, &out->end) ||
+      !ReadPod(payload, &pos, &history_len)) {
+    return Status::InvalidArgument("rpc: truncated shard-request header");
+  }
+  const size_t remaining = payload.size() - pos;
+  if (remaining != 4 * static_cast<size_t>(history_len)) {
+    return Status::InvalidArgument(
+        "rpc: shard request declares " + std::to_string(history_len) +
+        " history ids but carries " + std::to_string(remaining) +
+        " payload bytes");
+  }
+  out->history.resize(history_len);
+  for (uint32_t i = 0; i < history_len; ++i) {
+    ReadPod(payload, &pos, &out->history[i]);
+  }
+  return Status::OK();
+}
+
+Status DecodeShardResponse(const std::string& payload, RpcShardResponse* out) {
+  size_t pos = 0;
+  uint8_t type = 0, status = 0;
+  uint32_t count = 0;
+  if (!ReadPod(payload, &pos, &type) || type != kShardResponseFrame) {
+    return Status::InvalidArgument("rpc: not a shard-response frame");
+  }
+  if (!ReadPod(payload, &pos, &out->id) || !ReadPod(payload, &pos, &status) ||
+      !ReadPod(payload, &pos, &out->model_version) ||
+      !ReadPod(payload, &pos, &count)) {
+    return Status::InvalidArgument("rpc: truncated shard-response header");
+  }
+  if (status > static_cast<uint8_t>(RpcStatus::kPartial)) {
+    return Status::InvalidArgument("rpc: unknown shard-response status " +
+                                   std::to_string(status));
+  }
+  out->status = static_cast<RpcStatus>(status);
+  const size_t remaining = payload.size() - pos;
+  if (remaining != 16 * static_cast<size_t>(count)) {
+    return Status::InvalidArgument(
+        "rpc: shard response declares " + std::to_string(count) +
+        " entries but carries " + std::to_string(remaining) +
+        " payload bytes");
+  }
+  out->entries.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ReadPod(payload, &pos, &out->entries[i].item);
+    ReadPod(payload, &pos, &out->entries[i].score);
+    ReadPod(payload, &pos, &out->entries[i].pos);
   }
   return Status::OK();
 }

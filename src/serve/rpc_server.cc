@@ -1,18 +1,22 @@
 #include "serve/rpc_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "serve/shard.h"
 #include "util/logging.h"
 
 namespace seqfm {
@@ -27,6 +31,17 @@ std::string Errno(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+/// Applies \p ms as both SO_RCVTIMEO and SO_SNDTIMEO; 0 clears them (block
+/// indefinitely). A timed-out syscall then fails with EAGAIN, which the
+/// client maps to a precise "timed out" Status.
+void SetSocketTimeouts(int fd, int64_t ms) {
+  timeval tv;
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
 /// Per-connection state, owned and touched by the loop thread only.
@@ -38,6 +53,7 @@ struct RpcServer::Connection {
   size_t out_pos = 0;   // flushed prefix of out
   bool want_write = false;   // EPOLLOUT armed
   bool paused_read = false;  // EPOLLIN disarmed by write backpressure
+  bool hello_done = false;   // handshake accepted; requests may flow
 
   size_t pending_out() const { return out.size() - out_pos; }
 };
@@ -47,6 +63,14 @@ RpcServer::RpcServer(BatchServer* batch, RpcServerOptions options)
   SEQFM_CHECK(batch_ != nullptr) << "RpcServer: null BatchServer";
   SEQFM_CHECK_GT(options_.max_frame_bytes, 0u);
   SEQFM_CHECK_GT(options_.max_write_buffer_bytes, 0u);
+  if (options_.catalog_size > 0) {
+    SEQFM_CHECK_GT(options_.num_shards, 0u);
+    SEQFM_CHECK_LT(options_.shard_index, options_.num_shards);
+    const std::vector<size_t> bounds = ShardedCatalog::Bounds(
+        options_.catalog_size, options_.num_shards);
+    shard_begin_ = bounds[options_.shard_index];
+    shard_end_ = bounds[options_.shard_index + 1];
+  }
 }
 
 RpcServer::~RpcServer() { Shutdown(); }
@@ -313,12 +337,31 @@ bool RpcServer::ProcessFrames(Connection* conn) {
       return false;
     }
     if (!got) return true;
+    // The handshake gates everything: until the HELLO is accepted, no frame
+    // is counted as request traffic and no request is dispatched.
+    if (!conn->hello_done) {
+      if (!HandleHello(conn, payload)) return false;
+      continue;
+    }
     {
       util::OrderedMutexLock lock(mu_);
       ++stats_.frames_received;
     }
-    RpcRequest req;
-    if (Status st = DecodeRequest(payload, &req); !st.ok()) {
+    Status st;
+    const uint8_t type = FrameType(payload);
+    if (type == kRequestFrame) {
+      RpcRequest req;
+      st = DecodeRequest(payload, &req);
+      if (st.ok()) HandleRequest(conn, std::move(req));
+    } else if (type == kShardRequestFrame) {
+      RpcShardRequest req;
+      st = DecodeShardRequest(payload, &req);
+      if (st.ok()) HandleShardRequest(conn, std::move(req));
+    } else {
+      st = Status::InvalidArgument("rpc: unexpected frame type " +
+                                   std::to_string(type));
+    }
+    if (!st.ok()) {
       SEQFM_LOG(Warning) << "rpc: closing connection: " << st.ToString();
       {
         util::OrderedMutexLock lock(mu_);
@@ -327,11 +370,63 @@ bool RpcServer::ProcessFrames(Connection* conn) {
       CloseConn(conn->id);
       return false;
     }
-    HandleRequest(conn, std::move(req));
-    // HandleRequest can only close the connection via a failed response
+    // The handlers can only close the connection via a failed response
     // flush; detect that by re-looking the id up.
     if (conns_.find(conn->id) == conns_.end()) return false;
   }
+}
+
+bool RpcServer::HandleHello(Connection* conn, const std::string& payload) {
+  RpcHelloAck ack;
+  ack.capabilities = options_.catalog_size > 0 ? kRpcCapShardScoring : 0;
+  ack.model_version = options_.model_version;
+  ack.shard_index = options_.shard_index;
+  ack.num_shards = options_.num_shards;
+  ack.shard_begin = shard_begin_;
+  ack.shard_end = shard_end_;
+  ack.catalog_size = options_.catalog_size;
+  RpcHello hello;
+  const uint8_t type = FrameType(payload);
+  if (type != kHelloFrame) {
+    ack.status = RpcStatus::kBadRequest;
+    ack.message = "rpc: connection must start with a HELLO (this server "
+                  "speaks protocol v" +
+                  std::to_string(kRpcProtocolVersion) + "); got frame type " +
+                  std::to_string(type) +
+                  " first — the client speaks protocol v1 or earlier";
+  } else if (Status st = DecodeHello(payload, &hello); !st.ok()) {
+    ack.status = RpcStatus::kBadRequest;
+    ack.message = "rpc: malformed HELLO: " + st.ToString();
+  } else if (hello.protocol_version != kRpcProtocolVersion) {
+    ack.status = RpcStatus::kBadRequest;
+    ack.message = "rpc: protocol version mismatch: client speaks v" +
+                  std::to_string(hello.protocol_version) +
+                  ", server speaks v" +
+                  std::to_string(kRpcProtocolVersion);
+  }
+  if (ack.status != RpcStatus::kOk) {
+    SEQFM_LOG(Warning) << "rpc: rejecting handshake: " << ack.message;
+    util::OrderedMutexLock lock(mu_);
+    ++stats_.protocol_errors;
+  } else {
+    // Count the accepted handshake BEFORE the ack hits the wire: a client
+    // whose Connect() has returned must observe handshakes_ok >= 1, so the
+    // increment has to be ordered before the bytes it synchronizes with.
+    util::OrderedMutexLock lock(mu_);
+    ++stats_.handshakes_ok;
+  }
+  std::string wire;
+  AppendHelloAckFrame(ack, &wire);
+  const bool alive = EnqueueResponse(conn, wire);
+  if (ack.status != RpcStatus::kOk) {
+    // Precise error first, then close. The ack is one small frame, so the
+    // synchronous flush inside EnqueueResponse delivers it before the FIN.
+    if (alive) CloseConn(conn->id);
+    return false;
+  }
+  if (!alive) return false;
+  conn->hello_done = true;
+  return true;
 }
 
 void RpcServer::HandleRequest(Connection* conn, RpcRequest req) {
@@ -375,6 +470,103 @@ void RpcServer::HandleRequest(Connection* conn, RpcRequest req) {
       return;
     }
   }
+}
+
+void RpcServer::HandleShardRequest(Connection* conn, RpcShardRequest req) {
+  if (options_.catalog_size == 0) {
+    // Not a replica: reject precisely instead of scoring a catalog this
+    // server does not own.
+    {
+      util::OrderedMutexLock lock(mu_);
+      ++stats_.requests_bad;
+    }
+    SendShardError(conn, req.id, RpcStatus::kBadRequest);
+    return;
+  }
+  if (req.begin > req.end || req.begin < shard_begin_ ||
+      req.end > shard_end_) {
+    SEQFM_LOG(Warning) << "rpc: shard request [" << req.begin << ", "
+                       << req.end << ") outside owned slice [" << shard_begin_
+                       << ", " << shard_end_ << ")";
+    {
+      util::OrderedMutexLock lock(mu_);
+      ++stats_.requests_bad;
+    }
+    SendShardError(conn, req.id, RpcStatus::kBadRequest);
+    return;
+  }
+  data::SequenceExample ex;
+  ex.user = req.user;
+  ex.history = std::move(req.history);
+  // The replica owns the identity catalog, so the slate is materialized
+  // here — [begin, end) item ids — instead of shipped over the wire.
+  std::vector<int32_t> candidates;
+  candidates.reserve(static_cast<size_t>(req.end - req.begin));
+  for (uint64_t p = req.begin; p < req.end; ++p) {
+    candidates.push_back(static_cast<int32_t>(p));
+  }
+  const uint64_t conn_id = conn->id;
+  const uint64_t request_id = req.id;
+  const size_t k = std::min<uint64_t>(req.k, req.end - req.begin);
+  const BatchServer::AdmitResult admit = batch_->TrySubmit(
+      ex, std::move(candidates), k,
+      [this, conn_id, request_id](std::vector<ScoredItem> items) {
+        OnShardComplete(conn_id, request_id, std::move(items));
+      });
+  switch (admit) {
+    case BatchServer::AdmitResult::kAdmitted:
+      return;
+    case BatchServer::AdmitResult::kOverloaded:
+      {
+        util::OrderedMutexLock lock(mu_);
+        ++stats_.requests_shed;
+      }
+      SendShardError(conn, request_id, RpcStatus::kOverloaded);
+      return;
+    case BatchServer::AdmitResult::kShutdown:
+      {
+        util::OrderedMutexLock lock(mu_);
+        ++stats_.requests_rejected_shutdown;
+      }
+      SendShardError(conn, request_id, RpcStatus::kShuttingDown);
+      return;
+  }
+}
+
+void RpcServer::SendShardError(Connection* conn, uint64_t request_id,
+                               RpcStatus status) {
+  RpcShardResponse resp;
+  resp.id = request_id;
+  resp.status = status;
+  resp.model_version = options_.model_version;
+  std::string wire;
+  AppendShardResponseFrame(resp, &wire);
+  EnqueueResponse(conn, wire);
+}
+
+void RpcServer::OnShardComplete(uint64_t conn_id, uint64_t request_id,
+                                std::vector<ScoredItem> items) {
+  RpcShardResponse resp;
+  resp.id = request_id;
+  resp.status = RpcStatus::kOk;
+  resp.model_version = options_.model_version;
+  resp.entries.reserve(items.size());
+  for (const ScoredItem& item : items) {
+    // Identity catalog: an item's global position IS its id, so the
+    // coordinator's ScoredItem -> RankEntry reconstruction is lossless and
+    // the merged order matches the single-process RankBefore order exactly.
+    resp.entries.push_back(
+        {item.item, item.score, static_cast<uint64_t>(item.item)});
+  }
+  Completion completion;
+  completion.conn_id = conn_id;
+  AppendShardResponseFrame(resp, &completion.wire);
+  {
+    util::OrderedMutexLock lock(mu_);
+    completions_.push_back(std::move(completion));
+    ++stats_.requests_ok;
+  }
+  SignalWakeup();
 }
 
 void RpcServer::OnWaveComplete(uint64_t conn_id, uint64_t request_id,
@@ -492,7 +684,8 @@ void RpcServer::CloseConn(uint64_t conn_id) {
 // RpcClient
 // ---------------------------------------------------------------------------
 
-Status RpcClient::Connect(const std::string& host, uint16_t port) {
+Status RpcClient::Connect(const std::string& host, uint16_t port,
+                          RpcClientOptions options) {
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return Status::IoError(Errno("rpc client: socket"));
@@ -504,7 +697,48 @@ Status RpcClient::Connect(const std::string& host, uint16_t port) {
     Close();
     return Status::InvalidArgument("rpc client: bad address " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (options.connect_timeout_ms > 0) {
+    // Non-blocking connect + poll: an unreachable host fails within the
+    // bound instead of the kernel's minutes-long default.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (errno != EINPROGRESS) {
+        const Status st = Status::IoError(Errno("rpc client: connect"));
+        Close();
+        return st;
+      }
+      pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      const int pr =
+          ::poll(&pfd, 1, static_cast<int>(options.connect_timeout_ms));
+      if (pr == 0) {
+        Close();
+        return Status::IoError(
+            "rpc client: connect to " + host + ":" + std::to_string(port) +
+            " timed out after " + std::to_string(options.connect_timeout_ms) +
+            "ms");
+      }
+      if (pr < 0) {
+        const Status st = Status::IoError(Errno("rpc client: poll"));
+        Close();
+        return st;
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len);
+      if (err != 0) {
+        Close();
+        return Status::IoError(std::string("rpc client: connect: ") +
+                               std::strerror(err));
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);  // back to blocking for the frame I/O
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     const Status st = Status::IoError(Errno("rpc client: connect"));
     Close();
     return st;
@@ -512,13 +746,53 @@ Status RpcClient::Connect(const std::string& host, uint16_t port) {
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   reader_ = FrameReader();
+  server_info_ = RpcHelloAck();
+
+  // Handshake, bounded by the connect timeout: a server that ACCEPTED the
+  // TCP connection but never answers the HELLO — a hung process, or a
+  // listener whose accept backlog swallowed the connect — must become a
+  // timed-out Status, not a hang. (TCP alone can't distinguish these from
+  // a healthy server on loopback: the kernel completes the handshake from
+  // the backlog before the process ever calls accept.)
+  io_timeout_ms_ = options.connect_timeout_ms > 0 ? options.connect_timeout_ms
+                                                  : options.io_timeout_ms;
+  SetSocketTimeouts(fd_, io_timeout_ms_);
+  RpcHello hello;
+  hello.capabilities = options.capabilities;
+  std::string wire;
+  AppendHelloFrame(hello, &wire);
+  if (Status st = SendWire(wire); !st.ok()) {
+    Close();
+    return st;
+  }
+  std::string payload;
+  if (Status st = ReadFrame(&payload); !st.ok()) {
+    Close();
+    return Status::IoError(
+        "rpc client: no HELLO_ACK from " + host + ":" +
+        std::to_string(port) + " (" + st.ToString() +
+        ") — the server may speak protocol v1 or earlier, which has no "
+        "handshake");
+  }
+  RpcHelloAck ack;
+  if (Status st = DecodeHelloAck(payload, &ack); !st.ok()) {
+    Close();
+    return Status::IoError("rpc client: malformed HELLO_ACK: " +
+                           st.ToString());
+  }
+  if (ack.status != RpcStatus::kOk) {
+    Close();
+    return Status::FailedPrecondition(
+        "rpc client: server rejected handshake: " + ack.message);
+  }
+  server_info_ = ack;
+  io_timeout_ms_ = options.io_timeout_ms;
+  SetSocketTimeouts(fd_, io_timeout_ms_);
   return Status::OK();
 }
 
-Status RpcClient::Send(const RpcRequest& req) {
+Status RpcClient::SendWire(const std::string& wire) {
   if (fd_ < 0) return Status::FailedPrecondition("rpc client: not connected");
-  std::string wire;
-  AppendRequestFrame(req, &wire);
   size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t w =
@@ -528,19 +802,22 @@ Status RpcClient::Send(const RpcRequest& req) {
       continue;
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IoError("rpc client: write timed out after " +
+                             std::to_string(io_timeout_ms_) + "ms");
+    }
     return Status::IoError(Errno("rpc client: write"));
   }
   return Status::OK();
 }
 
-Status RpcClient::ReadResponse(RpcResponse* out) {
+Status RpcClient::ReadFrame(std::string* payload) {
   if (fd_ < 0) return Status::FailedPrecondition("rpc client: not connected");
   char buf[65536];
   for (;;) {
-    std::string payload;
     bool got = false;
-    SEQFM_RETURN_NOT_OK(reader_.Next(&payload, &got));
-    if (got) return DecodeResponse(payload, out);
+    SEQFM_RETURN_NOT_OK(reader_.Next(payload, &got));
+    if (got) return Status::OK();
     const ssize_t r = ::read(fd_, buf, sizeof(buf));
     if (r > 0) {
       reader_.Feed(buf, static_cast<size_t>(r));
@@ -550,14 +827,51 @@ Status RpcClient::ReadResponse(RpcResponse* out) {
       return Status::IoError("rpc client: connection closed by server");
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IoError("rpc client: read timed out after " +
+                             std::to_string(io_timeout_ms_) + "ms");
+    }
     return Status::IoError(Errno("rpc client: read"));
   }
+}
+
+Status RpcClient::Send(const RpcRequest& req) {
+  std::string wire;
+  AppendRequestFrame(req, &wire);
+  return SendWire(wire);
+}
+
+Status RpcClient::ReadResponse(RpcResponse* out) {
+  std::string payload;
+  SEQFM_RETURN_NOT_OK(ReadFrame(&payload));
+  return DecodeResponse(payload, out);
 }
 
 Status RpcClient::Call(const RpcRequest& req, RpcResponse* out) {
   SEQFM_RETURN_NOT_OK(Send(req));
   do {
     SEQFM_RETURN_NOT_OK(ReadResponse(out));
+  } while (out->id != req.id);
+  return Status::OK();
+}
+
+Status RpcClient::SendShard(const RpcShardRequest& req) {
+  std::string wire;
+  AppendShardRequestFrame(req, &wire);
+  return SendWire(wire);
+}
+
+Status RpcClient::ReadShardResponse(RpcShardResponse* out) {
+  std::string payload;
+  SEQFM_RETURN_NOT_OK(ReadFrame(&payload));
+  return DecodeShardResponse(payload, out);
+}
+
+Status RpcClient::CallShard(const RpcShardRequest& req,
+                            RpcShardResponse* out) {
+  SEQFM_RETURN_NOT_OK(SendShard(req));
+  do {
+    SEQFM_RETURN_NOT_OK(ReadShardResponse(out));
   } while (out->id != req.id);
   return Status::OK();
 }

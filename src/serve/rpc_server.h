@@ -39,6 +39,22 @@ struct RpcServerOptions {
   /// drain their pending response bytes before being force-closed, so a
   /// stalled client can never wedge Shutdown.
   int64_t drain_timeout_ms = 5000;
+  /// Replica mode: when catalog_size > 0 the server also answers
+  /// shard-scoped requests (kShardRequestFrame) over its owned slice
+  /// [Bounds(catalog_size, num_shards)[shard_index],
+  ///  Bounds(...)[shard_index + 1]) of the identity catalog
+  /// {0, ..., catalog_size - 1}, and advertises kRpcCapShardScoring plus
+  /// the slice bounds in its HELLO_ACK. Shard requests outside the owned
+  /// slice are answered BAD_REQUEST — a misrouted coordinator gets a
+  /// precise rejection, never a silently wrong ranking.
+  uint64_t catalog_size = 0;
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 1;
+  /// Parameter fingerprint announced in the HELLO_ACK and stamped on every
+  /// shard response (see serve::ParameterVersion). A coordinator refuses to
+  /// merge entries scored under different versions, so a mid-fleet
+  /// checkpoint swap degrades to PARTIAL instead of mixing models.
+  uint64_t model_version = 0;
 };
 
 /// Counters exposed by RpcServer::stats(). "Shed" mirrors the BatchServer's
@@ -50,8 +66,14 @@ struct RpcServerStats {
   uint64_t requests_ok = 0;        // admitted, served, response enqueued
   uint64_t requests_shed = 0;      // answered OVERLOADED at admission
   uint64_t requests_rejected_shutdown = 0;  // answered SHUTTING_DOWN
+  uint64_t requests_bad = 0;       // answered BAD_REQUEST (bad shard range)
   uint64_t protocol_errors = 0;    // framing/decoding failures (conn closed)
   uint64_t backpressure_pauses = 0;
+  /// HELLO handshakes accepted. Hello frames are deliberately NOT counted
+  /// in frames_received, so the accounting invariant "requests_ok +
+  /// requests_shed + requests_rejected_shutdown + requests_bad ==
+  /// frames_received" keeps holding for request traffic.
+  uint64_t handshakes_ok = 0;
 };
 
 /// \brief Single-threaded epoll TCP front end over a serve::BatchServer.
@@ -124,10 +146,28 @@ class RpcServer {
   /// Decodes and dispatches every complete buffered frame. Returns false
   /// when a framing/decoding error closed the connection.
   bool ProcessFrames(Connection* conn);
+  /// Processes the connection's mandatory first frame. A well-formed HELLO
+  /// with a matching protocol version is acked (status OK) and unlocks the
+  /// connection for requests; anything else — a version mismatch, or a v1
+  /// client sending a request first — is answered with a BAD_REQUEST ack
+  /// naming the problem precisely, then the connection is closed. Returns
+  /// false when the connection was closed.
+  bool HandleHello(Connection* conn, const std::string& payload);
   void HandleRequest(Connection* conn, RpcRequest req);
+  /// Replica mode: scores [req.begin, req.end) of the identity catalog
+  /// through the BatchServer (same admission/shedding as slate requests)
+  /// and answers with a shard response carrying raw scores.
+  void HandleShardRequest(Connection* conn, RpcShardRequest req);
+  /// Immediate non-OK shard response (bad range, shed, shutting down).
+  void SendShardError(Connection* conn, uint64_t request_id, RpcStatus status);
   /// Called on the BatchServer dispatcher thread when a wave completes.
   void OnWaveComplete(uint64_t conn_id, uint64_t request_id,
                       std::vector<ScoredItem> items);
+  /// Shard-request flavor of OnWaveComplete: re-labels the ScoredItems as
+  /// RpcShardEntries (pos == item under the identity catalog) and stamps
+  /// the model version.
+  void OnShardComplete(uint64_t conn_id, uint64_t request_id,
+                       std::vector<ScoredItem> items);
   /// Appends one encoded frame to the connection's write buffer, attempts a
   /// synchronous flush, and applies backpressure. Returns false when the
   /// flush failed and closed the connection.
@@ -142,6 +182,10 @@ class RpcServer {
 
   BatchServer* batch_;
   RpcServerOptions options_;
+  /// Owned identity-catalog slice in replica mode (both 0 otherwise);
+  /// computed once from ShardedCatalog::Bounds in the constructor.
+  uint64_t shard_begin_ = 0;
+  uint64_t shard_end_ = 0;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
@@ -175,9 +219,31 @@ class RpcServer {
   bool joined_ SEQFM_GUARDED_BY(shutdown_mu_) = false;
 };
 
+/// Client-side knobs. All-zero defaults reproduce the fully blocking v1
+/// behavior (no timeouts).
+struct RpcClientOptions {
+  /// Bound on establishing the connection INCLUDING the handshake: TCP
+  /// connect + HELLO/HELLO_ACK. 0 blocks indefinitely. A server that
+  /// accepts but never answers (hung replica, full accept backlog) turns
+  /// into a timed-out Status instead of a hang.
+  int64_t connect_timeout_ms = 0;
+  /// Per-syscall bound on Send/Read after the handshake (SO_SNDTIMEO /
+  /// SO_RCVTIMEO). 0 blocks indefinitely. The coordinator sets this to its
+  /// per-replica budget so a replica dying mid-call can never wedge a merge.
+  int64_t io_timeout_ms = 0;
+  /// Capability bits announced in the HELLO.
+  uint32_t capabilities = 0;
+};
+
 /// \brief Minimal blocking client for the RPC protocol (tests, examples,
-/// and the parity legs of bench_loadgen; the open-loop load generator runs
-/// its own non-blocking loop instead).
+/// the coordinator's replica channel, and the parity legs of bench_loadgen;
+/// the open-loop load generator runs its own non-blocking loop instead).
+///
+/// Connect() performs the protocol-v2 handshake transparently: it sends a
+/// HELLO and fails with a precise error if the server answers with a
+/// non-OK ack (version mismatch) or closes without answering (a pre-v2
+/// server). The accepted ack — the server's model version and, for
+/// replicas, its owned catalog slice — is kept readable via server_info().
 ///
 /// Responses on a connection are matched by request id — a shed request is
 /// answered ahead of earlier admitted ones — so Call() discards responses
@@ -190,29 +256,50 @@ class RpcClient {
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
-  /// Connects a blocking TCP socket. \p host must be a numeric IPv4 address
-  /// ("127.0.0.1").
-  Status Connect(const std::string& host, uint16_t port);
+  /// Connects a blocking TCP socket and performs the HELLO handshake.
+  /// \p host must be a numeric IPv4 address ("127.0.0.1"). With
+  /// options.connect_timeout_ms set, a server that cannot be reached — or
+  /// accepts but never completes the handshake — yields a timed-out
+  /// IoError within the bound instead of blocking forever.
+  Status Connect(const std::string& host, uint16_t port,
+                 RpcClientOptions options = {});
 
-  /// Writes one request frame (blocking until fully written).
+  /// Writes one request frame (blocking until fully written, bounded by
+  /// io_timeout_ms when set).
   Status Send(const RpcRequest& req);
 
   /// Blocks until the next complete response frame arrives. IoError when
-  /// the server closes the connection first.
+  /// the server closes the connection first or io_timeout_ms expires.
   Status ReadResponse(RpcResponse* out);
 
   /// Send + read until the response matching req.id arrives.
   Status Call(const RpcRequest& req, RpcResponse* out);
 
+  /// Shard-scoped flavors of Send/ReadResponse/Call (replica servers only).
+  Status SendShard(const RpcShardRequest& req);
+  Status ReadShardResponse(RpcShardResponse* out);
+  Status CallShard(const RpcShardRequest& req, RpcShardResponse* out);
+
   void Close();
   bool connected() const { return fd_ >= 0; }
+  /// The server's accepted HELLO_ACK (valid after a successful Connect):
+  /// protocol version, capabilities, model version, owned catalog slice.
+  const RpcHelloAck& server_info() const { return server_info_; }
   /// The raw socket, for tests that need to write bytes below the client
   /// abstraction (split frames, garbage).
   int fd() const { return fd_; }
 
  private:
+  /// Blocking full write of an encoded frame; EAGAIN (send timeout) is a
+  /// timed-out IoError.
+  Status SendWire(const std::string& wire);
+  /// Reads until one complete frame payload is buffered.
+  Status ReadFrame(std::string* payload);
+
   int fd_ = -1;
+  int64_t io_timeout_ms_ = 0;
   FrameReader reader_;
+  RpcHelloAck server_info_;
 };
 
 }  // namespace serve

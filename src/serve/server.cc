@@ -1,13 +1,12 @@
 #include "serve/server.h"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 #include <utility>
 
+#include "serve/backend.h"
 #include "serve/shard.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
 
 namespace seqfm {
 namespace serve {
@@ -17,6 +16,8 @@ BatchServer::BatchServer(Predictor* predictor, BatchServerOptions options)
   SEQFM_CHECK(predictor_ != nullptr) << "BatchServer: null predictor";
   SEQFM_CHECK_GT(options_.max_wave_requests, 0u);
   SEQFM_CHECK_GT(options_.num_shards, 0u);
+  backend_ = std::make_unique<LocalShardBackend>(
+      predictor_, LocalShardBackendOptions{options_.micro_batch});
   dispatcher_ = std::thread([this]() { DispatchLoop(); });
 }
 
@@ -138,86 +139,53 @@ void BatchServer::DispatchLoop() {
 
 void BatchServer::ServeWave(std::vector<Request>* wave) {
   const size_t num_requests = wave->size();
-  const size_t chunk_size = options_.micro_batch > 0
-                                ? options_.micro_batch
-                                : predictor_->options().micro_batch;
-
-  // Phase 1 (context path only): resolve each unique (user, history) context
-  // once per wave. The map dedupes duplicate users inside the wave before
-  // they even reach the ContextCache, so a cold cache never computes the
-  // same context twice in one wave; groups resolve concurrently on the pool.
-  std::vector<Predictor::ContextPtr> contexts(num_requests);
-  if (predictor_->context_path_active()) {
-    std::map<std::pair<int32_t, std::vector<int32_t>>, std::vector<size_t>>
-        groups;
-    for (size_t r = 0; r < num_requests; ++r) {
-      if ((*wave)[r].candidates.empty() || (*wave)[r].k == 0) continue;
-      groups[{(*wave)[r].ex.user, (*wave)[r].ex.history}].push_back(r);
-    }
-    std::vector<const std::vector<size_t>*> group_list;
-    group_list.reserve(groups.size());
-    for (const auto& [key, members] : groups) group_list.push_back(&members);
-    util::ParallelFor(group_list.size(), 1, [&](size_t g0, size_t g1) {
-      for (size_t g = g0; g < g1; ++g) {
-        const std::vector<size_t>& members = *group_list[g];
-        const Predictor::ContextPtr ctx =
-            predictor_->AcquireContext((*wave)[members.front()].ex);
-        for (size_t r : members) contexts[r] = ctx;
-      }
-    });
-  }
-
-  // Phase 2: one fused ParallelFor over every (request, shard, chunk) task
-  // of the wave — the multi-user scoring wave that keeps all pool threads
-  // busy regardless of per-request catalog size. Each request's candidates
-  // are partitioned into num_shards contiguous shards (chunks never
-  // straddle a boundary) and reduced into per-shard bounded top-K heaps, so
-  // the wave holds requests * shards * k retained entries plus one
-  // chunk-local score buffer per pool thread — never a full score vector.
   const size_t num_shards = options_.num_shards;
-  struct WaveTask {
-    size_t request;
-    ShardChunk chunk;
-  };
-  std::vector<WaveTask> tasks;
-  std::vector<std::vector<TopKHeap>> heaps(num_requests);
+
+  // Every (request, shard) of the wave is one ScoreJob on the shared
+  // backend seam (serve/backend.h). The LocalShardBackend reproduces the
+  // wave semantics this method used to inline: unique (user, history)
+  // contexts resolved once per wave across requests, then one fused
+  // ParallelFor over every (job, chunk) task — all pool threads busy
+  // regardless of per-request catalog size — reduced into one bounded
+  // top-K heap per job, so the wave holds requests * shards * k retained
+  // entries plus one chunk-local score buffer per pool thread, never a
+  // full score vector.
+  std::vector<ScoreJob> jobs;
+  std::vector<size_t> job_request;  // job index -> wave request index
+  jobs.reserve(num_requests * num_shards);
+  job_request.reserve(num_requests * num_shards);
   for (size_t r = 0; r < num_requests; ++r) {
-    const size_t total = (*wave)[r].candidates.size();
-    if (total == 0 || (*wave)[r].k == 0) continue;
-    heaps[r].assign(num_shards, TopKHeap(std::min((*wave)[r].k, total)));
-    for (const ShardChunk& chunk : MakeShardChunks(
-             ShardedCatalog::Bounds(total, num_shards), chunk_size)) {
-      tasks.push_back({r, chunk});
+    const Request& req = (*wave)[r];
+    const size_t total = req.candidates.size();
+    if (total == 0 || req.k == 0) continue;
+    const std::vector<size_t> bounds =
+        ShardedCatalog::Bounds(total, num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      jobs.push_back({&req.ex, &req.candidates, bounds[s], bounds[s + 1],
+                      std::min(req.k, total)});
+      job_request.push_back(r);
     }
   }
-  // Chunk tasks of the same (request, shard) may run concurrently; its heap
-  // is fed under a mutex, and the retained set is push-order independent
-  // (RankBefore is a strict total order), so results are deterministic for
-  // any pool schedule.
-  std::vector<std::mutex> heap_mu(num_requests * num_shards);
-  util::ParallelFor(tasks.size(), 1, [&](size_t t0, size_t t1) {
-    std::vector<float> chunk_scores;
-    for (size_t t = t0; t < t1; ++t) {
-      const WaveTask& task = tasks[t];
-      const Request& req = (*wave)[task.request];
-      ScoreChunkIntoHeap(*predictor_, contexts[task.request].get(), req.ex,
-                         req.candidates, task.chunk, &chunk_scores,
-                         &heap_mu[task.request * num_shards + task.chunk.shard],
-                         &heaps[task.request][task.chunk.shard]);
-    }
-  });
+  std::vector<std::vector<RankEntry>> runs;
+  const Status st = backend_->ScoreTopK(jobs, &runs);
+  SEQFM_CHECK(st.ok()) << "BatchServer: local backend failed: "
+                       << st.ToString();
 
-  // Phase 3: per-request cross-shard merge and callback delivery. The
-  // served counter is published first so a client that observed its result
-  // arrive always sees its request counted.
+  // Cross-shard merge per request and callback delivery. The served
+  // counter is published first so a client that observed its result arrive
+  // always sees its request counted.
+  std::vector<std::vector<std::vector<RankEntry>>> request_runs(num_requests);
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    request_runs[job_request[j]].push_back(std::move(runs[j]));
+  }
   {
     util::OrderedMutexLock lock(mu_);
     stats_.requests_served += num_requests;
   }
   for (size_t r = 0; r < num_requests; ++r) {
     Request& req = (*wave)[r];
-    req.done(heaps[r].empty() ? std::vector<ScoredItem>{}
-                              : MergeTopK(heaps[r], req.k));
+    req.done(request_runs[r].empty() ? std::vector<ScoredItem>{}
+                                     : MergeSortedRuns(request_runs[r], req.k));
   }
 }
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -19,6 +20,8 @@
 
 namespace seqfm {
 namespace serve {
+
+class ScoringBackend;  // serve/backend.h; kept out of this header's includes
 
 struct BatchServerOptions {
   /// Most requests fused into one scoring wave. The dispatcher drains up to
@@ -168,6 +171,11 @@ class BatchServer {
 
   Predictor* predictor_;
   BatchServerOptions options_;
+  /// The wave engine room: every (request, shard) of a wave becomes one
+  /// ScoreJob on this LocalShardBackend (serve/backend.h) — context dedup,
+  /// the fused ParallelFor, and the bounded per-shard reduction all live
+  /// there, shared verbatim with ShardedPredictor.
+  std::unique_ptr<ScoringBackend> backend_;
 
   mutable util::OrderedMutex mu_{"BatchServer::mu_",
                                  util::lock_rank::kBatchQueue};

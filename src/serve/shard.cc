@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "serve/backend.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -57,12 +58,22 @@ std::vector<RankEntry> TopKHeap::SortedEntries() const {
 
 std::vector<ScoredItem> MergeTopK(const std::vector<TopKHeap>& shard_heaps,
                                   size_t k) {
-  // Classic k-way merge over the per-shard sorted runs with a cursor heap:
-  // O(k log num_shards) after the per-heap sorts, no concatenated buffer.
   std::vector<std::vector<RankEntry>> runs;
   runs.reserve(shard_heaps.size());
   for (const TopKHeap& heap : shard_heaps) {
     if (heap.size() > 0) runs.push_back(heap.SortedEntries());
+  }
+  return MergeSortedRuns(runs, k);
+}
+
+std::vector<ScoredItem> MergeSortedRuns(
+    const std::vector<std::vector<RankEntry>>& all_runs, size_t k) {
+  // Classic k-way merge over the sorted runs with a cursor heap:
+  // O(k log num_runs), no concatenated buffer.
+  std::vector<const std::vector<RankEntry>*> runs;
+  runs.reserve(all_runs.size());
+  for (const std::vector<RankEntry>& run : all_runs) {
+    if (!run.empty()) runs.push_back(&run);
   }
   struct Cursor {
     size_t run;
@@ -70,7 +81,7 @@ std::vector<ScoredItem> MergeTopK(const std::vector<TopKHeap>& shard_heaps,
   };
   const auto cursor_after = [&runs](const Cursor& a, const Cursor& b) {
     // "a after b" so the std::*_heap max element is the best cursor.
-    return RankBefore(runs[b.run][b.idx], runs[a.run][a.idx]);
+    return RankBefore((*runs[b.run])[b.idx], (*runs[a.run])[a.idx]);
   };
   std::vector<Cursor> cursors;
   cursors.reserve(runs.size());
@@ -82,9 +93,9 @@ std::vector<ScoredItem> MergeTopK(const std::vector<TopKHeap>& shard_heaps,
     std::pop_heap(cursors.begin(), cursors.end(), cursor_after);
     Cursor best = cursors.back();
     cursors.pop_back();
-    const RankEntry& entry = runs[best.run][best.idx];
+    const RankEntry& entry = (*runs[best.run])[best.idx];
     top.push_back({entry.item, entry.score});
-    if (++best.idx < runs[best.run].size()) {
+    if (++best.idx < runs[best.run]->size()) {
       cursors.push_back(best);
       std::push_heap(cursors.begin(), cursors.end(), cursor_after);
     }
@@ -148,7 +159,11 @@ ShardedPredictor::ShardedPredictor(Predictor* predictor,
                                    ShardedPredictorOptions options)
     : predictor_(predictor),
       options_(options),
+      backend_(std::make_unique<LocalShardBackend>(
+          predictor, LocalShardBackendOptions{options.micro_batch})),
       full_catalog_bounds_(FullCatalogBounds(predictor, options.num_shards)) {}
+
+ShardedPredictor::~ShardedPredictor() = default;
 
 std::vector<ScoredItem> ShardedPredictor::TopK(
     const data::SequenceExample& ex, const std::vector<int32_t>& candidates,
@@ -178,32 +193,22 @@ std::vector<ScoredItem> ShardedPredictor::TopKImpl(
   k = std::min(k, candidates.size());
   if (k == 0) return {};
 
-  // Resolve the (user, history) context once per request, exactly like the
-  // unsharded fast path (and through the same ContextCache when enabled).
-  Predictor::ContextPtr ctx;
-  if (predictor_->context_path_active()) ctx = predictor_->AcquireContext(ex);
-
-  const size_t chunk_size = options_.micro_batch > 0
-                                ? options_.micro_batch
-                                : predictor_->options().micro_batch;
-  const std::vector<ShardChunk> tasks = MakeShardChunks(bounds, chunk_size);
-
-  // Per-shard bounded heaps: chunk tasks from the same shard may run
-  // concurrently on the pool, so each heap is fed under its shard's mutex.
-  // The retained set is push-order independent (strict total order), so the
-  // result is deterministic for any pool schedule.
-  std::vector<TopKHeap> heaps(num_shards, TopKHeap(k));
-  std::vector<std::mutex> heap_mu(num_shards);
-  util::ParallelFor(tasks.size(), 1, [&](size_t t0, size_t t1) {
-    std::vector<float> chunk_scores;
-    for (size_t t = t0; t < t1; ++t) {
-      ScoreChunkIntoHeap(*predictor_, ctx.get(), ex, candidates, tasks[t],
-                         &chunk_scores, &heap_mu[tasks[t].shard],
-                         &heaps[tasks[t].shard]);
-    }
-  });
-
-  return MergeTopK(heaps, k);
+  // One ScoreJob per shard through the shared backend seam: the backend
+  // resolves the (user, history) context once (through the same
+  // ContextCache), fans every (shard, chunk) task onto the pool, and hands
+  // back one sorted top-k run per shard — exactly the plumbing this method
+  // used to inline, now shared with BatchServer waves and the distributed
+  // Coordinator.
+  std::vector<ScoreJob> jobs;
+  jobs.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    jobs.push_back({&ex, &candidates, bounds[s], bounds[s + 1], k});
+  }
+  std::vector<std::vector<RankEntry>> runs;
+  const Status st = backend_->ScoreTopK(jobs, &runs);
+  SEQFM_CHECK(st.ok()) << "ShardedPredictor: local backend failed: "
+                       << st.ToString();
+  return MergeSortedRuns(runs, k);
 }
 
 }  // namespace serve

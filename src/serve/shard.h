@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -10,6 +11,8 @@
 
 namespace seqfm {
 namespace serve {
+
+class ScoringBackend;  // serve/backend.h; kept out of this header's includes
 
 /// One scored candidate inside the sharded ranking machinery: the score, the
 /// candidate id, and the candidate's position in the original candidates
@@ -99,6 +102,16 @@ class TopKHeap {
 std::vector<ScoredItem> MergeTopK(const std::vector<TopKHeap>& shard_heaps,
                                   size_t k);
 
+/// K-way merges already-sorted (best-first, RankBefore) RankEntry runs into
+/// the global top-k. This is the reduction every fan-out layer shares:
+/// MergeTopK feeds it per-shard heap runs in process, and the distributed
+/// serve::Coordinator feeds it per-replica runs off the wire — same
+/// comparator, same cursor merge, so a request's ranking is identical no
+/// matter how its candidate space was partitioned or transported. Empty runs
+/// are permitted; behavior is unspecified if a run is not RankBefore-sorted.
+std::vector<ScoredItem> MergeSortedRuns(
+    const std::vector<std::vector<RankEntry>>& runs, size_t k);
+
 /// One (shard, candidate-range) scoring task of a sharded request; chunks
 /// never straddle a shard boundary.
 struct ShardChunk {
@@ -154,6 +167,7 @@ class ShardedPredictor {
  public:
   explicit ShardedPredictor(Predictor* predictor,
                             ShardedPredictorOptions options = {});
+  ~ShardedPredictor();
 
   /// Top-k of the pre-partitioned \p catalog (descending score, RankBefore
   /// ties). k is clamped to catalog.size().
@@ -185,6 +199,10 @@ class ShardedPredictor {
 
   Predictor* predictor_;
   ShardedPredictorOptions options_;
+  /// The scoring engine room: one ScoreJob per shard goes through this
+  /// LocalShardBackend (serve/backend.h), the same seam BatchServer waves
+  /// use — the fan-out/reduce plumbing lives there exactly once.
+  std::unique_ptr<ScoringBackend> backend_;
   /// Shard boundaries over the Predictor's full catalog (offsets only —
   /// the candidates themselves stay in the Predictor).
   std::vector<size_t> full_catalog_bounds_;

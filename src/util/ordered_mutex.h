@@ -41,6 +41,14 @@ namespace lock_rank {
 ///                          only; compiles never run under the engine lock)
 /// The thread pool's internal locks stay unranked plain util::Mutex: they
 /// are leaf locks by construction (never held across user callbacks).
+///
+/// Coordinator locks sit BELOW the whole single-replica serving stack
+/// (< 100, per the rank reservation in ROADMAP.md): a coordinator fans out
+/// while holding its own state lock, and each replica channel's mutex is
+/// taken by the fan-out workers — both orders must legalize nesting into
+/// an in-process replica's kRpcShutdown and below.
+constexpr int kCoordinator = 40;      // serve::Coordinator::mu_
+constexpr int kReplicaChannel = 50;   // serve::RemoteReplicaBackend::mu_
 constexpr int kRpcShutdown = 100;     // serve::RpcServer::shutdown_mu_
 constexpr int kBatchServe = 200;      // serve::BatchServer::serve_mu_
 constexpr int kBatchQueue = 300;      // serve::BatchServer::mu_

@@ -744,6 +744,97 @@ TEST(CompiledLifecycleTest, CheckpointReloadRecompilesTheProgram) {
 }
 
 // ---------------------------------------------------------------------------
+// Slot-ABI re-verification at reload: a body whose slot wiring no longer
+// matches the prologue would read the wrong context floats and serve garbage
+// rankings WITHOUT crashing — the reload path must catch it and fall back.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Saves a checkpoint, reloads it with the slot wiring corrupted via the
+// test hook, and asserts the predictor detected the miswiring, latched the
+// compiled path off, and still serves the new parameters bit-exactly
+// through the eager fallback.
+void RunCorruptedReload(bool corrupt_shape) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  auto serving = MakeModelByName("SeqFM", space);
+  auto trained = MakeModelByName("SeqFM", space, /*seed=*/4242);
+
+  const std::string path = TempPath(corrupt_shape
+                                        ? "ir_abi_shape_test.bin"
+                                        : "ir_abi_index_test.bin");
+  ASSERT_TRUE(serve::Checkpoint::Save(
+                  *dynamic_cast<nn::Module*>(trained.get()), path)
+                  .ok());
+
+  serve::PredictorOptions opts;
+  opts.micro_batch = 4;
+  serve::Predictor predictor(serving.get(), &builder, opts);
+  ASSERT_TRUE(predictor.compiled_active());
+  // The healthy engine's ABI verifies — the check itself is not trigger-
+  // happy, or every clean reload would forfeit the compiled path.
+  ASSERT_TRUE(predictor.engine()->ReverifySlotAbi().ok());
+
+  predictor.SetReloadCorruptionHookForTest([corrupt_shape](ir::Engine* e) {
+    e->CorruptSlotWiringForTest(corrupt_shape);
+  });
+  // The reload itself succeeds: the parameters ARE the new checkpoint.
+  ASSERT_TRUE(predictor.ReloadCheckpoint(path).ok());
+  // But the miswired program was caught and latched off.
+  EXPECT_FALSE(predictor.compiled_active());
+
+  // The fallback path serves the NEW parameters bit-exactly — degraded to
+  // eager, never degraded to wrong.
+  std::vector<int32_t> catalog(space.num_objects());
+  std::iota(catalog.begin(), catalog.end(), 0);
+  const data::SequenceExample ex = TestExamples()[0];
+  const std::vector<float> got = predictor.ScoreCandidates(ex, catalog);
+  const data::Batch batch = ServingBatch(builder, ex, catalog);
+  autograd::NoGradGuard guard;
+  const autograd::Variable want = trained->Score(batch, /*training=*/false);
+  ASSERT_EQ(got.size(), want.value().size());
+  ExpectBitEqual(got.data(), want.value().data(), got.size(),
+                 "corrupted-reload eager parity");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+TEST(SlotAbiReverifyTest, ReloadCatchesOutOfRangeSlotIndex) {
+  RunCorruptedReload(/*corrupt_shape=*/false);
+}
+
+TEST(SlotAbiReverifyTest, ReloadCatchesSlotShapeMismatch) {
+  RunCorruptedReload(/*corrupt_shape=*/true);
+}
+
+TEST(SlotAbiReverifyTest, CleanReloadKeepsCompiledPathAndVerifiesAbi) {
+  const data::FeatureSpace space = SmallSpace();
+  data::BatchBuilder builder(space, kSeqLen);
+  auto serving = MakeModelByName("SeqFM", space);
+
+  const std::string path = TempPath("ir_abi_clean_test.bin");
+  ASSERT_TRUE(serve::Checkpoint::Save(
+                  *dynamic_cast<nn::Module*>(serving.get()), path)
+                  .ok());
+
+  serve::Predictor predictor(serving.get(), &builder);
+  ASSERT_TRUE(predictor.compiled_active());
+
+  // Hook installed but benign: prove the re-verification actually runs on
+  // every reload (the hook observes the fresh engine) and passes clean.
+  bool reverified = false;
+  predictor.SetReloadCorruptionHookForTest([&reverified](ir::Engine* e) {
+    reverified = e->ReverifySlotAbi().ok();
+  });
+  ASSERT_TRUE(predictor.ReloadCheckpoint(path).ok());
+  EXPECT_TRUE(reverified);
+  EXPECT_TRUE(predictor.compiled_active());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Loss-curve invariance: tracing/compiling a model never perturbs training
 // ---------------------------------------------------------------------------
 

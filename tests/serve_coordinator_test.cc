@@ -1,0 +1,481 @@
+// Lockdown suite for the distributed serving coordinator
+// (src/serve/coordinator.{h,cc}) and the ScoringBackend seam it merges over,
+// all in one process so the suite runs clean under TSan:
+//   - fleet validation in Ready(): empty fleet, model-version mismatch,
+//     partition mismatch, non-canonical slice bounds, uncovered shard —
+//     each refused with a FailedPrecondition naming the inconsistency;
+//   - coordinator top-K over LocalShardBackends bit-identical to
+//     single-process Predictor::TopKAll / ShardedPredictor::TopKAll for
+//     shard counts {1, 2, 3}, tie-forced catalogs, and k <, ==, > catalog
+//     (including k greater than every shard's slice);
+//   - degradation: a failing replica yields PARTIAL with the healthy
+//     shards' exact merge; a replicated shard fails over and stays OK; a
+//     fully failed fleet yields the empty PARTIAL result, never a hang;
+//   - user-affinity routing: a given user sticks to one replica of a
+//     replicated shard group across requests;
+//   - end-to-end over TCP: coordinator over in-process replica-mode
+//     RpcServers (RemoteReplicaBackend transport) matches the local fleet.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/seqfm.h"
+#include "data/dataset.h"
+#include "serve/backend.h"
+#include "serve/checkpoint.h"
+#include "serve/coordinator.h"
+#include "serve/predictor.h"
+#include "serve/rpc_server.h"
+#include "serve/server.h"
+#include "serve/shard.h"
+#include "util/status.h"
+
+namespace seqfm {
+namespace {
+
+constexpr size_t kSeqLen = 6;
+
+data::FeatureSpace SmallSpace() { return data::FeatureSpace(5, 9); }
+
+core::SeqFmConfig SmallSeqFmConfig(uint64_t seed = 321) {
+  core::SeqFmConfig cfg;
+  cfg.embedding_dim = 8;
+  cfg.max_seq_len = kSeqLen;
+  cfg.ffn_layers = 2;
+  cfg.keep_prob = 1.0f;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<data::SequenceExample> TestExamples() {
+  std::vector<data::SequenceExample> examples(4);
+  examples[0] = {/*user=*/0, /*target=*/4, /*rating=*/1.0f,
+                 {1, 2, 3, 0, 5, 6, 7, 8}};  // longer than kSeqLen
+  examples[1] = {2, 6, 0.5f, {5}};           // single-item history
+  examples[2] = {3, 0, 2.0f, {}};            // cold start
+  examples[3] = {4, 8, 4.0f, {8, 7, 6}};
+  return examples;
+}
+
+/// Forces items \p a and \p b to score bit-identically for every request
+/// (copies a's candidate-dependent rows onto b's) — the duplicate-score
+/// workload whose merges only agree because RankBefore is a total order.
+void ForceScoreTie(core::SeqFm* model, const data::FeatureSpace& space,
+                   int32_t a, int32_t b) {
+  const auto view = model->serving_view();
+  const size_t dim = model->config().embedding_dim;
+  autograd::Variable table = view.static_embedding->table();
+  float* rows = table.mutable_value().data();
+  const size_t ra = static_cast<size_t>(space.CandidateIndex(a));
+  const size_t rb = static_cast<size_t>(space.CandidateIndex(b));
+  std::memcpy(rows + rb * dim, rows + ra * dim, dim * sizeof(float));
+  autograd::Variable w_static = view.w_static;
+  w_static.mutable_value().data()[rb] = w_static.value().data()[ra];
+}
+
+void ExpectSameRanking(const std::vector<serve::ScoredItem>& got,
+                       const std::vector<serve::ScoredItem>& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].item, want[i].item) << context << " rank " << i;
+    EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(float)), 0)
+        << context << " rank " << i;
+  }
+}
+
+serve::ReplicaInfo InfoForShard(uint32_t shard, uint32_t num_shards,
+                                size_t catalog, uint64_t version) {
+  const std::vector<size_t> bounds =
+      serve::ShardedCatalog::Bounds(catalog, num_shards);
+  serve::ReplicaInfo info;
+  info.shard_index = shard;
+  info.num_shards = num_shards;
+  info.shard_begin = bounds[shard];
+  info.shard_end = bounds[shard + 1];
+  info.catalog_size = catalog;
+  info.model_version = version;
+  return info;
+}
+
+/// Backend that fails every batch — a dead replica as the coordinator's
+/// fan-out workers see one.
+class FailingBackend : public serve::ScoringBackend {
+ public:
+  Status ScoreTopK(const std::vector<serve::ScoreJob>&,
+                   std::vector<std::vector<serve::RankEntry>>*) override {
+    return Status::IoError("injected replica failure");
+  }
+};
+
+/// Delegating backend that counts how many batches it served — the probe
+/// for affinity routing.
+class CountingBackend : public serve::ScoringBackend {
+ public:
+  CountingBackend(serve::ScoringBackend* inner, int* calls)
+      : inner_(inner), calls_(calls) {}
+  Status ScoreTopK(
+      const std::vector<serve::ScoreJob>& jobs,
+      std::vector<std::vector<serve::RankEntry>>* results) override {
+    ++*calls_;
+    return inner_->ScoreTopK(jobs, results);
+  }
+
+ private:
+  serve::ScoringBackend* inner_;
+  int* calls_;
+};
+
+/// A fixture owning one trained-ish model + predictor with a forced score
+/// tie, shared by the parity and degradation tests.
+class CoordinatorFleetTest : public ::testing::Test {
+ protected:
+  CoordinatorFleetTest()
+      : space_(SmallSpace()),
+        builder_(space_, kSeqLen),
+        model_(space_, SmallSeqFmConfig()) {
+    ForceScoreTie(&model_, space_, 2, 7);
+    ForceScoreTie(&model_, space_, 2, 4);  // three-way tie across shards
+    predictor_ = std::make_unique<serve::Predictor>(&model_, &builder_);
+  }
+
+  /// Coordinator over num_shards LocalShardBackends (one per shard, all on
+  /// the one predictor — each backend only ever sees its shard's jobs).
+  std::unique_ptr<serve::Coordinator> LocalFleet(uint32_t num_shards,
+                                                 uint64_t version = 7) {
+    auto coord = std::make_unique<serve::Coordinator>();
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      EXPECT_TRUE(
+          coord
+              ->AddBackend(
+                  std::make_unique<serve::LocalShardBackend>(predictor_.get()),
+                  InfoForShard(s, num_shards, space_.num_objects(), version))
+              .ok());
+    }
+    EXPECT_TRUE(coord->Ready().ok());
+    return coord;
+  }
+
+  data::FeatureSpace space_;
+  data::BatchBuilder builder_;
+  core::SeqFm model_;
+  std::unique_ptr<serve::Predictor> predictor_;
+};
+
+// ---------------------------------------------------------------------------
+// Ready(): fleet validation
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorFleetTest, EmptyFleetIsRefused) {
+  serve::Coordinator coord;
+  const Status st = coord.Ready();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("empty fleet"), std::string::npos);
+}
+
+TEST_F(CoordinatorFleetTest, ModelVersionMismatchIsRefused) {
+  serve::Coordinator coord;
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                  predictor_.get()),
+                              InfoForShard(0, 2, space_.num_objects(), 7))
+                  .ok());
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                  predictor_.get()),
+                              InfoForShard(1, 2, space_.num_objects(), 8))
+                  .ok());
+  const Status st = coord.Ready();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("model version mismatch"), std::string::npos);
+}
+
+TEST_F(CoordinatorFleetTest, UncoveredShardIsRefused) {
+  serve::Coordinator coord;
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                  predictor_.get()),
+                              InfoForShard(0, 3, space_.num_objects(), 7))
+                  .ok());
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                  predictor_.get()),
+                              InfoForShard(2, 3, space_.num_objects(), 7))
+                  .ok());
+  const Status st = coord.Ready();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("shard 1"), std::string::npos);
+  EXPECT_NE(st.ToString().find("no replica"), std::string::npos);
+}
+
+TEST_F(CoordinatorFleetTest, NonCanonicalSliceIsRefused) {
+  serve::Coordinator coord;
+  serve::ReplicaInfo info = InfoForShard(0, 2, space_.num_objects(), 7);
+  info.shard_end -= 1;  // claims less than the canonical slice
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                  predictor_.get()),
+                              info)
+                  .ok());
+  const Status st = coord.Ready();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("canonical slice"), std::string::npos);
+}
+
+TEST_F(CoordinatorFleetTest, PartitionMismatchIsRefused) {
+  serve::Coordinator coord;
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                  predictor_.get()),
+                              InfoForShard(0, 2, space_.num_objects(), 7))
+                  .ok());
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                  predictor_.get()),
+                              InfoForShard(1, 3, space_.num_objects(), 7))
+                  .ok());
+  const Status st = coord.Ready();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("partition mismatch"), std::string::npos);
+}
+
+TEST_F(CoordinatorFleetTest, UsageErrorsAreFailedPrecondition) {
+  serve::Coordinator coord;
+  serve::CoordinatorResult result;
+  EXPECT_FALSE(coord.TopKAll(TestExamples()[0], 3, &result).ok());
+
+  auto fleet = LocalFleet(2);
+  EXPECT_FALSE(fleet
+                   ->AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                    predictor_.get()),
+                                InfoForShard(0, 2, space_.num_objects(), 7))
+                   .ok())
+      << "the fleet is frozen after Ready()";
+}
+
+// ---------------------------------------------------------------------------
+// Parity: coordinator merge == single-process serving, bit for bit
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorFleetTest, TopKAllMatchesSingleProcessForAllShardCounts) {
+  for (uint32_t shards : {1u, 2u, 3u}) {
+    auto coord = LocalFleet(shards);
+    EXPECT_EQ(coord->num_shards(), shards);
+    EXPECT_EQ(coord->catalog_size(), space_.num_objects());
+    for (const auto& ex : TestExamples()) {
+      // k below, at, and beyond the catalog; 5 > every 3-shard slice (3).
+      for (size_t k : {1ul, 5ul, space_.num_objects(),
+                       space_.num_objects() + 4}) {
+        const std::vector<serve::ScoredItem> want =
+            predictor_->TopKAll(ex, k);
+        serve::CoordinatorResult result;
+        ASSERT_TRUE(coord->TopKAll(ex, k, &result).ok());
+        EXPECT_EQ(result.status, serve::RpcStatus::kOk);
+        EXPECT_EQ(result.shards_total, shards);
+        EXPECT_EQ(result.shards_merged, shards);
+        ExpectSameRanking(result.items, want,
+                          "shards=" + std::to_string(shards) +
+                              " user=" + std::to_string(ex.user) +
+                              " k=" + std::to_string(k));
+      }
+    }
+  }
+}
+
+TEST_F(CoordinatorFleetTest, TopKAllMatchesShardedPredictor) {
+  serve::ShardedPredictorOptions sp_opts;
+  sp_opts.num_shards = 3;
+  serve::ShardedPredictor sharded(predictor_.get(), sp_opts);
+  auto coord = LocalFleet(3);
+  for (const auto& ex : TestExamples()) {
+    const std::vector<serve::ScoredItem> want = sharded.TopKAll(ex, 6);
+    serve::CoordinatorResult result;
+    ASSERT_TRUE(coord->TopKAll(ex, 6, &result).ok());
+    ExpectSameRanking(result.items, want,
+                      "vs ShardedPredictor user=" + std::to_string(ex.user));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degradation: replica failure yields PARTIAL, failover keeps OK
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorFleetTest, FailedShardDegradesToPartialMergeOfTheRest) {
+  const uint32_t shards = 3;
+  serve::Coordinator coord;
+  for (uint32_t s = 0; s < shards; ++s) {
+    std::unique_ptr<serve::ScoringBackend> backend;
+    if (s == 1) {
+      backend = std::make_unique<FailingBackend>();
+    } else {
+      backend = std::make_unique<serve::LocalShardBackend>(predictor_.get());
+    }
+    ASSERT_TRUE(coord
+                    .AddBackend(std::move(backend),
+                                InfoForShard(s, shards, space_.num_objects(),
+                                             7))
+                    .ok());
+  }
+  ASSERT_TRUE(coord.Ready().ok());
+
+  const data::SequenceExample ex = TestExamples()[0];
+  const size_t k = 4;
+  serve::CoordinatorResult result;
+  ASSERT_TRUE(coord.TopKAll(ex, k, &result).ok());
+  EXPECT_EQ(result.status, serve::RpcStatus::kPartial);
+  EXPECT_EQ(result.shards_total, shards);
+  EXPECT_EQ(result.shards_merged, shards - 1);
+
+  // The degraded answer is the EXACT merge of the healthy shards — shard 1
+  // contributes an empty run, nothing else moves.
+  const std::vector<size_t> bounds =
+      serve::ShardedCatalog::Bounds(space_.num_objects(), shards);
+  serve::LocalShardBackend local(predictor_.get());
+  std::vector<serve::ScoreJob> jobs;
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (s == 1) continue;
+    serve::ScoreJob job;
+    job.ex = &ex;
+    job.begin = bounds[s];
+    job.end = bounds[s + 1];
+    job.k = std::min(k, job.end - job.begin);
+    jobs.push_back(job);
+  }
+  std::vector<std::vector<serve::RankEntry>> runs;
+  ASSERT_TRUE(local.ScoreTopK(jobs, &runs).ok());
+  const std::vector<serve::ScoredItem> want =
+      serve::MergeSortedRuns(runs, k);
+  ExpectSameRanking(result.items, want, "healthy-shard merge");
+}
+
+TEST_F(CoordinatorFleetTest, ReplicatedShardFailsOverAndStaysOk) {
+  serve::Coordinator coord;
+  // Shard 0 has two replicas — one dead, one healthy — in BOTH group
+  // orders, so whichever the affinity pick tries first, the worker ends on
+  // the healthy one.
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<FailingBackend>(),
+                              InfoForShard(0, 2, space_.num_objects(), 7))
+                  .ok());
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                  predictor_.get()),
+                              InfoForShard(0, 2, space_.num_objects(), 7))
+                  .ok());
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<serve::LocalShardBackend>(
+                                  predictor_.get()),
+                              InfoForShard(1, 2, space_.num_objects(), 7))
+                  .ok());
+  ASSERT_TRUE(coord.Ready().ok());
+
+  for (const auto& ex : TestExamples()) {
+    serve::CoordinatorResult result;
+    ASSERT_TRUE(coord.TopKAll(ex, 4, &result).ok());
+    EXPECT_EQ(result.status, serve::RpcStatus::kOk)
+        << "failover must keep the request whole";
+    EXPECT_EQ(result.shards_merged, 2u);
+    ExpectSameRanking(result.items, predictor_->TopKAll(ex, 4),
+                      "failover parity user=" + std::to_string(ex.user));
+  }
+}
+
+TEST_F(CoordinatorFleetTest, FullyFailedFleetYieldsEmptyPartialNotAHang) {
+  serve::Coordinator coord;
+  for (uint32_t s = 0; s < 2; ++s) {
+    ASSERT_TRUE(coord
+                    .AddBackend(std::make_unique<FailingBackend>(),
+                                InfoForShard(s, 2, space_.num_objects(), 7))
+                    .ok());
+  }
+  ASSERT_TRUE(coord.Ready().ok());
+  serve::CoordinatorResult result;
+  ASSERT_TRUE(coord.TopKAll(TestExamples()[0], 3, &result).ok());
+  EXPECT_EQ(result.status, serve::RpcStatus::kPartial);
+  EXPECT_EQ(result.shards_merged, 0u);
+  EXPECT_TRUE(result.items.empty());
+}
+
+TEST_F(CoordinatorFleetTest, SameUserSticksToOneReplicaOfAGroup) {
+  serve::LocalShardBackend inner(predictor_.get());
+  int calls_a = 0;
+  int calls_b = 0;
+  serve::Coordinator coord;
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<CountingBackend>(&inner,
+                                                                &calls_a),
+                              InfoForShard(0, 1, space_.num_objects(), 7))
+                  .ok());
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<CountingBackend>(&inner,
+                                                                &calls_b),
+                              InfoForShard(0, 1, space_.num_objects(), 7))
+                  .ok());
+  ASSERT_TRUE(coord.Ready().ok());
+
+  const data::SequenceExample ex = TestExamples()[0];
+  for (int i = 0; i < 5; ++i) {
+    serve::CoordinatorResult result;
+    ASSERT_TRUE(coord.TopKAll(ex, 3, &result).ok());
+    EXPECT_EQ(result.status, serve::RpcStatus::kOk);
+  }
+  // All five requests landed on the same replica (its context cache stays
+  // hot for this user); which of the two is the pick is the hash's choice.
+  EXPECT_EQ(calls_a == 0 ? calls_b : calls_a, 5);
+  EXPECT_EQ(calls_a == 0 ? calls_a : calls_b, 0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over TCP: RemoteReplicaBackend against replica-mode RpcServers
+// ---------------------------------------------------------------------------
+
+TEST_F(CoordinatorFleetTest, CoordinatorOverTcpReplicasMatchesLocalServing) {
+  const uint32_t shards = 2;
+  const uint64_t version = serve::ParameterVersion(model_);
+
+  std::vector<std::unique_ptr<serve::BatchServer>> batches;
+  std::vector<std::unique_ptr<serve::RpcServer>> servers;
+  for (uint32_t s = 0; s < shards; ++s) {
+    batches.push_back(std::make_unique<serve::BatchServer>(predictor_.get()));
+    serve::RpcServerOptions opts;
+    opts.port = 0;
+    opts.catalog_size = space_.num_objects();
+    opts.shard_index = s;
+    opts.num_shards = shards;
+    opts.model_version = version;
+    servers.push_back(
+        std::make_unique<serve::RpcServer>(batches.back().get(), opts));
+    ASSERT_TRUE(servers.back()->Start().ok());
+  }
+
+  serve::CoordinatorOptions copts;
+  copts.replica_timeout_ms = 5000;
+  copts.connect_timeout_ms = 5000;
+  serve::Coordinator coord(copts);
+  for (auto& server : servers) {
+    ASSERT_TRUE(coord.AddReplica("127.0.0.1", server->port()).ok());
+  }
+  ASSERT_TRUE(coord.Ready().ok());
+  EXPECT_EQ(coord.model_version(), version);
+
+  for (const auto& ex : TestExamples()) {
+    for (size_t k : {1ul, 4ul, space_.num_objects()}) {
+      const std::vector<serve::ScoredItem> want = predictor_->TopKAll(ex, k);
+      serve::CoordinatorResult result;
+      ASSERT_TRUE(coord.TopKAll(ex, k, &result).ok());
+      EXPECT_EQ(result.status, serve::RpcStatus::kOk);
+      ExpectSameRanking(result.items, want,
+                        "tcp user=" + std::to_string(ex.user) +
+                            " k=" + std::to_string(k));
+    }
+  }
+
+  for (auto& server : servers) server->Shutdown();
+}
+
+}  // namespace
+}  // namespace seqfm

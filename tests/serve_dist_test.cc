@@ -1,0 +1,342 @@
+// Multi-process parity suite for distributed serving: real replica
+// PROCESSES (tools/replica_main.cc, fork/exec'd per test), a real
+// serve::Coordinator fanning out over TCP, and bit-identity against the
+// single-process reference:
+//   - for 1, 2 and 3 replica processes over the same checkpoint, the
+//     coordinator's merged top-K equals ShardedPredictor::TopKAll (and
+//     Predictor::TopKAll) bit for bit — tie-heavy catalog included, raw
+//     score bits crossing process boundaries untouched;
+//   - k larger than every shard's slice still merges exactly;
+//   - SIGKILLing one replica degrades that fleet to PARTIAL with the
+//     healthy shards' exact merge — bounded by the replica timeout, the
+//     coordinator never hangs on a dead process;
+//   - replicas that loaded DIFFERENT checkpoints disagree on the model
+//     version fingerprint and Ready() refuses to merge across them.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <string>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "core/seqfm.h"
+#include "data/dataset.h"
+#include "serve/checkpoint.h"
+#include "serve/coordinator.h"
+#include "serve/predictor.h"
+#include "serve/shard.h"
+#include "util/logging.h"
+
+namespace seqfm {
+namespace {
+
+constexpr size_t kSeqLen = 6;
+constexpr size_t kUsers = 5;
+constexpr size_t kItems = 9;
+constexpr size_t kDim = 8;
+
+data::FeatureSpace SmallSpace() { return data::FeatureSpace(kUsers, kItems); }
+
+// The replica tool builds its model from exactly these two fields (all
+// other SeqFmConfig fields at their defaults); the reference model here
+// must match or the parameter fingerprints — and the scores — diverge.
+core::SeqFmConfig ReplicaConfig(uint64_t seed = 321) {
+  core::SeqFmConfig cfg;
+  cfg.embedding_dim = kDim;
+  cfg.max_seq_len = kSeqLen;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<data::SequenceExample> TestExamples() {
+  std::vector<data::SequenceExample> examples(4);
+  examples[0] = {/*user=*/0, /*target=*/4, /*rating=*/1.0f,
+                 {1, 2, 3, 0, 5, 6, 7, 8}};
+  examples[1] = {2, 6, 0.5f, {5}};
+  examples[2] = {3, 0, 2.0f, {}};
+  examples[3] = {4, 8, 4.0f, {8, 7, 6}};
+  return examples;
+}
+
+/// Forces items \p a and \p b to score bit-identically for every request —
+/// applied BEFORE Save, so every replica process loads the tie-heavy
+/// parameters and the cross-process merge must break ties by id alone.
+void ForceScoreTie(core::SeqFm* model, const data::FeatureSpace& space,
+                   int32_t a, int32_t b) {
+  const auto view = model->serving_view();
+  const size_t dim = model->config().embedding_dim;
+  autograd::Variable table = view.static_embedding->table();
+  float* rows = table.mutable_value().data();
+  const size_t ra = static_cast<size_t>(space.CandidateIndex(a));
+  const size_t rb = static_cast<size_t>(space.CandidateIndex(b));
+  std::memcpy(rows + rb * dim, rows + ra * dim, dim * sizeof(float));
+  autograd::Variable w_static = view.w_static;
+  w_static.mutable_value().data()[rb] = w_static.value().data()[ra];
+}
+
+void ExpectSameRanking(const std::vector<serve::ScoredItem>& got,
+                       const std::vector<serve::ScoredItem>& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].item, want[i].item) << context << " rank " << i;
+    EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(float)), 0)
+        << context << " rank " << i;
+  }
+}
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+/// One fork/exec'd seqfm_replica process. The child's stdin is a pipe the
+/// parent holds open (EOF = drain shutdown); its stdout is a pipe the
+/// parent reads "PORT <p>" from.
+class ReplicaProcess {
+ public:
+  ReplicaProcess() = default;
+  ReplicaProcess(const ReplicaProcess&) = delete;
+  ReplicaProcess& operator=(const ReplicaProcess&) = delete;
+  ~ReplicaProcess() { Stop(); }
+
+  bool Launch(const std::string& checkpoint, uint32_t shard_index,
+              uint32_t num_shards) {
+    int in_pipe[2];   // parent writes -> child stdin
+    int out_pipe[2];  // child stdout -> parent reads
+    // O_CLOEXEC: without it, a later-launched replica inherits this one's
+    // stdin write-end across exec and the EOF-means-shutdown contract
+    // breaks — replica 0 would only drain after replica 1 exits. The
+    // child's dup2 copies shed the flag, so its own stdio survives exec.
+    if (pipe2(in_pipe, O_CLOEXEC) != 0 || pipe2(out_pipe, O_CLOEXEC) != 0) {
+      return false;
+    }
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      dup2(in_pipe[0], STDIN_FILENO);
+      dup2(out_pipe[1], STDOUT_FILENO);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      const std::string ckpt_arg = "--checkpoint=" + checkpoint;
+      const std::string shard_arg =
+          "--shard-index=" + std::to_string(shard_index);
+      const std::string num_arg = "--num-shards=" + std::to_string(num_shards);
+      const std::string users_arg = "--users=" + std::to_string(kUsers);
+      const std::string items_arg = "--items=" + std::to_string(kItems);
+      const std::string dim_arg = "--dim=" + std::to_string(kDim);
+      const std::string len_arg = "--max-seq-len=" + std::to_string(kSeqLen);
+      execl(SEQFM_REPLICA_BIN, SEQFM_REPLICA_BIN, ckpt_arg.c_str(),
+            shard_arg.c_str(), num_arg.c_str(), users_arg.c_str(),
+            items_arg.c_str(), dim_arg.c_str(), len_arg.c_str(), "--port=0",
+            static_cast<char*>(nullptr));
+      _exit(127);  // exec failed
+    }
+    close(in_pipe[0]);
+    close(out_pipe[1]);
+    stdin_fd_ = in_pipe[1];
+    stdout_fd_ = out_pipe[0];
+
+    // Read "PORT <p>\n" — the replica prints it once listening.
+    std::string line;
+    char c;
+    while (read(stdout_fd_, &c, 1) == 1 && c != '\n') line.push_back(c);
+    if (line.rfind("PORT ", 0) != 0) return false;
+    port_ = static_cast<uint16_t>(std::stoi(line.substr(5)));
+    return port_ != 0;
+  }
+
+  /// SIGKILL — the dead-replica scenario. No drain, no goodbye.
+  void Kill() {
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      Reap();
+    }
+  }
+
+  /// Close stdin to request a drain shutdown, then reap.
+  void Stop() {
+    if (stdin_fd_ >= 0) {
+      close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+    Reap();
+    if (stdout_fd_ >= 0) {
+      close(stdout_fd_);
+      stdout_fd_ = -1;
+    }
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Reap() {
+    if (pid_ > 0) {
+      int status = 0;
+      waitpid(pid_, &status, 0);
+      pid_ = -1;
+    }
+  }
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Writes the shared tie-heavy checkpoint once per process; returns its
+/// path. Every test's replicas and reference predictor load/build from the
+/// same parameters.
+const std::string& SharedCheckpoint() {
+  static const std::string path = [] {
+    const std::string p = TempPath("serve_dist_model.bin");
+    data::FeatureSpace space = SmallSpace();
+    core::SeqFm model(space, ReplicaConfig());
+    ForceScoreTie(&model, space, 2, 7);
+    ForceScoreTie(&model, space, 2, 4);
+    SEQFM_CHECK(serve::Checkpoint::Save(model, p).ok());
+    return p;
+  }();
+  return path;
+}
+
+serve::Coordinator MakeCoordinator() {
+  serve::CoordinatorOptions opts;
+  opts.replica_timeout_ms = 10000;  // generous: parity, not latency, is
+  opts.connect_timeout_ms = 10000;  // under test here
+  return serve::Coordinator(opts);
+}
+
+class DistServingTest : public ::testing::Test {
+ protected:
+  DistServingTest()
+      : space_(SmallSpace()), builder_(space_, kSeqLen),
+        model_(space_, ReplicaConfig()) {
+    SEQFM_CHECK(
+        serve::Checkpoint::Load(&model_, SharedCheckpoint()).ok());
+    predictor_ = std::make_unique<serve::Predictor>(&model_, &builder_);
+  }
+
+  data::FeatureSpace space_;
+  data::BatchBuilder builder_;
+  core::SeqFm model_;
+  std::unique_ptr<serve::Predictor> predictor_;
+};
+
+TEST_F(DistServingTest, CoordinatorMatchesSingleProcessForAllFleetSizes) {
+  for (uint32_t shards : {1u, 2u, 3u}) {
+    std::vector<std::unique_ptr<ReplicaProcess>> fleet;
+    serve::Coordinator coord = MakeCoordinator();
+    for (uint32_t s = 0; s < shards; ++s) {
+      fleet.push_back(std::make_unique<ReplicaProcess>());
+      ASSERT_TRUE(fleet.back()->Launch(SharedCheckpoint(), s, shards))
+          << "replica " << s << "/" << shards << " failed to launch";
+      ASSERT_TRUE(
+          coord.AddReplica("127.0.0.1", fleet.back()->port()).ok());
+    }
+    ASSERT_TRUE(coord.Ready().ok());
+    EXPECT_EQ(coord.model_version(), serve::ParameterVersion(model_));
+
+    serve::ShardedPredictorOptions sp_opts;
+    sp_opts.num_shards = shards;
+    serve::ShardedPredictor sharded(predictor_.get(), sp_opts);
+
+    for (const auto& ex : TestExamples()) {
+      // k = 5 exceeds every 3-shard slice (size 3); k = kItems + 3 exceeds
+      // the whole catalog.
+      for (size_t k : {1ul, 5ul, kItems, kItems + 3}) {
+        serve::CoordinatorResult result;
+        ASSERT_TRUE(coord.TopKAll(ex, k, &result).ok());
+        EXPECT_EQ(result.status, serve::RpcStatus::kOk);
+        EXPECT_EQ(result.shards_merged, shards);
+        const std::string ctx = "shards=" + std::to_string(shards) +
+                                " user=" + std::to_string(ex.user) +
+                                " k=" + std::to_string(k);
+        ExpectSameRanking(result.items, sharded.TopKAll(ex, k),
+                          ctx + " vs ShardedPredictor");
+        ExpectSameRanking(result.items, predictor_->TopKAll(ex, k),
+                          ctx + " vs Predictor");
+      }
+    }
+  }
+}
+
+TEST_F(DistServingTest, KilledReplicaDegradesToPartialMergeOfSurvivors) {
+  const uint32_t shards = 3;
+  std::vector<std::unique_ptr<ReplicaProcess>> fleet;
+  serve::Coordinator coord = MakeCoordinator();
+  for (uint32_t s = 0; s < shards; ++s) {
+    fleet.push_back(std::make_unique<ReplicaProcess>());
+    ASSERT_TRUE(fleet.back()->Launch(SharedCheckpoint(), s, shards));
+    ASSERT_TRUE(coord.AddReplica("127.0.0.1", fleet.back()->port()).ok());
+  }
+  ASSERT_TRUE(coord.Ready().ok());
+
+  // Healthy first — proves the fleet works before the failure is injected.
+  const data::SequenceExample ex = TestExamples()[0];
+  const size_t k = 4;
+  serve::CoordinatorResult healthy;
+  ASSERT_TRUE(coord.TopKAll(ex, k, &healthy).ok());
+  ASSERT_EQ(healthy.status, serve::RpcStatus::kOk);
+
+  fleet[1]->Kill();  // no drain, no goodbye: shard 1 is simply gone
+
+  serve::CoordinatorResult degraded;
+  ASSERT_TRUE(coord.TopKAll(ex, k, &degraded).ok());
+  EXPECT_EQ(degraded.status, serve::RpcStatus::kPartial);
+  EXPECT_EQ(degraded.shards_total, shards);
+  EXPECT_EQ(degraded.shards_merged, shards - 1);
+
+  // The survivors' merge, computed in-process from the same parameters.
+  const std::vector<size_t> bounds =
+      serve::ShardedCatalog::Bounds(kItems, shards);
+  serve::LocalShardBackend local(predictor_.get());
+  std::vector<serve::ScoreJob> jobs;
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (s == 1) continue;
+    serve::ScoreJob job;
+    job.ex = &ex;
+    job.begin = bounds[s];
+    job.end = bounds[s + 1];
+    job.k = std::min(k, job.end - job.begin);
+    jobs.push_back(job);
+  }
+  std::vector<std::vector<serve::RankEntry>> runs;
+  ASSERT_TRUE(local.ScoreTopK(jobs, &runs).ok());
+  ExpectSameRanking(degraded.items, serve::MergeSortedRuns(runs, k),
+                    "survivor merge");
+}
+
+TEST_F(DistServingTest, ReplicasOnDifferentCheckpointsAreRefused) {
+  // A second checkpoint with different parameters — a fleet mid-rollout.
+  const std::string other = TempPath("serve_dist_model_v2.bin");
+  {
+    core::SeqFm model(space_, ReplicaConfig(/*seed=*/999));
+    ASSERT_TRUE(serve::Checkpoint::Save(model, other).ok());
+  }
+
+  ReplicaProcess a;
+  ReplicaProcess b;
+  ASSERT_TRUE(a.Launch(SharedCheckpoint(), 0, 2));
+  ASSERT_TRUE(b.Launch(other, 1, 2));
+
+  serve::Coordinator coord = MakeCoordinator();
+  ASSERT_TRUE(coord.AddReplica("127.0.0.1", a.port()).ok());
+  ASSERT_TRUE(coord.AddReplica("127.0.0.1", b.port()).ok());
+  const Status st = coord.Ready();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("model version mismatch"), std::string::npos)
+      << st.ToString();
+  std::remove(other.c_str());
+}
+
+}  // namespace
+}  // namespace seqfm

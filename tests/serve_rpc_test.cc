@@ -12,9 +12,16 @@
 //     BatchServer::Submit, pipelining, byte-by-byte writes, framing
 //     violations failing only the offending connection, client disconnect
 //     mid-request, Shutdown draining admitted work while racing clients, and
-//     the answered-exactly-once accounting invariant.
+//     the answered-exactly-once accounting invariant;
+//   - protocol v2 (PR 9): the mandatory HELLO handshake with precise
+//     version-mismatch errors in BOTH directions (old client vs new server,
+//     new client vs pre-v2 server), client connect/call timeouts against
+//     hung servers, and replica-mode shard-scoped scoring.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -30,6 +37,7 @@
 #include "serve/protocol.h"
 #include "serve/rpc_server.h"
 #include "serve/server.h"
+#include "serve/shard.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -139,7 +147,8 @@ TEST(ProtocolTest, RequestRoundTrip) {
 TEST(ProtocolTest, ResponseRoundTripAllStatuses) {
   for (const serve::RpcStatus status :
        {serve::RpcStatus::kOk, serve::RpcStatus::kOverloaded,
-        serve::RpcStatus::kShuttingDown, serve::RpcStatus::kBadRequest}) {
+        serve::RpcStatus::kShuttingDown, serve::RpcStatus::kBadRequest,
+        serve::RpcStatus::kPartial}) {
     serve::RpcResponse resp;
     resp.id = 42;
     resp.status = status;
@@ -176,6 +185,8 @@ TEST(ProtocolTest, StatusNamesAreStable) {
                "SHUTTING_DOWN");
   EXPECT_STREQ(serve::RpcStatusToString(serve::RpcStatus::kBadRequest),
                "BAD_REQUEST");
+  EXPECT_STREQ(serve::RpcStatusToString(serve::RpcStatus::kPartial),
+               "PARTIAL");
 }
 
 // ---------------------------------------------------------------------------
@@ -730,6 +741,475 @@ TEST(RpcServerTest, ShutdownDrainsAdmittedWorkWhileClientsRace) {
   EXPECT_EQ(stack.rpc.open_connections(), 0u);
   // Idempotent: a second Shutdown (and the destructor's) is a no-op.
   stack.rpc.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: handshake frames and shard frames
+// ---------------------------------------------------------------------------
+
+/// Connects a plain blocking TCP socket with NO handshake — how a protocol
+/// v1 (or hand-rolled) client reaches the server. Returns -1 on failure.
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Blocking read of exactly one frame payload from a raw fd.
+bool ReadFrameFrom(int fd, std::string* payload) {
+  serve::FrameReader reader;
+  char buf[4096];
+  for (;;) {
+    bool got = false;
+    if (!reader.Next(payload, &got).ok()) return false;
+    if (got) return true;
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r <= 0) return false;
+    reader.Feed(buf, static_cast<size_t>(r));
+  }
+}
+
+bool WriteAll(int fd, const std::string& wire) {
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t w = ::write(fd, wire.data() + sent, wire.size() - sent);
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+TEST(HandshakeProtocolTest, HelloAndAckRoundTrip) {
+  serve::RpcHello hello;
+  hello.protocol_version = 7;
+  hello.capabilities = 0xa5a5u;
+  std::string wire;
+  serve::AppendHelloFrame(hello, &wire);
+  serve::RpcHello hello_out;
+  ASSERT_TRUE(
+      serve::DecodeHello(wire.substr(serve::kRpcFrameHeaderBytes), &hello_out)
+          .ok());
+  EXPECT_EQ(hello_out.protocol_version, 7u);
+  EXPECT_EQ(hello_out.capabilities, 0xa5a5u);
+
+  serve::RpcHelloAck ack;
+  ack.status = serve::RpcStatus::kBadRequest;
+  ack.protocol_version = 2;
+  ack.capabilities = serve::kRpcCapShardScoring;
+  ack.model_version = 0xdeadbeefcafeull;
+  ack.shard_index = 1;
+  ack.num_shards = 3;
+  ack.shard_begin = 100;
+  ack.shard_end = 200;
+  ack.catalog_size = 300;
+  ack.message = "nope";
+  wire.clear();
+  serve::AppendHelloAckFrame(ack, &wire);
+  serve::RpcHelloAck ack_out;
+  ASSERT_TRUE(serve::DecodeHelloAck(wire.substr(serve::kRpcFrameHeaderBytes),
+                                    &ack_out)
+                  .ok());
+  EXPECT_EQ(ack_out.status, serve::RpcStatus::kBadRequest);
+  EXPECT_EQ(ack_out.protocol_version, 2u);
+  EXPECT_EQ(ack_out.capabilities, serve::kRpcCapShardScoring);
+  EXPECT_EQ(ack_out.model_version, 0xdeadbeefcafeull);
+  EXPECT_EQ(ack_out.shard_index, 1u);
+  EXPECT_EQ(ack_out.num_shards, 3u);
+  EXPECT_EQ(ack_out.shard_begin, 100u);
+  EXPECT_EQ(ack_out.shard_end, 200u);
+  EXPECT_EQ(ack_out.catalog_size, 300u);
+  EXPECT_EQ(ack_out.message, "nope");
+}
+
+TEST(HandshakeProtocolTest, ShardFramesRoundTripWithRawScores) {
+  serve::RpcShardRequest req;
+  req.id = 11;
+  req.user = -3;
+  req.k = 5;
+  req.begin = 40;
+  req.end = 90;
+  req.history = {4, 5, 6};
+  std::string wire;
+  serve::AppendShardRequestFrame(req, &wire);
+  serve::RpcShardRequest req_out;
+  ASSERT_TRUE(serve::DecodeShardRequest(
+                  wire.substr(serve::kRpcFrameHeaderBytes), &req_out)
+                  .ok());
+  EXPECT_EQ(req_out.id, 11u);
+  EXPECT_EQ(req_out.user, -3);
+  EXPECT_EQ(req_out.k, 5u);
+  EXPECT_EQ(req_out.begin, 40u);
+  EXPECT_EQ(req_out.end, 90u);
+  EXPECT_EQ(req_out.history, req.history);
+
+  serve::RpcShardResponse resp;
+  resp.id = 11;
+  resp.status = serve::RpcStatus::kOk;
+  resp.model_version = 77;
+  // A NaN and a negative zero: the wire must carry score BITS verbatim,
+  // because the coordinator's merge re-runs RankBefore on them.
+  float nan_score = std::numeric_limits<float>::quiet_NaN();
+  resp.entries = {{42, 1.5f, 42}, {7, -0.0f, 7}, {3, nan_score, 3}};
+  wire.clear();
+  serve::AppendShardResponseFrame(resp, &wire);
+  serve::RpcShardResponse resp_out;
+  ASSERT_TRUE(serve::DecodeShardResponse(
+                  wire.substr(serve::kRpcFrameHeaderBytes), &resp_out)
+                  .ok());
+  EXPECT_EQ(resp_out.id, 11u);
+  EXPECT_EQ(resp_out.model_version, 77u);
+  ASSERT_EQ(resp_out.entries.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(resp_out.entries[i].item, resp.entries[i].item);
+    EXPECT_EQ(resp_out.entries[i].pos, resp.entries[i].pos);
+    EXPECT_EQ(std::memcmp(&resp_out.entries[i].score,
+                          &resp.entries[i].score, sizeof(float)),
+              0);
+  }
+}
+
+TEST(HandshakeProtocolTest, DecodeRejectsMalformedV2Frames) {
+  serve::RpcHello hello;
+  serve::RpcHelloAck ack;
+  serve::RpcShardRequest sreq;
+  serve::RpcShardResponse sresp;
+  EXPECT_FALSE(serve::DecodeHello("", &hello).ok());
+  EXPECT_FALSE(serve::DecodeHelloAck("", &ack).ok());
+  EXPECT_FALSE(serve::DecodeShardRequest("", &sreq).ok());
+  EXPECT_FALSE(serve::DecodeShardResponse("", &sresp).ok());
+
+  std::string wire;
+  serve::AppendHelloFrame(serve::RpcHello{}, &wire);
+  std::string payload = wire.substr(serve::kRpcFrameHeaderBytes);
+  // Wrong decoder for the type byte.
+  EXPECT_FALSE(serve::DecodeHelloAck(payload, &ack).ok());
+  // Truncated and padded.
+  EXPECT_FALSE(
+      serve::DecodeHello(payload.substr(0, payload.size() - 1), &hello).ok());
+  EXPECT_FALSE(serve::DecodeHello(payload + "x", &hello).ok());
+
+  serve::RpcShardResponse good;
+  good.entries = {{1, 1.0f, 1}};
+  wire.clear();
+  serve::AppendShardResponseFrame(good, &wire);
+  payload = wire.substr(serve::kRpcFrameHeaderBytes);
+  EXPECT_FALSE(
+      serve::DecodeShardResponse(payload.substr(0, payload.size() - 1), &sresp)
+          .ok());
+  EXPECT_FALSE(serve::DecodeShardResponse(payload + "x", &sresp).ok());
+  std::string bad_status = payload;
+  bad_status[9] = 0x7f;  // status byte after type + id
+  EXPECT_FALSE(serve::DecodeShardResponse(bad_status, &sresp).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: version handshake against a live server (satellite: precise
+// mismatch errors in both directions)
+// ---------------------------------------------------------------------------
+
+TEST(HandshakeTest, OldClientSendingRequestFirstGetsPreciseVersionError) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  const int fd = RawConnect(stack.rpc.port());
+  ASSERT_GE(fd, 0);
+  // A v1 client has no HELLO: its first frame is a request.
+  serve::RpcRequest req;
+  req.id = 1;
+  req.k = 1;
+  req.slate = {0, 1};
+  std::string wire;
+  serve::AppendRequestFrame(req, &wire);
+  ASSERT_TRUE(WriteAll(fd, wire));
+  std::string payload;
+  ASSERT_TRUE(ReadFrameFrom(fd, &payload));
+  serve::RpcHelloAck ack;
+  ASSERT_TRUE(serve::DecodeHelloAck(payload, &ack).ok());
+  EXPECT_EQ(ack.status, serve::RpcStatus::kBadRequest);
+  // The error must NAME the problem: the client's generation and the
+  // server's version, not a generic decode failure.
+  EXPECT_NE(ack.message.find("protocol v1"), std::string::npos)
+      << ack.message;
+  EXPECT_NE(ack.message.find("HELLO"), std::string::npos) << ack.message;
+  // ... then the server closes the connection.
+  char c;
+  EXPECT_EQ(::read(fd, &c, 1), 0);
+  ::close(fd);
+  EXPECT_GE(stack.rpc.stats().protocol_errors, 1u);
+  EXPECT_EQ(stack.rpc.stats().frames_received, 0u)
+      << "a rejected handshake is not request traffic";
+}
+
+TEST(HandshakeTest, FutureClientVersionMismatchNamesBothVersions) {
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  const int fd = RawConnect(stack.rpc.port());
+  ASSERT_GE(fd, 0);
+  serve::RpcHello hello;
+  hello.protocol_version = 99;
+  std::string wire;
+  serve::AppendHelloFrame(hello, &wire);
+  ASSERT_TRUE(WriteAll(fd, wire));
+  std::string payload;
+  ASSERT_TRUE(ReadFrameFrom(fd, &payload));
+  serve::RpcHelloAck ack;
+  ASSERT_TRUE(serve::DecodeHelloAck(payload, &ack).ok());
+  EXPECT_EQ(ack.status, serve::RpcStatus::kBadRequest);
+  EXPECT_NE(ack.message.find("v99"), std::string::npos) << ack.message;
+  EXPECT_NE(ack.message.find(
+                "v" + std::to_string(serve::kRpcProtocolVersion)),
+            std::string::npos)
+      << ack.message;
+  char c;
+  EXPECT_EQ(::read(fd, &c, 1), 0);
+  ::close(fd);
+}
+
+TEST(HandshakeTest, NewClientAgainstPreV2ServerFailsPrecisely) {
+  // A pre-v2 server cannot decode a HELLO; it closes the connection without
+  // ever answering. Emulate one: accept, read a bit, close.
+  const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+  std::thread v1_server([listener]() {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd >= 0) {
+      char buf[64];
+      [[maybe_unused]] ssize_t r = ::read(fd, buf, sizeof(buf));
+      ::close(fd);  // "protocol error" close, no ack — the v1 behavior
+    }
+  });
+  serve::RpcClient client;
+  const Status st = client.Connect("127.0.0.1", port);
+  v1_server.join();
+  ::close(listener);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("HELLO_ACK"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.ToString().find("protocol v1"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(HandshakeTest, AcceptedHandshakeExposesServerInfo) {
+  serve::RpcServerOptions opts;
+  opts.catalog_size = 9;
+  opts.num_shards = 3;
+  opts.shard_index = 1;
+  opts.model_version = 42;
+  ServingStack stack({}, opts);
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  const serve::RpcHelloAck& info = client.server_info();
+  EXPECT_EQ(info.protocol_version, serve::kRpcProtocolVersion);
+  EXPECT_TRUE(info.capabilities & serve::kRpcCapShardScoring);
+  EXPECT_EQ(info.model_version, 42u);
+  EXPECT_EQ(info.shard_index, 1u);
+  EXPECT_EQ(info.num_shards, 3u);
+  EXPECT_EQ(info.catalog_size, 9u);
+  const auto bounds = serve::ShardedCatalog::Bounds(9, 3);
+  EXPECT_EQ(info.shard_begin, bounds[1]);
+  EXPECT_EQ(info.shard_end, bounds[2]);
+  EXPECT_GE(stack.rpc.stats().handshakes_ok, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Client timeouts (satellite: a hung replica becomes a timed-out Status)
+// ---------------------------------------------------------------------------
+
+TEST(ClientTimeoutTest, NonAcceptingServerTimesOutConnect) {
+  // A listener that never calls accept: the kernel completes the TCP
+  // handshake from the backlog, so connect() alone would "succeed" and the
+  // handshake read would block forever without the timeout.
+  const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+
+  serve::RpcClient client;
+  serve::RpcClientOptions copts;
+  copts.connect_timeout_ms = 200;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status st =
+      client.Connect("127.0.0.1", ntohs(addr.sin_port), copts);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  ::close(listener);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("timed out"), std::string::npos)
+      << st.ToString();
+  EXPECT_FALSE(client.connected());
+  EXPECT_LT(elapsed, 5000) << "must fail within the bound, not hang";
+}
+
+TEST(ClientTimeoutTest, HungServerTimesOutCall) {
+  // A server that completes the handshake and then goes silent — the
+  // mid-call hang a coordinator must survive.
+  const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  std::thread hung_server([listener]() {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) return;
+    std::string hello_payload;
+    if (ReadFrameFrom(fd, &hello_payload)) {
+      serve::RpcHelloAck ack;  // accept the handshake...
+      std::string wire;
+      serve::AppendHelloAckFrame(ack, &wire);
+      WriteAll(fd, wire);
+      // ... then never answer anything again. Hold the socket open until
+      // the client gives up and closes.
+      char buf[64];
+      while (::read(fd, buf, sizeof(buf)) > 0) {
+      }
+    }
+    ::close(fd);
+  });
+
+  serve::RpcClient client;
+  serve::RpcClientOptions copts;
+  copts.connect_timeout_ms = 2000;
+  copts.io_timeout_ms = 200;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", ntohs(addr.sin_port), copts).ok());
+  serve::RpcRequest req;
+  req.id = 1;
+  req.k = 1;
+  req.slate = {0};
+  serve::RpcResponse resp;
+  const Status st = client.Call(req, &resp);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("timed out"), std::string::npos)
+      << st.ToString();
+  client.Close();  // unblocks the hung server's read
+  hung_server.join();
+  ::close(listener);
+}
+
+// ---------------------------------------------------------------------------
+// Replica mode: shard-scoped scoring over the wire
+// ---------------------------------------------------------------------------
+
+TEST(ShardServingTest, ShardRequestMatchesDirectSubmitOverIdentitySlice) {
+  serve::RpcServerOptions opts;
+  opts.catalog_size = 9;  // == SmallSpace().num_objects()
+  opts.num_shards = 2;
+  opts.shard_index = 0;
+  opts.model_version = 7;
+  ServingStack stack({}, opts);
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  const serve::RpcHelloAck& info = client.server_info();
+
+  const auto ex = TestExamples()[0];
+  serve::RpcShardRequest sreq;
+  sreq.id = 21;
+  sreq.user = ex.user;
+  sreq.k = 3;
+  sreq.begin = info.shard_begin;
+  sreq.end = info.shard_end;
+  sreq.history = ex.history;
+  serve::RpcShardResponse sresp;
+  ASSERT_TRUE(client.CallShard(sreq, &sresp).ok());
+  ASSERT_EQ(sresp.status, serve::RpcStatus::kOk);
+  EXPECT_EQ(sresp.model_version, 7u);
+
+  // Ground truth: the same slice scored through the local path.
+  std::vector<int32_t> slice;
+  for (uint64_t p = sreq.begin; p < sreq.end; ++p) {
+    slice.push_back(static_cast<int32_t>(p));
+  }
+  const auto want = stack.batch.Submit(ex, slice, 3).get();
+  ASSERT_EQ(sresp.entries.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(sresp.entries[i].item, want[i].item);
+    EXPECT_EQ(std::memcmp(&sresp.entries[i].score, &want[i].score,
+                          sizeof(float)),
+              0);
+    // Identity catalog: global position == item id.
+    EXPECT_EQ(sresp.entries[i].pos,
+              static_cast<uint64_t>(sresp.entries[i].item));
+  }
+
+  // A range outside the owned slice is a precise BAD_REQUEST, not a wrong
+  // answer.
+  sreq.id = 22;
+  sreq.end = opts.catalog_size;  // spills into shard 1's slice
+  ASSERT_TRUE(client.CallShard(sreq, &sresp).ok());
+  EXPECT_EQ(sresp.status, serve::RpcStatus::kBadRequest);
+  EXPECT_TRUE(sresp.entries.empty());
+  EXPECT_GE(stack.rpc.stats().requests_bad, 1u);
+}
+
+TEST(ShardServingTest, NonReplicaServerRejectsShardRequests) {
+  ServingStack stack;  // catalog_size = 0: plain slate server
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  EXPECT_FALSE(client.server_info().capabilities &
+               serve::kRpcCapShardScoring);
+  serve::RpcShardRequest sreq;
+  sreq.id = 5;
+  sreq.k = 1;
+  sreq.begin = 0;
+  sreq.end = 3;
+  serve::RpcShardResponse sresp;
+  ASSERT_TRUE(client.CallShard(sreq, &sresp).ok());
+  EXPECT_EQ(sresp.status, serve::RpcStatus::kBadRequest);
+  // The connection survives and still serves slate requests.
+  serve::RpcRequest req;
+  req.id = 6;
+  req.k = 1;
+  req.slate = {0, 1};
+  serve::RpcResponse resp;
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
 }
 
 TEST(RpcServerTest, ShutdownWithIdleConnectionsCompletesImmediately) {
