@@ -297,12 +297,17 @@ int Run(int argc, char** argv) {
         ++dist_degraded;
       }
     }
+    const serve::CoordinatorStats cstats = coordinator.stats();
     for (auto& server : replica_servers) server->Shutdown();
     std::printf("smoke dist:    %zu submitted, %llu ok, %llu degraded, "
-                "%llu errors (2 replicas)\n",
+                "%llu errors (2 replicas); recovery: %llu retries, "
+                "%llu circuit opens, %llu reconnects\n",
                 plan.size(), static_cast<unsigned long long>(dist_ok),
                 static_cast<unsigned long long>(dist_degraded),
-                static_cast<unsigned long long>(dist_errors));
+                static_cast<unsigned long long>(dist_errors),
+                static_cast<unsigned long long>(cstats.retries),
+                static_cast<unsigned long long>(cstats.circuit_opens),
+                static_cast<unsigned long long>(cstats.reconnects));
 
     json.Add("mode", "smoke");
     json.Add("low_qps_sheds", static_cast<double>(low.shed));
@@ -312,6 +317,20 @@ int Run(int argc, char** argv) {
     json.Add("dist_ok", static_cast<double>(dist_ok));
     json.Add("dist_degraded", static_cast<double>(dist_degraded));
     json.Add("dist_errors", static_cast<double>(dist_errors));
+    json.Add("dist_shard_attempts", static_cast<double>(cstats.shard_attempts));
+    json.Add("dist_retries", static_cast<double>(cstats.retries));
+    json.Add("dist_retries_denied",
+             static_cast<double>(cstats.retries_denied));
+    json.Add("dist_circuit_opens", static_cast<double>(cstats.circuit_opens));
+    json.Add("dist_circuit_reopens",
+             static_cast<double>(cstats.circuit_reopens));
+    json.Add("dist_circuit_closes",
+             static_cast<double>(cstats.circuit_closes));
+    json.Add("dist_half_open_probes",
+             static_cast<double>(cstats.half_open_probes));
+    json.Add("dist_reconnects", static_cast<double>(cstats.reconnects));
+    json.Add("dist_reconnect_failures",
+             static_cast<double>(cstats.reconnect_failures));
     if (!json_path.empty()) json.WriteTo(json_path);
     if (low.shed != 0 || low.errors != 0 || low.ok != low.submitted) {
       std::fprintf(stderr, "FAIL: low-QPS phase shed or dropped requests\n");
@@ -326,6 +345,23 @@ int Run(int argc, char** argv) {
     if (dist_errors != 0 || dist_ok + dist_degraded != plan.size()) {
       std::fprintf(stderr, "FAIL: coordinator leg must answer every "
                    "request (ok + degraded == submitted, 0 errors)\n");
+      return 1;
+    }
+    // A fault-free fleet must need none of the recovery machinery: any
+    // retry, ejection, or reconnect here means the coordinator misreads a
+    // healthy replica as faulty (spurious timeouts, broken handshake, ...).
+    if (cstats.retries != 0 || cstats.retries_denied != 0 ||
+        cstats.circuit_opens != 0 || cstats.reconnects != 0 ||
+        cstats.reconnect_failures != 0) {
+      std::fprintf(stderr, "FAIL: fault-free coordinator leg used recovery "
+                   "machinery (%llu retries, %llu denied, %llu circuit "
+                   "opens, %llu reconnects, %llu reconnect failures)\n",
+                   static_cast<unsigned long long>(cstats.retries),
+                   static_cast<unsigned long long>(cstats.retries_denied),
+                   static_cast<unsigned long long>(cstats.circuit_opens),
+                   static_cast<unsigned long long>(cstats.reconnects),
+                   static_cast<unsigned long long>(
+                       cstats.reconnect_failures));
       return 1;
     }
     std::printf("smoke mode: shedding contract holds (0 sheds at low QPS, "

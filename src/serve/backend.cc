@@ -139,23 +139,57 @@ Status LocalShardBackend::ScoreTopK(
 }
 
 RemoteReplicaBackend::RemoteReplicaBackend(RemoteReplicaBackendOptions options)
-    : options_(options) {}
+    : options_(options), jitter_rng_(options.reconnect_jitter_seed) {}
 
 Status RemoteReplicaBackend::Connect(const std::string& host, uint16_t port) {
   util::OrderedMutexLock lock(mu_);
+  host_ = host;
+  port_ = port;
+  Status st = ConnectLocked(/*reconnect=*/false);
+  if (st.ok()) ever_connected_ = true;
+  return st;
+}
+
+Status RemoteReplicaBackend::ConnectLocked(bool reconnect) {
   RpcClientOptions copts;
   copts.connect_timeout_ms = options_.connect_timeout_ms;
   copts.io_timeout_ms = options_.io_timeout_ms;
   copts.capabilities = kRpcCapShardScoring;
-  Status st = client_.Connect(host, port, copts);
+  Status st = client_.Connect(host_, port_, copts);
   if (!st.ok()) return st;
   const RpcHelloAck& ack = client_.server_info();
   if (!(ack.capabilities & kRpcCapShardScoring)) {
     client_.Close();
     return Status::FailedPrecondition(
-        "remote backend: server at " + host + ":" + std::to_string(port) +
+        "remote backend: server at " + host_ + ":" + std::to_string(port_) +
         " is not a replica (no shard-scoring capability) — it serves whole "
         "slates, not catalog slices");
+  }
+  if (reconnect) {
+    // The fleet was validated against the ORIGINAL identity. A replica that
+    // came back under another checkpoint (or re-partitioned) must be
+    // refused here: its scores are not mergeable with the rest of the
+    // fleet, and only the Coordinator's Ready() — long past — could have
+    // re-validated it.
+    if (ack.model_version != info_.model_version ||
+        ack.shard_index != info_.shard_index ||
+        ack.num_shards != info_.num_shards ||
+        ack.shard_begin != info_.shard_begin ||
+        ack.shard_end != info_.shard_end ||
+        ack.catalog_size != info_.catalog_size) {
+      client_.Close();
+      return Status::FailedPrecondition(
+          "remote backend: replica at " + host_ + ":" +
+          std::to_string(port_) + " came back with a different identity "
+          "(model version " + std::to_string(ack.model_version) + " vs " +
+          std::to_string(info_.model_version) + ", shard " +
+          std::to_string(ack.shard_index) + "/" +
+          std::to_string(ack.num_shards) + " vs " +
+          std::to_string(info_.shard_index) + "/" +
+          std::to_string(info_.num_shards) +
+          "); refusing to merge across identities");
+    }
+    return Status::OK();
   }
   info_.shard_index = ack.shard_index;
   info_.num_shards = ack.num_shards;
@@ -166,6 +200,56 @@ Status RemoteReplicaBackend::Connect(const std::string& host, uint16_t port) {
   return Status::OK();
 }
 
+Status RemoteReplicaBackend::EnsureConnectedLocked() {
+  if (client_.connected()) return Status::OK();
+  if (!ever_connected_) {
+    return Status::FailedPrecondition(
+        "remote backend: ScoreTopK before Connect");
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (now < next_attempt_) {
+    // Fail fast inside the backoff window: the caller (a coordinator
+    // fan-out worker) should spend its time on surviving replicas, not on
+    // redialing a dead one — the next window edge retries automatically.
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          next_attempt_ - now)
+                          .count();
+    return Status::FailedPrecondition(
+        "remote backend: replica at " + host_ + ":" + std::to_string(port_) +
+        " is down; backing off another " + std::to_string(wait) + "ms");
+  }
+  Status st = ConnectLocked(/*reconnect=*/true);
+  if (!st.ok()) {
+    ++recovery_.reconnect_failures;
+    // Exponential growth capped at the max, then jittered into [d/2, d):
+    // the schedule stays deterministic per backend (seeded stream) while
+    // desynchronizing independent coordinators in a real fleet.
+    backoff_ms_ = backoff_ms_ == 0
+                      ? options_.reconnect_backoff_initial_ms
+                      : std::min(backoff_ms_ * 2,
+                                 options_.reconnect_backoff_max_ms);
+    const int64_t jittered =
+        backoff_ms_ <= 1
+            ? backoff_ms_
+            : backoff_ms_ / 2 +
+                  static_cast<int64_t>(jitter_rng_.UniformInt(
+                      static_cast<uint64_t>(backoff_ms_ - backoff_ms_ / 2)));
+    next_attempt_ = now + std::chrono::milliseconds(jittered);
+    return st;
+  }
+  ++recovery_.reconnects;
+  backoff_ms_ = 0;
+  next_attempt_ = std::chrono::steady_clock::time_point{};
+  SEQFM_LOG(Info) << "remote backend: reconnected to replica at " << host_
+                  << ":" << port_;
+  return Status::OK();
+}
+
+BackendRecoveryStats RemoteReplicaBackend::RecoveryStats() const {
+  util::OrderedMutexLock lock(mu_);
+  return recovery_;
+}
+
 Status RemoteReplicaBackend::ScoreTopK(
     const std::vector<ScoreJob>& jobs,
     std::vector<std::vector<RankEntry>>* results) {
@@ -174,6 +258,7 @@ Status RemoteReplicaBackend::ScoreTopK(
   if (num_jobs == 0) return Status::OK();
 
   util::OrderedMutexLock lock(mu_);
+  SEQFM_RETURN_NOT_OK(EnsureConnectedLocked());
 
   // Pipeline: send every request before reading any response. The replica's
   // BatchServer answers asynchronously as waves complete, so responses may

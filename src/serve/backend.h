@@ -1,6 +1,7 @@
 #ifndef SEQFM_SERVE_BACKEND_H_
 #define SEQFM_SERVE_BACKEND_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -11,6 +12,7 @@
 #include "serve/rpc_server.h"
 #include "serve/shard.h"
 #include "util/ordered_mutex.h"
+#include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -36,6 +38,13 @@ struct ScoreJob {
   size_t end = 0;
   /// Entries to retain; the produced run holds min(k, end - begin) entries.
   size_t k = 0;
+};
+
+/// Recovery counters exposed by ScoringBackend::RecoveryStats (today only
+/// RemoteReplicaBackend reports non-zero values).
+struct BackendRecoveryStats {
+  uint64_t reconnects = 0;          // successful automatic reconnections
+  uint64_t reconnect_failures = 0;  // failed reconnect attempts
 };
 
 /// \brief The transport-agnostic scoring seam of the serving stack.
@@ -75,6 +84,11 @@ class ScoringBackend {
   /// serializes calls on its one connection internally.
   virtual Status ScoreTopK(const std::vector<ScoreJob>& jobs,
                            std::vector<std::vector<RankEntry>>* results) = 0;
+
+  /// Recovery counters (reconnects etc.); all-zero for backends that have
+  /// no connection to lose. The Coordinator aggregates these into its own
+  /// stats so bench_loadgen can report fleet-wide recovery cost.
+  virtual BackendRecoveryStats RecoveryStats() const { return {}; }
 };
 
 struct LocalShardBackendOptions {
@@ -141,6 +155,16 @@ struct RemoteReplicaBackendOptions {
   /// this to its per-replica budget, which is what makes its join-all
   /// fan-out hang-free: a dead replica's worker always terminates.
   int64_t io_timeout_ms = 2000;
+  /// Reconnection backoff: after a failed reconnect attempt the backend
+  /// refuses further attempts (failing calls fast) for an exponentially
+  /// growing, jittered delay — doubling from `initial` up to `max`, each
+  /// delay drawn uniformly from [d/2, d) off a seeded Rng stream. Jitter
+  /// keeps a fleet of coordinators from hammering a recovering replica in
+  /// lockstep; the fast-fail keeps the request path from ever sleeping.
+  int64_t reconnect_backoff_initial_ms = 10;
+  int64_t reconnect_backoff_max_ms = 1000;
+  /// Seed of the jitter stream (deterministic per backend instance).
+  uint64_t reconnect_jitter_seed = 42;
 };
 
 /// \brief ScoringBackend over one remote replica process (the RPC wire
@@ -158,6 +182,16 @@ struct RemoteReplicaBackendOptions {
 /// replica that hot-swapped its checkpoint mid-flight yields
 /// FailedPrecondition instead of entries that must not be merged.
 ///
+/// Self-healing: when the connection is lost (a failed send/read closes the
+/// RpcClient — a part-written or part-read frame has no resync point), the
+/// next ScoreTopK reconnects automatically, re-handshakes, and verifies the
+/// replica still announces the SAME identity (model version + owned slice)
+/// as the original Connect — a replica restarted under a different
+/// checkpoint is refused, because its scores must not be merged with the
+/// fleet's. Failed attempts back off exponentially with jitter (see
+/// RemoteReplicaBackendOptions); during the backoff window calls fail fast
+/// so a dead replica costs its callers microseconds, not timeouts.
+///
 /// Thread-safe: concurrent ScoreTopK calls serialize on the channel mutex
 /// (lock_rank::kReplicaChannel).
 class RemoteReplicaBackend : public ScoringBackend {
@@ -167,21 +201,31 @@ class RemoteReplicaBackend : public ScoringBackend {
   /// Connects + handshakes and fills info(). FailedPrecondition when the
   /// server is not a replica (no shard-scoring capability); a timed-out or
   /// unreachable server surfaces the RpcClient's precise IoError.
-  Status Connect(const std::string& host, uint16_t port);
+  Status Connect(const std::string& host, uint16_t port) SEQFM_EXCLUDES(mu_);
 
   /// Jobs must be identity-catalog form (null candidates): the replica
   /// scores positions [begin, end) of its own slice. Any transport failure,
   /// non-OK replica answer, or model-version drift fails the whole batch —
   /// the caller (Coordinator) treats the replica as failed for this
-  /// request, it never merges a partial batch.
+  /// request, it never merges a partial batch. A lost connection is
+  /// re-established first (see class comment).
   Status ScoreTopK(const std::vector<ScoreJob>& jobs,
                    std::vector<std::vector<RankEntry>>* results) override
       SEQFM_EXCLUDES(mu_);
+
+  BackendRecoveryStats RecoveryStats() const override SEQFM_EXCLUDES(mu_);
 
   const ReplicaInfo& info() const { return info_; }
   const RemoteReplicaBackendOptions& options() const { return options_; }
 
  private:
+  /// One connect + handshake + capability check. With \p reconnect set the
+  /// announced identity must equal info_ exactly; otherwise info_ is filled.
+  Status ConnectLocked(bool reconnect) SEQFM_REQUIRES(mu_);
+  /// Fast path no-op while connected; otherwise one backoff-gated
+  /// ConnectLocked attempt.
+  Status EnsureConnectedLocked() SEQFM_REQUIRES(mu_);
+
   RemoteReplicaBackendOptions options_;
   /// Written once by Connect before the backend is shared; read-only after.
   ReplicaInfo info_;
@@ -191,6 +235,15 @@ class RemoteReplicaBackend : public ScoringBackend {
                                  util::lock_rank::kReplicaChannel};
   RpcClient client_ SEQFM_GUARDED_BY(mu_);
   uint64_t next_id_ SEQFM_GUARDED_BY(mu_) = 1;
+  std::string host_ SEQFM_GUARDED_BY(mu_);
+  uint16_t port_ SEQFM_GUARDED_BY(mu_) = 0;
+  bool ever_connected_ SEQFM_GUARDED_BY(mu_) = false;
+  /// Backoff state: current delay (0 = healthy, next attempt immediate) and
+  /// the earliest steady-clock time another attempt may run.
+  int64_t backoff_ms_ SEQFM_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point next_attempt_ SEQFM_GUARDED_BY(mu_){};
+  Rng jitter_rng_ SEQFM_GUARDED_BY(mu_){42};
+  BackendRecoveryStats recovery_ SEQFM_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

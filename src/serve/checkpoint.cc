@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "nn/module.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -94,6 +95,25 @@ Status CheckDeclaredCount(std::ifstream& in, const std::string& path,
   return Status::OK();
 }
 
+// Janitor for the rename-based atomic save: a process that dies between
+// writing `path + ".tmp"` and renaming it into place leaves the orphan
+// behind forever (no later save of a DIFFERENT path touches it, and the
+// tmp itself is never a valid checkpoint name). Both Save and Load sweep
+// it on entry. Checkpoint paths are single-writer — the same assumption
+// the tmp-then-rename scheme itself already makes — so an existing tmp is
+// always a dead save's debris, never a live writer's work in progress.
+void RemoveStaleTmp(const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  if (::access(tmp_path.c_str(), F_OK) != 0) return;
+  if (std::remove(tmp_path.c_str()) == 0) {
+    SEQFM_LOG(Warning) << "checkpoint: removed stale temp file " << tmp_path
+                       << " (an earlier save died before its rename)";
+  } else {
+    SEQFM_LOG(Warning) << "checkpoint: cannot remove stale temp file "
+                       << tmp_path;
+  }
+}
+
 // Reads the header and every manifest entry, seeking over payloads.
 Status ReadManifest(std::ifstream& in, const std::string& path,
                     CheckpointManifest* manifest) {
@@ -179,6 +199,10 @@ Status Checkpoint::Save(const nn::Module& module, const std::string& path) {
   // Write to a sibling temp file and rename into place, so a crash or a
   // full disk mid-save never destroys the previous good checkpoint.
   const std::string tmp_path = path + ".tmp";
+  RemoveStaleTmp(path);
+  if (util::FailPoint::Trigger("ckpt.open") != 0) {
+    return Status::IoError("injected open failure: " + tmp_path);
+  }
   std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::IoError("cannot open checkpoint for write: " + tmp_path);
@@ -205,7 +229,7 @@ Status Checkpoint::Save(const nn::Module& module, const std::string& path) {
   WritePod(out, hash);
   out.flush();
   out.close();
-  if (!out) {
+  if (!out || util::FailPoint::Trigger("ckpt.write") != 0) {
     std::remove(tmp_path.c_str());
     return Status::IoError("checkpoint write failed: " + tmp_path);
   }
@@ -214,9 +238,20 @@ Status Checkpoint::Save(const nn::Module& module, const std::string& path) {
   // data — rename is atomic against crashes of this process, not of the
   // machine. Sync the payload first, then the rename, then the parent
   // directory so the new directory entry itself is on disk.
+  if (util::FailPoint::Trigger("ckpt.fsync") != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("injected fsync failure: " + tmp_path);
+  }
   if (Status st = SyncPath(tmp_path, /*directory=*/false); !st.ok()) {
     std::remove(tmp_path.c_str());
     return st;
+  }
+  if (util::FailPoint::Trigger("ckpt.rename") != 0) {
+    // Crash simulation, not error simulation: a process dying between write
+    // and rename leaves the tmp file ORPHANED — deliberately no remove here,
+    // so the janitor sweep (RemoveStaleTmp on the next Save/Load) is what
+    // the tests exercise.
+    return Status::IoError("injected crash before rename: " + tmp_path);
   }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
@@ -227,6 +262,7 @@ Status Checkpoint::Save(const nn::Module& module, const std::string& path) {
 
 Status Checkpoint::Load(nn::Module* module, const std::string& path) {
   SEQFM_CHECK(module != nullptr) << "Checkpoint::Load: null module";
+  RemoveStaleTmp(path);
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open checkpoint for read: " + path);

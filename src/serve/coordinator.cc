@@ -1,5 +1,7 @@
 #include "serve/coordinator.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <utility>
@@ -123,7 +125,64 @@ Status Coordinator::Ready() {
   catalog_size_ = first.catalog_size;
   num_shards_ = first.num_shards;
   ready_ = true;
+  {
+    util::OrderedMutexLock health_lock(health_mu_);
+    health_.assign(members_.size(), MemberHealth{});
+  }
   return Status::OK();
+}
+
+void Coordinator::ReportOutcome(size_t member, bool ok) {
+  util::OrderedMutexLock lock(health_mu_);
+  MemberHealth& h = health_[member];
+  if (ok) {
+    h.consecutive_failures = 0;
+    if (h.circuit != Circuit::kClosed) {
+      // A successful call through an OPEN/HALF_OPEN member closes its
+      // circuit — full readmission into affinity routing.
+      h.circuit = Circuit::kClosed;
+      h.probe_in_flight = false;
+      ++stats_.circuit_closes;
+      SEQFM_LOG(Info) << "coordinator: member " << member
+                      << " readmitted (circuit closed)";
+    }
+    return;
+  }
+  ++h.consecutive_failures;
+  if (h.circuit == Circuit::kHalfOpen) {
+    // The trial failed: back to OPEN for another full window.
+    h.circuit = Circuit::kOpen;
+    h.probe_in_flight = false;
+    h.open_until = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(options_.circuit_open_ms);
+    ++stats_.circuit_reopens;
+  } else if (h.circuit == Circuit::kClosed &&
+             h.consecutive_failures >= options_.max_consecutive_failures) {
+    h.circuit = Circuit::kOpen;
+    h.open_until = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(options_.circuit_open_ms);
+    ++stats_.circuit_opens;
+    SEQFM_LOG(Warning) << "coordinator: member " << member << " ejected after "
+                       << h.consecutive_failures
+                       << " consecutive failures (circuit open)";
+  }
+}
+
+bool Coordinator::TrySpendRetryToken() {
+  util::OrderedMutexLock lock(health_mu_);
+  // Token-bucket-by-ratio: every FIRST attempt earns ratio tokens, every
+  // failover spends one, and the burst floor keeps cold starts and small
+  // fleets from being starved. No refill thread, no clock — the budget is a
+  // pure function of traffic, so it is deterministic under test.
+  const double budget =
+      options_.retry_budget_ratio * static_cast<double>(stats_.shard_attempts) +
+      static_cast<double>(options_.retry_budget_burst);
+  if (static_cast<double>(stats_.retries) >= budget) {
+    ++stats_.retries_denied;
+    return false;
+  }
+  ++stats_.retries;
+  return true;
 }
 
 Status Coordinator::TopKAll(const data::SequenceExample& ex, size_t k,
@@ -133,11 +192,16 @@ Status Coordinator::TopKAll(const data::SequenceExample& ex, size_t k,
   out->items.clear();
 
   // Snapshot the fleet under mu_, then fan out with NO coordinator lock
-  // held: workers only touch their own result slot and their backend's
-  // internal channel lock (kReplicaChannel > kCoordinator, but the cleaner
-  // property is that no worker nests into mu_ at all).
+  // held: workers only touch their own result slot, their backend's
+  // internal channel lock, and health_mu_ between calls (never across one).
+  struct Attempt {
+    ScoringBackend* backend = nullptr;
+    size_t member = 0;
+  };
   struct ShardPlan {
-    std::vector<ScoringBackend*> attempts;  // affinity-ordered, then failover
+    /// Probe (at most one, when a member is half-open-eligible) first, then
+    /// the CLOSED members affinity-ordered — the failover order.
+    std::vector<Attempt> attempts;
     size_t begin = 0;
     size_t end = 0;
   };
@@ -153,7 +217,9 @@ Status Coordinator::TopKAll(const data::SequenceExample& ex, size_t k,
         ShardedCatalog::Bounds(catalog_size_, num_shards_);
     const uint64_t affinity =
         util::Fnv1a64(&ex.user, sizeof(ex.user));
+    const auto now = std::chrono::steady_clock::now();
     plans.resize(num_shards_);
+    util::OrderedMutexLock health_lock(health_mu_);
     for (uint32_t s = 0; s < num_shards_; ++s) {
       const std::vector<size_t>& group = shard_groups_[s];
       // Rotate the group so a given user keeps hitting the same replica
@@ -164,9 +230,42 @@ Status Coordinator::TopKAll(const data::SequenceExample& ex, size_t k,
       plan.begin = bounds[s];
       plan.end = bounds[s + 1];
       plan.attempts.reserve(group.size());
+      // Circuit-breaker routing: CLOSED members take traffic in affinity
+      // order; an OPEN member whose window expired gets readmission tested
+      // by ONE live trial request (HALF_OPEN, at most one probe in flight
+      // and at most one probe per plan — a recovering fleet never stacks
+      // timeout-prone attempts onto a single request).
+      bool probe_added = false;
       for (size_t i = 0; i < group.size(); ++i) {
-        plan.attempts.push_back(
-            members_[group[(pick + i) % group.size()]].backend.get());
+        const size_t m = group[(pick + i) % group.size()];
+        MemberHealth& h = health_[m];
+        if (h.circuit == Circuit::kClosed) {
+          plan.attempts.push_back({members_[m].backend.get(), m});
+        } else if (h.circuit == Circuit::kOpen && !probe_added &&
+                   now >= h.open_until && !h.probe_in_flight) {
+          h.circuit = Circuit::kHalfOpen;
+          h.probe_in_flight = true;
+          probe_added = true;
+          ++stats_.half_open_probes;
+          // The probe rides FIRST: readmission must be tested by live
+          // traffic, and this request has the whole failover order behind
+          // it if the trial fails.
+          plan.attempts.insert(plan.attempts.begin(),
+                               {members_[m].backend.get(), m});
+        }
+        // OPEN inside its window, or HALF_OPEN with a probe already out:
+        // route around it entirely.
+      }
+      if (plan.attempts.empty()) {
+        // Every member open and none probe-eligible. Attempt the whole
+        // group anyway rather than silently dropping the shard: these
+        // calls fail fast (the backends' reconnect backoff answers in
+        // microseconds while the replica is truly down), and the shard
+        // must not be lost for a full window when recovery is a race away.
+        for (size_t i = 0; i < group.size(); ++i) {
+          const size_t m = group[(pick + i) % group.size()];
+          plan.attempts.push_back({members_[m].backend.get(), m});
+        }
       }
     }
   }
@@ -190,9 +289,24 @@ Status Coordinator::TopKAll(const data::SequenceExample& ex, size_t k,
       job.begin = plan.begin;
       job.end = plan.end;
       job.k = std::min(k, plan.end - plan.begin);
-      for (ScoringBackend* backend : plan.attempts) {
+      bool first = true;
+      for (const Attempt& attempt : plan.attempts) {
+        if (first) {
+          util::OrderedMutexLock lock(health_mu_);
+          ++stats_.shard_attempts;
+        } else if (!TrySpendRetryToken()) {
+          // Budget exhausted: declaring the shard lost is the SAFE failure
+          // (an explicit PARTIAL) — burning group-size attempts per request
+          // during a mass outage would amplify the overload that caused it.
+          SEQFM_LOG(Warning)
+              << "coordinator: shard " << s
+              << " failover suppressed by the retry budget";
+          break;
+        }
+        first = false;
         std::vector<std::vector<RankEntry>> result;
-        Status st = backend->ScoreTopK({job}, &result);
+        Status st = attempt.backend->ScoreTopK({job}, &result);
+        ReportOutcome(attempt.member, st.ok());
         if (st.ok()) {
           runs[s] = std::move(result.front());
           merged[s] = 1;
@@ -231,6 +345,24 @@ uint64_t Coordinator::catalog_size() const {
 uint32_t Coordinator::num_shards() const {
   util::OrderedMutexLock lock(mu_);
   return num_shards_;
+}
+
+CoordinatorStats Coordinator::stats() const {
+  util::OrderedMutexLock lock(mu_);
+  CoordinatorStats out;
+  {
+    util::OrderedMutexLock health_lock(health_mu_);
+    out = stats_;
+  }
+  // Aggregate per-backend recovery counters under mu_ alone: each
+  // RecoveryStats() nests into that backend's channel lock (rank above
+  // both coordinator locks), same order the fan-out legalizes.
+  for (const Member& member : members_) {
+    const BackendRecoveryStats r = member.backend->RecoveryStats();
+    out.reconnects += r.reconnects;
+    out.reconnect_failures += r.reconnect_failures;
+  }
+  return out;
 }
 
 }  // namespace serve

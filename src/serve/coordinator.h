@@ -1,6 +1,7 @@
 #ifndef SEQFM_SERVE_COORDINATOR_H_
 #define SEQFM_SERVE_COORDINATOR_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -27,6 +28,41 @@ struct CoordinatorOptions {
   int64_t replica_timeout_ms = 2000;
   /// Bound on AddReplica's TCP connect + protocol handshake.
   int64_t connect_timeout_ms = 1000;
+  /// Circuit breaker: a member failing this many CONSECUTIVE attempts has
+  /// its circuit opened — it is ejected from affinity routing until a
+  /// half-open probe readmits it. Successes reset the streak.
+  uint32_t max_consecutive_failures = 3;
+  /// How long an opened circuit stays closed to traffic before the breaker
+  /// goes HALF_OPEN and routes one live request through the member as a
+  /// trial: success closes the circuit (full readmission), failure re-opens
+  /// it for another window.
+  int64_t circuit_open_ms = 500;
+  /// Retry budget: failover attempts (attempt #2+ of a request on a shard)
+  /// are allowed only while
+  ///   retries_spent < retry_budget_ratio * first_attempts + burst.
+  /// Under a healthy fleet the budget is never touched; under a mass outage
+  /// retries are capped at ~ratio of real traffic instead of multiplying
+  /// every request by the group size — retry storms cannot amplify an
+  /// overload into a bigger one. The burst term keeps small fleets and cold
+  /// starts from being starved of their first few failovers.
+  double retry_budget_ratio = 0.1;
+  uint32_t retry_budget_burst = 10;
+};
+
+/// Fleet-health and recovery counters (see Coordinator::stats). Monotonic
+/// over the coordinator's lifetime; bench_loadgen reports them in --json so
+/// the perf trajectory captures recovery cost, and the fault-free smoke leg
+/// gates on retries == 0.
+struct CoordinatorStats {
+  uint64_t shard_attempts = 0;      // first attempts (one per shard request)
+  uint64_t retries = 0;             // failover attempts actually made
+  uint64_t retries_denied = 0;      // failovers blocked by the retry budget
+  uint64_t circuit_opens = 0;       // CLOSED -> OPEN transitions
+  uint64_t circuit_reopens = 0;     // HALF_OPEN probe failed -> OPEN again
+  uint64_t circuit_closes = 0;      // probe succeeded -> CLOSED (readmitted)
+  uint64_t half_open_probes = 0;    // trial requests routed to OPEN members
+  uint64_t reconnects = 0;          // backend reconnections (aggregated)
+  uint64_t reconnect_failures = 0;  // failed backend reconnect attempts
 };
 
 /// Outcome of one coordinated request.
@@ -104,6 +140,10 @@ class Coordinator {
   uint64_t catalog_size() const SEQFM_EXCLUDES(mu_);
   uint32_t num_shards() const SEQFM_EXCLUDES(mu_);
 
+  /// Health/recovery counters, including per-backend reconnects aggregated
+  /// across the fleet. Safe to call concurrently with TopKAll.
+  CoordinatorStats stats() const SEQFM_EXCLUDES(mu_);
+
   const CoordinatorOptions& options() const { return options_; }
 
  private:
@@ -111,6 +151,23 @@ class Coordinator {
     std::unique_ptr<ScoringBackend> backend;
     ReplicaInfo info;
   };
+
+  /// Per-member circuit-breaker state (indexed like members_).
+  enum class Circuit : uint8_t { kClosed, kOpen, kHalfOpen };
+  struct MemberHealth {
+    Circuit circuit = Circuit::kClosed;
+    uint32_t consecutive_failures = 0;
+    /// When an OPEN circuit becomes probe-eligible (HALF_OPEN).
+    std::chrono::steady_clock::time_point open_until{};
+    /// At most one in-flight trial per HALF_OPEN member: concurrent
+    /// requests route around it until the probe reports back.
+    bool probe_in_flight = false;
+  };
+
+  /// Records one attempt's outcome against the member's breaker.
+  void ReportOutcome(size_t member, bool ok) SEQFM_EXCLUDES(health_mu_);
+  /// Consumes one retry token if the budget allows another failover.
+  bool TrySpendRetryToken() SEQFM_EXCLUDES(health_mu_);
 
   CoordinatorOptions options_;
   mutable util::OrderedMutex mu_{"Coordinator::mu_",
@@ -123,6 +180,16 @@ class Coordinator {
   uint64_t model_version_ SEQFM_GUARDED_BY(mu_) = 0;
   uint64_t catalog_size_ SEQFM_GUARDED_BY(mu_) = 0;
   uint32_t num_shards_ SEQFM_GUARDED_BY(mu_) = 0;
+
+  /// Health state sits under its own lock (rank kCoordinatorHealth, between
+  /// mu_ and the replica channels): plan building consults it nested inside
+  /// mu_, fan-out workers report outcomes into it with NO other lock held —
+  /// and never across a backend call, so a replica stuck in its socket
+  /// timeout cannot delay health bookkeeping for the rest of the fleet.
+  mutable util::OrderedMutex health_mu_{"Coordinator::health_mu_",
+                                        util::lock_rank::kCoordinatorHealth};
+  std::vector<MemberHealth> health_ SEQFM_GUARDED_BY(health_mu_);
+  CoordinatorStats stats_ SEQFM_GUARDED_BY(health_mu_);
 };
 
 }  // namespace serve

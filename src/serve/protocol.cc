@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace seqfm {
 namespace serve {
 
@@ -340,6 +342,13 @@ Status FrameReader::Next(std::string* payload, bool* got) {
   }
   if (buf_.size() - pos_ < kRpcFrameHeaderBytes + payload_len) {
     return Status::OK();  // frame split across reads; wait for the rest
+  }
+  if (util::FailPoint::Trigger("rpc.frame.torn") != 0) {
+    // Injected torn frame: a complete frame arrived but its bytes are
+    // corrupt. Poison like the magic check would — the stream has no
+    // resync point past garbage, so the connection must die.
+    poisoned_ = true;
+    return Status::InvalidArgument("rpc: injected torn frame");
   }
   payload->assign(buf_, pos_ + kRpcFrameHeaderBytes, payload_len);
   pos_ += kRpcFrameHeaderBytes + payload_len;

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "serve/shard.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace seqfm {
@@ -300,6 +301,12 @@ void RpcServer::HandleConnEvent(uint64_t conn_id, uint32_t events) {
 }
 
 bool RpcServer::HandleRead(Connection* conn) {
+  if (util::FailPoint::Trigger("rpc.server.read") != 0) {
+    // Injected transport failure: the connection dies exactly as it would
+    // on a real ECONNRESET — close, drop pending responses, never answer.
+    CloseConn(conn->id);
+    return false;
+  }
   char buf[65536];
   for (;;) {
     const ssize_t r = ::read(conn->fd, buf, sizeof(buf));
@@ -495,6 +502,15 @@ void RpcServer::HandleShardRequest(Connection* conn, RpcShardRequest req) {
     SendShardError(conn, req.id, RpcStatus::kBadRequest);
     return;
   }
+  if (util::FailPoint::Trigger("rpc.server.shard.drop") != 0) {
+    // Slow-replica simulation: the request was accepted (TCP-ack'd, decoded,
+    // counted) but no response will ever be produced. The client's io
+    // timeout is the only thing that can end the wait — exactly the
+    // accepts-but-never-answers failure mode of a wedged process.
+    util::OrderedMutexLock lock(mu_);
+    ++stats_.requests_dropped;
+    return;
+  }
   data::SequenceExample ex;
   ex.user = req.user;
   ex.history = std::move(req.history);
@@ -616,6 +632,11 @@ bool RpcServer::EnqueueResponse(Connection* conn, const std::string& wire) {
 }
 
 bool RpcServer::FlushWrites(Connection* conn) {
+  if (conn->out_pos < conn->out.size() &&
+      util::FailPoint::Trigger("rpc.server.write") != 0) {
+    CloseConn(conn->id);  // injected write failure: as-if EPIPE
+    return false;
+  }
   while (conn->out_pos < conn->out.size()) {
     // MSG_NOSIGNAL: a client that closed mid-write must produce EPIPE, not
     // a process-killing SIGPIPE.
@@ -687,6 +708,11 @@ void RpcServer::CloseConn(uint64_t conn_id) {
 Status RpcClient::Connect(const std::string& host, uint16_t port,
                           RpcClientOptions options) {
   Close();
+  if (int err = util::FailPoint::Trigger("rpc.client.connect"); err != 0) {
+    return Status::IoError(std::string("rpc client: injected connect "
+                                       "failure: ") +
+                           std::strerror(err));
+  }
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) return Status::IoError(Errno("rpc client: socket"));
   sockaddr_in addr;
@@ -757,6 +783,12 @@ Status RpcClient::Connect(const std::string& host, uint16_t port,
   io_timeout_ms_ = options.connect_timeout_ms > 0 ? options.connect_timeout_ms
                                                   : options.io_timeout_ms;
   SetSocketTimeouts(fd_, io_timeout_ms_);
+  if (int err = util::FailPoint::Trigger("rpc.client.hello"); err != 0) {
+    Close();
+    return Status::IoError(std::string("rpc client: injected handshake "
+                                       "failure: ") +
+                           std::strerror(err));
+  }
   RpcHello hello;
   hello.capabilities = options.capabilities;
   std::string wire;
@@ -795,18 +827,38 @@ Status RpcClient::SendWire(const std::string& wire) {
   if (fd_ < 0) return Status::FailedPrecondition("rpc client: not connected");
   size_t sent = 0;
   while (sent < wire.size()) {
-    const ssize_t w =
-        ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    // Injected EINTR: a delivered signal interrupts the syscall before any
+    // byte moves — the loop must retry at the SAME offset.
+    if (util::FailPoint::Trigger("rpc.client.send.eintr") != 0) continue;
+    // Injected short write: the kernel accepts one byte of this attempt —
+    // the loop must resume at sent + 1, not refuse or restart the frame.
+    size_t len = wire.size() - sent;
+    if (util::FailPoint::Trigger("rpc.client.send.short") != 0) len = 1;
+    if (int err = util::FailPoint::Trigger("rpc.client.send"); err != 0) {
+      Close();  // see below: a part-written frame poisons the stream
+      return Status::IoError(std::string("rpc client: injected write "
+                                         "failure: ") +
+                             std::strerror(err));
+    }
+    const ssize_t w = ::send(fd_, wire.data() + sent, len, MSG_NOSIGNAL);
     if (w > 0) {
       sent += static_cast<size_t>(w);
       continue;
     }
     if (errno == EINTR) continue;
+    // A failed send may leave a PREFIX of the frame on the wire: nothing
+    // sent afterwards would be parsed at a frame boundary, so the
+    // connection is unusable. Close it — connected() turning false is what
+    // tells the owner (RemoteReplicaBackend) to reconnect rather than
+    // desync the stream.
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Close();
       return Status::IoError("rpc client: write timed out after " +
                              std::to_string(io_timeout_ms_) + "ms");
     }
-    return Status::IoError(Errno("rpc client: write"));
+    const Status st = Status::IoError(Errno("rpc client: write"));
+    Close();
+    return st;
   }
   return Status::OK();
 }
@@ -816,22 +868,38 @@ Status RpcClient::ReadFrame(std::string* payload) {
   char buf[65536];
   for (;;) {
     bool got = false;
-    SEQFM_RETURN_NOT_OK(reader_.Next(payload, &got));
+    if (Status st = reader_.Next(payload, &got); !st.ok()) {
+      Close();  // framing desync (or injected torn frame): stream unusable
+      return st;
+    }
     if (got) return Status::OK();
+    if (int err = util::FailPoint::Trigger("rpc.client.read"); err != 0) {
+      Close();
+      return Status::IoError(std::string("rpc client: injected read "
+                                         "failure: ") +
+                             std::strerror(err));
+    }
     const ssize_t r = ::read(fd_, buf, sizeof(buf));
     if (r > 0) {
       reader_.Feed(buf, static_cast<size_t>(r));
       continue;
     }
+    // Every failure below ends the connection: a timeout or reset may have
+    // left a partial frame buffered in reader_, and the response stream has
+    // no resync point — the owner must reconnect, not read on.
     if (r == 0) {
+      Close();
       return Status::IoError("rpc client: connection closed by server");
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Close();
       return Status::IoError("rpc client: read timed out after " +
                              std::to_string(io_timeout_ms_) + "ms");
     }
-    return Status::IoError(Errno("rpc client: read"));
+    const Status st = Status::IoError(Errno("rpc client: read"));
+    Close();
+    return st;
   }
 }
 

@@ -69,6 +69,11 @@ struct RpcServerStats {
   uint64_t requests_bad = 0;       // answered BAD_REQUEST (bad shard range)
   uint64_t protocol_errors = 0;    // framing/decoding failures (conn closed)
   uint64_t backpressure_pauses = 0;
+  /// Requests blackholed by the `rpc.server.shard.drop` failpoint (chaos
+  /// only; the slow-replica simulator). These ARE counted in
+  /// frames_received, so under chaos the accounting invariant reads
+  /// "ok + shed + rejected_shutdown + bad + dropped == frames_received".
+  uint64_t requests_dropped = 0;
   /// HELLO handshakes accepted. Hello frames are deliberately NOT counted
   /// in frames_received, so the accounting invariant "requests_ok +
   /// requests_shed + requests_rejected_shutdown + requests_bad ==

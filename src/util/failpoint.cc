@@ -1,0 +1,206 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace seqfm {
+namespace util {
+
+namespace {
+
+struct SiteState {
+  FailPoint::Spec spec;
+  // Probability mode draws from this site-private stream, so the fail/pass
+  // sequence is a pure function of (seed, hit index) — other sites, threads
+  // and wall clock cannot perturb it.
+  Rng rng{42};
+  uint64_t hits = 0;
+  uint64_t failures = 0;
+};
+
+// One mutex for the whole registry: Trigger only reaches it when at least
+// one site is armed (tests and chaos runs), never in production steady
+// state, so contention is not a concern and ordering stays trivially safe.
+// A plain std::mutex (not OrderedMutex) keeps failpoints usable inside any
+// code region regardless of which ranked locks the caller already holds.
+std::mutex& RegistryMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, SiteState>& Registry() {
+  static auto* registry = new std::map<std::string, SiteState>();
+  return *registry;
+}
+
+// Parses "key=N" style suffix fields; returns false on garbage.
+bool ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::atomic<int> FailPoint::armed_count_{0};
+
+void FailPoint::Arm(const std::string& site, const Spec& spec) {
+  SEQFM_CHECK(!site.empty()) << "FailPoint::Arm: empty site name";
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto [it, inserted] = Registry().emplace(site, SiteState{});
+  it->second.spec = spec;
+  it->second.rng = Rng(spec.seed);
+  it->second.hits = 0;
+  it->second.failures = 0;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoint::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  if (Registry().erase(site) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoint::DisarmAll() {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  armed_count_.fetch_sub(static_cast<int>(Registry().size()),
+                         std::memory_order_relaxed);
+  Registry().clear();
+}
+
+int FailPoint::TriggerSlow(const char* site) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto it = Registry().find(site);
+  if (it == Registry().end()) return 0;
+  SiteState& state = it->second;
+  const Spec& spec = state.spec;
+  const uint64_t hit = ++state.hits;  // 1-based
+  if (spec.limit != 0 && state.failures >= spec.limit) return 0;
+  bool fail = false;
+  switch (spec.mode) {
+    case Mode::kNth:
+      fail = (hit == spec.n);
+      break;
+    case Mode::kEveryK:
+      fail = (spec.n != 0 && hit % spec.n == 0);
+      break;
+    case Mode::kProb:
+      fail = state.rng.Bernoulli(spec.p);
+      break;
+  }
+  if (!fail) return 0;
+  ++state.failures;
+  return spec.error;
+}
+
+bool FailPoint::ArmFromString(const std::string& text) {
+  // site=mode:value[:seed=N][:err=N][:limit=N]
+  const size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  const std::string site = text.substr(0, eq);
+  std::vector<std::string> fields;
+  for (size_t begin = eq + 1; begin <= text.size();) {
+    const size_t colon = text.find(':', begin);
+    const size_t end = colon == std::string::npos ? text.size() : colon;
+    fields.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+    if (colon == std::string::npos) break;
+  }
+  if (fields.size() < 2) return false;
+  Spec spec;
+  const std::string& mode = fields[0];
+  const std::string& value = fields[1];
+  if (mode == "nth") {
+    spec.mode = Mode::kNth;
+    if (!ParseUint(value, &spec.n) || spec.n == 0) return false;
+  } else if (mode == "every") {
+    spec.mode = Mode::kEveryK;
+    if (!ParseUint(value, &spec.n) || spec.n == 0) return false;
+  } else if (mode == "prob") {
+    spec.mode = Mode::kProb;
+    if (!ParseDouble(value, &spec.p) || spec.p < 0.0 || spec.p > 1.0) {
+      return false;
+    }
+  } else {
+    return false;
+  }
+  for (size_t f = 2; f < fields.size(); ++f) {
+    const size_t feq = fields[f].find('=');
+    if (feq == std::string::npos) return false;
+    const std::string key = fields[f].substr(0, feq);
+    const std::string val = fields[f].substr(feq + 1);
+    uint64_t num = 0;
+    if (!ParseUint(val, &num)) return false;
+    if (key == "seed") {
+      spec.seed = num;
+    } else if (key == "err") {
+      spec.error = static_cast<int>(num);
+    } else if (key == "limit") {
+      spec.limit = num;
+    } else {
+      return false;
+    }
+  }
+  Arm(site, spec);
+  return true;
+}
+
+int FailPoint::ArmFromEnv() {
+  const char* env = std::getenv("SEQFM_FAILPOINTS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  int armed = 0;
+  const std::string all(env);
+  for (size_t begin = 0; begin <= all.size();) {
+    const size_t semi = all.find(';', begin);
+    const size_t end = semi == std::string::npos ? all.size() : semi;
+    const std::string one = all.substr(begin, end - begin);
+    if (!one.empty()) {
+      if (ArmFromString(one)) {
+        ++armed;
+      } else {
+        SEQFM_LOG(Warning) << "SEQFM_FAILPOINTS: skipping malformed spec '"
+                           << one << "'";
+      }
+    }
+    begin = end + 1;
+    if (semi == std::string::npos) break;
+  }
+  return armed;
+}
+
+FailPoint::SiteStats FailPoint::Stats(const std::string& site) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  auto it = Registry().find(site);
+  if (it == Registry().end()) return SiteStats{};
+  return SiteStats{it->second.hits, it->second.failures};
+}
+
+std::vector<std::string> FailPoint::ArmedSites() {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  std::vector<std::string> sites;
+  sites.reserve(Registry().size());
+  for (const auto& [site, state] : Registry()) sites.push_back(site);
+  return sites;
+}
+
+}  // namespace util
+}  // namespace seqfm

@@ -1,0 +1,141 @@
+#ifndef SEQFM_UTIL_FAILPOINT_H_
+#define SEQFM_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Build gate: -DSEQFM_FAILPOINTS_ENABLED=0 (the CMake SEQFM_FAILPOINTS=OFF
+/// option) compiles every Trigger to a constant 0. Defaults ON — this repo
+/// never defines NDEBUG either; the disarmed cost is one relaxed load.
+#ifndef SEQFM_FAILPOINTS_ENABLED
+#define SEQFM_FAILPOINTS_ENABLED 1
+#endif
+
+namespace seqfm {
+namespace util {
+
+/// \brief Deterministic fault-injection registry (the "failpoint" discipline
+/// of production KV/serving stacks): named sites compiled into every I/O
+/// boundary, armed per-test or via the SEQFM_FAILPOINTS environment variable.
+///
+/// A site is a call to `FailPoint::Trigger("rpc.client.send")` at the point
+/// where a fault would be observed. Disarmed (the steady state), Trigger is
+/// one relaxed atomic load of a process-wide armed-site count and a compare
+/// against zero — no lock, no string hash, no map lookup — so sites are free
+/// to live on hot paths in release builds. Armed, Trigger consults the
+/// site's schedule under a mutex and returns the spec's errno payload when
+/// the schedule says this hit fails, 0 otherwise.
+///
+/// Schedules are DETERMINISTIC functions of the site's hit index (and, for
+/// the probability mode, a seqfm::Rng stream fixed by the spec's seed):
+///   - kNth:    hit N fails, all others pass (1-based; N=1 = first hit).
+///   - kEveryK: every K-th hit fails (K, 2K, 3K, ...).
+///   - kProb:   each hit fails with probability p, drawn from a per-site
+///              Rng seeded by the spec — the same seed reproduces the exact
+///              fail/pass sequence by hit index, independent of wall clock
+///              or other sites.
+/// An optional limit bounds the number of injected failures, after which
+/// the site passes everything (models a transient fault burst that heals).
+///
+/// Env activation: SEQFM_FAILPOINTS holds ';'-separated specs
+///   site=nth:3 | site=every:5 | site=prob:0.25[:seed=7][:err=110][:limit=2]
+/// parsed by ArmFromEnv() — tests and the chaos harness call it explicitly;
+/// nothing arms behind the build's back at static-init time.
+///
+/// Builds with SEQFM_FAILPOINTS=OFF compile Trigger to a constant 0 so the
+/// whole layer (including the atomic load) folds away; the registry API
+/// remains callable and inert so test helpers still link.
+class FailPoint {
+ public:
+  enum class Mode : uint8_t {
+    kNth,     // exactly hit `n` fails
+    kEveryK,  // hits n, 2n, 3n, ... fail
+    kProb,    // each hit fails with probability `p` (seeded stream)
+  };
+
+  struct Spec {
+    Mode mode = Mode::kNth;
+    /// kNth: the 1-based failing hit. kEveryK: the period. Ignored by kProb.
+    uint64_t n = 1;
+    /// kProb: per-hit failure probability in [0, 1].
+    double p = 0.0;
+    /// kProb: seed of the site's private Rng stream.
+    uint64_t seed = 42;
+    /// errno-style payload Trigger returns on an injected failure. Sites
+    /// translate it into their layer's error (a Status, a short read, ...).
+    int error = 5;  // EIO
+    /// Injected failures are capped at this count (0 = unlimited); the site
+    /// passes everything afterwards — a fault burst that heals.
+    uint64_t limit = 0;
+  };
+
+  /// Per-site observability, for asserting a schedule actually executed.
+  struct SiteStats {
+    uint64_t hits = 0;      // Trigger calls while armed
+    uint64_t failures = 0;  // hits that returned non-zero
+  };
+
+  /// Fault decision for \p site: 0 = proceed, non-zero = the armed spec's
+  /// errno payload for this hit. Disarmed sites cost one relaxed load.
+  static inline int Trigger(const char* site) {
+#if SEQFM_FAILPOINTS_ENABLED
+    if (armed_count_.load(std::memory_order_relaxed) == 0) return 0;
+    return TriggerSlow(site);
+#else
+    (void)site;
+    return 0;
+#endif
+  }
+
+  /// Arms (or re-arms, resetting hit counts) \p site with \p spec.
+  static void Arm(const std::string& site, const Spec& spec);
+
+  /// Disarms \p site; a no-op when it was not armed.
+  static void Disarm(const std::string& site);
+
+  /// Disarms every site and clears all stats. Tests call this in teardown so
+  /// schedules never leak across test cases.
+  static void DisarmAll();
+
+  /// Parses one `site=mode:value[:seed=N][:err=N][:limit=N]` spec and arms
+  /// it. Returns false (arming nothing) on a malformed spec.
+  static bool ArmFromString(const std::string& spec);
+
+  /// Arms every ';'-separated spec in the SEQFM_FAILPOINTS environment
+  /// variable. Returns the number of sites armed; malformed entries are
+  /// skipped with a warning.
+  static int ArmFromEnv();
+
+  /// Stats for \p site (zeros when never armed since the last DisarmAll).
+  static SiteStats Stats(const std::string& site);
+
+  /// Every site currently armed (diagnostic / schedule logging).
+  static std::vector<std::string> ArmedSites();
+
+ private:
+  static int TriggerSlow(const char* site);
+  static std::atomic<int> armed_count_;
+};
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor, so a failing ASSERT cannot leak a schedule into later tests.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(std::string site, const FailPoint::Spec& spec)
+      : site_(std::move(site)) {
+    FailPoint::Arm(site_, spec);
+  }
+  ~ScopedFailPoint() { FailPoint::Disarm(site_); }
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace util
+}  // namespace seqfm
+
+#endif  // SEQFM_UTIL_FAILPOINT_H_

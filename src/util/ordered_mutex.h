@@ -46,9 +46,14 @@ namespace lock_rank {
 /// (< 100, per the rank reservation in ROADMAP.md): a coordinator fans out
 /// while holding its own state lock, and each replica channel's mutex is
 /// taken by the fan-out workers — both orders must legalize nesting into
-/// an in-process replica's kRpcShutdown and below.
-constexpr int kCoordinator = 40;      // serve::Coordinator::mu_
-constexpr int kReplicaChannel = 50;   // serve::RemoteReplicaBackend::mu_
+/// an in-process replica's kRpcShutdown and below. The health lock sits
+/// between them: plan building nests mu_ -> health_mu_ (circuit state is
+/// consulted while routing), and outcome reporting takes health_mu_ alone
+/// after the backend call returned — never across one, so a stuck replica
+/// cannot wedge health updates for the rest of the fleet.
+constexpr int kCoordinator = 40;        // serve::Coordinator::mu_
+constexpr int kCoordinatorHealth = 45;  // serve::Coordinator::health_mu_
+constexpr int kReplicaChannel = 50;     // serve::RemoteReplicaBackend::mu_
 constexpr int kRpcShutdown = 100;     // serve::RpcServer::shutdown_mu_
 constexpr int kBatchServe = 200;      // serve::BatchServer::serve_mu_
 constexpr int kBatchQueue = 300;      // serve::BatchServer::mu_

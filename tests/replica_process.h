@@ -1,0 +1,159 @@
+#ifndef SEQFM_TESTS_REPLICA_PROCESS_H_
+#define SEQFM_TESTS_REPLICA_PROCESS_H_
+
+// Shared multi-process test harness: fork/exec one seqfm_replica process
+// (tools/replica_main.cc) and speak its tiny launch protocol. Used by the
+// distributed parity suite (serve_dist_test) and the chaos suite
+// (serve_chaos_test); compiled only into test binaries that define
+// SEQFM_REPLICA_BIN to the replica executable's path.
+//
+// Lifecycle contract (mirrors replica_main.cc):
+//   - the child's stdin is a pipe the parent holds open; EOF (Stop, or the
+//     parent dying) requests a drain shutdown;
+//   - the child prints "PORT <p>\n" once listening — with port=0 this is
+//     how the parent learns the ephemeral port;
+//   - Kill() SIGKILLs — the dead-replica scenario, no drain, no goodbye.
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace seqfm {
+namespace testing_util {
+
+/// Everything a replica process needs to come up. The model geometry fields
+/// must match the reference model built in-process or the parameter
+/// fingerprints (and the scores) diverge.
+struct ReplicaProcessConfig {
+  std::string checkpoint;
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 1;
+  size_t users = 0;
+  size_t items = 0;
+  size_t dim = 16;
+  size_t max_seq_len = 20;
+  /// 0 = ephemeral (the child reports what it bound). A fixed port is the
+  /// restart-after-kill scenario: the revived replica must come back at the
+  /// address the coordinator's backend already holds.
+  uint16_t port = 0;
+  /// Value for the child's SEQFM_FAILPOINTS environment variable —
+  /// server-side fault injection (replica_main arms it at startup). Empty
+  /// clears the variable in the child, so replicas never accidentally
+  /// inherit the parent test's fault schedule.
+  std::string failpoints;
+};
+
+/// One fork/exec'd seqfm_replica process.
+class ReplicaProcess {
+ public:
+  ReplicaProcess() = default;
+  ReplicaProcess(const ReplicaProcess&) = delete;
+  ReplicaProcess& operator=(const ReplicaProcess&) = delete;
+  ~ReplicaProcess() { Stop(); }
+
+  bool Launch(const ReplicaProcessConfig& config) {
+    int in_pipe[2];   // parent writes -> child stdin
+    int out_pipe[2];  // child stdout -> parent reads
+    // O_CLOEXEC: without it, a later-launched replica inherits this one's
+    // stdin write-end across exec and the EOF-means-shutdown contract
+    // breaks — replica 0 would only drain after replica 1 exits. The
+    // child's dup2 copies shed the flag, so its own stdio survives exec.
+    if (pipe2(in_pipe, O_CLOEXEC) != 0 || pipe2(out_pipe, O_CLOEXEC) != 0) {
+      return false;
+    }
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      dup2(in_pipe[0], STDIN_FILENO);
+      dup2(out_pipe[1], STDOUT_FILENO);
+      close(in_pipe[0]);
+      close(in_pipe[1]);
+      close(out_pipe[0]);
+      close(out_pipe[1]);
+      if (config.failpoints.empty()) {
+        unsetenv("SEQFM_FAILPOINTS");
+      } else {
+        setenv("SEQFM_FAILPOINTS", config.failpoints.c_str(), 1);
+      }
+      const std::vector<std::string> args = {
+          "--checkpoint=" + config.checkpoint,
+          "--shard-index=" + std::to_string(config.shard_index),
+          "--num-shards=" + std::to_string(config.num_shards),
+          "--users=" + std::to_string(config.users),
+          "--items=" + std::to_string(config.items),
+          "--dim=" + std::to_string(config.dim),
+          "--max-seq-len=" + std::to_string(config.max_seq_len),
+          "--port=" + std::to_string(config.port),
+      };
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(SEQFM_REPLICA_BIN));
+      for (const std::string& a : args) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      execv(SEQFM_REPLICA_BIN, argv.data());
+      _exit(127);  // exec failed
+    }
+    close(in_pipe[0]);
+    close(out_pipe[1]);
+    stdin_fd_ = in_pipe[1];
+    stdout_fd_ = out_pipe[0];
+
+    // Read "PORT <p>\n" — the replica prints it once listening.
+    std::string line;
+    char c;
+    while (read(stdout_fd_, &c, 1) == 1 && c != '\n') line.push_back(c);
+    if (line.rfind("PORT ", 0) != 0) return false;
+    port_ = static_cast<uint16_t>(std::stoi(line.substr(5)));
+    return port_ != 0;
+  }
+
+  /// SIGKILL — the dead-replica scenario. No drain, no goodbye.
+  void Kill() {
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      Reap();
+    }
+  }
+
+  /// Close stdin to request a drain shutdown, then reap.
+  void Stop() {
+    if (stdin_fd_ >= 0) {
+      close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+    Reap();
+    if (stdout_fd_ >= 0) {
+      close(stdout_fd_);
+      stdout_fd_ = -1;
+    }
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Reap() {
+    if (pid_ > 0) {
+      int status = 0;
+      waitpid(pid_, &status, 0);
+      pid_ = -1;
+    }
+  }
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace testing_util
+}  // namespace seqfm
+
+#endif  // SEQFM_TESTS_REPLICA_PROCESS_H_

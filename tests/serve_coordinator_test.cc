@@ -17,9 +17,11 @@
 //     RpcServers (RemoteReplicaBackend transport) matches the local fleet.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -32,6 +34,7 @@
 #include "serve/rpc_server.h"
 #include "serve/server.h"
 #include "serve/shard.h"
+#include "util/failpoint.h"
 #include "util/status.h"
 
 namespace seqfm {
@@ -472,6 +475,204 @@ TEST_F(CoordinatorFleetTest, CoordinatorOverTcpReplicasMatchesLocalServing) {
                         "tcp user=" + std::to_string(ex.user) +
                             " k=" + std::to_string(k));
     }
+  }
+
+  for (auto& server : servers) server->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: circuit breaker, retry budget, slow-replica ejection
+// ---------------------------------------------------------------------------
+
+/// Backend whose health is a switch: fails while *dead_ is set, otherwise
+/// delegates — a replica that dies and later recovers.
+class SwitchableBackend : public serve::ScoringBackend {
+ public:
+  SwitchableBackend(serve::ScoringBackend* inner, bool* dead)
+      : inner_(inner), dead_(dead) {}
+  Status ScoreTopK(
+      const std::vector<serve::ScoreJob>& jobs,
+      std::vector<std::vector<serve::RankEntry>>* results) override {
+    if (*dead_) return Status::IoError("injected: replica down");
+    return inner_->ScoreTopK(jobs, results);
+  }
+
+ private:
+  serve::ScoringBackend* inner_;
+  bool* dead_;
+};
+
+TEST_F(CoordinatorFleetTest, CircuitBreakerEjectsProbesAndReadmits) {
+  // One shard, one switchable member: the breaker's full lifecycle in
+  // isolation — CLOSED -> OPEN after two consecutive failures, a failed
+  // half-open probe re-opens, a successful one readmits.
+  bool dead = true;
+  serve::CoordinatorOptions opts;
+  opts.max_consecutive_failures = 2;
+  opts.circuit_open_ms = 50;
+  serve::Coordinator coord(opts);
+  serve::LocalShardBackend local(predictor_.get());
+  ASSERT_TRUE(coord
+                  .AddBackend(std::make_unique<SwitchableBackend>(&local,
+                                                                  &dead),
+                              InfoForShard(0, 1, space_.num_objects(), 7))
+                  .ok());
+  ASSERT_TRUE(coord.Ready().ok());
+  const data::SequenceExample ex = TestExamples()[0];
+
+  for (int i = 0; i < 2; ++i) {
+    serve::CoordinatorResult result;
+    ASSERT_TRUE(coord.TopKAll(ex, 4, &result).ok());
+    EXPECT_EQ(result.status, serve::RpcStatus::kPartial);
+  }
+  {
+    const serve::CoordinatorStats cs = coord.stats();
+    EXPECT_EQ(cs.circuit_opens, 1u);
+    EXPECT_EQ(cs.half_open_probes, 0u);
+  }
+
+  // Window expired, member still dead: the next request is the half-open
+  // trial, and its failure re-opens the circuit for another window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  {
+    serve::CoordinatorResult result;
+    ASSERT_TRUE(coord.TopKAll(ex, 4, &result).ok());
+    EXPECT_EQ(result.status, serve::RpcStatus::kPartial);
+    const serve::CoordinatorStats cs = coord.stats();
+    EXPECT_EQ(cs.half_open_probes, 1u);
+    EXPECT_EQ(cs.circuit_reopens, 1u);
+    EXPECT_EQ(cs.circuit_closes, 0u);
+  }
+
+  // Member recovers: the next probe succeeds, closes the circuit, and the
+  // request it rode is answered OK bit-identical to the reference.
+  dead = false;
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  {
+    serve::CoordinatorResult result;
+    ASSERT_TRUE(coord.TopKAll(ex, 4, &result).ok());
+    EXPECT_EQ(result.status, serve::RpcStatus::kOk);
+    ExpectSameRanking(result.items, predictor_->TopKAll(ex, 4),
+                      "probe readmission");
+    const serve::CoordinatorStats cs = coord.stats();
+    EXPECT_EQ(cs.half_open_probes, 2u);
+    EXPECT_EQ(cs.circuit_closes, 1u);
+  }
+
+  // Readmitted for real: ordinary traffic flows again.
+  serve::CoordinatorResult result;
+  ASSERT_TRUE(coord.TopKAll(ex, 4, &result).ok());
+  EXPECT_EQ(result.status, serve::RpcStatus::kOk);
+}
+
+TEST_F(CoordinatorFleetTest, RetryBudgetCapsFailoverAmplification) {
+  // A shard group of two permanently failing members: every request wants a
+  // failover, but only `burst` of them may get one — a mass outage must not
+  // multiply traffic by the group size.
+  serve::CoordinatorOptions opts;
+  opts.retry_budget_ratio = 0.0;  // isolate the burst term
+  opts.retry_budget_burst = 2;
+  opts.max_consecutive_failures = 100;  // keep the breaker out of the way
+  serve::Coordinator coord(opts);
+  FailingBackend fail_a, fail_b;
+  int calls_a = 0, calls_b = 0;
+  const serve::ReplicaInfo info =
+      InfoForShard(0, 1, space_.num_objects(), 7);
+  ASSERT_TRUE(
+      coord.AddBackend(std::make_unique<CountingBackend>(&fail_a, &calls_a),
+                       info)
+          .ok());
+  ASSERT_TRUE(
+      coord.AddBackend(std::make_unique<CountingBackend>(&fail_b, &calls_b),
+                       info)
+          .ok());
+  ASSERT_TRUE(coord.Ready().ok());
+
+  const data::SequenceExample ex = TestExamples()[0];
+  for (int i = 0; i < 5; ++i) {
+    serve::CoordinatorResult result;
+    ASSERT_TRUE(coord.TopKAll(ex, 4, &result).ok());
+    EXPECT_EQ(result.status, serve::RpcStatus::kPartial);
+  }
+  // 5 first attempts (free) + exactly `burst` failovers; the other 3
+  // failovers are denied, so the shard is declared lost early instead of
+  // doubling the traffic of every request.
+  EXPECT_EQ(calls_a + calls_b, 7);
+  const serve::CoordinatorStats cs = coord.stats();
+  EXPECT_EQ(cs.shard_attempts, 5u);
+  EXPECT_EQ(cs.retries, 2u);
+  EXPECT_EQ(cs.retries_denied, 3u);
+}
+
+TEST_F(CoordinatorFleetTest, SlowReplicaTimesOutIsEjectedAndFailsOver) {
+  // One shard served by TWO in-process TCP replicas. The first shard
+  // request in the process is blackholed (rpc.server.shard.drop: accepted,
+  // never answered) — the affinity replica "hangs", only the io timeout can
+  // surface it, and the worker must fail over to the twin within the
+  // per-replica budget instead of hanging.
+  const uint64_t version = serve::ParameterVersion(model_);
+  std::vector<std::unique_ptr<serve::BatchServer>> batches;
+  std::vector<std::unique_ptr<serve::RpcServer>> servers;
+  for (int r = 0; r < 2; ++r) {
+    batches.push_back(std::make_unique<serve::BatchServer>(predictor_.get()));
+    serve::RpcServerOptions sopts;
+    sopts.port = 0;
+    sopts.catalog_size = space_.num_objects();
+    sopts.shard_index = 0;
+    sopts.num_shards = 1;
+    sopts.model_version = version;
+    servers.push_back(
+        std::make_unique<serve::RpcServer>(batches.back().get(), sopts));
+    ASSERT_TRUE(servers.back()->Start().ok());
+  }
+
+  serve::CoordinatorOptions copts;
+  copts.replica_timeout_ms = 300;  // the bound a blackholed request costs
+  copts.connect_timeout_ms = 5000;
+  copts.max_consecutive_failures = 1;  // a single timeout ejects
+  copts.circuit_open_ms = 10000;       // and it stays ejected for this test
+  serve::Coordinator coord(copts);
+  for (auto& server : servers) {
+    ASSERT_TRUE(coord.AddReplica("127.0.0.1", server->port()).ok());
+  }
+  ASSERT_TRUE(coord.Ready().ok());
+
+  util::ScopedFailPoint drop("rpc.server.shard.drop", [] {
+    util::FailPoint::Spec spec;
+    spec.mode = util::FailPoint::Mode::kNth;
+    spec.n = 1;
+    return spec;
+  }());
+
+  const data::SequenceExample ex = TestExamples()[0];
+  const auto t0 = std::chrono::steady_clock::now();
+  serve::CoordinatorResult result;
+  ASSERT_TRUE(coord.TopKAll(ex, 4, &result).ok());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  // The failover saved the request: OK, bit-identical, and bounded — one io
+  // timeout plus the healthy twin's work, nowhere near a hang.
+  EXPECT_EQ(result.status, serve::RpcStatus::kOk);
+  ExpectSameRanking(result.items, predictor_->TopKAll(ex, 4),
+                    "slow-replica failover");
+  EXPECT_LT(elapsed.count(), 5000);
+  EXPECT_EQ(util::FailPoint::Stats("rpc.server.shard.drop").failures, 1u);
+  {
+    const serve::CoordinatorStats cs = coord.stats();
+    EXPECT_EQ(cs.retries, 1u);
+    EXPECT_EQ(cs.circuit_opens, 1u);  // the slow member is ejected...
+  }
+
+  // ...so the next request routes straight to the healthy twin: no new
+  // timeout, no new retry, still OK.
+  serve::CoordinatorResult next;
+  ASSERT_TRUE(coord.TopKAll(ex, 4, &next).ok());
+  EXPECT_EQ(next.status, serve::RpcStatus::kOk);
+  ExpectSameRanking(next.items, predictor_->TopKAll(ex, 4), "post-ejection");
+  {
+    const serve::CoordinatorStats cs = coord.stats();
+    EXPECT_EQ(cs.retries, 1u);
+    EXPECT_EQ(cs.circuit_opens, 1u);
   }
 
   for (auto& server : servers) server->Shutdown();

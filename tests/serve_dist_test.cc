@@ -14,15 +14,10 @@
 //     version fingerprint and Ready() refuses to merge across them.
 #include <gtest/gtest.h>
 
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fcntl.h>
 #include <string>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
 #include <vector>
 
 #include "core/seqfm.h"
@@ -31,10 +26,14 @@
 #include "serve/coordinator.h"
 #include "serve/predictor.h"
 #include "serve/shard.h"
+#include "tests/replica_process.h"
 #include "util/logging.h"
 
 namespace seqfm {
 namespace {
+
+using testing_util::ReplicaProcess;
+using testing_util::ReplicaProcessConfig;
 
 constexpr size_t kSeqLen = 6;
 constexpr size_t kUsers = 5;
@@ -96,101 +95,20 @@ std::string TempPath(const std::string& name) {
   return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
 }
 
-/// One fork/exec'd seqfm_replica process. The child's stdin is a pipe the
-/// parent holds open (EOF = drain shutdown); its stdout is a pipe the
-/// parent reads "PORT <p>" from.
-class ReplicaProcess {
- public:
-  ReplicaProcess() = default;
-  ReplicaProcess(const ReplicaProcess&) = delete;
-  ReplicaProcess& operator=(const ReplicaProcess&) = delete;
-  ~ReplicaProcess() { Stop(); }
-
-  bool Launch(const std::string& checkpoint, uint32_t shard_index,
-              uint32_t num_shards) {
-    int in_pipe[2];   // parent writes -> child stdin
-    int out_pipe[2];  // child stdout -> parent reads
-    // O_CLOEXEC: without it, a later-launched replica inherits this one's
-    // stdin write-end across exec and the EOF-means-shutdown contract
-    // breaks — replica 0 would only drain after replica 1 exits. The
-    // child's dup2 copies shed the flag, so its own stdio survives exec.
-    if (pipe2(in_pipe, O_CLOEXEC) != 0 || pipe2(out_pipe, O_CLOEXEC) != 0) {
-      return false;
-    }
-    pid_ = fork();
-    if (pid_ < 0) return false;
-    if (pid_ == 0) {
-      dup2(in_pipe[0], STDIN_FILENO);
-      dup2(out_pipe[1], STDOUT_FILENO);
-      close(in_pipe[0]);
-      close(in_pipe[1]);
-      close(out_pipe[0]);
-      close(out_pipe[1]);
-      const std::string ckpt_arg = "--checkpoint=" + checkpoint;
-      const std::string shard_arg =
-          "--shard-index=" + std::to_string(shard_index);
-      const std::string num_arg = "--num-shards=" + std::to_string(num_shards);
-      const std::string users_arg = "--users=" + std::to_string(kUsers);
-      const std::string items_arg = "--items=" + std::to_string(kItems);
-      const std::string dim_arg = "--dim=" + std::to_string(kDim);
-      const std::string len_arg = "--max-seq-len=" + std::to_string(kSeqLen);
-      execl(SEQFM_REPLICA_BIN, SEQFM_REPLICA_BIN, ckpt_arg.c_str(),
-            shard_arg.c_str(), num_arg.c_str(), users_arg.c_str(),
-            items_arg.c_str(), dim_arg.c_str(), len_arg.c_str(), "--port=0",
-            static_cast<char*>(nullptr));
-      _exit(127);  // exec failed
-    }
-    close(in_pipe[0]);
-    close(out_pipe[1]);
-    stdin_fd_ = in_pipe[1];
-    stdout_fd_ = out_pipe[0];
-
-    // Read "PORT <p>\n" — the replica prints it once listening.
-    std::string line;
-    char c;
-    while (read(stdout_fd_, &c, 1) == 1 && c != '\n') line.push_back(c);
-    if (line.rfind("PORT ", 0) != 0) return false;
-    port_ = static_cast<uint16_t>(std::stoi(line.substr(5)));
-    return port_ != 0;
-  }
-
-  /// SIGKILL — the dead-replica scenario. No drain, no goodbye.
-  void Kill() {
-    if (pid_ > 0) {
-      kill(pid_, SIGKILL);
-      Reap();
-    }
-  }
-
-  /// Close stdin to request a drain shutdown, then reap.
-  void Stop() {
-    if (stdin_fd_ >= 0) {
-      close(stdin_fd_);
-      stdin_fd_ = -1;
-    }
-    Reap();
-    if (stdout_fd_ >= 0) {
-      close(stdout_fd_);
-      stdout_fd_ = -1;
-    }
-  }
-
-  uint16_t port() const { return port_; }
-
- private:
-  void Reap() {
-    if (pid_ > 0) {
-      int status = 0;
-      waitpid(pid_, &status, 0);
-      pid_ = -1;
-    }
-  }
-
-  pid_t pid_ = -1;
-  int stdin_fd_ = -1;
-  int stdout_fd_ = -1;
-  uint16_t port_ = 0;
-};
+/// Launch config for one replica of this suite's small fleet (the shared
+/// harness in tests/replica_process.h does the fork/exec).
+ReplicaProcessConfig DistReplica(const std::string& checkpoint,
+                                 uint32_t shard_index, uint32_t num_shards) {
+  ReplicaProcessConfig config;
+  config.checkpoint = checkpoint;
+  config.shard_index = shard_index;
+  config.num_shards = num_shards;
+  config.users = kUsers;
+  config.items = kItems;
+  config.dim = kDim;
+  config.max_seq_len = kSeqLen;
+  return config;
+}
 
 /// Writes the shared tie-heavy checkpoint once per process; returns its
 /// path. Every test's replicas and reference predictor load/build from the
@@ -237,7 +155,8 @@ TEST_F(DistServingTest, CoordinatorMatchesSingleProcessForAllFleetSizes) {
     serve::Coordinator coord = MakeCoordinator();
     for (uint32_t s = 0; s < shards; ++s) {
       fleet.push_back(std::make_unique<ReplicaProcess>());
-      ASSERT_TRUE(fleet.back()->Launch(SharedCheckpoint(), s, shards))
+      ASSERT_TRUE(fleet.back()->Launch(DistReplica(SharedCheckpoint(), s,
+                                                   shards)))
           << "replica " << s << "/" << shards << " failed to launch";
       ASSERT_TRUE(
           coord.AddReplica("127.0.0.1", fleet.back()->port()).ok());
@@ -275,7 +194,8 @@ TEST_F(DistServingTest, KilledReplicaDegradesToPartialMergeOfSurvivors) {
   serve::Coordinator coord = MakeCoordinator();
   for (uint32_t s = 0; s < shards; ++s) {
     fleet.push_back(std::make_unique<ReplicaProcess>());
-    ASSERT_TRUE(fleet.back()->Launch(SharedCheckpoint(), s, shards));
+    ASSERT_TRUE(fleet.back()->Launch(DistReplica(SharedCheckpoint(), s,
+                                                 shards)));
     ASSERT_TRUE(coord.AddReplica("127.0.0.1", fleet.back()->port()).ok());
   }
   ASSERT_TRUE(coord.Ready().ok());
@@ -325,8 +245,8 @@ TEST_F(DistServingTest, ReplicasOnDifferentCheckpointsAreRefused) {
 
   ReplicaProcess a;
   ReplicaProcess b;
-  ASSERT_TRUE(a.Launch(SharedCheckpoint(), 0, 2));
-  ASSERT_TRUE(b.Launch(other, 1, 2));
+  ASSERT_TRUE(a.Launch(DistReplica(SharedCheckpoint(), 0, 2)));
+  ASSERT_TRUE(b.Launch(DistReplica(other, 1, 2)));
 
   serve::Coordinator coord = MakeCoordinator();
   ASSERT_TRUE(coord.AddReplica("127.0.0.1", a.port()).ok());

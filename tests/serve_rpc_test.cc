@@ -25,6 +25,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <future>
 #include <string>
@@ -38,6 +39,7 @@
 #include "serve/rpc_server.h"
 #include "serve/server.h"
 #include "serve/shard.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -1224,6 +1226,110 @@ TEST(RpcServerTest, ShutdownWithIdleConnectionsCompletesImmediately) {
   EXPECT_EQ(stack.rpc.open_connections(), 0u);
   serve::RpcResponse resp;
   EXPECT_FALSE(idle1.ReadResponse(&resp).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection on the client's I/O boundary (util::FailPoint)
+// ---------------------------------------------------------------------------
+
+serve::RpcRequest SmallRequest(uint64_t id) {
+  serve::RpcRequest req;
+  req.id = id;
+  req.user = 0;
+  req.k = 3;
+  req.history = {1, 2, 3};
+  req.slate = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  return req;
+}
+
+TEST(RpcClientFaultTest, ShortWritesAndEintrAreResumedNotCorrupted) {
+  // Regression for the partial-write path of RpcClient's send loop: with
+  // every send truncated to ONE byte and every third loop iteration hit by
+  // a synthetic EINTR, a request frame must still arrive intact and the
+  // response must round-trip — the resume logic may never duplicate, drop,
+  // or reorder a byte.
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+
+  util::FailPoint::Spec one_byte;
+  one_byte.mode = util::FailPoint::Mode::kEveryK;
+  one_byte.n = 1;  // every send
+  util::ScopedFailPoint shorten("rpc.client.send.short", one_byte);
+  util::FailPoint::Spec eintr;
+  eintr.mode = util::FailPoint::Mode::kEveryK;
+  eintr.n = 3;
+  util::ScopedFailPoint interrupt("rpc.client.send.eintr", eintr);
+
+  const data::SequenceExample ex = TestExamples()[0];
+  serve::RpcRequest req;
+  req.id = 1;
+  req.user = ex.user;
+  req.k = 3;
+  req.history = ex.history;
+  req.slate = FullCatalog(stack.space);
+  serve::RpcResponse resp;
+  ASSERT_TRUE(client.Call(req, &resp).ok());
+  EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+  const auto want = stack.batch.Submit(ex, FullCatalog(stack.space), 3).get();
+  ExpectRankingEq(resp.items, want, "byte-at-a-time send");
+  // The schedule really ran: a frame is dozens of bytes, so the 1-byte
+  // sends must have looped at least that many times.
+  EXPECT_GT(util::FailPoint::Stats("rpc.client.send.short").failures, 20u);
+  EXPECT_GT(util::FailPoint::Stats("rpc.client.send.eintr").failures, 5u);
+}
+
+TEST(RpcClientFaultTest, SendFailureClosesTheConnection) {
+  // A failed send leaves a part-written frame on the wire — there is no
+  // resync point, so the client must close rather than let the next frame
+  // be parsed mid-stream. Reconnecting restores service.
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+
+  {
+    util::FailPoint::Spec first;
+    first.mode = util::FailPoint::Mode::kNth;
+    first.n = 1;
+    first.error = EPIPE;
+    util::ScopedFailPoint fp("rpc.client.send", first);
+    const Status st = client.Send(SmallRequest(1));
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+    EXPECT_FALSE(client.connected())
+        << "a part-written frame must poison (close) the stream";
+  }
+
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  serve::RpcResponse resp;
+  ASSERT_TRUE(client.Call(SmallRequest(2), &resp).ok());
+  EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
+}
+
+TEST(RpcClientFaultTest, ReadFailureClosesTheConnection) {
+  // Same poisoning rule on the read side: a failed read may have consumed a
+  // partial frame; the only safe continuation is a fresh connection.
+  ServingStack stack;
+  ASSERT_TRUE(stack.rpc.Start().ok());
+  serve::RpcClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+
+  {
+    util::FailPoint::Spec first;
+    first.mode = util::FailPoint::Mode::kNth;
+    first.n = 1;
+    util::ScopedFailPoint fp("rpc.client.read", first);
+    serve::RpcResponse resp;
+    const Status st = client.Call(SmallRequest(1), &resp);
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+    EXPECT_FALSE(client.connected());
+  }
+
+  ASSERT_TRUE(client.Connect("127.0.0.1", stack.rpc.port()).ok());
+  serve::RpcResponse resp;
+  ASSERT_TRUE(client.Call(SmallRequest(2), &resp).ok());
+  EXPECT_EQ(resp.status, serve::RpcStatus::kOk);
 }
 
 }  // namespace

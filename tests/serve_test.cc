@@ -22,6 +22,7 @@
 #include "nn/module.h"
 #include "serve/checkpoint.h"
 #include "serve/predictor.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace seqfm {
@@ -397,6 +398,76 @@ TEST_F(CheckpointErrorTest, SaveIsAtomicAndDurable) {
   const Status st = serve::Checkpoint::Save(*module_, bad);
   EXPECT_EQ(st.code(), StatusCode::kIoError);
   EXPECT_TRUE(ReadAll() == before) << "failed Save must not disturb path_";
+}
+
+TEST_F(CheckpointErrorTest, CrashBeforeRenameLeavesOrphanSweptByNextSave) {
+  // Crash simulation: the ckpt.rename failpoint makes Save die AFTER the
+  // temp file is written and fsynced but BEFORE the rename — exactly what a
+  // process crash at that instant leaves behind. The orphaned .tmp must not
+  // disturb the real checkpoint, and the janitor in the NEXT Save must
+  // sweep it.
+  const std::vector<char> before = ReadAll();
+  {
+    util::FailPoint::Spec crash;
+    crash.mode = util::FailPoint::Mode::kNth;
+    crash.n = 1;
+    util::ScopedFailPoint fp("ckpt.rename", crash);
+    const Status st = serve::Checkpoint::Save(*module_, path_);
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+  }
+  {
+    std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+    EXPECT_TRUE(tmp.good()) << "the simulated crash must leave the orphan";
+  }
+  EXPECT_TRUE(ReadAll() == before) << "the real checkpoint must be intact";
+
+  // The next Save sweeps the orphan and completes normally.
+  ASSERT_TRUE(serve::Checkpoint::Save(*module_, path_).ok());
+  {
+    std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+    EXPECT_FALSE(tmp.good()) << "janitor must remove the stale temp";
+  }
+  ASSERT_TRUE(serve::Checkpoint::Load(module_, path_).ok());
+}
+
+TEST_F(CheckpointErrorTest, CrashBeforeRenameOrphanIsSweptByLoadToo) {
+  // A reader must also clean up: restart-after-crash commonly goes straight
+  // to Load, and the orphan would otherwise sit there forever.
+  {
+    util::FailPoint::Spec crash;
+    crash.mode = util::FailPoint::Mode::kNth;
+    crash.n = 1;
+    util::ScopedFailPoint fp("ckpt.rename", crash);
+    EXPECT_FALSE(serve::Checkpoint::Save(*module_, path_).ok());
+  }
+  {
+    std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+    ASSERT_TRUE(tmp.good());
+  }
+  ASSERT_TRUE(serve::Checkpoint::Load(module_, path_).ok());
+  {
+    std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+    EXPECT_FALSE(tmp.good()) << "Load's janitor must remove the stale temp";
+  }
+}
+
+TEST_F(CheckpointErrorTest, InjectedWriteAndFsyncFailuresLeaveNoDebris) {
+  // Unlike the rename crash, ordinary I/O failures (write, fsync) are
+  // ERRORS the process survives — Save must clean its own temp up and
+  // leave the previous checkpoint untouched.
+  const std::vector<char> before = ReadAll();
+  for (const char* site : {"ckpt.open", "ckpt.write", "ckpt.fsync"}) {
+    util::FailPoint::Spec first;
+    first.mode = util::FailPoint::Mode::kNth;
+    first.n = 1;
+    util::ScopedFailPoint fp(site, first);
+    const Status st = serve::Checkpoint::Save(*module_, path_);
+    EXPECT_EQ(st.code(), StatusCode::kIoError) << site;
+    std::ifstream tmp(path_ + ".tmp", std::ios::binary);
+    EXPECT_FALSE(tmp.good()) << site << " must not leave a temp file";
+    EXPECT_TRUE(ReadAll() == before) << site;
+  }
+  ASSERT_TRUE(serve::Checkpoint::Load(module_, path_).ok());
 }
 
 TEST_F(CheckpointErrorTest, CorruptedMagicIsInvalidArgument) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/hash.h"
 #include "util/result.h"
@@ -651,6 +652,133 @@ TEST(OrderedMutexDeathTest, ReleasingAnUnheldLockDies) {
   util::OrderedMutex mu("test::mu", 100);
   EXPECT_DEATH(mu.unlock(),
                "releasing 'test::mu' which this thread does not hold");
+}
+
+// ---------------------------------------------------------------------------
+// FailPoint: deterministic fault injection
+// ---------------------------------------------------------------------------
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  ~FailPointTest() override { util::FailPoint::DisarmAll(); }
+};
+
+TEST_F(FailPointTest, DisarmedSitesTriggerZero) {
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(util::FailPoint::Trigger("never.armed"), 0);
+  }
+  EXPECT_EQ(util::FailPoint::Stats("never.armed").hits, 0u);
+}
+
+TEST_F(FailPointTest, NthModeFailsExactlyTheNthHit) {
+  util::FailPoint::Spec spec;
+  spec.mode = util::FailPoint::Mode::kNth;
+  spec.n = 3;
+  spec.error = 42;
+  util::FailPoint::Arm("t.nth", spec);
+  std::vector<int> got;
+  for (int i = 0; i < 6; ++i) got.push_back(util::FailPoint::Trigger("t.nth"));
+  EXPECT_EQ(got, (std::vector<int>{0, 0, 42, 0, 0, 0}));
+  const auto stats = util::FailPoint::Stats("t.nth");
+  EXPECT_EQ(stats.hits, 6u);
+  EXPECT_EQ(stats.failures, 1u);
+}
+
+TEST_F(FailPointTest, EveryKModeFailsPeriodically) {
+  util::FailPoint::Spec spec;
+  spec.mode = util::FailPoint::Mode::kEveryK;
+  spec.n = 2;
+  util::FailPoint::Arm("t.every", spec);
+  std::vector<int> got;
+  for (int i = 0; i < 6; ++i) {
+    got.push_back(util::FailPoint::Trigger("t.every"));
+  }
+  EXPECT_EQ(got, (std::vector<int>{0, 5, 0, 5, 0, 5}));  // default err = EIO
+}
+
+TEST_F(FailPointTest, ProbModeIsAPureFunctionOfSeedAndHitIndex) {
+  util::FailPoint::Spec spec;
+  spec.mode = util::FailPoint::Mode::kProb;
+  spec.p = 0.5;
+  spec.seed = 1234;
+  util::FailPoint::Arm("t.prob", spec);
+  std::vector<int> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(util::FailPoint::Trigger("t.prob"));
+  }
+  // Re-arming with the same seed resets the stream: identical sequence.
+  util::FailPoint::Arm("t.prob", spec);
+  std::vector<int> second;
+  for (int i = 0; i < 64; ++i) {
+    second.push_back(util::FailPoint::Trigger("t.prob"));
+  }
+  EXPECT_EQ(first, second);
+  // And it actually mixes failures and passes at p = 0.5 over 64 draws.
+  EXPECT_GT(util::FailPoint::Stats("t.prob").failures, 0u);
+  EXPECT_LT(util::FailPoint::Stats("t.prob").failures, 64u);
+}
+
+TEST_F(FailPointTest, LimitBoundsInjectedFailuresThenHeals) {
+  util::FailPoint::Spec spec;
+  spec.mode = util::FailPoint::Mode::kEveryK;
+  spec.n = 1;  // every hit would fail...
+  spec.limit = 2;  // ...but the burst heals after two
+  util::FailPoint::Arm("t.limit", spec);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (util::FailPoint::Trigger("t.limit") != 0) ++failures;
+  }
+  EXPECT_EQ(failures, 2);
+  EXPECT_EQ(util::FailPoint::Stats("t.limit").failures, 2u);
+  EXPECT_EQ(util::FailPoint::Stats("t.limit").hits, 10u);
+}
+
+TEST_F(FailPointTest, ArmFromStringParsesTheSpecGrammar) {
+  EXPECT_TRUE(util::FailPoint::ArmFromString("a.b=nth:2"));
+  EXPECT_TRUE(util::FailPoint::ArmFromString("c.d=every:5:err=110"));
+  EXPECT_TRUE(
+      util::FailPoint::ArmFromString("e.f=prob:0.25:seed=7:limit=3"));
+  const auto sites = util::FailPoint::ArmedSites();
+  EXPECT_EQ(sites.size(), 3u);
+
+  EXPECT_EQ(util::FailPoint::Trigger("a.b"), 0);
+  EXPECT_EQ(util::FailPoint::Trigger("a.b"), 5);     // nth:2, default err
+  EXPECT_EQ(util::FailPoint::Trigger("c.d"), 0);
+  for (int i = 0; i < 3; ++i) util::FailPoint::Trigger("c.d");
+  EXPECT_EQ(util::FailPoint::Trigger("c.d"), 110);   // hit 5 of every:5
+
+  // Malformed specs arm nothing and say so.
+  EXPECT_FALSE(util::FailPoint::ArmFromString(""));
+  EXPECT_FALSE(util::FailPoint::ArmFromString("no-equals"));
+  EXPECT_FALSE(util::FailPoint::ArmFromString("=nth:1"));
+  EXPECT_FALSE(util::FailPoint::ArmFromString("x=badmode:1"));
+  EXPECT_FALSE(util::FailPoint::ArmFromString("x=nth:0"));
+  EXPECT_FALSE(util::FailPoint::ArmFromString("x=nth:abc"));
+  EXPECT_FALSE(util::FailPoint::ArmFromString("x=prob:1.5"));
+  EXPECT_FALSE(util::FailPoint::ArmFromString("x=nth:1:bogus=2"));
+  EXPECT_FALSE(util::FailPoint::ArmFromString("x=nth:1:seed="));
+  EXPECT_EQ(util::FailPoint::ArmedSites().size(), 3u);
+}
+
+TEST_F(FailPointTest, ArmFromEnvArmsEverySpecAndSkipsMalformed) {
+  setenv("SEQFM_FAILPOINTS", "p.q=nth:1;;bad spec;r.s=every:2:err=71", 1);
+  EXPECT_EQ(util::FailPoint::ArmFromEnv(), 2);
+  unsetenv("SEQFM_FAILPOINTS");
+  EXPECT_EQ(util::FailPoint::Trigger("p.q"), 5);
+  util::FailPoint::Trigger("r.s");
+  EXPECT_EQ(util::FailPoint::Trigger("r.s"), 71);
+}
+
+TEST_F(FailPointTest, ScopedFailPointDisarmsOnExit) {
+  {
+    util::FailPoint::Spec spec;
+    spec.mode = util::FailPoint::Mode::kNth;
+    spec.n = 1;
+    util::ScopedFailPoint fp("t.scoped", spec);
+    EXPECT_EQ(util::FailPoint::Trigger("t.scoped"), 5);
+  }
+  EXPECT_EQ(util::FailPoint::Trigger("t.scoped"), 0);
+  EXPECT_TRUE(util::FailPoint::ArmedSites().empty());
 }
 
 }  // namespace

@@ -26,11 +26,16 @@
 #include "serve/predictor.h"
 #include "serve/rpc_server.h"
 #include "serve/server.h"
+#include "util/failpoint.h"
 #include "util/flags.h"
 
 using namespace seqfm;
 
 int main(int argc, char** argv) {
+  // Server-side fault injection: the chaos harness launches replicas with
+  // SEQFM_FAILPOINTS in the environment to arm schedules on this process's
+  // I/O sites (rpc.server.read, rpc.server.shard.drop, ...).
+  util::FailPoint::ArmFromEnv();
   FlagParser flags;
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
